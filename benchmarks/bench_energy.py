@@ -1,0 +1,57 @@
+"""Energy extension bench (the paper's Section VII future work).
+
+Compares baseline MultiPrio against the energy-aware variant on the FMM
+workload: the variant shifts work toward the ~20x-leaner CPU cores when
+the energy trade is favourable. Asserted envelope: it saves energy (or
+breaks even) while staying within 30% of the baseline makespan.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.apps.fmm import fmm_program
+from repro.core.multiprio import MultiPrio
+from repro.experiments.reporting import format_table
+from repro.extensions.energy import EnergyAwareMultiPrio, energy_of_result
+from repro.platform.machines import intel_v100
+from repro.runtime.engine import Simulator
+from repro.runtime.perfmodel import AnalyticalPerfModel
+
+
+def test_energy_aware_multiprio(benchmark, report):
+    program = fmm_program(
+        n_particles=int(100_000 * bench_scale()),
+        height=5,
+        distribution="ellipsoid",
+        seed=7,
+    )
+    machine = intel_v100(4)
+
+    def sweep():
+        out = {}
+        for label, sched in (
+            ("multiprio", MultiPrio()),
+            ("multiprio-energy", EnergyAwareMultiPrio()),
+        ):
+            sim = Simulator(
+                machine.platform(),
+                sched,
+                AnalyticalPerfModel(machine.calibration(), noise_sigma=0.15),
+                seed=0,
+                record_trace=False,
+            )
+            res = sim.run(program)
+            out[label] = (res.makespan, energy_of_result(res, sim.platform))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["scheduler", "makespan ms", "energy J"],
+            [[k, f"{ms / 1e3:.2f}", f"{joules:.2f}"] for k, (ms, joules) in results.items()],
+            title="Energy-aware MultiPrio (FMM, intel-v100)",
+        ),
+        "energy_aware",
+    )
+    base_ms, base_j = results["multiprio"]
+    ener_ms, ener_j = results["multiprio-energy"]
+    assert ener_j <= base_j * 1.02
+    assert ener_ms <= base_ms * 1.30

@@ -1,0 +1,72 @@
+"""Engine micro-benchmarks: simulator throughput and heap operations.
+
+Not a paper figure — these guard the simulator's own performance, which
+bounds how large the reproduction workloads can grow.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.apps.dense import cholesky_program
+from repro.core.heap import TaskHeap
+from repro.platform.machines import small_hetero
+from repro.runtime.engine import Simulator
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.task import Task, TaskState
+from repro.schedulers.registry import make_scheduler
+from repro.utils.rng import make_rng
+
+
+def test_simulator_throughput_multiprio(benchmark):
+    """Tasks simulated per second under MultiPrio."""
+    n_tiles = max(8, int(14 * bench_scale()))
+    program = cholesky_program(n_tiles, 512)
+    machine = small_hetero(n_cpus=6, n_gpus=2, gpu_streams=2)
+    pm = AnalyticalPerfModel(machine.calibration())
+    platform = machine.platform()
+
+    def run():
+        sim = Simulator(platform, make_scheduler("multiprio"), pm, seed=0,
+                        record_trace=False)
+        return sim.run(program).n_tasks
+
+    n = benchmark(run)
+    assert n == len(program)
+
+
+def test_simulator_throughput_dmdas(benchmark):
+    n_tiles = max(8, int(14 * bench_scale()))
+    program = cholesky_program(n_tiles, 512)
+    machine = small_hetero(n_cpus=6, n_gpus=2, gpu_streams=2)
+    pm = AnalyticalPerfModel(machine.calibration())
+    platform = machine.platform()
+
+    def run():
+        sim = Simulator(platform, make_scheduler("dmdas"), pm, seed=0,
+                        record_trace=False)
+        return sim.run(program).n_tasks
+
+    n = benchmark(run)
+    assert n == len(program)
+
+
+def test_heap_insert_pop_throughput(benchmark):
+    """Raw binary-heap churn: 5k inserts + 5k best/remove."""
+    rng = make_rng(1)
+    gains = rng.random(5000)
+    prios = rng.random(5000)
+    tasks = []
+    for i in range(5000):
+        t = Task(i, "k", implementations=("cpu",))
+        t.state = TaskState.READY
+        tasks.append(t)
+
+    def run():
+        heap = TaskHeap()
+        for t, g, p in zip(tasks, gains, prios):
+            heap.insert(t, float(g), float(p))
+        drained = 0
+        while len(heap):
+            heap.remove(heap.best())
+            drained += 1
+        return drained
+
+    assert benchmark(run) == 5000

@@ -1,0 +1,23 @@
+"""Fig. 3 bench: the NOD worked example plus NOD computation throughput."""
+
+from repro.core.criticality import nod
+from repro.experiments.fig3_nod import format_fig3, run_fig3
+from repro.apps.dense import cholesky_program
+
+
+def test_fig3_reproduction(benchmark, report):
+    result = benchmark(run_fig3)
+    assert result.nod_t2 == 2.5
+    assert result.nod_t3 == 1.0
+    report(format_fig3(result), "fig3_nod")
+
+
+def test_nod_throughput_on_cholesky_dag(benchmark):
+    """PUSH-path cost: NOD over every task of a 20-tile Cholesky DAG."""
+    program = cholesky_program(20, 256)
+
+    def run():
+        return sum(nod(t) for t in program.tasks)
+
+    total = benchmark(run)
+    assert total > 0

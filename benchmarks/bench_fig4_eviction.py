@@ -1,0 +1,20 @@
+"""Fig. 4 bench: the eviction-mechanism ablation.
+
+Paper setup: Cholesky of a 960x20-tile matrix, 1 GPU + 6 CPUs, MultiPrio
+with vs without eviction. Paper numbers: GPU idle 29% -> 1% and a
+visibly shorter makespan. The shape assertion: eviction must cut the GPU
+idle fraction and not lengthen the makespan.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.fig4_eviction import format_fig4, run_fig4
+
+
+def test_fig4_eviction_ablation(benchmark, report):
+    n_tiles = max(8, int(20 * bench_scale()))
+    result = benchmark.pedantic(
+        run_fig4, kwargs={"n_tiles": n_tiles, "tile_size": 960}, rounds=1, iterations=1
+    )
+    assert result.with_eviction.gpu_idle_frac < result.without_eviction.gpu_idle_frac
+    assert result.with_eviction.makespan_us <= result.without_eviction.makespan_us
+    report(format_fig4(result, gantt=True), "fig4_eviction")

@@ -1,0 +1,27 @@
+"""Fig. 7 bench: the sparse matrix table and its synthetic analogs.
+
+Regenerates the published table (rows/cols/nnz/op count) augmented with
+the synthetic elimination-tree statistics, and benchmarks tree synthesis
+itself.
+"""
+
+from repro.apps.sparseqr import matrix_by_name, matrix_tree
+from repro.experiments.fig7_matrices import format_fig7, run_fig7
+
+
+def test_fig7_matrix_table(benchmark, report):
+    rows = benchmark.pedantic(run_fig7, kwargs={"scale": 0.05}, rounds=1, iterations=1)
+    report(format_fig7(rows), "fig7_matrices")
+    assert len(rows) == 10
+    # Sorted by published op count, as in the paper.
+    gflops = [r.spec.gflops for r in rows]
+    assert gflops == sorted(gflops)
+    # Synthetic trees land near their (scaled) targets.
+    for row in rows:
+        assert row.flop_error < 0.5, f"{row.spec.name}: {row.flop_error:.0%} off"
+
+
+def test_tree_synthesis_throughput(benchmark):
+    spec = matrix_by_name("TF17")
+    tree = benchmark(lambda: matrix_tree(spec, scale=0.05))
+    assert len(tree) > 100

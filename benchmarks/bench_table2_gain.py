@@ -1,0 +1,37 @@
+"""Table II bench: the gain-heuristic worked example.
+
+Regenerates the published 3-task / 2-architecture gain table and
+benchmarks the gain computation throughput (it sits on MultiPrio's PUSH
+fast path).
+"""
+
+import numpy as np
+
+from repro.core.gain import GainTracker
+from repro.experiments.table2_gain import format_table2, run_table2
+from repro.utils.rng import make_rng
+
+
+def test_table2_reproduction(benchmark, report):
+    result = benchmark(run_table2)
+    assert result.max_abs_error < 1e-3
+    report(format_table2(result), "table2_gain")
+
+
+def test_gain_tracker_throughput(benchmark):
+    """PUSH-path cost: score 1000 random two-arch tasks."""
+    rng = make_rng(0)
+    deltas = [
+        {"cpu": float(c), "cuda": float(g)}
+        for c, g in zip(rng.uniform(1, 1e4, 1000), rng.uniform(1, 1e4, 1000))
+    ]
+
+    def run():
+        tracker = GainTracker()
+        acc = 0.0
+        for d in deltas:
+            acc += tracker.observe_and_score(d)["cpu"]
+        return acc
+
+    total = benchmark(run)
+    assert np.isfinite(total)

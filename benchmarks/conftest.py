@@ -1,0 +1,41 @@
+"""Benchmark fixtures: result directory and report helper.
+
+Every bench regenerates one of the paper's tables/figures and writes the
+formatted rows/series to ``bench_results/<name>.txt`` (also echoed to
+stdout when running with ``-s``). Scales are simulation-sized by
+default; set ``REPRO_BENCH_SCALE`` (a float multiplier, default 1.0) to
+grow workloads toward paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "bench_results"
+
+
+def bench_scale() -> float:
+    """Workload-size multiplier from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Callable saving a formatted reproduction artefact."""
+
+    def _save(text: str, name: str | None = None) -> None:
+        stem = name or request.node.name.replace("[", "_").replace("]", "")
+        path = results_dir / f"{stem}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

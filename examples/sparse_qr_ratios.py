@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Sparse multifrontal QR over the paper's matrix collection (Fig. 8).
+
+Synthesizes elimination trees matching the published statistics of a
+few Fig. 7 matrices, factors them under the three schedulers and prints
+the performance ratios relative to Dmdas — the exact format of the
+paper's Fig. 8.
+
+Run:  python examples/sparse_qr_ratios.py [scale]
+      (scale multiplies the published op counts; default 0.02 for speed)
+"""
+
+import sys
+
+from repro.apps.sparseqr import matrix_by_name
+from repro.experiments.fig8_sparseqr import format_fig8, run_fig8
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+
+matrices = [matrix_by_name(n) for n in ("cat_ears_4_4", "e18", "Rucci1", "TF17")]
+result = run_fig8(matrices=matrices, scale=scale, machines=("intel-v100",))
+print(format_fig8(result))

@@ -1,0 +1,5 @@
+"""Setup shim for environments where PEP 517 editable installs are
+unavailable (no `wheel` package); `pip install -e .` falls back to this."""
+from setuptools import setup
+
+setup()

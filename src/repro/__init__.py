@@ -1,0 +1,67 @@
+"""repro — reproduction of *Dynamic Tasks Scheduling with Multiple
+Priorities on Heterogeneous Computing Systems* (MultiPrio, IPPS 2024).
+
+Public API quick tour::
+
+    from repro import (
+        TaskFlow, AccessMode, Simulator, MultiPrio,
+        AnalyticalPerfModel, make_scheduler,
+    )
+    from repro.platform import small_hetero
+    from repro.apps.dense import cholesky_program
+
+    machine = small_hetero(n_cpus=6, n_gpus=1)
+    program = cholesky_program(n_tiles=10, tile_size=512)
+    sim = Simulator(machine.platform(), MultiPrio(),
+                    AnalyticalPerfModel(machine.calibration()))
+    result = sim.run(program)
+    print(result.makespan, result.gflops)
+
+Subpackages:
+
+* :mod:`repro.core` — MultiPrio and its heuristics (the contribution);
+* :mod:`repro.runtime` — the StarPU-like simulated runtime substrate;
+* :mod:`repro.schedulers` — baseline policies (dmdas, heteroprio, ...);
+* :mod:`repro.apps` — dense LA / FMM / sparse-QR task-graph generators;
+* :mod:`repro.platform` — the Intel-V100 and AMD-A100 machine models;
+* :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+from repro.runtime import (
+    AccessMode,
+    Task,
+    TaskFlow,
+    Program,
+    DataHandle,
+    Simulator,
+    SimResult,
+    AnalyticalPerfModel,
+    HistoryPerfModel,
+    CalibrationTable,
+    KernelCalibration,
+    Platform,
+)
+from repro.core import MultiPrio
+from repro.schedulers import make_scheduler, scheduler_names, register_scheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "Task",
+    "TaskFlow",
+    "Program",
+    "DataHandle",
+    "Simulator",
+    "SimResult",
+    "AnalyticalPerfModel",
+    "HistoryPerfModel",
+    "CalibrationTable",
+    "KernelCalibration",
+    "Platform",
+    "MultiPrio",
+    "make_scheduler",
+    "scheduler_names",
+    "register_scheduler",
+    "__version__",
+]

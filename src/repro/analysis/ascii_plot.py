@@ -1,0 +1,102 @@
+"""ASCII charts for experiment outputs (no plotting dependencies).
+
+The benches run in terminals and CI logs; these helpers render the
+paper's figure *shapes* — grouped bars for Fig. 6/8-style comparisons
+and simple series for sweeps — directly into the saved text artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.utils.validation import ValidationError
+
+_BLOCK = "#"
+
+
+def hbar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+    reference: str | None = None,
+) -> str:
+    """Horizontal bar chart of label -> value.
+
+    ``reference`` marks one label whose bar is annotated as the baseline
+    (the Fig. 8 "ratio vs Dmdas" style).
+    """
+    if not values:
+        raise ValidationError("hbar_chart needs at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValidationError("hbar_chart values must be >= 0")
+    peak = max(values.values()) or 1.0
+    label_w = max(len(str(k)) for k in values)
+    lines: list[str] = [title] if title else []
+    for label, value in values.items():
+        bar = _BLOCK * max(1 if value > 0 else 0, round(value / peak * width))
+        mark = "  <- reference" if reference == label else ""
+        lines.append(f"{str(label):>{label_w}} |{bar:<{width}} {value:.3g}{unit}{mark}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bars: group -> {series -> value}.
+
+    All bars share one scale so groups are comparable (the Fig. 6 layout:
+    machines as groups, schedulers as series).
+    """
+    if not groups:
+        raise ValidationError("grouped_bars needs at least one group")
+    all_values = [v for series in groups.values() for v in series.values()]
+    if not all_values:
+        raise ValidationError("grouped_bars needs at least one series value")
+    if any(v < 0 for v in all_values):
+        raise ValidationError("grouped_bars values must be >= 0")
+    peak = max(all_values) or 1.0
+    series_w = max(len(str(s)) for series in groups.values() for s in series)
+    lines: list[str] = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            bar = _BLOCK * max(1 if value > 0 else 0, round(value / peak * width))
+            lines.append(f"  {str(name):>{series_w}} |{bar:<{width}} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def series_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """A dot plot of one (x, y) series on a character grid."""
+    if len(xs) != len(ys):
+        raise ValidationError("series_plot needs equal-length xs and ys")
+    if not xs:
+        raise ValidationError("series_plot needs at least one point")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines: list[str] = [title] if title else []
+    lines.append(f"{y_hi:10.3g} +{''.join(grid[0])}")
+    for row in grid[1:-1]:
+        lines.append(f"{'':10} |{''.join(row)}")
+    lines.append(f"{y_lo:10.3g} +{''.join(grid[-1])}")
+    lines.append(f"{'':11}{x_lo:<10.3g}{'':{max(0, width - 20)}}{x_hi:>10.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Makespan lower bounds and scheduling-efficiency reports.
+
+Two classic bounds, both valid for any scheduler on any platform:
+
+* **critical-path bound** — the longest chain, each task at its fastest
+  architecture, communication free;
+* **work bound** — at most |W| tasks execute concurrently and each costs
+  at least its fastest-architecture time, so
+  ``T >= sum_t min_a δ(t, a) / |W|``. A per-architecture refinement
+  covers tasks executable on a single architecture: the exclusive work
+  of architecture ``a`` cannot spread beyond ``P_a``.
+
+``efficiency_report`` relates a simulated makespan to these bounds — the
+sanity lens for comparing schedulers beyond raw makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.dag import critical_path_length
+from repro.runtime.engine import SimResult
+from repro.runtime.perfmodel import PerfModel
+from repro.runtime.platform_config import Platform
+from repro.runtime.stf import Program
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Lower bounds on the makespan of one program on one platform."""
+
+    critical_path_us: float
+    work_bound_us: float
+    exclusive_work_bound_us: float
+
+    @property
+    def best_us(self) -> float:
+        """The tightest of the bounds."""
+        return max(
+            self.critical_path_us, self.work_bound_us, self.exclusive_work_bound_us
+        )
+
+
+def _best_cost(task, perfmodel: PerfModel, archs: tuple[str, ...]) -> float:
+    return min(perfmodel.estimate(task, a) for a in archs if task.can_exec(a))
+
+
+def makespan_bounds(
+    program: Program, platform: Platform, perfmodel: PerfModel
+) -> Bounds:
+    """Compute the lower bounds for ``program`` on ``platform``."""
+    archs = tuple(a for a in platform.archs if platform.n_workers(a) > 0)
+    cp = critical_path_length(
+        program.tasks, lambda t: _best_cost(t, perfmodel, archs)
+    )
+    total_best = sum(_best_cost(t, perfmodel, archs) for t in program.tasks)
+    work_bound = total_best / max(1, platform.n_workers())
+
+    exclusive = 0.0
+    for arch in archs:
+        only_here = [
+            t
+            for t in program.tasks
+            if [a for a in archs if t.can_exec(a)] == [arch]
+        ]
+        if only_here:
+            arch_work = sum(perfmodel.estimate(t, arch) for t in only_here)
+            exclusive = max(exclusive, arch_work / max(1, platform.n_workers(arch)))
+    return Bounds(
+        critical_path_us=cp,
+        work_bound_us=work_bound,
+        exclusive_work_bound_us=exclusive,
+    )
+
+
+def efficiency_report(
+    result: SimResult, program: Program, platform: Platform, perfmodel: PerfModel
+) -> dict[str, float]:
+    """Bounds plus achieved makespan and the efficiency ratio.
+
+    ``efficiency`` = tightest lower bound / achieved makespan, in (0, 1];
+    1.0 means the schedule is provably optimal for this platform model.
+    """
+    bounds = makespan_bounds(program, platform, perfmodel)
+    efficiency = bounds.best_us / result.makespan if result.makespan > 0 else 1.0
+    return {
+        "makespan_us": result.makespan,
+        "critical_path_us": bounds.critical_path_us,
+        "work_bound_us": bounds.work_bound_us,
+        "exclusive_work_bound_us": bounds.exclusive_work_bound_us,
+        "best_bound_us": bounds.best_us,
+        "efficiency": min(1.0, efficiency),
+    }

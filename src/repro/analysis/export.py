@@ -1,0 +1,73 @@
+"""Trace export: Chrome tracing JSON and CSV.
+
+``to_chrome_trace`` emits the ``chrome://tracing`` / Perfetto event
+format — load the file in a browser to inspect the schedule visually,
+the closest equivalent to the paper's StarVZ plots. ``to_csv`` emits a
+flat per-task table for pandas/R post-processing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.runtime.trace import Trace
+
+
+def to_chrome_trace(trace: Trace) -> str:
+    """Serialize a trace to the Chrome tracing JSON format.
+
+    One row (``tid``) per worker inside a single process; task
+    executions become complete events (``ph: "X"``), residual data
+    stalls become separate shaded events.
+    """
+    events: list[dict[str, Any]] = []
+    for worker in trace.workers:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": worker.wid,
+                "args": {"name": f"{worker.name} ({worker.arch})"},
+            }
+        )
+    for rec in trace.task_records:
+        if rec.wait_time > 0:
+            events.append(
+                {
+                    "name": "data wait",
+                    "cat": "transfer",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": rec.worker,
+                    "ts": rec.pop_time,
+                    "dur": rec.wait_time,
+                    "args": {"task": rec.tid},
+                }
+            )
+        events.append(
+            {
+                "name": rec.type_name,
+                "cat": "task",
+                "ph": "X",
+                "pid": 0,
+                "tid": rec.worker,
+                "ts": rec.start,
+                "dur": rec.exec_time,
+                "args": {"task": rec.tid, "node": rec.node},
+            }
+        )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+def to_csv(trace: Trace) -> str:
+    """Serialize the per-task records as CSV (header + one row each)."""
+    lines = ["tid,type,worker,node,pop_time_us,start_us,end_us,exec_us,wait_us"]
+    for rec in sorted(trace.task_records, key=lambda r: r.start):
+        lines.append(
+            f"{rec.tid},{rec.type_name},{rec.worker},{rec.node},"
+            f"{rec.pop_time:.3f},{rec.start:.3f},{rec.end:.3f},"
+            f"{rec.exec_time:.3f},{rec.wait_time:.3f}"
+        )
+    return "\n".join(lines) + "\n"

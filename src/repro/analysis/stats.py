@@ -1,0 +1,45 @@
+"""Aggregate statistics over experiment results."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.experiments.harness import ExperimentResult
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the standard aggregate for speedup ratios)."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def load_balance_index(busy_times: Sequence[float]) -> float:
+    """Mean/max busy-time ratio across workers: 1.0 = perfect balance."""
+    if not busy_times:
+        return 1.0
+    peak = max(busy_times)
+    if peak <= 0:
+        return 1.0
+    return sum(busy_times) / len(busy_times) / peak
+
+
+def summarize_results(
+    rows: Iterable[ExperimentResult],
+) -> dict[str, dict[str, float]]:
+    """Per-scheduler aggregates: mean makespan, mean gflops, run count."""
+    grouped: dict[str, list[ExperimentResult]] = {}
+    for row in rows:
+        grouped.setdefault(row.scheduler, []).append(row)
+    out: dict[str, dict[str, float]] = {}
+    for scheduler, mine in grouped.items():
+        out[scheduler] = {
+            "runs": float(len(mine)),
+            "mean_makespan_us": sum(r.makespan_us for r in mine) / len(mine),
+            "mean_gflops": sum(r.gflops for r in mine) / len(mine),
+            "total_bytes": float(sum(r.bytes_transferred for r in mine)),
+        }
+    return out

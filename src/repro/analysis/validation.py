@@ -1,0 +1,66 @@
+"""Schedule validation: every trace must be a feasible execution.
+
+Used by the integration tests to certify that a scheduler's output
+respects the DAG (no task starts before all its predecessors finished),
+worker exclusivity (a worker runs one task at a time) and completeness
+(every task ran exactly once, on an architecture it implements).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.stf import Program
+from repro.runtime.trace import Trace
+from repro.runtime.worker import Worker
+from repro.utils.validation import ValidationError
+
+#: Tolerance for floating-point time comparisons (microseconds).
+EPS = 1e-6
+
+
+def check_schedule(program: Program, trace: Trace, workers: list[Worker]) -> None:
+    """Raise :class:`ValidationError` on any infeasibility in ``trace``."""
+    by_tid = {r.tid: r for r in trace.task_records}
+
+    # Completeness and uniqueness.
+    if len(trace.task_records) != len(program.tasks):
+        raise ValidationError(
+            f"trace has {len(trace.task_records)} records for "
+            f"{len(program.tasks)} tasks"
+        )
+    if len(by_tid) != len(trace.task_records):
+        raise ValidationError("a task appears twice in the trace")
+
+    worker_by_id = {w.wid: w for w in workers}
+    for task in program.tasks:
+        rec = by_tid.get(task.tid)
+        if rec is None:
+            raise ValidationError(f"{task.name} never executed")
+        worker = worker_by_id.get(rec.worker)
+        if worker is None:
+            raise ValidationError(f"{task.name} ran on unknown worker {rec.worker}")
+        if not task.can_exec(worker.arch):
+            raise ValidationError(
+                f"{task.name} ran on {worker.arch} without an implementation"
+            )
+        if rec.end < rec.start - EPS or rec.start < rec.pop_time - EPS:
+            raise ValidationError(f"{task.name} has inconsistent timestamps")
+        # Dependencies: strictly after every predecessor's end.
+        for pred in task.preds:
+            pred_rec = by_tid[pred.tid]
+            if rec.start < pred_rec.end - EPS:
+                raise ValidationError(
+                    f"{task.name} started at {rec.start} before predecessor "
+                    f"{pred.name} finished at {pred_rec.end}"
+                )
+
+    # Worker exclusivity.
+    per_worker: dict[int, list] = {}
+    for rec in trace.task_records:
+        per_worker.setdefault(rec.worker, []).append(rec)
+    for wid, recs in per_worker.items():
+        recs.sort(key=lambda r: r.start)
+        for earlier, later in zip(recs, recs[1:]):
+            if later.start < earlier.end - EPS:
+                raise ValidationError(
+                    f"worker {wid} overlaps tasks {earlier.tid} and {later.tid}"
+                )

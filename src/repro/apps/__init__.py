@@ -1,0 +1,10 @@
+"""Application task-graph generators used by the paper's evaluation.
+
+* :mod:`repro.apps.dense` — CHAMELEON-like tiled Cholesky / LU / QR;
+* :mod:`repro.apps.fmm` — TBFMM-like octree Fast Multipole Method;
+* :mod:`repro.apps.sparseqr` — QR_MUMPS-like multifrontal sparse QR.
+
+Each generator produces a :class:`repro.runtime.stf.Program` through the
+STF front-end — tasks declare data accesses, dependencies are inferred —
+so every application exercises the runtime exactly like a StarPU code.
+"""

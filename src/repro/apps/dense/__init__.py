@@ -1,0 +1,24 @@
+"""Dense tiled linear algebra generators (the CHAMELEON analog)."""
+
+from repro.apps.dense.cholesky import cholesky_program, cholesky_task_count
+from repro.apps.dense.lu import lu_program, lu_task_count
+from repro.apps.dense.qr import qr_program, qr_task_count
+from repro.apps.dense.tiled_matrix import TiledMatrix
+from repro.apps.dense.priorities import (
+    assign_bottom_level_priorities,
+    clear_priorities,
+)
+from repro.apps.dense import kernels
+
+__all__ = [
+    "cholesky_program",
+    "cholesky_task_count",
+    "lu_program",
+    "lu_task_count",
+    "qr_program",
+    "qr_task_count",
+    "TiledMatrix",
+    "assign_bottom_level_priorities",
+    "clear_priorities",
+    "kernels",
+]

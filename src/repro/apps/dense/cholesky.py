@@ -1,0 +1,87 @@
+"""Tiled Cholesky factorization (potrf) — the CHAMELEON analog.
+
+Right-looking tile algorithm on the lower triangle::
+
+    for k in 0..nt-1:
+        POTRF A[k][k]
+        for i in k+1..nt-1:      TRSM  A[k][k] -> A[i][k]
+        for i in k+1..nt-1:      SYRK  A[i][k] -> A[i][i]
+            for j in k+1..i-1:   GEMM  A[i][k], A[j][k] -> A[i][j]
+
+Dependencies are inferred by the STF front-end from the tile accesses;
+the diamond-shaped DAG the paper discusses emerges automatically. Task
+counts: nt POTRFs, nt(nt-1)/2 TRSMs and SYRKs, nt(nt-1)(nt-2)/6 GEMMs.
+"""
+
+from __future__ import annotations
+
+from repro.apps.dense import kernels
+from repro.apps.dense.priorities import assign_bottom_level_priorities
+from repro.apps.dense.tiled_matrix import TiledMatrix
+from repro.runtime.stf import Program, TaskFlow
+from repro.runtime.task import AccessMode
+
+_BOTH = ("cpu", "cuda")
+
+
+def cholesky_program(
+    n_tiles: int,
+    tile_size: int,
+    *,
+    with_priorities: bool = True,
+    dtype_bytes: int = 8,
+) -> Program:
+    """Build the tiled Cholesky task graph.
+
+    ``with_priorities=True`` attaches the expert (bottom-level) task
+    priorities CHAMELEON would provide; pass ``False`` to model an
+    application without user knowledge.
+    """
+    flow = TaskFlow(f"potrf-{n_tiles}x{tile_size}")
+    A = TiledMatrix(flow, n_tiles, tile_size, lower_only=True, dtype_bytes=dtype_bytes)
+    b = tile_size
+    R, RW = AccessMode.R, AccessMode.RW
+
+    for k in range(n_tiles):
+        flow.submit(
+            "potrf",
+            [(A.tile(k, k), RW)],
+            flops=kernels.potrf_flops(b),
+            implementations=_BOTH,
+            tag=("potrf", k),
+        )
+        for i in range(k + 1, n_tiles):
+            flow.submit(
+                "trsm",
+                [(A.tile(k, k), R), (A.tile(i, k), RW)],
+                flops=kernels.trsm_flops(b),
+                implementations=_BOTH,
+                tag=("trsm", i, k),
+            )
+        for i in range(k + 1, n_tiles):
+            flow.submit(
+                "syrk",
+                [(A.tile(i, k), R), (A.tile(i, i), RW)],
+                flops=kernels.syrk_flops(b),
+                implementations=_BOTH,
+                tag=("syrk", i, k),
+            )
+            for j in range(k + 1, i):
+                flow.submit(
+                    "gemm",
+                    [(A.tile(i, k), R), (A.tile(j, k), R), (A.tile(i, j), RW)],
+                    flops=kernels.gemm_flops(b),
+                    implementations=_BOTH,
+                    tag=("gemm", i, j, k),
+                )
+
+    program = flow.program()
+    if with_priorities:
+        assign_bottom_level_priorities(program)
+    return program
+
+
+def cholesky_task_count(n_tiles: int) -> int:
+    """Closed-form task count: nt + nt(nt-1) + nt(nt-1)(nt-2)/6."""
+    nt = n_tiles
+    return nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) // 6

@@ -1,0 +1,80 @@
+"""Flop counts of the dense tile kernels.
+
+Standard operation counts for square tiles of size ``b`` (LAPACK working
+notes / PLASMA conventions). Only the leading terms matter for
+scheduling studies — the relative weights steer the affinity and
+criticality heuristics.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+def potrf_flops(b: int) -> float:
+    """Cholesky factorization of a b x b tile: b³/3."""
+    check_positive("tile size", b)
+    return b**3 / 3.0
+
+
+def trsm_flops(b: int) -> float:
+    """Triangular solve with a b x b tile: b³."""
+    check_positive("tile size", b)
+    return float(b**3)
+
+
+def syrk_flops(b: int) -> float:
+    """Symmetric rank-b update: b³."""
+    check_positive("tile size", b)
+    return float(b**3)
+
+
+def gemm_flops(b: int) -> float:
+    """General tile product: 2·b³."""
+    check_positive("tile size", b)
+    return 2.0 * b**3
+
+
+def getrf_flops(b: int) -> float:
+    """LU factorization (no pivoting) of a b x b tile: 2·b³/3."""
+    check_positive("tile size", b)
+    return 2.0 * b**3 / 3.0
+
+
+def geqrt_flops(b: int) -> float:
+    """QR factorization of a b x b tile: 4·b³/3."""
+    check_positive("tile size", b)
+    return 4.0 * b**3 / 3.0
+
+
+def ormqr_flops(b: int) -> float:
+    """Apply a tile's reflectors to one tile: 2·b³."""
+    check_positive("tile size", b)
+    return 2.0 * b**3
+
+
+def tsqrt_flops(b: int) -> float:
+    """Triangular-on-square QR of a stacked tile pair: 2·b³."""
+    check_positive("tile size", b)
+    return 2.0 * b**3
+
+
+def tsmqr_flops(b: int) -> float:
+    """Apply TSQRT reflectors to a tile pair: 4·b³."""
+    check_positive("tile size", b)
+    return 4.0 * b**3
+
+
+def cholesky_total_flops(n: int) -> float:
+    """n³/3 for an n x n Cholesky (leading term)."""
+    return n**3 / 3.0
+
+
+def lu_total_flops(n: int) -> float:
+    """2·n³/3 for an n x n LU (leading term)."""
+    return 2.0 * n**3 / 3.0
+
+
+def qr_total_flops(n: int) -> float:
+    """4·n³/3 for an n x n QR (leading term)."""
+    return 4.0 * n**3 / 3.0

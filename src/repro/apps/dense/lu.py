@@ -1,0 +1,85 @@
+"""Tiled LU factorization without pivoting (getrf) — CHAMELEON analog.
+
+Same diamond-shaped DAG family as Cholesky but non-symmetric: both the
+row and the column panels are updated each step, roughly doubling the
+workload and the data traffic (the behaviour Section VI-A discusses)::
+
+    for k in 0..nt-1:
+        GETRF A[k][k]
+        for j in k+1..nt-1:   TRSM(row)  A[k][k] -> A[k][j]
+        for i in k+1..nt-1:   TRSM(col)  A[k][k] -> A[i][k]
+        for i,j in k+1..nt-1: GEMM       A[i][k], A[k][j] -> A[i][j]
+"""
+
+from __future__ import annotations
+
+from repro.apps.dense import kernels
+from repro.apps.dense.priorities import assign_bottom_level_priorities
+from repro.apps.dense.tiled_matrix import TiledMatrix
+from repro.runtime.stf import Program, TaskFlow
+from repro.runtime.task import AccessMode
+
+_BOTH = ("cpu", "cuda")
+
+
+def lu_program(
+    n_tiles: int,
+    tile_size: int,
+    *,
+    with_priorities: bool = True,
+    dtype_bytes: int = 8,
+) -> Program:
+    """Build the tiled no-pivoting LU task graph."""
+    flow = TaskFlow(f"getrf-{n_tiles}x{tile_size}")
+    A = TiledMatrix(flow, n_tiles, tile_size, dtype_bytes=dtype_bytes)
+    b = tile_size
+    R, RW = AccessMode.R, AccessMode.RW
+
+    for k in range(n_tiles):
+        flow.submit(
+            "getrf",
+            [(A.tile(k, k), RW)],
+            flops=kernels.getrf_flops(b),
+            implementations=_BOTH,
+            tag=("getrf", k),
+        )
+        for j in range(k + 1, n_tiles):
+            flow.submit(
+                "trsm",
+                [(A.tile(k, k), R), (A.tile(k, j), RW)],
+                flops=kernels.trsm_flops(b),
+                implementations=_BOTH,
+                tag=("trsm_row", k, j),
+            )
+        for i in range(k + 1, n_tiles):
+            flow.submit(
+                "trsm",
+                [(A.tile(k, k), R), (A.tile(i, k), RW)],
+                flops=kernels.trsm_flops(b),
+                implementations=_BOTH,
+                tag=("trsm_col", i, k),
+            )
+        for i in range(k + 1, n_tiles):
+            for j in range(k + 1, n_tiles):
+                flow.submit(
+                    "gemm",
+                    [(A.tile(i, k), R), (A.tile(k, j), R), (A.tile(i, j), RW)],
+                    flops=kernels.gemm_flops(b),
+                    implementations=_BOTH,
+                    tag=("gemm", i, j, k),
+                )
+
+    program = flow.program()
+    if with_priorities:
+        assign_bottom_level_priorities(program)
+    return program
+
+
+def lu_task_count(n_tiles: int) -> int:
+    """Closed-form task count of the no-pivoting LU DAG."""
+    nt = n_tiles
+    total = 0
+    for k in range(nt):
+        rest = nt - k - 1
+        total += 1 + 2 * rest + rest * rest
+    return total

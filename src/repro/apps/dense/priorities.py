@@ -1,0 +1,35 @@
+"""Expert task priorities for the dense kernels.
+
+CHAMELEON ships offline-tuned priorities for its routines; the tuning
+target is distance to the end of the factorization along the critical
+path. We reproduce that oracle exactly: the priority of a task is its
+flop-weighted *bottom level* in the generated DAG, quantized to an
+integer. Dmdas consumes these; MultiPrio and HeteroPrio ignore them
+(they are automatic schedulers).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.dag import bottom_levels
+from repro.runtime.stf import Program
+
+#: Quantization steps for the integer priorities.
+PRIORITY_LEVELS = 1_000_000
+
+
+def assign_bottom_level_priorities(program: Program) -> None:
+    """Set ``task.priority`` to the quantized flop-weighted bottom level."""
+    if not program.tasks:
+        return
+    levels = bottom_levels(program.tasks, lambda t: t.flops)
+    top = max(levels.values())
+    if top <= 0:
+        return
+    for task in program.tasks:
+        task.priority = int(levels[task.tid] / top * PRIORITY_LEVELS)
+
+
+def clear_priorities(program: Program) -> None:
+    """Reset every task to priority 0 (the "no user knowledge" setting)."""
+    for task in program.tasks:
+        task.priority = 0

@@ -1,0 +1,106 @@
+"""Tiled QR factorization (geqrf) — CHAMELEON analog.
+
+Flat-tree tile QR with the classic four kernels and the auxiliary T
+factors (stored as extra handles, so the STF front-end sees the true
+data flow)::
+
+    for k in 0..nt-1:
+        GEQRT A[k][k] -> T[k][k]
+        for j in k+1..nt-1:        ORMQR  A[k][k],T[k][k] -> A[k][j]
+        for i in k+1..nt-1:
+            TSQRT A[k][k],A[i][k] -> T[i][k]
+            for j in k+1..nt-1:    TSMQR  A[i][k],T[i][k] -> A[k][j],A[i][j]
+
+The serial TSQRT chain down each panel makes the QR DAG deeper and less
+forgiving than Cholesky's — the reason scheduler differences narrow on
+geqrf in the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+from repro.apps.dense import kernels
+from repro.apps.dense.priorities import assign_bottom_level_priorities
+from repro.apps.dense.tiled_matrix import TiledMatrix
+from repro.runtime.stf import Program, TaskFlow
+from repro.runtime.task import AccessMode
+
+_BOTH = ("cpu", "cuda")
+
+
+def qr_program(
+    n_tiles: int,
+    tile_size: int,
+    *,
+    with_priorities: bool = True,
+    dtype_bytes: int = 8,
+    inner_blocking: int = 32,
+) -> Program:
+    """Build the flat-tree tile QR task graph.
+
+    ``inner_blocking`` only sizes the T-factor handles (ib x b), as in
+    PLASMA/CHAMELEON.
+    """
+    flow = TaskFlow(f"geqrf-{n_tiles}x{tile_size}")
+    A = TiledMatrix(flow, n_tiles, tile_size, dtype_bytes=dtype_bytes)
+    T = TiledMatrix(
+        flow,
+        n_tiles,
+        tile_size,
+        name="T",
+        dtype_bytes=max(1, dtype_bytes * inner_blocking // tile_size),
+    )
+    b = tile_size
+    R, W, RW = AccessMode.R, AccessMode.W, AccessMode.RW
+
+    for k in range(n_tiles):
+        flow.submit(
+            "geqrt",
+            [(A.tile(k, k), RW), (T.tile(k, k), W)],
+            flops=kernels.geqrt_flops(b),
+            implementations=_BOTH,
+            tag=("geqrt", k),
+        )
+        for j in range(k + 1, n_tiles):
+            flow.submit(
+                "ormqr",
+                [(A.tile(k, k), R), (T.tile(k, k), R), (A.tile(k, j), RW)],
+                flops=kernels.ormqr_flops(b),
+                implementations=_BOTH,
+                tag=("ormqr", k, j),
+            )
+        for i in range(k + 1, n_tiles):
+            flow.submit(
+                "tsqrt",
+                [(A.tile(k, k), RW), (A.tile(i, k), RW), (T.tile(i, k), W)],
+                flops=kernels.tsqrt_flops(b),
+                implementations=_BOTH,
+                tag=("tsqrt", i, k),
+            )
+            for j in range(k + 1, n_tiles):
+                flow.submit(
+                    "tsmqr",
+                    [
+                        (A.tile(i, k), R),
+                        (T.tile(i, k), R),
+                        (A.tile(k, j), RW),
+                        (A.tile(i, j), RW),
+                    ],
+                    flops=kernels.tsmqr_flops(b),
+                    implementations=_BOTH,
+                    tag=("tsmqr", i, j, k),
+                )
+
+    program = flow.program()
+    if with_priorities:
+        assign_bottom_level_priorities(program)
+    return program
+
+
+def qr_task_count(n_tiles: int) -> int:
+    """Closed-form task count of the flat-tree QR DAG."""
+    nt = n_tiles
+    total = 0
+    for k in range(nt):
+        rest = nt - k - 1
+        total += 1 + rest + rest + rest * rest
+    return total

@@ -1,0 +1,59 @@
+"""Tiled-matrix data-handle management for the dense generators."""
+
+from __future__ import annotations
+
+from repro.runtime.data import DataHandle
+from repro.runtime.stf import TaskFlow
+from repro.utils.validation import check_positive
+
+
+class TiledMatrix:
+    """An ``nt x nt`` grid of square tiles registered as data handles.
+
+    ``lower_only=True`` registers only the lower triangle (Cholesky
+    touches nothing above the diagonal). Handles are created lazily so a
+    symmetric algorithm never registers tiles it will not reference.
+    """
+
+    def __init__(
+        self,
+        flow: TaskFlow,
+        n_tiles: int,
+        tile_size: int,
+        *,
+        name: str = "A",
+        dtype_bytes: int = 8,
+        lower_only: bool = False,
+    ) -> None:
+        check_positive("n_tiles", n_tiles)
+        check_positive("tile_size", tile_size)
+        self.flow = flow
+        self.nt = int(n_tiles)
+        self.b = int(tile_size)
+        self.name = name
+        self.tile_bytes = int(dtype_bytes) * self.b * self.b
+        self.lower_only = lower_only
+        self._tiles: dict[tuple[int, int], DataHandle] = {}
+
+    @property
+    def n(self) -> int:
+        """Global matrix order."""
+        return self.nt * self.b
+
+    def tile(self, i: int, j: int) -> DataHandle:
+        """Handle of tile (i, j); created on first reference."""
+        if not (0 <= i < self.nt and 0 <= j < self.nt):
+            raise IndexError(f"tile ({i},{j}) outside {self.nt}x{self.nt} grid")
+        if self.lower_only and j > i:
+            raise IndexError(f"tile ({i},{j}) is above the diagonal of {self.name}")
+        handle = self._tiles.get((i, j))
+        if handle is None:
+            handle = self.flow.data(
+                self.tile_bytes, label=f"{self.name}[{i},{j}]", key=(self.name, i, j)
+            )
+            self._tiles[(i, j)] = handle
+        return handle
+
+    def n_registered(self) -> int:
+        """How many tiles have been materialized."""
+        return len(self._tiles)

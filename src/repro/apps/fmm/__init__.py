@@ -1,0 +1,21 @@
+"""Task-based Fast Multipole Method generators (the TBFMM analog)."""
+
+from repro.apps.fmm.particles import (
+    generate_particles,
+    leaf_occupancy,
+    DISTRIBUTIONS,
+)
+from repro.apps.fmm.octree import Octree, Cell
+from repro.apps.fmm.taskgraph import fmm_program, fmm_program_from_tree
+from repro.apps.fmm import kernels
+
+__all__ = [
+    "generate_particles",
+    "leaf_occupancy",
+    "DISTRIBUTIONS",
+    "Octree",
+    "Cell",
+    "fmm_program",
+    "fmm_program_from_tree",
+    "kernels",
+]

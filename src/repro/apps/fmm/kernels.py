@@ -1,0 +1,46 @@
+"""Flop-count models of the FMM operators.
+
+``n_terms`` is the number of expansion coefficients (order p spherical
+harmonics expansion has (p+1)² terms). The constants are rough per-term
+operation counts; only the relative weights matter for scheduling.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+def expansion_terms(order: int) -> int:
+    """Number of expansion coefficients for order ``order``."""
+    check_positive("order", order)
+    return (order + 1) ** 2
+
+
+def p2m_flops(n_particles: int, n_terms: int) -> float:
+    """Particle-to-multipole: every particle contributes to every term."""
+    return 12.0 * n_particles * n_terms
+
+
+def m2m_flops(n_children: int, n_terms: int) -> float:
+    """Multipole-to-multipole translation from each child."""
+    return 6.0 * n_children * n_terms**2
+
+
+def m2l_flops(n_sources: int, n_terms: int) -> float:
+    """Multipole-to-local for the whole interaction list of one target."""
+    return 8.0 * n_sources * n_terms**2
+
+
+def l2l_flops(n_terms: int) -> float:
+    """Local-to-local translation from the parent."""
+    return 6.0 * n_terms**2
+
+
+def l2p_flops(n_particles: int, n_terms: int) -> float:
+    """Local-to-particle evaluation."""
+    return 12.0 * n_particles * n_terms
+
+
+def p2p_flops(n_targets: int, n_sources_total: int) -> float:
+    """Direct particle-particle interactions (targets x all sources)."""
+    return 22.0 * n_targets * (n_targets + n_sources_total)

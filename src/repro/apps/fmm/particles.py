@@ -1,0 +1,80 @@
+"""Particle distributions for the FMM workload.
+
+TBFMM's evaluation handles diverse particle distributions; the scheduler
+stress comes from *non-uniform* leaf occupancy (task granularity varies
+per leaf). Three classic distributions are provided:
+
+* ``uniform`` — homogeneous cube, near-equal leaf occupancy;
+* ``ellipsoid`` — particles on an ellipsoid surface: most leaves empty,
+  occupied leaves vary wildly (the irregular case);
+* ``plummer`` — a centrally-clustered astrophysical distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+from repro.utils.validation import ValidationError, check_positive
+
+DISTRIBUTIONS = ("uniform", "ellipsoid", "plummer")
+
+
+def generate_particles(
+    n: int,
+    distribution: str = "uniform",
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Generate ``n`` particle positions in the unit cube, shape (n, 3)."""
+    check_positive("n", n)
+    rng = make_rng(seed)
+    if distribution == "uniform":
+        pts = rng.random((n, 3))
+    elif distribution == "ellipsoid":
+        # Points on an axis-aligned ellipsoid surface, jittered slightly.
+        theta = rng.random(n) * 2.0 * np.pi
+        phi = np.arccos(2.0 * rng.random(n) - 1.0)
+        radii = np.array([0.45, 0.25, 0.12])
+        pts = np.empty((n, 3))
+        pts[:, 0] = radii[0] * np.sin(phi) * np.cos(theta)
+        pts[:, 1] = radii[1] * np.sin(phi) * np.sin(theta)
+        pts[:, 2] = radii[2] * np.cos(phi)
+        pts += rng.normal(0.0, 0.005, (n, 3))
+        pts += 0.5  # center in the unit cube
+        np.clip(pts, 0.0, np.nextafter(1.0, 0.0), out=pts)
+    elif distribution == "plummer":
+        # Plummer sphere radii, truncated to fit the cube.
+        u = rng.random(n)
+        r = 0.2 / np.sqrt(np.maximum(u ** (-2.0 / 3.0) - 1.0, 1e-9))
+        r = np.minimum(r, 0.49)
+        theta = rng.random(n) * 2.0 * np.pi
+        phi = np.arccos(2.0 * rng.random(n) - 1.0)
+        pts = np.empty((n, 3))
+        pts[:, 0] = r * np.sin(phi) * np.cos(theta)
+        pts[:, 1] = r * np.sin(phi) * np.sin(theta)
+        pts[:, 2] = r * np.cos(phi)
+        pts += 0.5
+        np.clip(pts, 0.0, np.nextafter(1.0, 0.0), out=pts)
+    else:
+        raise ValidationError(
+            f"unknown distribution {distribution!r}; pick one of {DISTRIBUTIONS}"
+        )
+    return pts
+
+
+def leaf_occupancy(points: np.ndarray, height: int) -> dict[tuple[int, int, int], int]:
+    """Count particles per leaf cell of an octree of ``height`` levels.
+
+    Leaves live at level ``height - 1`` with ``2**(height-1)`` cells per
+    dimension. Returns only non-empty leaves (the octree is adaptive).
+    """
+    check_positive("height", height)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValidationError(f"points must have shape (n, 3), got {points.shape}")
+    side = 2 ** (height - 1)
+    coords = np.minimum((points * side).astype(np.int64), side - 1)
+    occupancy: dict[tuple[int, int, int], int] = {}
+    keys, counts = np.unique(coords, axis=0, return_counts=True)
+    for key, count in zip(keys, counts):
+        occupancy[(int(key[0]), int(key[1]), int(key[2]))] = int(count)
+    return occupancy

@@ -1,0 +1,31 @@
+"""Multifrontal sparse QR generators (the QR_MUMPS analog)."""
+
+from repro.apps.sparseqr.fronts import Front, EliminationTree
+from repro.apps.sparseqr.treegen import TreeProfile, synthetic_elimination_tree
+from repro.apps.sparseqr.matrices import (
+    MatrixSpec,
+    MATRICES,
+    matrix_by_name,
+    matrix_tree,
+)
+from repro.apps.sparseqr.taskgraph import (
+    sparse_qr_program,
+    panel_flops,
+    update_flops,
+    assemble_flops,
+)
+
+__all__ = [
+    "Front",
+    "EliminationTree",
+    "TreeProfile",
+    "synthetic_elimination_tree",
+    "MatrixSpec",
+    "MATRICES",
+    "matrix_by_name",
+    "matrix_tree",
+    "sparse_qr_program",
+    "panel_flops",
+    "update_flops",
+    "assemble_flops",
+]

@@ -1,0 +1,130 @@
+"""Frontal matrices and elimination trees for multifrontal sparse QR.
+
+A multifrontal factorization processes a tree of dense *fronts*: each
+front assembles its children's contribution blocks, factors its pivotal
+columns, and passes the remaining rows up as its own contribution block.
+Front shapes vary enormously across the tree — thousands of tiny leaf
+fronts, a handful of huge root fronts — which is what makes the workload
+irregular (the paper's Section VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import ValidationError, check_positive
+
+
+@dataclass
+class Front:
+    """One frontal matrix in the elimination tree.
+
+    ``nrows x ncols`` dense front eliminating ``npiv`` pivotal columns;
+    the trailing ``(nrows - npiv) x (ncols - npiv)`` block (clamped at 0)
+    is the contribution block passed to the parent.
+    """
+
+    fid: int
+    nrows: int
+    ncols: int
+    npiv: int
+    depth: int = 0
+    children: list["Front"] = field(default_factory=list)
+    parent: "Front | None" = None
+
+    def __post_init__(self) -> None:
+        check_positive("nrows", self.nrows)
+        check_positive("ncols", self.ncols)
+        if not (0 < self.npiv <= self.ncols):
+            raise ValidationError(
+                f"front {self.fid}: npiv={self.npiv} outside (0, ncols={self.ncols}]"
+            )
+        if self.nrows < self.npiv:
+            raise ValidationError(
+                f"front {self.fid}: nrows={self.nrows} < npiv={self.npiv}"
+            )
+
+    @property
+    def cb_rows(self) -> int:
+        """Rows of the contribution block.
+
+        After eliminating ``npiv`` columns by QR, the rows passed to the
+        parent are the transformed rows of the R part — bounded by both
+        the remaining rows and the remaining columns (a QR contribution
+        block is at most ``(min(m, n) - k) x (n - k)``)."""
+        return max(0, min(self.nrows, self.ncols) - self.npiv)
+
+    @property
+    def cb_cols(self) -> int:
+        """Columns of the contribution block."""
+        return max(0, self.ncols - self.npiv)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the front has no children."""
+        return not self.children
+
+    def factor_flops(self) -> float:
+        """QR flops to eliminate ``npiv`` columns of an m x n front:
+        the Householder QR count 2·k·(m·n − k·(m+n)/2 + k²/3)."""
+        m, n, k = float(self.nrows), float(self.ncols), float(self.npiv)
+        return max(0.0, 2.0 * k * (m * n - 0.5 * k * (m + n) + k * k / 3.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Front {self.fid} {self.nrows}x{self.ncols} piv={self.npiv} d={self.depth}>"
+
+
+class EliminationTree:
+    """A forest of fronts, stored root-last in postorder."""
+
+    def __init__(self, fronts: list[Front]) -> None:
+        if not fronts:
+            raise ValidationError("elimination tree needs at least one front")
+        self.fronts = fronts
+        ids = {f.fid for f in fronts}
+        if len(ids) != len(fronts):
+            raise ValidationError("duplicate front ids")
+        for front in fronts:
+            for child in front.children:
+                if child.parent is not front:
+                    raise ValidationError(
+                        f"front {child.fid} has inconsistent parent link"
+                    )
+
+    def roots(self) -> list[Front]:
+        """Fronts without a parent."""
+        return [f for f in self.fronts if f.parent is None]
+
+    def leaves(self) -> list[Front]:
+        """Fronts without children."""
+        return [f for f in self.fronts if f.is_leaf]
+
+    def postorder(self) -> list[Front]:
+        """Children-before-parent order (the factorization order)."""
+        out: list[Front] = []
+        visited: set[int] = set()
+
+        def visit(front: Front) -> None:
+            if front.fid in visited:
+                raise ValidationError(f"cycle through front {front.fid}")
+            visited.add(front.fid)
+            for child in front.children:
+                visit(child)
+            out.append(front)
+
+        for root in self.roots():
+            visit(root)
+        if len(out) != len(self.fronts):
+            raise ValidationError("unreachable fronts in elimination tree")
+        return out
+
+    def total_factor_flops(self) -> float:
+        """Sum of per-front factorization flops."""
+        return sum(f.factor_flops() for f in self.fronts)
+
+    def depth(self) -> int:
+        """Maximum depth over fronts."""
+        return max(f.depth for f in self.fronts)
+
+    def __len__(self) -> int:
+        return len(self.fronts)

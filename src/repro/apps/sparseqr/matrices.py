@@ -1,0 +1,88 @@
+"""The paper's Fig. 7 sparse matrix collection, as synthetic analogs.
+
+Published statistics (rows, cols, nonzeros, factorization op count in
+Gflop, METIS ordering) are reproduced verbatim; each matrix also carries
+a :class:`~repro.apps.sparseqr.treegen.TreeProfile` chosen to mimic its
+structural class:
+
+* ``cat_ears_*`` / ``flower_*`` — mesh-like graphs: balanced, moderate;
+* ``e18`` / ``TF17`` / ``TF18`` — combinatorial problems: deep trees;
+* ``Rucci1`` — extremely tall-skinny: a huge flat forest of small fronts;
+* ``neos2`` / ``GL7d24`` / ``mk13-b5`` — heavy op counts, large root fronts.
+
+``scale`` in :func:`matrix_tree` shrinks the target op count for quick
+tests (the benches default to a fraction of the published Gflops so a
+full Fig. 8 grid stays laptop-sized; pass ``scale=1.0`` for paper-scale
+op counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.sparseqr.fronts import EliminationTree
+from repro.apps.sparseqr.treegen import TreeProfile, synthetic_elimination_tree
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One row of the paper's Fig. 7 table plus its synthetic profile."""
+
+    name: str
+    rows: int
+    cols: int
+    nnz: int
+    gflops: float
+    profile: TreeProfile
+
+
+MATRICES: tuple[MatrixSpec, ...] = (
+    MatrixSpec("cat_ears_4_4", 19020, 44448, 132888, 236,
+               TreeProfile(n_fronts=300, branching=3.2, root_cols=700, decay=0.60, aspect=1.3, pivot_frac=0.5)),
+    MatrixSpec("flower_7_4", 27693, 67593, 202218, 889,
+               TreeProfile(n_fronts=360, branching=3.0, root_cols=900, decay=0.60, aspect=1.3, pivot_frac=0.5)),
+    MatrixSpec("e18", 24617, 38602, 156466, 1439,
+               TreeProfile(n_fronts=320, branching=2.2, root_cols=1100, decay=0.68, aspect=1.5, pivot_frac=0.55)),
+    MatrixSpec("flower_8_4", 55081, 125361, 375266, 3072,
+               TreeProfile(n_fronts=420, branching=3.0, root_cols=1300, decay=0.62, aspect=1.3, pivot_frac=0.5)),
+    MatrixSpec("Rucci1", 1977885, 109900, 7791168, 5527,
+               TreeProfile(n_fronts=600, branching=4.5, root_cols=1200, decay=0.55, aspect=9.0, pivot_frac=0.6)),
+    MatrixSpec("TF17", 38132, 48630, 586218, 15787,
+               TreeProfile(n_fronts=380, branching=2.0, root_cols=2200, decay=0.70, aspect=1.6, pivot_frac=0.55)),
+    MatrixSpec("neos2", 132568, 134128, 685087, 31018,
+               TreeProfile(n_fronts=450, branching=2.6, root_cols=2800, decay=0.66, aspect=1.8, pivot_frac=0.55)),
+    MatrixSpec("GL7d24", 21074, 105054, 593892, 26825,
+               TreeProfile(n_fronts=350, branching=2.4, root_cols=2600, decay=0.68, aspect=1.4, pivot_frac=0.6)),
+    MatrixSpec("TF18", 95368, 123867, 1597545, 229042,
+               TreeProfile(n_fronts=500, branching=2.0, root_cols=5200, decay=0.72, aspect=1.6, pivot_frac=0.55)),
+    MatrixSpec("mk13-b5", 135135, 270270, 810810, 352413,
+               TreeProfile(n_fronts=520, branching=2.8, root_cols=6200, decay=0.68, aspect=1.5, pivot_frac=0.6)),
+)
+
+
+def matrix_by_name(name: str) -> MatrixSpec:
+    """Look up one of the Fig. 7 matrices by name."""
+    for spec in MATRICES:
+        if spec.name == name:
+            return spec
+    raise ValidationError(
+        f"unknown matrix {name!r}; known: {', '.join(m.name for m in MATRICES)}"
+    )
+
+
+def matrix_tree(spec: MatrixSpec, *, scale: float = 1.0, seed: int = 0) -> EliminationTree:
+    """Synthesize the elimination tree of ``spec``.
+
+    ``scale`` multiplies the published op count (use < 1 for fast runs);
+    the per-matrix RNG stream is derived from the matrix name so every
+    run of the suite sees identical trees.
+    """
+    if scale <= 0:
+        raise ValidationError(f"scale must be > 0, got {scale}")
+    name_seed = sum(ord(c) * (31**i) for i, c in enumerate(spec.name)) % (2**31)
+    return synthetic_elimination_tree(
+        spec.profile,
+        target_flops=spec.gflops * 1e9 * scale,
+        seed=name_seed ^ seed,
+    )

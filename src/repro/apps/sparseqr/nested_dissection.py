@@ -1,0 +1,112 @@
+"""Nested-dissection elimination trees over regular grid graphs.
+
+The paper orders its matrices with METIS; for *mesh-like* matrices
+(cat_ears, flower_*) the resulting elimination trees are the classic
+nested-dissection shape: a recursive bisection where each level's
+*separator* becomes a front whose pivotal block is the separator and
+whose border couples it to the enclosing separators.
+
+This module builds that tree exactly, from a ``nx x ny`` grid with
+``dofs`` unknowns per grid point: region fronts carry
+``npiv = |separator| * dofs`` pivots and a border of the region's
+boundary points. It complements the statistical generator in
+:mod:`repro.apps.sparseqr.treegen` — use this one when the front-size
+*structure* (geometric growth ~sqrt(n) toward the root, perfectly
+balanced halves) matters, e.g. for studying scheduler behaviour on mesh
+problems specifically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.sparseqr.fronts import EliminationTree, Front
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class _Region:
+    """A grid sub-rectangle [x0, x1) x [y0, y1)."""
+
+    x0: int
+    x1: int
+    y0: int
+    y1: int
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def n_points(self) -> int:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> int:
+        return 2 * (self.width + self.height)
+
+
+def nested_dissection_tree(
+    nx: int,
+    ny: int,
+    *,
+    dofs: int = 1,
+    leaf_points: int = 16,
+    aspect: float = 1.5,
+) -> EliminationTree:
+    """Build the nested-dissection elimination tree of an nx x ny grid.
+
+    ``dofs`` scales every front dimension (unknowns per grid point);
+    ``leaf_points`` stops the recursion; ``aspect`` sets front rows per
+    column (QR fronts are taller than square).
+    """
+    check_positive("nx", nx)
+    check_positive("ny", ny)
+    check_positive("dofs", dofs)
+    check_positive("leaf_points", leaf_points)
+    check_positive("aspect", aspect)
+
+    fronts: list[Front] = []
+
+    def build(region: _Region, depth: int, border_points: int) -> Front:
+        if region.n_points <= leaf_points or min(region.width, region.height) < 3:
+            npiv = max(1, region.n_points * dofs)
+            ncols = npiv + max(1, border_points * dofs)
+            nrows = max(int(ncols * aspect), npiv)
+            front = Front(len(fronts), nrows, ncols, npiv, depth=depth)
+            fronts.append(front)
+            return front
+
+        # Split perpendicular to the longer dimension.
+        if region.width >= region.height:
+            mid = (region.x0 + region.x1) // 2
+            sep_points = region.height
+            left = _Region(region.x0, mid, region.y0, region.y1)
+            right = _Region(mid + 1, region.x1, region.y0, region.y1)
+        else:
+            mid = (region.y0 + region.y1) // 2
+            sep_points = region.width
+            left = _Region(region.x0, region.x1, region.y0, mid)
+            right = _Region(region.x0, region.x1, mid + 1, region.y1)
+
+        npiv = max(1, sep_points * dofs)
+        ncols = npiv + max(1, border_points * dofs)
+        nrows = max(int(ncols * aspect), npiv)
+        front = Front(len(fronts), nrows, ncols, npiv, depth=depth)
+        fronts.append(front)
+
+        # Children see the separator as part of their border.
+        child_border = border_points // 2 + sep_points
+        for child_region in (left, right):
+            if child_region.n_points > 0:
+                child = build(child_region, depth + 1, child_border)
+                child.parent = front
+                front.children.append(child)
+        return front
+
+    build(_Region(0, nx, 0, ny), depth=0, border_points=0)
+    return EliminationTree(fronts)

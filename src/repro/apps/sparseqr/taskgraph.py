@@ -1,0 +1,285 @@
+"""Multifrontal sparse QR task-graph generation (the QR_MUMPS analog).
+
+Front partitioning follows Agullo et al. [29], which the paper credits
+for exposing both GPU-sized and CPU-sized tasks:
+
+* **small fronts** use 1D block-column partitioning — per panel ``k``, a
+  ``front_geqrt`` (tall-skinny panel QR) then one ``front_tsmqr`` update
+  per trailing block-column;
+* **large fronts** (pivotal width above ``tile2d_threshold`` panels) use
+  2D tile QR — ``front_geqrt`` / ``front_ormqr`` / ``front_tsqrt`` /
+  ``front_tsmqr`` over square tiles — unlocking intra-front parallelism
+  so the root fronts do not serialize the whole factorization;
+* every front starts with an ``assemble`` (gather the children's
+  contribution blocks; memory-bound) and, unless it is a root, ends with
+  a ``store_cb`` writing its contribution-block handle (submitted under
+  the ``assemble`` kernel type).
+
+Tree edges become task dependencies automatically: the parent's
+``assemble`` reads the CB handles its children's ``store_cb`` wrote.
+
+Granularity adapts to the front: the panel width grows with the front so
+one front yields a bounded number of panels — leaf fronts produce a
+single tiny task, root fronts produce hundreds of fat ones. No user
+priorities are set (matching the paper: "the fine-grained priorities of
+the tasks are not set by the user").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.sparseqr.fronts import EliminationTree, Front
+from repro.runtime.data import DataHandle
+from repro.runtime.stf import Program, TaskFlow
+from repro.runtime.task import AccessMode
+from repro.utils.validation import check_positive
+
+_BOTH = ("cpu", "cuda")
+_DTYPE_BYTES = 8
+
+
+def _panel_width(front: Front, tile: int, max_panels: int) -> int:
+    """Panel width: at most ``max_panels`` panels of at least ``tile``."""
+    return max(tile, math.ceil(front.npiv / max_panels))
+
+
+def panel_flops(m_k: int, width: int) -> float:
+    """Householder QR of an m_k x width panel: 2w²(m − w/3)."""
+    return max(0.0, 2.0 * width * width * (m_k - width / 3.0))
+
+
+def update_flops(m_k: int, width: int, cols: int) -> float:
+    """Apply ``width`` reflectors of length m_k to ``cols`` columns."""
+    return 4.0 * m_k * width * cols
+
+
+def assemble_flops(front: Front) -> float:
+    """Scatter-add of the children contribution blocks (2 flops/entry)."""
+    return 2.0 * sum(c.cb_rows * c.cb_cols for c in front.children)
+
+
+def sparse_qr_program(
+    tree: EliminationTree,
+    *,
+    tile: int = 256,
+    max_panels: int = 24,
+    tile2d_threshold: int = 4,
+    max_row_blocks: int = 24,
+    name: str = "sparseqr",
+) -> Program:
+    """Build the multifrontal QR task graph for an elimination tree.
+
+    Fronts whose pivotal width spans more than ``tile2d_threshold``
+    panels of width ``tile`` are partitioned in 2D (tile QR); smaller
+    fronts use 1D block-columns.
+    """
+    check_positive("tile", tile)
+    check_positive("max_panels", max_panels)
+    check_positive("tile2d_threshold", tile2d_threshold)
+    check_positive("max_row_blocks", max_row_blocks)
+    flow = TaskFlow(name)
+    cb_handles: dict[int, DataHandle] = {}
+
+    for front in tree.postorder():
+        if front.npiv > tile2d_threshold * tile:
+            _build_front_2d(flow, front, cb_handles, tile, max_panels, max_row_blocks)
+        else:
+            _build_front_1d(flow, front, cb_handles, tile, max_panels)
+
+    return flow.program()
+
+
+_ASSEMBLE_CHUNK = 16
+
+
+def _submit_assemble(
+    flow: TaskFlow,
+    front: Front,
+    cb_handles: dict[int, DataHandle],
+    written: list[DataHandle],
+) -> None:
+    """The front's assembly: children CBs scatter into its blocks.
+
+    Chunked into one task per ``_ASSEMBLE_CHUNK`` written blocks (real
+    multifrontal codes assemble block-parallel too); each chunk reads
+    every child contribution block it may scatter from.
+    """
+    n_chunks = max(1, math.ceil(len(written) / _ASSEMBLE_CHUNK))
+    per_chunk_flops = (
+        max(front.nrows * len(written) * 0.5, assemble_flops(front)) / n_chunks
+    )
+    cb_reads = [(cb_handles[c.fid], AccessMode.R) for c in front.children]
+    for chunk in range(n_chunks):
+        blocks = written[chunk * _ASSEMBLE_CHUNK : (chunk + 1) * _ASSEMBLE_CHUNK]
+        accesses = list(cb_reads)
+        accesses.extend((h, AccessMode.W) for h in blocks)
+        flow.submit(
+            "assemble",
+            accesses,
+            flops=per_chunk_flops,
+            implementations=_BOTH,
+            tag=("assemble", front.fid, chunk),
+        )
+
+
+def _submit_store_cb(
+    flow: TaskFlow,
+    front: Front,
+    cb_handles: dict[int, DataHandle],
+    trailing: list[DataHandle],
+) -> None:
+    """Extract the contribution block read by the parent's assembly.
+
+    Chunked like the assembly; chunks accumulate into the CB handle with
+    COMMUTE accesses so they stay mutually independent.
+    """
+    cb = flow.data(
+        _DTYPE_BYTES * front.cb_rows * front.cb_cols,
+        label=f"CB{front.fid}",
+        key=("cb", front.fid),
+    )
+    cb_handles[front.fid] = cb
+    n_chunks = max(1, math.ceil(len(trailing) / _ASSEMBLE_CHUNK))
+    per_chunk_flops = 2.0 * front.cb_rows * max(1, front.cb_cols) / n_chunks
+    for chunk in range(n_chunks):
+        blocks = trailing[chunk * _ASSEMBLE_CHUNK : (chunk + 1) * _ASSEMBLE_CHUNK]
+        accesses: list[tuple[DataHandle, AccessMode]] = [
+            (h, AccessMode.R) for h in blocks
+        ]
+        accesses.append((cb, AccessMode.COMMUTE))
+        flow.submit(
+            "assemble",
+            accesses,
+            flops=per_chunk_flops,
+            implementations=_BOTH,
+            tag=("store_cb", front.fid, chunk),
+        )
+
+
+def _build_front_1d(
+    flow: TaskFlow,
+    front: Front,
+    cb_handles: dict[int, DataHandle],
+    tile: int,
+    max_panels: int,
+) -> None:
+    """1D block-column partitioning for small fronts."""
+    width = _panel_width(front, tile, max_panels)
+    n_panels = max(1, math.ceil(front.npiv / width))
+    n_blockcols = max(n_panels, math.ceil(front.ncols / width))
+    blockcols = [
+        flow.data(
+            _DTYPE_BYTES * front.nrows * min(width, front.ncols),
+            label=f"F{front.fid}c{j}",
+            key=(front.fid, j),
+        )
+        for j in range(n_blockcols)
+    ]
+    _submit_assemble(flow, front, cb_handles, blockcols)
+
+    for k in range(n_panels):
+        m_k = max(width, front.nrows - k * width)
+        flow.submit(
+            "front_geqrt",
+            [(blockcols[k], AccessMode.RW)],
+            flops=panel_flops(m_k, width),
+            implementations=_BOTH,
+            tag=("panel", front.fid, k),
+        )
+        for j in range(k + 1, n_blockcols):
+            cols = min(width, front.ncols - j * width)
+            if cols <= 0:
+                continue
+            flow.submit(
+                "front_tsmqr",
+                [(blockcols[k], AccessMode.R), (blockcols[j], AccessMode.RW)],
+                flops=update_flops(m_k, width, cols),
+                implementations=_BOTH,
+                tag=("update", front.fid, k, j),
+            )
+
+    if front.parent is not None:
+        trailing = blockcols[n_panels - 1 :] or [blockcols[-1]]
+        _submit_store_cb(flow, front, cb_handles, trailing)
+
+
+def _build_front_2d(
+    flow: TaskFlow,
+    front: Front,
+    cb_handles: dict[int, DataHandle],
+    tile: int,
+    max_panels: int,
+    max_row_blocks: int,
+) -> None:
+    """2D tile-QR partitioning for large fronts (Agullo et al. [29]).
+
+    Tiles are ``h x w``: the width tracks the pivotal panels, the height
+    grows for very tall fronts so the row-block count stays bounded.
+    """
+    w = max(tile, math.ceil(front.npiv / max_panels))
+    h = max(w, math.ceil(front.nrows / max_row_blocks))
+    p = max(1, math.ceil(front.npiv / w))  # pivotal panels
+    q = max(p, math.ceil(front.ncols / w))  # block columns
+    r = max(p, math.ceil(front.nrows / h))  # block rows
+    tiles: dict[tuple[int, int], DataHandle] = {}
+
+    def tile_handle(i: int, j: int) -> DataHandle:
+        handle = tiles.get((i, j))
+        if handle is None:
+            handle = flow.data(
+                _DTYPE_BYTES * h * w, label=f"F{front.fid}[{i},{j}]", key=(front.fid, i, j)
+            )
+            tiles[(i, j)] = handle
+        return handle
+
+    # Assembly writes the full tile grid.
+    all_tiles = [tile_handle(i, j) for i in range(r) for j in range(q)]
+    _submit_assemble(flow, front, cb_handles, all_tiles)
+
+    geqrt_fl = panel_flops(h, w)
+    ormqr_fl = update_flops(h, w, w)
+    tsqrt_fl = 2.0 * w * w * h
+    tsmqr_fl = 4.0 * w * w * h
+    for k in range(p):
+        flow.submit(
+            "front_geqrt",
+            [(tile_handle(k, k), AccessMode.RW)],
+            flops=geqrt_fl,
+            implementations=_BOTH,
+            tag=("geqrt2d", front.fid, k),
+        )
+        for j in range(k + 1, q):
+            flow.submit(
+                "front_ormqr",
+                [(tile_handle(k, k), AccessMode.R), (tile_handle(k, j), AccessMode.RW)],
+                flops=ormqr_fl,
+                implementations=_BOTH,
+                tag=("ormqr2d", front.fid, k, j),
+            )
+        for i in range(k + 1, r):
+            flow.submit(
+                "front_tsqrt",
+                [(tile_handle(k, k), AccessMode.RW), (tile_handle(i, k), AccessMode.RW)],
+                flops=tsqrt_fl,
+                implementations=_BOTH,
+                tag=("tsqrt2d", front.fid, i, k),
+            )
+            for j in range(k + 1, q):
+                flow.submit(
+                    "front_tsmqr",
+                    [
+                        (tile_handle(i, k), AccessMode.R),
+                        (tile_handle(k, j), AccessMode.RW),
+                        (tile_handle(i, j), AccessMode.RW),
+                    ],
+                    flops=tsmqr_fl,
+                    implementations=_BOTH,
+                    tag=("tsmqr2d", front.fid, i, k, j),
+                )
+
+    if front.parent is not None:
+        trailing = [tile_handle(i, j) for i in range(p, r) for j in range(p, q)]
+        if not trailing:
+            trailing = [tile_handle(r - 1, q - 1)]
+        _submit_store_cb(flow, front, cb_handles, trailing)

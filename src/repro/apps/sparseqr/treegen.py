@@ -1,0 +1,128 @@
+"""Synthetic elimination-tree generation.
+
+We do not ship SuiteSparse matrices nor METIS; instead each matrix of
+the paper's Fig. 7 collection is mapped to a *synthetic elimination
+tree* whose aggregate statistics match the published ones (total factor
+flops, rows/cols aspect, tree shape class). What the scheduler
+experiences — thousands of small CPU-sized fronts at the bottom, a few
+GPU-sized fronts near the root, tree-shaped dependencies — is preserved;
+the numerical content of the matrix is irrelevant to scheduling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.sparseqr.fronts import EliminationTree, Front
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TreeProfile:
+    """Shape parameters of a synthetic elimination tree.
+
+    ``n_fronts`` — approximate number of fronts;
+    ``branching`` — mean children per internal front;
+    ``root_cols`` — pivotal width of the root front before scaling;
+    ``decay`` — multiplicative column shrink per tree level;
+    ``aspect`` — mean rows/cols ratio of the original rows assigned to a
+    front (tall-skinny matrices like Rucci1 use a large aspect);
+    ``pivot_frac`` — fraction of front columns eliminated in the front.
+    """
+
+    n_fronts: int = 400
+    branching: float = 3.0
+    root_cols: int = 2000
+    decay: float = 0.62
+    aspect: float = 1.6
+    pivot_frac: float = 0.55
+
+    def __post_init__(self) -> None:
+        check_positive("n_fronts", self.n_fronts)
+        check_positive("branching", self.branching)
+        check_positive("root_cols", self.root_cols)
+        check_positive("decay", self.decay)
+        check_positive("aspect", self.aspect)
+        check_positive("pivot_frac", self.pivot_frac)
+
+
+def synthetic_elimination_tree(
+    profile: TreeProfile,
+    *,
+    target_flops: float | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> EliminationTree:
+    """Generate an elimination tree following ``profile``.
+
+    If ``target_flops`` is given, front dimensions are rescaled (cubic
+    flop growth) so the total factorization cost matches it within a few
+    percent.
+    """
+    rng = make_rng(seed)
+    fronts = _grow_shape(profile, rng)
+    _assign_dims(fronts, profile, rng)
+    tree = EliminationTree(fronts)
+    if target_flops is not None:
+        check_positive("target_flops", target_flops)
+        # Two fixed-point passes: flops are cubic in linear dimensions,
+        # but int rounding and the CB row propagation break exactness.
+        for _ in range(3):
+            current = tree.total_factor_flops()
+            if current <= 0:
+                break
+            ratio = (target_flops / current) ** (1.0 / 3.0)
+            if abs(ratio - 1.0) < 0.02:
+                break
+            _rescale_dims(fronts, ratio)
+        tree = EliminationTree(fronts)
+    return tree
+
+
+def _grow_shape(profile: TreeProfile, rng: np.random.Generator) -> list[Front]:
+    """Top-down random tree shape with ~n_fronts nodes."""
+    fronts: list[Front] = []
+    root = Front(0, 1, 1, 1)  # dims assigned later
+    root.depth = 0
+    fronts.append(root)
+    frontier = [root]
+    while frontier and len(fronts) < profile.n_fronts:
+        parent = frontier.pop(0)
+        n_children = 1 + rng.poisson(max(0.0, profile.branching - 1.0))
+        for _ in range(n_children):
+            if len(fronts) >= profile.n_fronts:
+                break
+            child = Front(len(fronts), 1, 1, 1)
+            child.depth = parent.depth + 1
+            child.parent = parent
+            parent.children.append(child)
+            fronts.append(child)
+            frontier.append(child)
+    return fronts
+
+
+def _assign_dims(
+    fronts: list[Front], profile: TreeProfile, rng: np.random.Generator
+) -> None:
+    """Columns decay with depth; rows follow the aspect ratio plus the
+    children's contribution-block rows (assembled into the front)."""
+    for front in fronts:
+        base = profile.root_cols * profile.decay**front.depth
+        ncols = max(8, int(base * math.exp(rng.normal(0.0, 0.35))))
+        front.ncols = ncols
+        front.npiv = max(4, int(ncols * profile.pivot_frac))
+    # Rows bottom-up (children processed before parents <=> deeper first).
+    for front in sorted(fronts, key=lambda f: -f.depth):
+        own_rows = int(front.ncols * profile.aspect * math.exp(rng.normal(0.0, 0.25)))
+        cb_rows = sum(c.cb_rows for c in front.children)
+        front.nrows = max(front.npiv, own_rows + cb_rows)
+
+
+def _rescale_dims(fronts: list[Front], ratio: float) -> None:
+    for front in fronts:
+        front.ncols = max(8, int(front.ncols * ratio))
+        front.npiv = max(4, min(front.ncols, int(front.npiv * ratio)))
+        front.nrows = max(front.npiv, int(front.nrows * ratio))

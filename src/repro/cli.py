@@ -1,0 +1,178 @@
+"""Command-line interface: run workloads and experiments from a shell.
+
+Examples::
+
+    python -m repro.cli run --app cholesky --size 16 --tile 960 \
+        --machine intel-v100 --scheduler multiprio dmdas
+    python -m repro.cli run --app fmm --particles 50000 --height 4 \
+        --machine amd-a100 --scheduler multiprio --gantt
+    python -m repro.cli experiment table2
+    python -m repro.cli experiment fig4
+    python -m repro.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.export import to_chrome_trace, to_csv
+from repro.apps.dense import cholesky_program, lu_program, qr_program
+from repro.apps.fmm import fmm_program
+from repro.apps.sparseqr import matrix_by_name, matrix_tree, sparse_qr_program
+from repro.experiments.fig3_nod import format_fig3, run_fig3
+from repro.experiments.fig4_eviction import format_fig4, run_fig4
+from repro.experiments.fig7_matrices import format_fig7, run_fig7
+from repro.experiments.reporting import format_table
+from repro.experiments.table2_gain import format_table2, run_table2
+from repro.platform.machines import MACHINES
+from repro.runtime.engine import Simulator
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.schedulers.registry import make_scheduler, scheduler_names
+from repro.utils.units import time_human
+
+
+def _build_program(args: argparse.Namespace):
+    if args.app == "cholesky":
+        return cholesky_program(args.size, args.tile)
+    if args.app == "lu":
+        return lu_program(args.size, args.tile)
+    if args.app == "qr":
+        return qr_program(args.size, args.tile)
+    if args.app == "fmm":
+        return fmm_program(
+            n_particles=args.particles,
+            height=args.height,
+            distribution=args.distribution,
+            seed=args.seed,
+        )
+    if args.app == "sparseqr":
+        tree = matrix_tree(matrix_by_name(args.matrix), scale=args.scale, seed=args.seed)
+        return sparse_qr_program(tree, name=args.matrix)
+    raise SystemExit(f"unknown app {args.app!r}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    machine = MACHINES[args.machine](gpu_streams=args.streams)
+    program = _build_program(args)
+    print(f"{program}: {program.total_flops() / 1e9:.1f} Gflop on {machine.name}")
+    rows = []
+    want_trace = bool(args.gantt or args.chrome_trace or args.csv_trace)
+    for name in args.scheduler:
+        sim = Simulator(
+            machine.platform(),
+            make_scheduler(name),
+            AnalyticalPerfModel(machine.calibration(), noise_sigma=args.noise),
+            seed=args.seed,
+            record_trace=want_trace,
+        )
+        res = sim.run(program)
+        rows.append(
+            [
+                name,
+                time_human(res.makespan),
+                f"{res.gflops:.0f}",
+                f"{res.bytes_transferred / 2**20:.0f}",
+                " ".join(
+                    f"{a}:{v * 100:.0f}%" for a, v in sorted(res.idle_frac_by_arch.items())
+                ),
+            ]
+        )
+        if args.gantt and res.trace is not None:
+            print(f"\n--- {name} ---")
+            print(res.trace.gantt_ascii(width=100))
+        if args.chrome_trace and res.trace is not None:
+            path = f"{args.chrome_trace}.{name}.json"
+            with open(path, "w") as fh:
+                fh.write(to_chrome_trace(res.trace))
+            print(f"chrome trace written to {path}")
+        if args.csv_trace and res.trace is not None:
+            path = f"{args.csv_trace}.{name}.csv"
+            with open(path, "w") as fh:
+                fh.write(to_csv(res.trace))
+            print(f"csv trace written to {path}")
+    print()
+    print(
+        format_table(
+            ["scheduler", "makespan", "GFlop/s", "MiB moved", "idle"],
+            rows,
+            title=f"{program.name} on {machine.name}",
+        )
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "table2":
+        print(format_table2(run_table2()))
+    elif args.name == "fig3":
+        print(format_fig3(run_fig3()))
+    elif args.name == "fig4":
+        print(format_fig4(run_fig4(), gantt=args.gantt))
+    elif args.name == "fig7":
+        print(format_fig7(run_fig7(scale=args.scale)))
+    else:
+        raise SystemExit(
+            f"unknown experiment {args.name!r} (heavy grids — fig5/fig6/fig8 — "
+            "run through `pytest benchmarks/ --benchmark-only`)"
+        )
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("schedulers:", ", ".join(scheduler_names()))
+    print("machines:  ", ", ".join(sorted(MACHINES)))
+    print("apps:       cholesky, lu, qr, fmm, sparseqr")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload under schedulers")
+    run.add_argument("--app", default="cholesky",
+                     choices=["cholesky", "lu", "qr", "fmm", "sparseqr"])
+    run.add_argument("--machine", default="intel-v100", choices=sorted(MACHINES))
+    run.add_argument("--scheduler", nargs="+", default=["multiprio", "dmdas"],
+                     choices=scheduler_names())
+    run.add_argument("--streams", type=int, default=1, help="GPU streams")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--noise", type=float, default=0.0,
+                     help="lognormal execution-noise sigma")
+    run.add_argument("--size", type=int, default=16, help="dense: tile count")
+    run.add_argument("--tile", type=int, default=960, help="dense: tile size")
+    run.add_argument("--particles", type=int, default=20000, help="fmm")
+    run.add_argument("--height", type=int, default=4, help="fmm octree height")
+    run.add_argument("--distribution", default="ellipsoid",
+                     choices=["uniform", "ellipsoid", "plummer"])
+    run.add_argument("--matrix", default="e18", help="sparseqr: Fig. 7 matrix name")
+    run.add_argument("--scale", type=float, default=0.02,
+                     help="sparseqr: op-count scale")
+    run.add_argument("--gantt", action="store_true", help="print ASCII Gantt")
+    run.add_argument("--chrome-trace", metavar="PREFIX",
+                     help="write chrome://tracing JSON per scheduler")
+    run.add_argument("--csv-trace", metavar="PREFIX",
+                     help="write per-task CSV per scheduler")
+    run.set_defaults(func=cmd_run)
+
+    exp = sub.add_parser("experiment", help="run a light paper experiment")
+    exp.add_argument("name", choices=["table2", "fig3", "fig4", "fig7"])
+    exp.add_argument("--gantt", action="store_true")
+    exp.add_argument("--scale", type=float, default=0.05)
+    exp.set_defaults(func=cmd_experiment)
+
+    lst = sub.add_parser("list", help="list schedulers, machines and apps")
+    lst.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Task criticality — the Normalized Out-Degree (NOD) heuristic, Eq. (2).
+
+::
+
+    NOD(t) = Σ_{s ∈ λ⁺(t, P_m)}  1 / |λ⁻(s, P_m)|
+
+A task whose completion releases many successors — each of which has few
+other predecessors — is critical: executing it unlocks parallelism. The
+paper's Fig. 3 example (NOD(T2) = 2.5, NOD(T3) = 1) is reproduced in the
+tests.
+
+The optional architecture filter restricts λ⁺/λ⁻ to tasks executable on
+the considered processing-unit type, per the paper's λ⁺(t, P_m) notation;
+with no filter the plain DAG degrees are used.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime.task import Task
+
+ArchFilter = Callable[[Task], bool]
+
+
+def nod(task: Task, arch_filter: ArchFilter | None = None) -> float:
+    """Normalized Out-Degree of ``task``.
+
+    ``arch_filter`` selects the successors (and the predecessors counted
+    in the denominator) relevant to one processing-unit type. A successor
+    whose filtered predecessor set is empty cannot happen when the filter
+    accepts ``task`` itself; as a safety net the denominator is clamped
+    to at least 1.
+    """
+    total = 0.0
+    for succ in task.succs:
+        if arch_filter is not None and not arch_filter(succ):
+            continue
+        if arch_filter is None:
+            n_preds = len(succ.preds)
+        else:
+            n_preds = sum(1 for p in succ.preds if arch_filter(p))
+        total += 1.0 / max(1, n_preds)
+    return total
+
+
+class NODTracker:
+    """Running-maximum normalization of NOD scores to [0, 1].
+
+    MultiPrio's Alg. 1 pushes ``get_prio_score_normalized(t)``; since the
+    DAG is revealed dynamically, the normalizer is the largest NOD seen
+    so far (per tracker — MultiPrio keeps one per architecture type).
+    """
+
+    def __init__(self) -> None:
+        self._max = 0.0
+
+    @property
+    def max_seen(self) -> float:
+        """Largest raw NOD observed so far."""
+        return self._max
+
+    def observe_and_score(self, raw_nod: float) -> float:
+        """Fold ``raw_nod`` into the running max and return it normalized."""
+        if raw_nod < 0:
+            raise ValueError(f"NOD cannot be negative, got {raw_nod}")
+        if raw_nod > self._max:
+            self._max = raw_nod
+        if self._max == 0.0:
+            return 0.0
+        return raw_nod / self._max
+
+    def reset(self) -> None:
+        """Forget the running maximum."""
+        self._max = 0.0

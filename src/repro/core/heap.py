@@ -1,0 +1,195 @@
+"""Binary max-heap of ready tasks with two-key scores.
+
+One heap exists per memory node (|H| = |M|, Section III-B). Entries are
+ordered by the *gain* score first and the *criticality* score second,
+with insertion order as the final deterministic tiebreak (older first).
+
+The heap supports what MultiPrio's POP needs beyond a textbook heap:
+
+* ``top_candidates(n)`` — the live entries among the first ``n`` array
+  slots, for the locality-aware selection window;
+* ``remove(entry)`` — O(log n) removal of an arbitrary entry, for the
+  eviction mechanism;
+* lazy invalidation — a task popped from one node's heap leaves *stale*
+  duplicates in the others; those are recognized through the
+  ``is_stale`` predicate and discarded when encountered, exactly as the
+  paper describes ("when workers try to select these duplicates, they
+  will recognize that they have already been processed and remove them").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.runtime.task import Task
+
+
+class HeapEntry:
+    """One (task, gain, prio) node of a :class:`TaskHeap`."""
+
+    __slots__ = ("task", "gain", "prio", "seq", "pos")
+
+    def __init__(self, task: Task, gain: float, prio: float, seq: int) -> None:
+        self.task = task
+        self.gain = gain
+        self.prio = prio
+        self.seq = seq
+        self.pos = -1  # maintained by the heap
+
+    def key(self) -> tuple[float, float, int]:
+        """Ordering key; larger means more prioritized."""
+        return (self.gain, self.prio, -self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HeapEntry {self.task.name} gain={self.gain:.3f} prio={self.prio:.3f}>"
+
+
+class TaskHeap:
+    """Array-based binary max-heap with position tracking.
+
+    Parameters
+    ----------
+    node:
+        Memory node id this heap serves (informational).
+    is_stale:
+        Predicate marking entries whose task was already taken from a
+        duplicate heap; stale entries are discarded on sight.
+    on_discard:
+        Callback invoked with each discarded stale entry (the scheduler
+        uses it to keep its ready-task counters exact).
+    """
+
+    def __init__(
+        self,
+        node: int = -1,
+        is_stale: Callable[[Task], bool] | None = None,
+        on_discard: Callable[[HeapEntry], None] | None = None,
+    ) -> None:
+        self.node = node
+        self._a: list[HeapEntry] = []
+        self._seq = 0
+        self._is_stale = is_stale or (lambda task: False)
+        self._on_discard = on_discard
+
+    # -- basics ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._a)
+
+    def __iter__(self) -> Iterator[HeapEntry]:
+        return iter(self._a)
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._a.clear()
+
+    def insert(self, task: Task, gain: float, prio: float) -> HeapEntry:
+        """Insert a task with its two scores; returns the entry."""
+        entry = HeapEntry(task, gain, prio, self._seq)
+        self._seq += 1
+        entry.pos = len(self._a)
+        self._a.append(entry)
+        self._sift_up(entry.pos)
+        return entry
+
+    def remove(self, entry: HeapEntry) -> None:
+        """Remove an arbitrary entry in O(log n)."""
+        pos = entry.pos
+        if pos < 0 or pos >= len(self._a) or self._a[pos] is not entry:
+            raise ValueError(f"entry {entry!r} is not in this heap")
+        last = self._a.pop()
+        entry.pos = -1
+        if last is not entry:
+            self._a[pos] = last
+            last.pos = pos
+            self._sift_down(pos)
+            self._sift_up(pos)
+
+    # -- MultiPrio-facing queries ------------------------------------------
+
+    def best(self) -> HeapEntry | None:
+        """The highest-scored live entry (stale roots are discarded)."""
+        while self._a:
+            root = self._a[0]
+            if not self._is_stale(root.task):
+                return root
+            self._discard(root)
+        return None
+
+    def top_candidates(self, n: int) -> list[HeapEntry]:
+        """Live entries among the first ``n`` heap slots.
+
+        This is the paper's "first n tasks in the heap" window for the
+        locality selection. Stale entries found in the window are
+        discarded and the window re-scanned, so the result contains only
+        live tasks. The returned list is ordered by heap position (the
+        root, if any, comes first).
+        """
+        while True:
+            window = self._a[: max(0, n)]
+            stale = [e for e in window if self._is_stale(e.task)]
+            if not stale:
+                return window
+            for entry in stale:
+                self._discard(entry)
+
+    def purge_stale(self) -> int:
+        """Discard every stale entry in the heap; returns the count."""
+        stale = [e for e in self._a if self._is_stale(e.task)]
+        for entry in stale:
+            self._discard(entry)
+        return len(stale)
+
+    def _discard(self, entry: HeapEntry) -> None:
+        self.remove(entry)
+        if self._on_discard is not None:
+            self._on_discard(entry)
+
+    # -- heap mechanics ---------------------------------------------------
+
+    def _sift_up(self, pos: int) -> None:
+        a = self._a
+        entry = a[pos]
+        key = entry.key()
+        while pos > 0:
+            parent_pos = (pos - 1) >> 1
+            parent = a[parent_pos]
+            if key <= parent.key():
+                break
+            a[pos] = parent
+            parent.pos = pos
+            pos = parent_pos
+        a[pos] = entry
+        entry.pos = pos
+
+    def _sift_down(self, pos: int) -> None:
+        a = self._a
+        size = len(a)
+        entry = a[pos]
+        key = entry.key()
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and a[right].key() > a[child].key():
+                child = right
+            if a[child].key() <= key:
+                break
+            a[pos] = a[child]
+            a[pos].pos = pos
+            pos = child
+        a[pos] = entry
+        entry.pos = pos
+
+    # -- invariants (used by tests) ---------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert heap order and position consistency (test helper)."""
+        for i, entry in enumerate(self._a):
+            assert entry.pos == i, f"entry at {i} thinks it is at {entry.pos}"
+            parent = (i - 1) >> 1
+            if i > 0:
+                assert self._a[parent].key() >= entry.key(), (
+                    f"heap order violated at {i}"
+                )

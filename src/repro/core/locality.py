@@ -1,0 +1,31 @@
+"""Data locality — the LS_SDH² score, Eq. (3) (from Bramas [20]).
+
+::
+
+    LS_SDH²(m, t) = Σ_{d ∈ D_{t,m}^R} d.size  +  Σ_{d ∈ D_{t,m}^W} d.size²
+
+where ``D_{t,m}`` is the data used by ``t`` already resident on memory
+node ``m``, split by access mode. Write accesses count quadratically:
+keeping the *output* data where it already lives avoids both the fetch
+and the later invalidation traffic, so it dominates the score.
+
+A handle accessed in RW (or COMMUTE) mode contributes to both sums, as
+it is both read and written.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.task import Task
+
+
+def ls_sdh2(task: Task, node: int) -> float:
+    """Locality score of ``task`` on memory node ``node`` (higher = more local)."""
+    score = 0.0
+    for handle, mode in task.accesses:
+        if not handle.is_valid_on(node):
+            continue
+        if mode.is_read:
+            score += float(handle.size)
+        if mode.is_write:
+            score += float(handle.size) ** 2
+    return score

@@ -1,0 +1,330 @@
+"""The MultiPrio scheduler (the paper's contribution).
+
+Data structure: one binary max-heap per memory node; every ready task is
+inserted into the heap of each node whose processing units can execute
+it, scored by (gain, criticality) — Alg. 1. An idle worker selects the
+most *local* task among the top-priority window of its node's heap, then
+passes the **pop condition**: the best-architecture workers always take
+their tasks; a slower worker is admitted only when the best workers have
+enough work queued (``best_remaining_work``) to cover the slower
+execution — otherwise the task is **evicted** from the slower node's
+heap — Alg. 2, Section V-D.
+
+Hyper-parameters: locality window ``n = 10`` (the paper's value) and the
+score threshold ``ε``. The paper reports ``ε = 0.8``; on our
+[0, 1]-normalized scores (whose spread is compressed by the running
+``hd`` maximum) that admits nearly the whole window, and the data-hosted
+metric then systematically routes the *largest* tasks to the slow
+workers. The default here is ``ε = 0`` — locality breaks score *ties*
+(which are plentiful: all same-type, same-size tasks score equally) —
+and the ε sensitivity is covered by the ablation bench.
+
+Ablation knobs used by the benchmark suite:
+
+* ``eviction=False`` — disable the pop condition entirely (Fig. 4 top);
+* ``use_locality=False`` — always take the heap root;
+* ``use_criticality=False`` — drop the NOD secondary key;
+* ``drain_aware=True`` (default) — the pop condition compares the best
+  workers' remaining work *divided by their worker count* (a drain-time
+  reading of "the best worker is sufficiently busy") against the
+  candidate's δ; ``False`` compares the raw sum, a literal reading of
+  Alg. 2's pseudocode. The drain-time variant dominates empirically and
+  matches the paper's reported behaviour (slow workers only help when
+  the fast ones are genuinely backlogged); the raw variant is kept as an
+  ablation (`multiprio-rawbrw`).
+"""
+
+from __future__ import annotations
+
+from repro.core.criticality import NODTracker, nod
+from repro.core.gain import GainTracker
+from repro.core.heap import HeapEntry, TaskHeap
+from repro.core.locality import ls_sdh2
+from repro.runtime.task import Task, TaskState
+from repro.runtime.worker import Worker
+from repro.schedulers.base import Scheduler
+from repro.utils.validation import check_in_range, check_positive
+
+
+class MultiPrio(Scheduler):
+    """Dynamic multi-priority scheduler for heterogeneous nodes."""
+
+    name = "multiprio"
+
+    def __init__(
+        self,
+        *,
+        locality_n: int = 10,
+        locality_eps: float = 0.0,
+        max_tries: int = 10,
+        eviction: bool = True,
+        use_locality: bool = True,
+        use_criticality: bool = True,
+        arch_filtered_nod: bool = False,
+        drain_aware: bool = True,
+        brw_safety: float = 1.0,
+        slowdown_cap: float | None = 60.0,
+        evict_on_reject: bool = False,
+    ) -> None:
+        super().__init__()
+        self.locality_n = int(check_positive("locality_n", locality_n))
+        self.locality_eps = check_in_range("locality_eps", locality_eps, 0.0, 1.0)
+        self.max_tries = int(check_positive("max_tries", max_tries))
+        self.eviction = eviction
+        self.use_locality = use_locality
+        self.use_criticality = use_criticality
+        self.arch_filtered_nod = arch_filtered_nod
+        self.drain_aware = drain_aware
+        # Safety factor on the pop condition: a slow worker is admitted
+        # only when the best workers' drain time exceeds `brw_safety x`
+        # its own execution time. >1 biases borderline decisions toward
+        # the fast units (the remaining-work refinement of Section VII).
+        self.brw_safety = check_positive("brw_safety", brw_safety)
+        # Comparative-advantage guard: a non-best worker never takes a
+        # task on which it is more than `slowdown_cap` times slower than
+        # the best architecture, however large the backlog. Encodes the
+        # Section VII observation that letting a CPU run a kernel "20x
+        # slower" can wreck the makespan. None disables the guard.
+        if slowdown_cap is not None:
+            check_positive("slowdown_cap", slowdown_cap)
+        self.slowdown_cap = slowdown_cap
+        # Rejection handling: True removes the task from the requesting
+        # node's heap (the literal Alg. 2 eviction — the task can never
+        # run on this node again); False skips it, leaving it available
+        # for when the best workers' backlog grows. Skipping preserves
+        # the eviction mechanism's end-of-run benefit (Fig. 4) without
+        # bleeding the slow-architecture heaps dry in steady state.
+        self.evict_on_reject = evict_on_reject
+
+        self.heaps: dict[int, TaskHeap] = {}
+        self.best_remaining_work: dict[int, float] = {}
+        self.ready_tasks_count: dict[int, int] = {}
+        self._gain = GainTracker()
+        self._nod: dict[str, NODTracker] = {}
+        self._n_evictions = 0
+        self._n_rejections = 0
+        self._n_stale_discards = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def setup(self, ctx) -> None:
+        """Reset all per-run state and build one heap per memory node."""
+        super().setup(ctx)
+        self.heaps = {}
+        self.best_remaining_work = {}
+        self.ready_tasks_count = {}
+        self._gain.reset()
+        self._nod = {arch: NODTracker() for arch in ctx.available_archs}
+        self._n_evictions = 0
+        self._n_rejections = 0
+        self._n_stale_discards = 0
+        for node in ctx.platform.nodes:
+            if ctx.platform.workers_of_node(node.mid):
+                self.heaps[node.mid] = TaskHeap(
+                    node=node.mid,
+                    is_stale=self._is_stale,
+                    on_discard=self._on_discard,
+                )
+                self.best_remaining_work[node.mid] = 0.0
+                self.ready_tasks_count[node.mid] = 0
+
+    @staticmethod
+    def _is_stale(task: Task) -> bool:
+        """Duplicate entries of a task already taken elsewhere are stale."""
+        return task.state is not TaskState.READY or task.sched.get("mp_taken", False)
+
+    def _on_discard(self, entry: HeapEntry) -> None:
+        """A stale duplicate was dropped: fix counters and the entry map."""
+        entry_map = entry.task.sched.get("mp_entries", {})
+        for node, stored in list(entry_map.items()):
+            if stored is entry:
+                del entry_map[node]
+                self.ready_tasks_count[node] -= 1
+                break
+        self._n_stale_discards += 1
+
+    # -- PUSH (Alg. 1) ------------------------------------------------------
+
+    def push(self, task: Task) -> None:
+        """Alg. 1: score the ready task and insert it into every heap
+        whose processing units can execute it."""
+        ctx = self.ctx
+        archs = ctx.exec_archs(task)
+        deltas = {a: ctx.estimate(task, a) for a in archs}
+        gains = self._gain.observe_and_score(deltas)
+        best_arch = ctx.best_arch(task)
+
+        brw_nodes: list[int] = []
+        entries: dict[int, HeapEntry] = {}
+        enabled_nodes: list[int] = []
+        for node in ctx.platform.nodes:
+            mid = node.mid
+            heap = self.heaps.get(mid)
+            if heap is None or not task.can_exec(node.arch):
+                continue
+            gain = gains[node.arch]
+            if self.use_criticality:
+                if self.arch_filtered_nod:
+                    arch = node.arch
+                    raw = nod(task, lambda t, _a=arch: t.can_exec(_a))
+                else:
+                    raw = nod(task)
+                prio = self._nod[node.arch].observe_and_score(raw)
+            else:
+                prio = 0.0
+            entries[mid] = heap.insert(task, gain, prio)
+            enabled_nodes.append(mid)
+            self.ready_tasks_count[mid] += 1
+            if node.arch == best_arch:
+                self.best_remaining_work[mid] += deltas[best_arch]
+                brw_nodes.append(mid)
+
+        task.sched["mp_nodes"] = enabled_nodes
+        task.sched["mp_entries"] = entries
+        task.sched["mp_brw_nodes"] = brw_nodes
+        task.sched["mp_best_delta"] = deltas[best_arch]
+
+    # -- POP (Alg. 2) ----------------------------------------------------------
+
+    def pop(self, worker: Worker) -> Task | None:
+        """Alg. 2: locality-refined selection gated by the pop condition."""
+        heap = self.heaps.get(worker.memory_node)
+        if heap is None:
+            return None
+        tries = 0
+        rejected: set[int] = set()
+        while tries < self.max_tries:
+            # Cheap first pass: the most prioritized candidate and the
+            # admission test; the (costlier) locality refinement only
+            # runs for a candidate that will actually be taken.
+            window = heap.top_candidates(max(self.locality_n, self.max_tries + 1))
+            live = [e for e in window if id(e) not in rejected]
+            if not live:
+                break
+            top = max(live, key=HeapEntry.key)
+            if not self._pop_condition(top.task, worker):
+                if self.evict_on_reject:
+                    # Literal Alg. 2 eviction: drop the task from this
+                    # node's heap; duplicates elsewhere keep it alive.
+                    self._remove_entry(heap, top, worker.memory_node)
+                else:
+                    # Skip: leave the entry for when the best workers'
+                    # backlog grows; try the next prioritized candidate.
+                    rejected.add(id(top))
+                self._n_evictions += 1
+                tries += 1
+                continue
+            entry = self._locality_refine(top, live, worker)
+            self._remove_entry(heap, entry, worker.memory_node)
+            self._take(entry.task)
+            return entry.task
+        if tries:
+            self._n_rejections += 1
+        return None
+
+    def force_pop(self, worker: Worker) -> Task | None:
+        """Liveness escape hatch: take the best live entry executable by
+        ``worker`` from any heap, ignoring the pop condition. O(n) scan —
+        the engine only calls this when the whole machine would stall."""
+        for mid, heap in sorted(self.heaps.items()):
+            live = [
+                e
+                for e in heap.top_candidates(len(heap))
+                if e.task.can_exec(worker.arch)
+            ]
+            if live:
+                entry = max(live, key=lambda e: e.key())
+                self._remove_entry(heap, entry, mid)
+                self._take(entry.task)
+                return entry.task
+        return None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _remove_entry(self, heap: TaskHeap, entry: HeapEntry, mid: int) -> None:
+        heap.remove(entry)
+        self.ready_tasks_count[mid] -= 1
+        entry.task.sched.get("mp_entries", {}).pop(mid, None)
+
+    def _take(self, task: Task) -> None:
+        """Commit a task to execution: mark duplicates stale and release
+        its contribution to every best-architecture work counter."""
+        task.sched["mp_taken"] = True
+        delta = task.sched.get("mp_best_delta", 0.0)
+        for mid in task.sched.get("mp_brw_nodes", ()):  # eager, exact BRW
+            self.best_remaining_work[mid] -= delta
+            if self.best_remaining_work[mid] < 1e-9:
+                self.best_remaining_work[mid] = 0.0
+        task.sched["mp_brw_nodes"] = []
+
+    def _locality_refine(
+        self, top: HeapEntry, live: list[HeapEntry], worker: Worker
+    ) -> HeapEntry:
+        """The locality-aware selection of Section V-C.
+
+        Take the most prioritized admissible task unless another task in
+        the window — within ε of its score, restricted to the top-``n``
+        candidates, and itself admissible — is more local to the
+        worker's memory node (LS_SDH², Eq. 3).
+        """
+        if not self.use_locality or len(live) == 1:
+            return top
+        threshold = top.gain - self.locality_eps
+        best_entry = top
+        best_score = ls_sdh2(top.task, worker.memory_node)
+        for entry in live[: self.locality_n]:
+            if entry is top or entry.gain < threshold:
+                continue
+            if not self._pop_condition(entry.task, worker):
+                continue
+            score = ls_sdh2(entry.task, worker.memory_node)
+            if score > best_score or (
+                score == best_score and entry.key() > best_entry.key()
+            ):
+                best_entry = entry
+                best_score = score
+        return best_entry
+
+    def _pop_condition(self, task: Task, worker: Worker) -> bool:
+        """Alg. 2's admission test (Section V-D).
+
+        The best worker always takes the task. A slower worker is
+        admitted only when the best workers' queued best-work exceeds the
+        task's execution time on the slower worker — i.e. the fast units
+        are busy enough that letting a slow unit help maintains DAG
+        progress instead of stretching the makespan.
+        """
+        ctx = self.ctx
+        best_arch = ctx.best_arch(task)
+        if worker.arch == best_arch:
+            return True
+        if not self.eviction:
+            return True
+        if (
+            self.slowdown_cap is not None
+            and ctx.estimate(task, worker.arch)
+            > self.slowdown_cap * ctx.estimate(task, best_arch)
+        ):
+            return False
+        brw = max(
+            (
+                self.best_remaining_work[node.mid]
+                for node in ctx.platform.nodes_of_arch(best_arch)
+                if node.mid in self.best_remaining_work
+            ),
+            default=0.0,
+        )
+        if self.drain_aware:
+            n_best = max(1, ctx.n_workers(best_arch))
+            brw /= n_best
+        return brw > self.brw_safety * ctx.estimate(task, worker.arch)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Per-run counters: evictions/skips, rejected pops, stale drops."""
+        return {
+            "evictions": float(self._n_evictions),
+            "pop_rejections": float(self._n_rejections),
+            "stale_discards": float(self._n_stale_discards),
+        }

@@ -1,0 +1,73 @@
+"""Fig. 3 reproduction: the NOD criticality worked example.
+
+The paper's example DAG has two ready tasks T2 and T3 with
+NOD(T2) = 2.5 and NOD(T3) = 1. The figure itself shows a 7-node DAG;
+we reconstruct the smallest DAG consistent with the printed values:
+
+* T2's successors: T4 (two predecessors, shared with T3... no — shared
+  with T1), T5 and T6 (single-predecessor) → 1/2 + 1 + 1 = 2.5;
+* T3's successors: T4 would give 1/2... T3 has one successor T7 with a
+  single predecessor → 1.
+
+Concretely: T1 (done) precedes T2 and T3 (ready). T2 → {T4, T5, T6},
+T3 → {T7}, and T4 has one additional completed predecessor T1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.criticality import nod
+from repro.runtime.stf import TaskFlow
+from repro.runtime.task import AccessMode, Task
+
+
+@dataclass
+class Fig3Result:
+    """NOD values of the two ready tasks."""
+
+    nod_t2: float
+    nod_t3: float
+    tasks: dict[str, Task]
+
+
+def build_fig3_dag() -> dict[str, Task]:
+    """Build the example DAG through the STF front-end."""
+    flow = TaskFlow("fig3")
+    d1 = flow.data(8, label="d1")  # T1 -> T2
+    d2 = flow.data(8, label="d2")  # T1 -> T3, T4
+    d3 = flow.data(8, label="d3")  # T2 -> T4
+    d4 = flow.data(8, label="d4")  # T2 -> T5
+    d5 = flow.data(8, label="d5")  # T2 -> T6
+    d6 = flow.data(8, label="d6")  # T3 -> T7
+    W, R = AccessMode.W, AccessMode.R
+    tasks = {
+        "T1": flow.submit("t1", [(d1, W), (d2, W)]),
+        "T2": flow.submit("t2", [(d1, R), (d3, W), (d4, W), (d5, W)]),
+        "T3": flow.submit("t3", [(d2, R), (d6, W)]),
+        "T4": flow.submit("t4", [(d2, R), (d3, R)]),
+        "T5": flow.submit("t5", [(d4, R)]),
+        "T6": flow.submit("t6", [(d5, R)]),
+        "T7": flow.submit("t7", [(d6, R)]),
+    }
+    flow.program()
+    return tasks
+
+
+def run_fig3() -> Fig3Result:
+    """Compute NOD(T2) and NOD(T3) on the example DAG."""
+    tasks = build_fig3_dag()
+    return Fig3Result(
+        nod_t2=nod(tasks["T2"]),
+        nod_t3=nod(tasks["T3"]),
+        tasks=tasks,
+    )
+
+
+def format_fig3(result: Fig3Result) -> str:
+    """Render the computed values next to the published ones."""
+    return (
+        "Fig. 3: NOD criticality worked example\n"
+        f"  NOD(T2) ours = {result.nod_t2:.1f}   paper = 2.5\n"
+        f"  NOD(T3) ours = {result.nod_t3:.1f}   paper = 1.0"
+    )

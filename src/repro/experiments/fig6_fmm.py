@@ -1,0 +1,111 @@
+"""Fig. 6 reproduction: TBFMM execution time on both platforms.
+
+The paper runs a 10⁶-particle, height-6 FMM and compares MultiPrio,
+Dmdas and HeteroPrio on Intel-V100 and AMD-A100 while varying the GPU
+stream count. No user priorities are set. Expected shape: MultiPrio
+achieves the shortest makespan on both platforms — the FMM DAG is very
+disconnected, so workload balance plus per-task affinity dominates,
+which is unfavourable for the task-centric Dmdas; HeteroPrio sits in
+between.
+
+Paper scale: 10⁶ particles, height 6 (hours of compute). Default here:
+2x10⁵ particles, height 5 — the DAG shape (wide, mixed granularity from
+the ellipsoid distribution) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.apps.fmm import fmm_program
+from repro.experiments.harness import run_one
+from repro.experiments.reporting import format_table
+from repro.platform.machines import MachineModel, amd_a100, intel_v100
+
+#: Execution variance of the FMM kernels (irregular particle boxes).
+FMM_NOISE = 0.15
+
+
+@dataclass
+class Fig6Cell:
+    """Makespan of one (machine, scheduler, streams) combination."""
+
+    machine: str
+    scheduler: str
+    gpu_streams: int
+    makespan_us: float
+
+
+@dataclass
+class Fig6Result:
+    """The full grid plus the per-(machine, scheduler) best."""
+
+    cells: list[Fig6Cell] = field(default_factory=list)
+
+    def best(self, machine: str, scheduler: str) -> Fig6Cell:
+        """Best-stream cell for one machine/scheduler."""
+        mine = [
+            c for c in self.cells if c.machine == machine and c.scheduler == scheduler
+        ]
+        return min(mine, key=lambda c: c.makespan_us)
+
+    def winner(self, machine: str) -> str:
+        """Scheduler with the shortest best makespan on ``machine``."""
+        schedulers = {c.scheduler for c in self.cells if c.machine == machine}
+        return min(schedulers, key=lambda s: self.best(machine, s).makespan_us)
+
+
+def run_fig6(
+    *,
+    n_particles: int = 200_000,
+    height: int = 5,
+    distribution: str = "ellipsoid",
+    schedulers: Sequence[str] = ("multiprio", "dmdas", "heteroprio"),
+    stream_counts: Sequence[int] = (1, 2, 4),
+    machines: Sequence[str] = ("intel-v100", "amd-a100"),
+    seed: int = 0,
+) -> Fig6Result:
+    """Run the FMM grid (schedulers x machines x stream counts)."""
+    program = fmm_program(
+        n_particles=n_particles, height=height, distribution=distribution, seed=seed
+    )
+    factories = {"intel-v100": intel_v100, "amd-a100": amd_a100}
+    result = Fig6Result()
+    for machine_name in machines:
+        for streams in stream_counts:
+            machine: MachineModel = factories[machine_name](gpu_streams=streams)
+            for sched in schedulers:
+                row, _ = run_one(
+                    program,
+                    machine,
+                    sched,
+                    experiment="fig6",
+                    seed=seed,
+                    noise_sigma=FMM_NOISE,
+                )
+                result.cells.append(
+                    Fig6Cell(
+                        machine=machine_name,
+                        scheduler=sched,
+                        gpu_streams=streams,
+                        makespan_us=row.makespan_us,
+                    )
+                )
+    return result
+
+
+def format_fig6(result: Fig6Result) -> str:
+    """Render the grid with the per-machine winner."""
+    rows = [
+        [c.machine, c.scheduler, c.gpu_streams, f"{c.makespan_us / 1e3:.2f}"]
+        for c in result.cells
+    ]
+    table = format_table(
+        ["machine", "scheduler", "streams", "makespan ms"],
+        rows,
+        title="Fig. 6: TBFMM execution time (no user priorities)",
+    )
+    machines = sorted({c.machine for c in result.cells})
+    winners = ", ".join(f"{m}: {result.winner(m)}" for m in machines)
+    return f"{table}\nshortest makespan — {winners} (paper: multiprio on both)"

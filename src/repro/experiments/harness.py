@@ -1,0 +1,109 @@
+"""Shared experiment plumbing: run (program x machine x scheduler) grids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.platform.machines import MachineModel
+from repro.runtime.engine import SimResult, Simulator
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.stf import Program
+from repro.schedulers.registry import make_scheduler
+
+
+@dataclass
+class ExperimentResult:
+    """One simulated run within an experiment grid."""
+
+    experiment: str
+    machine: str
+    scheduler: str
+    workload: str
+    makespan_us: float
+    gflops: float
+    bytes_transferred: int
+    idle_frac_by_arch: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+def run_one(
+    program: Program,
+    machine: MachineModel,
+    scheduler_name: str,
+    *,
+    experiment: str = "",
+    seed: int = 0,
+    noise_sigma: float = 0.0,
+    record_trace: bool = False,
+) -> tuple[ExperimentResult, SimResult]:
+    """Simulate one (program, machine, scheduler) combination."""
+    perfmodel = AnalyticalPerfModel(machine.calibration(), noise_sigma=noise_sigma)
+    sim = Simulator(
+        machine.platform(),
+        make_scheduler(scheduler_name),
+        perfmodel,
+        seed=seed,
+        record_trace=record_trace,
+    )
+    res = sim.run(program)
+    row = ExperimentResult(
+        experiment=experiment,
+        machine=machine.name,
+        scheduler=scheduler_name,
+        workload=program.name,
+        makespan_us=res.makespan,
+        gflops=res.gflops,
+        bytes_transferred=res.bytes_transferred,
+        idle_frac_by_arch=dict(res.idle_frac_by_arch),
+    )
+    return row, res
+
+
+def run_grid(
+    programs: Iterable[Program],
+    machines: Iterable[MachineModel],
+    schedulers: Iterable[str],
+    *,
+    experiment: str = "",
+    seed: int = 0,
+    noise_sigma: float = 0.0,
+    progress: Callable[[ExperimentResult], None] | None = None,
+) -> list[ExperimentResult]:
+    """Run the full cartesian grid; returns one row per combination."""
+    rows: list[ExperimentResult] = []
+    for machine in machines:
+        for program in programs:
+            for scheduler_name in schedulers:
+                row, _ = run_one(
+                    program,
+                    machine,
+                    scheduler_name,
+                    experiment=experiment,
+                    seed=seed,
+                    noise_sigma=noise_sigma,
+                )
+                rows.append(row)
+                if progress is not None:
+                    progress(row)
+    return rows
+
+
+def speedup_table(
+    rows: list[ExperimentResult], reference: str = "dmdas"
+) -> dict[tuple[str, str], dict[str, float]]:
+    """Per (machine, workload): scheduler -> makespan ratio vs reference.
+
+    Ratio > 1 means faster than the reference (the paper's Fig. 8
+    convention: "higher ratios indicate better results").
+    """
+    by_key: dict[tuple[str, str], dict[str, float]] = {}
+    for row in rows:
+        by_key.setdefault((row.machine, row.workload), {})[row.scheduler] = row.makespan_us
+    out: dict[tuple[str, str], dict[str, float]] = {}
+    for key, spans in by_key.items():
+        ref = spans.get(reference)
+        if ref is None or ref <= 0:
+            continue
+        out[key] = {sched: ref / span for sched, span in spans.items() if span > 0}
+    return out

@@ -1,0 +1,76 @@
+"""Table II reproduction: the gain heuristic worked example.
+
+Three tasks, two architecture types, δ as printed in the paper:
+
+    =========  ====  ====  ====
+    δ (ms)     t_A   t_B   t_C
+    =========  ====  ====  ====
+    a1         1     5     20
+    a2         20    10    10
+    =========  ====  ====  ====
+
+with hd(a1) = hd(a2) = 19, giving gains (1, 0.631, 0.236) on a1 and
+(0, 0.368, 0.763) on a2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gain import gain_scores
+from repro.experiments.reporting import format_table
+
+#: The paper's example: task -> {arch: delta_ms}.
+PAPER_DELTAS: dict[str, dict[str, float]] = {
+    "t_A": {"a1": 1.0, "a2": 20.0},
+    "t_B": {"a1": 5.0, "a2": 10.0},
+    "t_C": {"a1": 20.0, "a2": 10.0},
+}
+
+#: hd(a) of the example (the largest |δ difference|, from task A).
+PAPER_HD: dict[str, float] = {"a1": 19.0, "a2": 19.0}
+
+#: The gains printed in Table II (3 decimals, truncated as in the paper).
+PAPER_GAINS: dict[str, dict[str, float]] = {
+    "t_A": {"a1": 1.0, "a2": 0.0},
+    "t_B": {"a1": 0.631, "a2": 0.368},
+    "t_C": {"a1": 0.236, "a2": 0.763},
+}
+
+
+@dataclass
+class Table2Result:
+    """Computed vs published gains for the worked example."""
+
+    gains: dict[str, dict[str, float]]
+    max_abs_error: float
+
+
+def run_table2() -> Table2Result:
+    """Compute the Table II gains with this repo's implementation."""
+    gains = {task: gain_scores(deltas, PAPER_HD) for task, deltas in PAPER_DELTAS.items()}
+    max_err = max(
+        abs(gains[task][arch] - PAPER_GAINS[task][arch])
+        for task in PAPER_DELTAS
+        for arch in ("a1", "a2")
+    )
+    return Table2Result(gains=gains, max_abs_error=max_err)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the reproduction next to the published values."""
+    rows = []
+    for arch in ("a1", "a2"):
+        rows.append(
+            [f"gain(t, {arch}) ours"]
+            + [f"{result.gains[t][arch]:.3f}" for t in ("t_A", "t_B", "t_C")]
+        )
+        rows.append(
+            [f"gain(t, {arch}) paper"]
+            + [f"{PAPER_GAINS[t][arch]:.3f}" for t in ("t_A", "t_B", "t_C")]
+        )
+    return format_table(
+        ["", "t_A", "t_B", "t_C"],
+        rows,
+        title="Table II: gain heuristic worked example (hd = 19)",
+    )

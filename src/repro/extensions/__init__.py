@@ -1,0 +1,30 @@
+"""Extensions beyond the paper's evaluated system.
+
+These implement the *future work* directions of the paper's Section VII
+so they can be studied quantitatively:
+
+* :mod:`repro.extensions.energy` — per-architecture power models, energy
+  accounting for simulation results, and an energy-aware MultiPrio
+  variant that re-balances work toward the low-power units when that
+  does not compromise the makespan;
+* :mod:`repro.extensions.hierarchical` — hierarchical task submission
+  (tasks that expand into subgraphs at runtime), mirroring the StarPU
+  feature the paper cites as the natural next workload.
+"""
+
+from repro.extensions.energy import (
+    ArchPower,
+    PowerModel,
+    energy_of_result,
+    EnergyAwareMultiPrio,
+)
+from repro.extensions.hierarchical import HierarchicalFlow, BubbleSpec
+
+__all__ = [
+    "ArchPower",
+    "PowerModel",
+    "energy_of_result",
+    "EnergyAwareMultiPrio",
+    "HierarchicalFlow",
+    "BubbleSpec",
+]

@@ -1,0 +1,161 @@
+"""Energy accounting and the energy-aware MultiPrio variant.
+
+The paper's Section VII: *"we aim to extend this to incorporate energy
+efficiency heuristics to take advantage of the CPUs and re-balance the
+workload between them and the accelerators without compromising overall
+performance."*
+
+Two pieces:
+
+* a :class:`PowerModel` (per-architecture busy/idle watts per worker)
+  plus :func:`energy_of_result`, which converts any
+  :class:`~repro.runtime.engine.SimResult` into joules;
+* :class:`EnergyAwareMultiPrio`, which relaxes the pop condition for
+  admissions that *save energy*: a slower-but-leaner worker (a CPU core
+  at ~12 W vs a GPU at ~250 W) may take a task at a smaller fast-worker
+  backlog than the baseline requires, as long as the comparative-
+  advantage guard still holds. The effect — measured by
+  ``benchmarks/bench_energy.py`` — is a lower joule count at a bounded
+  makespan cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.multiprio import MultiPrio
+from repro.runtime.engine import SimResult
+from repro.runtime.platform_config import Platform
+from repro.runtime.task import Task
+from repro.runtime.worker import Worker
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ArchPower:
+    """Per-worker power draw of one architecture, in watts."""
+
+    busy_watts: float
+    idle_watts: float
+
+    def __post_init__(self) -> None:
+        check_positive("busy_watts", self.busy_watts)
+        check_non_negative("idle_watts", self.idle_watts)
+        if self.idle_watts > self.busy_watts:
+            raise ValueError("idle_watts cannot exceed busy_watts")
+
+
+class PowerModel:
+    """Power draw per architecture, per worker.
+
+    Defaults approximate the evaluation platforms: one CPU core at 12 W
+    busy / 3 W idle; one GPU execution context at 250 W busy / 50 W idle
+    (a full device — divide by the stream count when modelling
+    multi-stream sharing precisely; for scheduler comparisons the
+    constant-per-worker approximation is sufficient and identical across
+    policies).
+    """
+
+    DEFAULTS = {
+        "cpu": ArchPower(busy_watts=12.0, idle_watts=3.0),
+        "cuda": ArchPower(busy_watts=250.0, idle_watts=50.0),
+    }
+
+    def __init__(self, per_arch: dict[str, ArchPower] | None = None) -> None:
+        self._per_arch = dict(self.DEFAULTS)
+        if per_arch:
+            self._per_arch.update(per_arch)
+
+    def arch_power(self, arch: str) -> ArchPower:
+        """Power profile of one architecture (defaults for unknown)."""
+        return self._per_arch.get(arch, ArchPower(50.0, 10.0))
+
+    def energy_us(self, arch: str, busy_us: float, idle_us: float) -> float:
+        """Energy in joules for the given busy/idle microseconds."""
+        power = self.arch_power(arch)
+        return (busy_us * power.busy_watts + idle_us * power.idle_watts) * 1e-6
+
+
+def energy_of_result(
+    result: SimResult, platform: Platform, power: PowerModel | None = None
+) -> float:
+    """Total energy (joules) consumed by a simulated execution.
+
+    Per architecture: the recorded execution time draws busy power, the
+    rest of every worker's timeline draws idle power.
+    """
+    power = power or PowerModel()
+    total = 0.0
+    for arch in platform.archs:
+        n_workers = platform.n_workers(arch)
+        busy = result.exec_time_by_arch.get(arch, 0.0)
+        idle = max(0.0, n_workers * result.makespan - busy)
+        total += power.energy_us(arch, busy, idle)
+    return total
+
+
+class EnergyAwareMultiPrio(MultiPrio):
+    """MultiPrio with an energy-saving admission relaxation.
+
+    A non-best worker whose execution would consume *less energy* than
+    the best architecture's (δ·P comparison) is admitted at a fraction
+    (``energy_relax``) of the baseline backlog requirement — shifting
+    work toward low-power units exactly when the energy trade is
+    favourable. All other mechanisms (heaps, scores, locality, eviction)
+    are inherited unchanged.
+    """
+
+    name = "multiprio-energy"
+
+    def __init__(
+        self,
+        *,
+        power: PowerModel | None = None,
+        energy_relax: float = 0.25,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.power = power or PowerModel()
+        self.energy_relax = check_positive("energy_relax", energy_relax)
+
+    def _energy_saving(self, task: Task, worker: Worker, best_arch: str) -> bool:
+        ctx = self.ctx
+        e_here = (
+            ctx.estimate(task, worker.arch)
+            * self.power.arch_power(worker.arch).busy_watts
+        )
+        e_best = (
+            ctx.estimate(task, best_arch) * self.power.arch_power(best_arch).busy_watts
+        )
+        return e_here < e_best
+
+    def _pop_condition(self, task: Task, worker: Worker) -> bool:
+        ctx = self.ctx
+        best_arch = ctx.best_arch(task)
+        if worker.arch == best_arch:
+            return True
+        if super()._pop_condition(task, worker):
+            return True
+        # Energy relaxation: admit earlier when this worker is the
+        # energy-cheaper choice (still respecting the slowdown cap).
+        if not self._energy_saving(task, worker, best_arch):
+            return False
+        if (
+            self.slowdown_cap is not None
+            and ctx.estimate(task, worker.arch)
+            > self.slowdown_cap * ctx.estimate(task, best_arch)
+        ):
+            return False
+        brw = max(
+            (
+                self.best_remaining_work[node.mid]
+                for node in ctx.platform.nodes_of_arch(best_arch)
+                if node.mid in self.best_remaining_work
+            ),
+            default=0.0,
+        )
+        if self.drain_aware:
+            brw /= max(1, ctx.n_workers(best_arch))
+        return brw > self.energy_relax * self.brw_safety * ctx.estimate(
+            task, worker.arch
+        )

@@ -1,0 +1,163 @@
+"""Hierarchical tasks: coarse tasks that expand into subgraphs.
+
+The paper's Section VII points to StarPU's *hierarchical tasks* [30] —
+tasks that submit subgraphs at runtime, "exposing different task sizes
+in the DAG: a sufficient amount of large-granularity tasks to
+efficiently utilize GPUs, along with fine-granularity tasks to take
+advantage of CPUs" — as the workload class where MultiPrio should shine
+next.
+
+:class:`HierarchicalFlow` reproduces that structure on top of the STF
+front-end: a *bubble* submission either stays one coarse task or, when
+its work exceeds ``threshold_flops``, expands into
+
+* one ``split`` task per read-write output (scatter the coarse handle
+  into partition sub-handles),
+* ``partitions`` fine-grained compute tasks over the sub-handles, and
+* one ``merge`` task gathering the sub-handles back,
+
+so the scheduler faces exactly the mixed-granularity DAGs the paper
+describes. Expansion is decided per bubble, making a single program a
+blend of coarse GPU-sized and fine CPU-sized work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.runtime.data import DataHandle
+from repro.runtime.stf import Program, TaskFlow
+from repro.runtime.task import AccessMode, Task
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BubbleSpec:
+    """Expansion policy for hierarchical submissions.
+
+    ``threshold_flops`` — bubbles at or above this expand;
+    ``partitions`` — fine tasks per expanded bubble;
+    ``split_merge_overhead`` — flops charged to each split/merge task
+    per byte scattered (models the partitioning cost that makes
+    over-decomposition unprofitable).
+    """
+
+    threshold_flops: float = 1e9
+    partitions: int = 4
+    split_merge_overhead: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_positive("threshold_flops", self.threshold_flops)
+        check_positive("partitions", self.partitions)
+        check_positive("split_merge_overhead", self.split_merge_overhead)
+
+
+class HierarchicalFlow:
+    """A :class:`TaskFlow` front-end with bubble expansion."""
+
+    def __init__(self, spec: BubbleSpec | None = None, name: str = "") -> None:
+        self.flow = TaskFlow(name or "hierarchical")
+        self.spec = spec or BubbleSpec()
+        self.n_expanded = 0
+        self.n_coarse = 0
+
+    def data(self, size: int, **kwargs) -> DataHandle:
+        """Register application data (forwards to the inner flow)."""
+        return self.flow.data(size, **kwargs)
+
+    def submit_bubble(
+        self,
+        type_name: str,
+        accesses: list[tuple[DataHandle, AccessMode]],
+        *,
+        flops: float,
+        implementations: Iterable[str] = ("cpu", "cuda"),
+        tag=None,
+    ) -> list[Task]:
+        """Submit a bubble; returns the task(s) it materialized into."""
+        if flops < self.spec.threshold_flops:
+            self.n_coarse += 1
+            return [
+                self.flow.submit(
+                    type_name,
+                    accesses,
+                    flops=flops,
+                    implementations=implementations,
+                    tag=tag,
+                )
+            ]
+        self.n_expanded += 1
+        return self._expand(type_name, accesses, flops, implementations, tag)
+
+    def _expand(
+        self,
+        type_name: str,
+        accesses: list[tuple[DataHandle, AccessMode]],
+        flops: float,
+        implementations: Iterable[str],
+        tag,
+    ) -> list[Task]:
+        spec = self.spec
+        reads = [(h, m) for h, m in accesses if not m.is_write]
+        writes = [(h, m) for h, m in accesses if m.is_write]
+        tasks: list[Task] = []
+
+        # Scatter every written handle into partition sub-handles.
+        sub_handles: dict[int, list[DataHandle]] = {}
+        for handle, mode in writes:
+            parts = [
+                self.flow.data(
+                    max(1, handle.size // spec.partitions),
+                    label=f"{handle.label}/p{i}",
+                )
+                for i in range(spec.partitions)
+            ]
+            sub_handles[handle.hid] = parts
+            if mode.is_read:  # RW bubbles need the current contents
+                split_acc = [(handle, AccessMode.R)]
+                split_acc += [(p, AccessMode.W) for p in parts]
+                tasks.append(
+                    self.flow.submit(
+                        "split",
+                        split_acc,
+                        flops=spec.split_merge_overhead * handle.size,
+                        implementations=("cpu",),
+                        tag=("split", tag),
+                    )
+                )
+
+        # Fine-grained compute over each partition slice.
+        for i in range(spec.partitions):
+            fine_acc: list[tuple[DataHandle, AccessMode]] = list(reads)
+            for handle, mode in writes:
+                part = sub_handles[handle.hid][i]
+                fine_acc.append((part, AccessMode.RW if mode.is_read else AccessMode.W))
+            tasks.append(
+                self.flow.submit(
+                    f"{type_name}_fine",
+                    fine_acc,
+                    flops=flops / spec.partitions,
+                    implementations=implementations,
+                    tag=(tag, i),
+                )
+            )
+
+        # Gather each written handle back from its partitions.
+        for handle, _mode in writes:
+            merge_acc = [(p, AccessMode.R) for p in sub_handles[handle.hid]]
+            merge_acc.append((handle, AccessMode.W))
+            tasks.append(
+                self.flow.submit(
+                    "merge",
+                    merge_acc,
+                    flops=spec.split_merge_overhead * handle.size,
+                    implementations=("cpu",),
+                    tag=("merge", tag),
+                )
+            )
+        return tasks
+
+    def program(self) -> Program:
+        """Finalize and return the expanded program."""
+        return self.flow.program()

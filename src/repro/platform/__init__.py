@@ -1,0 +1,27 @@
+"""Concrete machine models and kernel calibrations for the evaluation."""
+
+from repro.platform.machines import (
+    intel_v100,
+    amd_a100,
+    small_hetero,
+    fig4_machine,
+    MACHINES,
+)
+from repro.platform.calibration import (
+    default_calibration,
+    dense_calibration,
+    fmm_calibration,
+    sparseqr_calibration,
+)
+
+__all__ = [
+    "intel_v100",
+    "amd_a100",
+    "small_hetero",
+    "fig4_machine",
+    "MACHINES",
+    "default_calibration",
+    "dense_calibration",
+    "fmm_calibration",
+    "sparseqr_calibration",
+]

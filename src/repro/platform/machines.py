@@ -1,0 +1,132 @@
+"""The evaluation machines of the paper, as simulated models.
+
+* **Intel-V100** — 2x Xeon Gold 6142 (32 cores) + 2x NVIDIA V100 16 GB.
+  StarPU dedicates one core per GPU to driving it, leaving 30 CPU
+  workers. PCIe 3 x16 gives ~12 GB/s per GPU.
+* **AMD-A100** — 2x EPYC 7513 (64 cores) + 2x NVIDIA A100 40 GB: 62 CPU
+  workers, PCIe 4 x16 ~24 GB/s. Per the paper's Section VI-C: twice the
+  CPUs, each about 2x slower, and much faster GPUs.
+
+``gpu_streams`` controls how many workers share each GPU memory node —
+the knob the paper's Fig. 6 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.runtime.perfmodel import CalibrationTable
+from repro.runtime.platform_config import (
+    LinkSpec,
+    MachineSpec,
+    MemoryNodeSpec,
+    Platform,
+)
+from repro.platform.calibration import default_calibration
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A machine spec bundled with its kernel calibration scales."""
+
+    spec: MachineSpec
+    cpu_scale: float
+    gpu_scale: float
+
+    @property
+    def name(self) -> str:
+        """Machine name (from the spec)."""
+        return self.spec.name
+
+    def platform(self) -> Platform:
+        """Instantiate a fresh :class:`Platform`."""
+        return Platform(self.spec)
+
+    def calibration(self) -> CalibrationTable:
+        """Default all-application calibration at this machine's scales."""
+        return default_calibration(self.cpu_scale, self.gpu_scale)
+
+
+def _hetero_spec(
+    name: str,
+    n_cpu_workers: int,
+    n_gpus: int,
+    gpu_streams: int,
+    pcie_gbps: float,
+    pcie_latency_us: float = 8.0,
+    gpu_memory_bytes: int | None = None,
+) -> MachineSpec:
+    nodes = [MemoryNodeSpec("ram", "ram", "cpu", n_cpu_workers)]
+    links: list[LinkSpec] = []
+    for g in range(n_gpus):
+        gname = f"gpu{g}"
+        nodes.append(
+            MemoryNodeSpec(gname, "gpu", "cuda", gpu_streams, capacity=gpu_memory_bytes)
+        )
+        links.append(LinkSpec("ram", gname, pcie_gbps, pcie_latency_us))
+        links.append(LinkSpec(gname, "ram", pcie_gbps, pcie_latency_us))
+    return MachineSpec(name=name, nodes=tuple(nodes), links=tuple(links))
+
+
+def intel_v100(
+    gpu_streams: int = 4, gpu_memory_bytes: int | None = 16 * 2**30
+) -> MachineModel:
+    """The Intel-V100 platform (30 CPU workers + 2 V100, 16 GB each).
+
+    ``gpu_memory_bytes`` overrides the device memory (None = unbounded) —
+    shrink it to study memory pressure at simulation-sized working sets.
+    """
+    if gpu_streams < 1:
+        raise ValidationError(f"gpu_streams must be >= 1, got {gpu_streams}")
+    spec = _hetero_spec(
+        "intel-v100", 30, 2, gpu_streams, pcie_gbps=12.0,
+        gpu_memory_bytes=gpu_memory_bytes,
+    )
+    return MachineModel(spec, cpu_scale=1.0, gpu_scale=1.0)
+
+
+def amd_a100(
+    gpu_streams: int = 4, gpu_memory_bytes: int | None = 40 * 2**30
+) -> MachineModel:
+    """The AMD-A100 platform (62 CPU workers + 2 A100, 40 GB each)."""
+    if gpu_streams < 1:
+        raise ValidationError(f"gpu_streams must be >= 1, got {gpu_streams}")
+    spec = _hetero_spec(
+        "amd-a100", 62, 2, gpu_streams, pcie_gbps=24.0, pcie_latency_us=6.0,
+        gpu_memory_bytes=gpu_memory_bytes,
+    )
+    return MachineModel(spec, cpu_scale=0.5, gpu_scale=2.6)
+
+
+def small_hetero(
+    n_cpus: int = 6, n_gpus: int = 1, gpu_streams: int = 1, pcie_gbps: float = 12.0
+) -> MachineModel:
+    """A small heterogeneous node for tests and quick examples."""
+    spec = _hetero_spec("small-hetero", n_cpus, n_gpus, gpu_streams, pcie_gbps)
+    return MachineModel(spec, cpu_scale=1.0, gpu_scale=1.0)
+
+
+def fig4_machine() -> MachineModel:
+    """The Fig. 4 ablation platform: 1 GPU + 6 CPU workers."""
+    spec = _hetero_spec("fig4-1gpu-6cpu", 6, 1, 1, pcie_gbps=12.0)
+    return MachineModel(spec, cpu_scale=1.0, gpu_scale=1.0)
+
+
+def cpu_only(n_cpus: int = 8) -> MachineModel:
+    """A homogeneous CPU node (for |A| = 1 corner cases)."""
+    spec = MachineSpec(
+        name="cpu-only",
+        nodes=(MemoryNodeSpec("ram", "ram", "cpu", n_cpus),),
+        links=(),
+    )
+    return MachineModel(spec, cpu_scale=1.0, gpu_scale=1.0)
+
+
+MACHINES: dict[str, "Callable[..., MachineModel]"] = {
+    "intel-v100": intel_v100,
+    "amd-a100": amd_a100,
+    "small-hetero": small_hetero,
+    "fig4": fig4_machine,
+}

@@ -1,0 +1,80 @@
+"""StarPU-like task runtime substrate, simulated.
+
+This subpackage provides everything the paper's scheduler needs from a
+runtime system:
+
+* a **Sequential Task Flow** front-end (:mod:`repro.runtime.stf`) that
+  infers the task DAG from data handles and access modes, exactly like
+  StarPU's STF model;
+* **memory nodes, replicas and transfer links** with MSI-style coherence
+  (:mod:`repro.runtime.data`, :mod:`repro.runtime.memory`);
+* **workers / processing units / architectures**
+  (:mod:`repro.runtime.worker`);
+* **history-based performance models** (:mod:`repro.runtime.perfmodel`);
+* a **discrete-event simulation engine** (:mod:`repro.runtime.engine`)
+  that drives schedulers through the same two hook points StarPU exposes
+  (PUSH when a task becomes ready, POP when a worker idles);
+* **execution traces** (:mod:`repro.runtime.trace`) for the idle-time and
+  critical-path analyses of the paper's Fig. 4.
+"""
+
+from repro.runtime.task import AccessMode, Task, TaskState
+from repro.runtime.data import DataHandle
+from repro.runtime.stf import TaskFlow, Program
+from repro.runtime.dag import (
+    validate_dag,
+    critical_path_length,
+    bottom_levels,
+    topological_order,
+    task_type_histogram,
+)
+from repro.runtime.worker import Worker
+from repro.runtime.memory import MemoryNode, Link, TransferEngine
+from repro.runtime.platform_config import (
+    MemoryNodeSpec,
+    LinkSpec,
+    MachineSpec,
+    Platform,
+)
+from repro.runtime.perfmodel import (
+    KernelCalibration,
+    CalibrationTable,
+    AnalyticalPerfModel,
+    HistoryPerfModel,
+    PerfModel,
+)
+from repro.runtime.engine import Simulator, SimResult, SchedContext
+from repro.runtime.trace import Trace, TaskRecord, TransferRecord
+
+__all__ = [
+    "AccessMode",
+    "Task",
+    "TaskState",
+    "DataHandle",
+    "TaskFlow",
+    "Program",
+    "validate_dag",
+    "critical_path_length",
+    "bottom_levels",
+    "topological_order",
+    "task_type_histogram",
+    "Worker",
+    "MemoryNode",
+    "Link",
+    "TransferEngine",
+    "MemoryNodeSpec",
+    "LinkSpec",
+    "MachineSpec",
+    "Platform",
+    "KernelCalibration",
+    "CalibrationTable",
+    "AnalyticalPerfModel",
+    "HistoryPerfModel",
+    "PerfModel",
+    "Simulator",
+    "SimResult",
+    "SchedContext",
+    "Trace",
+    "TaskRecord",
+    "TransferRecord",
+]

@@ -1,0 +1,150 @@
+"""DAG utilities: validation, topological order, critical path, levels.
+
+These operate on :class:`~repro.runtime.task.Task` objects linked through
+their ``preds``/``succs`` lists (as produced by the STF front-end) and are
+shared by schedulers, expert-priority generators and the analysis layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Sequence
+
+from repro.runtime.task import Task
+from repro.utils.validation import ValidationError
+
+CostFn = Callable[[Task], float]
+
+
+def topological_order(tasks: Sequence[Task]) -> list[Task]:
+    """Kahn topological order; raises :class:`ValidationError` on cycles."""
+    indeg = {t.tid: len(t.preds) for t in tasks}
+    queue: deque[Task] = deque(t for t in tasks if indeg[t.tid] == 0)
+    order: list[Task] = []
+    while queue:
+        task = queue.popleft()
+        order.append(task)
+        for succ in task.succs:
+            indeg[succ.tid] -= 1
+            if indeg[succ.tid] == 0:
+                queue.append(succ)
+    if len(order) != len(tasks):
+        raise ValidationError(
+            f"task graph has a cycle ({len(tasks) - len(order)} tasks unreachable)"
+        )
+    return order
+
+
+def validate_dag(tasks: Sequence[Task]) -> None:
+    """Check structural consistency of the DAG.
+
+    Verifies that predecessor/successor lists mirror each other, that there
+    are no self-loops or duplicate edges, and that the graph is acyclic.
+    """
+    by_id = {t.tid: t for t in tasks}
+    if len(by_id) != len(tasks):
+        raise ValidationError("duplicate task ids in graph")
+    for task in tasks:
+        seen: set[int] = set()
+        for pred in task.preds:
+            if pred.tid == task.tid:
+                raise ValidationError(f"{task.name} depends on itself")
+            if pred.tid in seen:
+                raise ValidationError(f"duplicate edge {pred.name} -> {task.name}")
+            seen.add(pred.tid)
+            if pred.tid not in by_id:
+                raise ValidationError(f"{task.name} has foreign predecessor {pred.name}")
+            if task not in pred.succs:
+                raise ValidationError(
+                    f"edge {pred.name} -> {task.name} missing from successor list"
+                )
+        for succ in task.succs:
+            if task not in succ.preds:
+                raise ValidationError(
+                    f"edge {task.name} -> {succ.name} missing from predecessor list"
+                )
+    topological_order(tasks)
+
+
+def bottom_levels(tasks: Sequence[Task], cost: CostFn) -> dict[int, float]:
+    """Bottom level of every task: longest cost-weighted path to a sink.
+
+    ``bl(t) = cost(t) + max(bl(s) for s in succs)`` — the classic HEFT
+    upward rank with zero communication. Used both as the "expert"
+    priority oracle for Dmdas on dense kernels and by the analysis layer.
+    """
+    levels: dict[int, float] = {}
+    for task in reversed(topological_order(tasks)):
+        best_succ = max((levels[s.tid] for s in task.succs), default=0.0)
+        levels[task.tid] = cost(task) + best_succ
+    return levels
+
+
+def top_levels(tasks: Sequence[Task], cost: CostFn) -> dict[int, float]:
+    """Top level: longest cost-weighted path from a source to (excl.) ``t``."""
+    levels: dict[int, float] = {}
+    for task in topological_order(tasks):
+        best_pred = max(
+            (levels[p.tid] + cost(p) for p in task.preds),
+            default=0.0,
+        )
+        levels[task.tid] = best_pred
+    return levels
+
+
+def critical_path_length(tasks: Sequence[Task], cost: CostFn) -> float:
+    """Length of the critical path under ``cost`` (a makespan lower bound
+    with unbounded resources and free communication)."""
+    if not tasks:
+        return 0.0
+    levels = bottom_levels(tasks, cost)
+    return max(levels[t.tid] for t in tasks if not t.preds)
+
+
+def critical_path_tasks(tasks: Sequence[Task], cost: CostFn) -> list[Task]:
+    """One maximal-cost source-to-sink chain realizing the critical path."""
+    if not tasks:
+        return []
+    levels = bottom_levels(tasks, cost)
+    sources = [t for t in tasks if not t.preds]
+    current = max(sources, key=lambda t: levels[t.tid])
+    chain = [current]
+    while current.succs:
+        current = max(current.succs, key=lambda t: levels[t.tid])
+        chain.append(current)
+    return chain
+
+
+def task_type_histogram(tasks: Iterable[Task]) -> dict[str, int]:
+    """Count of tasks per type name."""
+    hist: dict[str, int] = {}
+    for task in tasks:
+        hist[task.type_name] = hist.get(task.type_name, 0) + 1
+    return hist
+
+
+def work_per_type(tasks: Iterable[Task]) -> dict[str, float]:
+    """Total flops per task type."""
+    work: dict[str, float] = {}
+    for task in tasks:
+        work[task.type_name] = work.get(task.type_name, 0.0) + task.flops
+    return work
+
+
+def max_width(tasks: Sequence[Task]) -> int:
+    """Maximum antichain width estimate: peak ready-set size under an
+    unbounded-resource, unit-time level-by-level execution.
+
+    This is not the exact maximum antichain (NP-hard in general to relate
+    to scheduling), but the standard level-width proxy used to reason
+    about available parallelism.
+    """
+    if not tasks:
+        return 0
+    depth: dict[int, int] = {}
+    for task in topological_order(tasks):
+        depth[task.tid] = 1 + max((depth[p.tid] for p in task.preds), default=0)
+    width: dict[int, int] = {}
+    for task in tasks:
+        width[depth[task.tid]] = width.get(depth[task.tid], 0) + 1
+    return max(width.values())

@@ -1,0 +1,78 @@
+"""Data handles: the unit of data management and coherence.
+
+A :class:`DataHandle` names a region of application data (a matrix tile, a
+cell's multipole expansion, a particle block). The simulator tracks on
+which memory nodes a *valid replica* of each handle currently lives, with
+MSI-style semantics: reads create shared replicas, writes invalidate every
+replica but the writer's.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class DataHandle:
+    """A named, sized piece of application data.
+
+    Parameters
+    ----------
+    hid:
+        Dense integer id, unique within a :class:`~repro.runtime.stf.TaskFlow`.
+    size:
+        Size in bytes. May be zero for pure-synchronization handles.
+    home_node:
+        Memory node id where the data initially resides (usually RAM = 0).
+    label:
+        Readable name for traces, e.g. ``"A[3,2]"``.
+    key:
+        Optional structured coordinates (tuple) for application bookkeeping.
+    """
+
+    __slots__ = (
+        "hid",
+        "size",
+        "home_node",
+        "label",
+        "key",
+        "valid_nodes",
+        "_in_flight",
+        "_pins",
+    )
+
+    def __init__(
+        self,
+        hid: int,
+        size: int,
+        home_node: int = 0,
+        label: str = "",
+        key: Any = None,
+    ) -> None:
+        if size < 0:
+            raise ValueError(f"handle size must be >= 0, got {size}")
+        self.hid = hid
+        self.size = int(size)
+        self.home_node = int(home_node)
+        self.label = label or f"d{hid}"
+        self.key = key
+        # Runtime coherence state (managed by the engine / TransferEngine).
+        self.valid_nodes: set[int] = {self.home_node}
+        # node id -> completion time of a transfer currently bringing the
+        # handle to that node (lets concurrent readers share one transfer).
+        self._in_flight: dict[int, float] = {}
+        # node id -> count of running tasks using this replica (pinned
+        # replicas are exempt from capacity eviction).
+        self._pins: dict[int, int] = {}
+
+    def reset_runtime_state(self) -> None:
+        """Restore initial residency (home node only). Called per-run."""
+        self.valid_nodes = {self.home_node}
+        self._in_flight.clear()
+        self._pins.clear()
+
+    def is_valid_on(self, node: int) -> bool:
+        """Whether a valid replica lives on memory node ``node``."""
+        return node in self.valid_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DataHandle {self.label} {self.size}B on {sorted(self.valid_nodes)}>"

@@ -1,0 +1,480 @@
+"""Discrete-event simulation engine driving a scheduler over a program.
+
+The engine reproduces the two StarPU hook points the paper's Section IV
+describes:
+
+* **PUSH** — when a task's last dependency completes, the engine calls
+  ``scheduler.push(task)``;
+* **POP** — when a worker is idle (initially, after each completion, and
+  whenever new work appears), the engine calls ``scheduler.pop(worker)``.
+
+Workers are **pipelined** like StarPU's: while executing a task, a worker
+pops and stages its next task so the staged task's data transfers overlap
+the current execution (StarPU's worker lookahead / prefetch-on-pop). The
+pipeline can be disabled to study the unoverlapped behaviour.
+
+Everything else (data transfers with per-link contention, MSI replica
+management, history feedback into the performance model, trace capture)
+happens inside the engine so every scheduler is compared under identical
+runtime behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.runtime.events import TASK_COMPLETION, WORKER_REQUEST
+from repro.runtime.platform_config import Platform
+from repro.runtime.stf import Program
+from repro.runtime.task import Task, TaskState
+from repro.runtime.trace import Trace
+from repro.runtime.worker import Worker
+from repro.utils.rng import make_rng
+from repro.utils.validation import DeadlockError, SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.perfmodel import PerfModel
+    from repro.schedulers.base import Scheduler
+
+
+class SchedContext:
+    """The scheduler's window into the runtime.
+
+    Exposes exactly what StarPU exposes to its scheduling policies:
+    execution-time estimates δ(t, a), worker/memory topology, current
+    data residency, transfer-cost estimates and a prefetch request hook.
+    """
+
+    def __init__(self, platform: Platform, perfmodel: "PerfModel") -> None:
+        self.platform = platform
+        self.perfmodel = perfmodel
+        self.now = 0.0
+        # Architectures that both exist on the platform and have workers.
+        self.available_archs: tuple[str, ...] = tuple(
+            a for a in platform.archs if platform.n_workers(a) > 0
+        )
+
+    # -- estimates ----------------------------------------------------------
+
+    def estimate(self, task: Task, arch: str) -> float:
+        """δ(t, a): estimated execution time of ``task`` on ``arch``."""
+        return self.perfmodel.estimate(task, arch)
+
+    def exec_archs(self, task: Task) -> list[str]:
+        """Available architectures with an implementation of ``task``."""
+        return [a for a in self.available_archs if task.can_exec(a)]
+
+    def can_exec(self, task: Task, arch: str) -> bool:
+        """Whether ``task`` can run on ``arch`` on this platform."""
+        return task.can_exec(arch) and arch in self.available_archs
+
+    def best_arch(self, task: Task) -> str:
+        """The architecture with the smallest δ(t, a) (cached per task)."""
+        cached = task.sched.get("_best_arch")
+        if cached is None:
+            archs = self.exec_archs(task)
+            if not archs:
+                raise SchedulingError(f"{task.name} has no executable architecture")
+            cached = min(archs, key=lambda a: self.estimate(task, a))
+            task.sched["_best_arch"] = cached
+        return cached
+
+    def second_best_arch(self, task: Task) -> str | None:
+        """The second-fastest architecture, or None if only one exists."""
+        archs = self.exec_archs(task)
+        if len(archs) < 2:
+            return None
+        best = self.best_arch(task)
+        rest = [a for a in archs if a != best]
+        return min(rest, key=lambda a: self.estimate(task, a))
+
+    # -- data residency -------------------------------------------------------
+
+    def transfer_estimate(self, task: Task, node: int) -> float:
+        """Estimated time to stage ``task``'s missing inputs onto ``node``.
+
+        Transfers to one node serialize on its inbound link, so the total
+        is the largest single estimate (which includes the current queue
+        wait once) plus the wire time of the remaining handles.
+        """
+        transfers = self.platform.transfers
+        worst = 0.0
+        wire_sum = 0.0
+        worst_wire = 0.0
+        for handle, mode in task.accesses:
+            if mode.is_read and handle.size > 0:
+                est = transfers.estimate_fetch(handle, node, self.now)
+                if est <= 0.0:
+                    continue
+                wire = transfers.wire_estimate(handle, node)
+                wire_sum += wire
+                if est > worst:
+                    worst = est
+                    worst_wire = wire
+        return worst + (wire_sum - worst_wire)
+
+    def bytes_on_node(self, task: Task, node: int) -> int:
+        """Bytes of ``task``'s data already valid on ``node``."""
+        return sum(
+            handle.size
+            for handle, _mode in task.accesses
+            if handle.is_valid_on(node)
+        )
+
+    def prefetch(self, task: Task, node: int) -> None:
+        """Start staging ``task``'s read data onto ``node`` right now.
+
+        Used by push-time-assignment schedulers (the dm family): data
+        movement overlaps the wait in the worker's queue.
+        """
+        transfers = self.platform.transfers
+        for handle, mode in task.accesses:
+            if mode.is_read and handle.size > 0:
+                transfers.fetch(handle, node, self.now, prefetch=True)
+
+    # -- topology shortcuts -----------------------------------------------------
+
+    @property
+    def workers(self) -> list[Worker]:
+        """All workers of the platform."""
+        return self.platform.workers
+
+    def workers_of_arch(self, arch: str) -> list[Worker]:
+        """Workers of one architecture."""
+        return self.platform.workers_of_arch(arch)
+
+    def n_workers(self, arch: str | None = None) -> int:
+        """Worker count, optionally per architecture."""
+        return self.platform.n_workers(arch)
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated execution."""
+
+    makespan: float
+    n_tasks: int
+    total_flops: float
+    bytes_transferred: int
+    exec_time_by_arch: dict[str, float]
+    idle_frac_by_arch: dict[str, float]
+    forced_pops: int
+    scheduler_stats: dict[str, float] = field(default_factory=dict)
+    trace: Trace | None = None
+
+    @property
+    def gflops(self) -> float:
+        """Achieved GFlop/s over the whole run."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_flops / (self.makespan * 1e-6) / 1e9
+
+
+class Simulator:
+    """Runs a :class:`Program` on a :class:`Platform` under a scheduler.
+
+    Parameters
+    ----------
+    platform:
+        The machine model.
+    scheduler:
+        Any :class:`repro.schedulers.base.Scheduler`.
+    perfmodel:
+        Source of δ(t, a) estimates and actual execution times.
+    seed:
+        RNG seed for execution noise.
+    record_trace:
+        Capture a full :class:`Trace` (needed for Gantt / idle / critical
+        path analyses; costs memory on large programs).
+    pipeline:
+        Enable StarPU-style worker lookahead: each worker stages its next
+        task while executing, overlapping the staged task's transfers.
+    submission_window:
+        Maximum number of submitted-but-unfinished tasks, mirroring
+        StarPU's task-window throttling of the STF main thread
+        (``STARPU_LIMIT_MAX_SUBMITTED_TASKS``). ``None`` (default)
+        submits the whole program ahead; small windows reveal the DAG
+        progressively, shrinking every scheduler's lookahead.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        scheduler: "Scheduler",
+        perfmodel: "PerfModel",
+        *,
+        seed: int | np.random.Generator | None = None,
+        record_trace: bool = True,
+        pipeline: bool = True,
+        submission_window: int | None = None,
+    ) -> None:
+        if submission_window is not None and submission_window < 1:
+            raise SchedulingError(
+                f"submission_window must be >= 1 or None, got {submission_window}"
+            )
+        self.platform = platform
+        self.scheduler = scheduler
+        self.perfmodel = perfmodel
+        self.rng = make_rng(seed)
+        self.record_trace = record_trace
+        self.pipeline = pipeline
+        self.submission_window = submission_window
+        self.ctx = SchedContext(platform, perfmodel)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, program: Program) -> SimResult:
+        """Simulate ``program`` to completion and return metrics."""
+        program.reset_runtime_state()
+        self.platform.reset_runtime_state()
+        ctx = self.ctx
+        ctx.now = 0.0
+        scheduler = self.scheduler
+        scheduler.setup(ctx)
+
+        self._validate_program(program)
+
+        trace = Trace(self.platform.workers) if self.record_trace else None
+        events: list[tuple[float, int, int, object]] = []
+        seq = 0
+        n_done = 0
+        n_total = len(program.tasks)
+        forced_pops = 0
+        pipeline = self.pipeline
+
+        workers = self.platform.workers
+        # Per-worker pipeline state.
+        current: dict[int, Task | None] = {w.wid: None for w in workers}
+        staged: dict[int, tuple[Task, float, float] | None] = {w.wid: None for w in workers}
+        request_pending: dict[int, bool] = {w.wid: False for w in workers}
+        exec_by_arch: dict[str, float] = {a: 0.0 for a in self.platform.archs}
+        busy_by_worker: dict[int, float] = {w.wid: 0.0 for w in workers}
+        wait_by_worker: dict[int, float] = {w.wid: 0.0 for w in workers}
+
+        def push_ready(task: Task) -> None:
+            task.state = TaskState.READY
+            scheduler.push(task)
+
+        # Progressive submission: a task only enters the scheduler's view
+        # once the STF "main thread" has submitted it. Task ids are dense
+        # submission indices, so `tid < revealed` is the submitted test.
+        window = self.submission_window
+        revealed = len(program.tasks) if window is None else 0
+
+        def advance_submission() -> None:
+            nonlocal revealed
+            while revealed < n_total and revealed - n_done < window:  # type: ignore[operator]
+                task = program.tasks[revealed]
+                revealed += 1
+                if task.n_unfinished_preds == 0 and task.state is TaskState.SUBMITTED:
+                    push_ready(task)
+
+        if window is None:
+            for task in program.source_tasks():
+                push_ready(task)
+        else:
+            advance_submission()
+
+        def schedule_request(worker: Worker, now: float) -> None:
+            nonlocal seq
+            if not request_pending[worker.wid]:
+                request_pending[worker.wid] = True
+                heapq.heappush(events, (now, seq, WORKER_REQUEST, worker))
+                seq += 1
+
+        for worker in workers:
+            schedule_request(worker, 0.0)
+
+        def acquire(worker: Worker, task: Task, now: float) -> tuple[float, float]:
+            """Validate the assignment, commit transfers, sample duration.
+
+            Returns (data arrival time, execution duration). The task is
+            marked RUNNING — it is irrevocably bound to this worker.
+            """
+            if not ctx.can_exec(task, worker.arch):
+                raise SchedulingError(
+                    f"scheduler assigned {task.name} to {worker.name} "
+                    f"({worker.arch}) but it has no {worker.arch} implementation"
+                )
+            if task.state is not TaskState.READY:
+                raise SchedulingError(
+                    f"scheduler popped {task.name} in state {task.state.name}"
+                )
+            task.state = TaskState.RUNNING
+            node = worker.memory_node
+            transfers = self.platform.transfers
+            arrival = now
+            pinned: list = []
+            for handle, mode in task.accesses:
+                if mode.is_read and handle.size > 0:
+                    done = transfers.fetch(handle, node, now)
+                    if trace is not None and done > now:
+                        trace.record_transfer(handle.hid, -1, node, handle.size, now, done)
+                    arrival = max(arrival, done)
+                    transfers.pin(handle, node)
+                    pinned.append(handle)
+            task.sched["_pinned"] = pinned
+            duration = self.perfmodel.sample(task, worker.arch, self.rng)
+            return arrival, duration
+
+        def begin_exec(
+            worker: Worker, task: Task, now: float, arrival: float, duration: float
+        ) -> None:
+            nonlocal seq
+            start = max(now, arrival)
+            end = start + duration
+            # pop_time is the moment the worker became free for this task;
+            # (start - pop_time) is the residual (unoverlapped) data stall.
+            task.sched["_record"] = (worker.wid, now, start, end)
+            current[worker.wid] = task
+            heapq.heappush(events, (end, seq, TASK_COMPLETION, (worker, task)))
+            seq += 1
+
+        def try_stage(worker: Worker, now: float) -> None:
+            """Pop one task ahead and start its transfers (lookahead)."""
+            if not pipeline or staged[worker.wid] is not None:
+                return
+            task = scheduler.pop(worker)
+            if task is None:
+                return
+            arrival, duration = acquire(worker, task, now)
+            staged[worker.wid] = (task, arrival, duration)
+
+        def wake_workers(now: float) -> None:
+            """Wake workers that could use new work (idle or unstaged)."""
+            for worker in workers:
+                wid = worker.wid
+                if current[wid] is None or (pipeline and staged[wid] is None):
+                    schedule_request(worker, now)
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            ctx.now = now
+
+            if kind == TASK_COMPLETION:
+                worker, task = payload  # type: ignore[misc]
+                task.state = TaskState.DONE
+                n_done += 1
+                wid, pop_time, start, end = task.sched["_record"]
+                busy_by_worker[wid] += end - start
+                wait_by_worker[wid] += start - pop_time
+                exec_by_arch[worker.arch] += end - start
+                self.perfmodel.record(task, worker.arch, end - start)
+                if trace is not None:
+                    trace.record_task(task, worker, pop_time, start, end)
+                # Writes invalidate every other replica (MSI).
+                node = worker.memory_node
+                transfers = self.platform.transfers
+                for handle in task.sched.get("_pinned", ()):
+                    transfers.unpin(handle, node)
+                for handle, mode in task.accesses:
+                    if mode.is_write:
+                        transfers.invalidate_others(handle, node, now)
+                        handle._in_flight[node] = now
+                scheduler.on_task_done(task, worker)
+                released = 0
+                for succ in task.succs:
+                    succ.n_unfinished_preds -= 1
+                    if succ.n_unfinished_preds == 0 and succ.tid < revealed:
+                        push_ready(succ)
+                        released += 1
+                if window is not None:
+                    before = revealed
+                    advance_submission()
+                    released += revealed - before
+                current[worker.wid] = None
+                schedule_request(worker, now)
+                if released:
+                    wake_workers(now)
+
+            else:  # WORKER_REQUEST
+                worker = payload  # type: ignore[assignment]
+                wid = worker.wid
+                request_pending[wid] = False
+                if current[wid] is None:
+                    if staged[wid] is not None:
+                        task, arrival, duration = staged[wid]  # type: ignore[misc]
+                        staged[wid] = None
+                        begin_exec(worker, task, now, arrival, duration)
+                    else:
+                        task = scheduler.pop(worker)
+                        if task is not None:
+                            arrival, duration = acquire(worker, task, now)
+                            begin_exec(worker, task, now, arrival, duration)
+                    if current[wid] is not None:
+                        try_stage(worker, now)
+                else:
+                    try_stage(worker, now)
+
+            # Liveness rescue: nothing in flight but tasks remain.
+            if not events and n_done < n_total:
+                if any(c is not None for c in current.values()):
+                    continue
+                progressed = False
+                for worker in workers:
+                    task = scheduler.pop(worker) or scheduler.force_pop(worker)
+                    if task is not None and task.state is TaskState.READY:
+                        forced_pops += 1
+                        arrival, duration = acquire(worker, task, now)
+                        begin_exec(worker, task, now, arrival, duration)
+                        progressed = True
+                if not progressed:
+                    remaining = [
+                        t.name for t in program.tasks if t.state is not TaskState.DONE
+                    ]
+                    raise DeadlockError(
+                        f"simulation stalled with {len(remaining)} unfinished tasks "
+                        f"(first few: {remaining[:5]}); scheduler "
+                        f"{scheduler.name!r} returned no task for any idle worker"
+                    )
+
+        if n_done != n_total:
+            raise DeadlockError(
+                f"event queue drained with {n_total - n_done} unfinished tasks"
+            )
+
+        makespan = max(
+            (task.sched["_record"][3] for task in program.tasks),
+            default=0.0,
+        )
+        idle_by_arch: dict[str, float] = {}
+        for arch in self.platform.archs:
+            arch_workers = self.platform.workers_of_arch(arch)
+            if not arch_workers or makespan <= 0:
+                idle_by_arch[arch] = 0.0
+                continue
+            fracs = [
+                max(
+                    0.0,
+                    1.0
+                    - (busy_by_worker[w.wid] + wait_by_worker[w.wid]) / makespan,
+                )
+                for w in arch_workers
+            ]
+            idle_by_arch[arch] = sum(fracs) / len(fracs)
+
+        return SimResult(
+            makespan=makespan,
+            n_tasks=n_total,
+            total_flops=program.total_flops(),
+            bytes_transferred=self.platform.transfers.total_bytes_moved(),
+            exec_time_by_arch=exec_by_arch,
+            idle_frac_by_arch=idle_by_arch,
+            forced_pops=forced_pops,
+            scheduler_stats=scheduler.stats(),
+            trace=trace,
+        )
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate_program(self, program: Program) -> None:
+        for task in program.tasks:
+            if not any(task.can_exec(a) for a in self.ctx.available_archs):
+                raise SchedulingError(
+                    f"{task.name} has implementations {sorted(task.implementations)} "
+                    f"but the platform only offers {self.ctx.available_archs}"
+                )

@@ -1,0 +1,17 @@
+"""Event taxonomy of the discrete-event engine.
+
+Events are plain tuples ``(time, seq, kind, payload)`` on a binary heap —
+the sequence number makes simultaneous events deterministic and keeps
+tuple comparison away from payload objects. The kinds:
+
+* ``TASK_COMPLETION`` — a worker finishes a task; payload ``(worker, task)``.
+* ``WORKER_REQUEST`` — an idle worker asks the scheduler for work
+  (StarPU's POP hook); payload ``worker``.
+"""
+
+from __future__ import annotations
+
+TASK_COMPLETION = 0
+WORKER_REQUEST = 1
+
+KIND_NAMES = {TASK_COMPLETION: "completion", WORKER_REQUEST: "request"}

@@ -1,0 +1,186 @@
+"""Machine descriptions and their instantiation into a Platform.
+
+A :class:`MachineSpec` is a declarative description (memory nodes, worker
+counts, link bandwidths); :class:`Platform` is the instantiated object
+graph the simulator runs against. Concrete machines used by the paper's
+evaluation (Intel-V100, AMD-A100) live in :mod:`repro.platform.machines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.memory import Link, MemoryNode, TransferEngine
+from repro.runtime.worker import Worker
+from repro.utils.units import US_PER_S
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class MemoryNodeSpec:
+    """Declarative memory node: ``kind`` is ``"ram"`` or ``"gpu"``.
+
+    ``capacity`` bounds the bytes of replicas the node can host (None =
+    unbounded); the transfer engine evicts LRU replicas past it.
+    """
+
+    name: str
+    kind: str
+    arch: str
+    n_workers: int
+    capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 0:
+            raise ValidationError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.capacity is not None and self.capacity <= 0:
+            raise ValidationError(f"capacity must be > 0 or None, got {self.capacity}")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Declarative directed link between two named memory nodes.
+
+    ``bandwidth_gbps`` is in GB/s (decimal), ``latency_us`` in microseconds.
+    """
+
+    src: str
+    dst: str
+    bandwidth_gbps: float
+    latency_us: float = 5.0
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A heterogeneous compute node description."""
+
+    name: str
+    nodes: tuple[MemoryNodeSpec, ...]
+    links: tuple[LinkSpec, ...] = field(default_factory=tuple)
+
+    def node_index(self, name: str) -> int:
+        """Index of the named memory node within ``nodes``."""
+        for i, node in enumerate(self.nodes):
+            if node.name == name:
+                return i
+        raise ValidationError(f"unknown memory node {name!r} in machine {self.name!r}")
+
+
+class Platform:
+    """Instantiated machine: memory nodes, workers, transfer engine.
+
+    The platform owns mutable per-run state (link clocks); the simulator
+    resets it before every run so one platform can serve a whole benchmark
+    grid.
+    """
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.nodes: list[MemoryNode] = []
+        self.workers: list[Worker] = []
+        self._workers_by_arch: dict[str, list[Worker]] = {}
+        self._workers_by_node: dict[int, list[Worker]] = {}
+        self._nodes_by_arch: dict[str, list[MemoryNode]] = {}
+
+        gpu_counter = 0
+        for mid, node_spec in enumerate(spec.nodes):
+            node = MemoryNode(
+                mid,
+                node_spec.name,
+                node_spec.kind,
+                node_spec.arch,
+                capacity=node_spec.capacity,
+            )
+            self.nodes.append(node)
+            self._workers_by_node[mid] = []
+            self._nodes_by_arch.setdefault(node_spec.arch, []).append(node)
+            for k in range(node_spec.n_workers):
+                if node_spec.kind == "gpu":
+                    wname = f"{node_spec.name}.s{k}"
+                else:
+                    wname = f"{node_spec.name}.c{k}"
+                worker = Worker(len(self.workers), node_spec.arch, mid, name=wname)
+                self.workers.append(worker)
+                self._workers_by_arch.setdefault(node_spec.arch, []).append(worker)
+                self._workers_by_node[mid].append(worker)
+            if node_spec.kind == "gpu":
+                gpu_counter += 1
+
+        links = [
+            Link(
+                spec.node_index(l.src),
+                spec.node_index(l.dst),
+                bandwidth=l.bandwidth_gbps * 1e9 / US_PER_S,  # bytes per us
+                latency=l.latency_us,
+            )
+            for l in spec.links
+        ]
+        self.transfers = TransferEngine(self.nodes, links)
+
+        if not self.workers:
+            raise ValidationError(f"machine {spec.name!r} has no workers")
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def archs(self) -> list[str]:
+        """Architecture type names present, sorted for determinism."""
+        return sorted(self._workers_by_arch)
+
+    def workers_of_arch(self, arch: str) -> list[Worker]:
+        """Workers whose processing unit is of type ``arch``."""
+        return self._workers_by_arch.get(arch, [])
+
+    def workers_of_node(self, node: int) -> list[Worker]:
+        """Workers computing from memory node ``node``."""
+        return self._workers_by_node.get(node, [])
+
+    def nodes_of_arch(self, arch: str) -> list[MemoryNode]:
+        """Memory nodes whose attached processing units are of ``arch``."""
+        return self._nodes_by_arch.get(arch, [])
+
+    def n_workers(self, arch: str | None = None) -> int:
+        """Number of workers, optionally restricted to one architecture."""
+        if arch is None:
+            return len(self.workers)
+        return len(self._workers_by_arch.get(arch, []))
+
+    def ram_node(self) -> MemoryNode:
+        """The (first) host RAM node."""
+        for node in self.nodes:
+            if node.kind == "ram":
+                return node
+        raise ValidationError(f"machine {self.name!r} has no RAM node")
+
+    def reset_runtime_state(self) -> None:
+        """Reset per-run mutable state (link clocks/counters)."""
+        self.transfers.reset_runtime_state()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        per_arch = {a: len(ws) for a, ws in self._workers_by_arch.items()}
+        return f"<Platform {self.name}: {per_arch} workers, {len(self.nodes)} nodes>"
+
+
+def simple_machine(
+    n_cpus: int = 4,
+    n_gpus: int = 1,
+    gpu_streams: int = 1,
+    *,
+    name: str = "test-machine",
+    pcie_gbps: float = 12.0,
+    pcie_latency_us: float = 5.0,
+) -> MachineSpec:
+    """A small CPU+GPU machine spec, handy for tests and examples.
+
+    One RAM node with ``n_cpus`` CPU workers, ``n_gpus`` GPU nodes with
+    ``gpu_streams`` workers each, full bidirectional RAM<->GPU links.
+    """
+    nodes = [MemoryNodeSpec("ram", "ram", "cpu", n_cpus)]
+    links: list[LinkSpec] = []
+    for g in range(n_gpus):
+        gname = f"gpu{g}"
+        nodes.append(MemoryNodeSpec(gname, "gpu", "cuda", gpu_streams))
+        links.append(LinkSpec("ram", gname, pcie_gbps, pcie_latency_us))
+        links.append(LinkSpec(gname, "ram", pcie_gbps, pcie_latency_us))
+    return MachineSpec(name=name, nodes=tuple(nodes), links=tuple(links))

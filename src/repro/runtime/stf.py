@@ -1,0 +1,216 @@
+"""Sequential Task Flow front-end: infer the DAG from data accesses.
+
+Applications never wire dependencies by hand. They submit tasks in a
+sequential order together with the data handles each task reads and
+writes, and the task flow derives the DAG exactly like StarPU's STF model:
+
+* read-after-write: a reader depends on the latest writer;
+* write-after-read: a writer depends on every reader since the last write;
+* write-after-write: serialized;
+* ``COMMUTE`` accesses form groups of mutually-independent read-writers
+  that are ordered against surrounding exclusive accesses only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.runtime.data import DataHandle
+from repro.runtime.task import AccessMode, Task
+
+
+class _HandleFlowState:
+    """Per-handle bookkeeping during sequential submission."""
+
+    __slots__ = ("last_write_set", "readers", "commuters", "group_base")
+
+    def __init__(self) -> None:
+        # Tasks acting as the most recent write barrier: either the single
+        # latest exclusive writer, or a closed COMMUTE group.
+        self.last_write_set: list[Task] = []
+        self.readers: list[Task] = []
+        self.commuters: list[Task] = []
+        self.group_base: list[Task] = []
+
+
+class Program:
+    """An immutable, fully-submitted task graph plus its data handles."""
+
+    def __init__(self, tasks: list[Task], handles: list[DataHandle], name: str = "") -> None:
+        self.tasks = tasks
+        self.handles = handles
+        self.name = name or "program"
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of dependency edges."""
+        return sum(len(t.succs) for t in self.tasks)
+
+    def source_tasks(self) -> list[Task]:
+        """Tasks with no predecessors (ready at time zero)."""
+        return [t for t in self.tasks if not t.preds]
+
+    def sink_tasks(self) -> list[Task]:
+        """Tasks with no successors."""
+        return [t for t in self.tasks if not t.succs]
+
+    def total_flops(self) -> float:
+        """Sum of task flop counts."""
+        return sum(t.flops for t in self.tasks)
+
+    def reset_runtime_state(self) -> None:
+        """Reset all tasks and handles so the program can be re-simulated."""
+        for task in self.tasks:
+            task.reset_runtime_state()
+        for handle in self.handles:
+            handle.reset_runtime_state()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Program {self.name!r}: {len(self.tasks)} tasks, "
+            f"{self.n_edges} edges, {len(self.handles)} handles>"
+        )
+
+
+class TaskFlow:
+    """Sequential task submission with automatic dependency inference.
+
+    Typical use::
+
+        tf = TaskFlow()
+        a = tf.data(8 * n * n, label="A")
+        b = tf.data(8 * n * n, label="B")
+        tf.submit("init", [(a, AccessMode.W)], flops=0.0)
+        tf.submit("gemm", [(a, AccessMode.R), (b, AccessMode.RW)], flops=2e9,
+                  implementations=("cpu", "cuda"))
+        program = tf.program()
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._tasks: list[Task] = []
+        self._handles: list[DataHandle] = []
+        self._flow: dict[int, _HandleFlowState] = {}
+        self._finalized = False
+
+    # -- data registration ------------------------------------------------
+
+    def data(
+        self,
+        size: int,
+        *,
+        label: str = "",
+        key: Any = None,
+        home_node: int = 0,
+    ) -> DataHandle:
+        """Register a new data handle of ``size`` bytes."""
+        self._check_open()
+        handle = DataHandle(len(self._handles), size, home_node=home_node, label=label, key=key)
+        self._handles.append(handle)
+        self._flow[handle.hid] = _HandleFlowState()
+        return handle
+
+    # -- task submission ---------------------------------------------------
+
+    def submit(
+        self,
+        type_name: str,
+        accesses: Sequence[tuple[DataHandle, AccessMode]] = (),
+        *,
+        flops: float = 0.0,
+        implementations: Iterable[str] = ("cpu",),
+        priority: int = 0,
+        tag: Any = None,
+    ) -> Task:
+        """Submit a task; dependencies are inferred from ``accesses``."""
+        self._check_open()
+        task = Task(
+            len(self._tasks),
+            type_name,
+            accesses,
+            flops=flops,
+            implementations=implementations,
+            priority=priority,
+            tag=tag,
+        )
+        dep_tids: set[int] = set()
+        deps: list[Task] = []
+
+        seen_handles: set[int] = set()
+        for handle, mode in task.accesses:
+            if handle.hid in seen_handles:
+                raise ValueError(
+                    f"task {task.name} accesses handle {handle.label} twice; "
+                    "merge the accesses into a single mode"
+                )
+            seen_handles.add(handle.hid)
+            state = self._flow.get(handle.hid)
+            if state is None:
+                raise ValueError(f"handle {handle.label} was not created by this TaskFlow")
+            for dep in self._advance_handle_state(state, task, mode):
+                if dep.tid not in dep_tids and dep is not task:
+                    dep_tids.add(dep.tid)
+                    deps.append(dep)
+
+        for dep in deps:
+            dep.succs.append(task)
+            task.preds.append(dep)
+        task.n_unfinished_preds = len(task.preds)
+        self._tasks.append(task)
+        return task
+
+    @staticmethod
+    def _advance_handle_state(
+        state: _HandleFlowState, task: Task, mode: AccessMode
+    ) -> list[Task]:
+        """Update one handle's flow state; return this access's dependencies."""
+        if mode is AccessMode.R:
+            if state.commuters:
+                # A read closes the open COMMUTE group.
+                state.last_write_set = state.commuters
+                state.commuters = []
+                state.group_base = []
+            deps = state.last_write_set
+            state.readers.append(task)
+            return deps
+
+        if mode is AccessMode.COMMUTE:
+            if not state.commuters:
+                # Open a new group; its base is what the group must wait on.
+                state.group_base = (
+                    list(state.readers) if state.readers else list(state.last_write_set)
+                )
+                state.readers = []
+            state.commuters.append(task)
+            return state.group_base
+
+        # Exclusive write (W or RW).
+        if state.commuters:
+            deps = state.commuters + state.readers
+        elif state.readers:
+            deps = state.readers
+        else:
+            deps = state.last_write_set
+        state.last_write_set = [task]
+        state.readers = []
+        state.commuters = []
+        state.group_base = []
+        return deps
+
+    # -- finalization ------------------------------------------------------
+
+    def program(self) -> Program:
+        """Freeze submission and return the resulting :class:`Program`."""
+        self._check_open()
+        self._finalized = True
+        return Program(self._tasks, self._handles, name=self.name)
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise RuntimeError("TaskFlow already finalized; create a new one")
+
+    def __len__(self) -> int:
+        return len(self._tasks)

@@ -1,0 +1,168 @@
+"""Tasks, access modes and task lifecycle states.
+
+A :class:`Task` is the unit of scheduling: a named kernel invocation with a
+list of ``(DataHandle, AccessMode)`` accesses, a set of architectures it has
+implementations for, a flop count used by performance models, and DAG
+linkage (predecessors / successors) filled in by the STF front-end.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.data import DataHandle
+
+
+class AccessMode(enum.IntEnum):
+    """Data access modes, mirroring StarPU's ``STARPU_R/W/RW/COMMUTE``.
+
+    ``COMMUTE`` is a read-write access whose order against other commuting
+    accesses on the same handle is irrelevant (used e.g. for the FMM's
+    accumulating M2L kernels). Commuting tasks do not depend on each other,
+    but they all depend on the preceding exclusive access and the following
+    exclusive access depends on all of them.
+    """
+
+    R = 1
+    W = 2
+    RW = 3
+    COMMUTE = 4
+
+    @property
+    def is_read(self) -> bool:
+        """True when the access observes the current contents."""
+        return self in (AccessMode.R, AccessMode.RW, AccessMode.COMMUTE)
+
+    @property
+    def is_write(self) -> bool:
+        """True when the access produces new contents."""
+        return self in (AccessMode.W, AccessMode.RW, AccessMode.COMMUTE)
+
+
+class TaskState(enum.IntEnum):
+    """Lifecycle of a task inside the simulator."""
+
+    SUBMITTED = 0
+    READY = 1
+    RUNNING = 2
+    DONE = 3
+
+
+class Task:
+    """A schedulable kernel invocation.
+
+    Parameters
+    ----------
+    tid:
+        Dense integer id, unique within one :class:`~repro.runtime.stf.Program`.
+    type_name:
+        Kernel type (e.g. ``"gemm"``); performance calibration and the
+        HeteroPrio bucket mapping key off this.
+    accesses:
+        Sequence of ``(handle, mode)`` pairs.
+    flops:
+        Floating-point operation count, consumed by analytical performance
+        models.
+    implementations:
+        Architectures this task can run on (e.g. ``("cpu", "cuda")``).
+    priority:
+        Application-provided priority (used by Dmdas); higher runs earlier.
+        Defaults to 0, i.e. "the user provided no priorities".
+    tag:
+        Free-form coordinates for debugging/reporting (e.g. tile indices).
+    """
+
+    __slots__ = (
+        "tid",
+        "type_name",
+        "accesses",
+        "flops",
+        "implementations",
+        "priority",
+        "tag",
+        "preds",
+        "succs",
+        "n_unfinished_preds",
+        "state",
+        "sched",
+        "_est_cache",
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        type_name: str,
+        accesses: Iterable[tuple["DataHandle", AccessMode]] = (),
+        flops: float = 0.0,
+        implementations: Iterable[str] = ("cpu",),
+        priority: int = 0,
+        tag: Any = None,
+    ) -> None:
+        self.tid = tid
+        self.type_name = type_name
+        self.accesses: list[tuple[DataHandle, AccessMode]] = list(accesses)
+        self.flops = float(flops)
+        self.implementations: frozenset[str] = frozenset(implementations)
+        if not self.implementations:
+            raise ValueError(f"task {type_name}#{tid} has no implementation")
+        self.priority = int(priority)
+        self.tag = tag
+        self.preds: list[Task] = []
+        self.succs: list[Task] = []
+        self.n_unfinished_preds = 0
+        self.state = TaskState.SUBMITTED
+        # Scratch area for schedulers (per-run, reset by the engine).
+        self.sched: dict[str, Any] = {}
+        # Lazy per-architecture execution-time estimates, filled by the
+        # engine's SchedContext; keyed by architecture name.
+        self._est_cache: dict[str, float] = {}
+
+    # -- convenience -----------------------------------------------------
+
+    def can_exec(self, arch: str) -> bool:
+        """Whether an implementation exists for architecture ``arch``."""
+        return arch in self.implementations
+
+    @property
+    def name(self) -> str:
+        """Readable identifier like ``gemm#42``."""
+        return f"{self.type_name}#{self.tid}"
+
+    def handles(self, *, written: bool | None = None) -> list["DataHandle"]:
+        """Handles accessed by this task.
+
+        ``written=True`` restricts to write accesses, ``written=False`` to
+        read accesses; ``None`` returns all (a handle accessed RW appears
+        once).
+        """
+        out: list[DataHandle] = []
+        seen: set[int] = set()
+        for handle, mode in self.accesses:
+            if written is True and not mode.is_write:
+                continue
+            if written is False and not mode.is_read:
+                continue
+            if handle.hid not in seen:
+                seen.add(handle.hid)
+                out.append(handle)
+        return out
+
+    def footprint_bytes(self) -> int:
+        """Total bytes touched (each handle counted once)."""
+        return sum(h.size for h in self.handles())
+
+    def reset_runtime_state(self) -> None:
+        """Restore the task to its freshly-submitted state.
+
+        Called by the engine so that a single :class:`Program` can be
+        simulated repeatedly (e.g. once per scheduler in a benchmark grid).
+        """
+        self.n_unfinished_preds = len(self.preds)
+        self.state = TaskState.SUBMITTED
+        self.sched.clear()
+        self._est_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.name} {self.state.name} prio={self.priority}>"

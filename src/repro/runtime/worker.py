@@ -1,0 +1,37 @@
+"""Workers: the execution contexts the scheduler assigns tasks to.
+
+Following the paper's model, a worker is a software entity driving one
+processing unit; each worker is tied to exactly one memory node and one
+architecture type. Several workers may share a GPU memory node — that is
+how StarPU exposes CUDA *streams*, and how the paper's Fig. 6 varies the
+stream count.
+"""
+
+from __future__ import annotations
+
+
+class Worker:
+    """One execution context (CPU core or GPU stream).
+
+    Attributes
+    ----------
+    wid:
+        Dense worker id, unique within a platform.
+    arch:
+        Architecture type name (``"cpu"``, ``"cuda"``).
+    memory_node:
+        Id of the memory node this worker computes from.
+    name:
+        Readable label, e.g. ``"cpu07"`` or ``"gpu1.s0"``.
+    """
+
+    __slots__ = ("wid", "arch", "memory_node", "name")
+
+    def __init__(self, wid: int, arch: str, memory_node: int, name: str = "") -> None:
+        self.wid = wid
+        self.arch = arch
+        self.memory_node = memory_node
+        self.name = name or f"{arch}{wid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Worker {self.name} arch={self.arch} node={self.memory_node}>"

@@ -1,0 +1,51 @@
+"""Scheduling policies: the StarPU baselines MultiPrio is compared to.
+
+All policies implement :class:`repro.schedulers.base.Scheduler` and are
+interchangeable in the simulator. MultiPrio itself lives in
+:mod:`repro.core.multiprio` (it is the paper's contribution) but is
+re-exported here and registered under ``"multiprio"``; it is resolved
+lazily to avoid a package-import cycle (multiprio derives from
+:class:`repro.schedulers.base.Scheduler`).
+"""
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.eager import Eager
+from repro.schedulers.random_sched import RandomScheduler
+from repro.schedulers.ws import WorkStealing, LocalityWorkStealing
+from repro.schedulers.dm import Dm
+from repro.schedulers.dmda import Dmda
+from repro.schedulers.dmdas import Dmdas
+from repro.schedulers.heteroprio import HeteroPrio
+from repro.schedulers.auto_heteroprio import AutoHeteroPrio
+
+__all__ = [
+    "Scheduler",
+    "Eager",
+    "RandomScheduler",
+    "WorkStealing",
+    "LocalityWorkStealing",
+    "Dm",
+    "Dmda",
+    "Dmdas",
+    "HeteroPrio",
+    "AutoHeteroPrio",
+    "MultiPrio",
+    "make_scheduler",
+    "register_scheduler",
+    "scheduler_names",
+]
+
+_LAZY = {"MultiPrio", "make_scheduler", "register_scheduler", "scheduler_names"}
+
+
+def __getattr__(name: str):
+    """Resolve MultiPrio and the registry lazily (import-cycle guard)."""
+    if name == "MultiPrio":
+        from repro.core.multiprio import MultiPrio
+
+        return MultiPrio
+    if name in _LAZY:
+        from repro.schedulers import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,85 @@
+"""Automatic HeteroPrio — affinity-derived per-type bucket orders.
+
+Implements the essence of Flint et al. [9]: instead of asking the user
+for per-type priorities, derive each architecture's bucket order from
+the observed per-type speedups. GPUs scan types by decreasing
+``δ(cpu)/δ(gpu)`` (drain what they accelerate most first); CPUs scan by
+increasing speedup (leave the GPU-loving types for last). Orders are
+recomputed lazily as new types appear, so the scheduler remains fully
+dynamic — this is the "automated HeteroPrio" configuration the paper's
+experimental section compares MultiPrio against.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.task import Task
+from repro.runtime.worker import Worker
+from repro.schedulers.heteroprio import HeteroPrio
+
+
+class AutoHeteroPrio(HeteroPrio):
+    """HeteroPrio with speedup-derived bucket orders."""
+
+    name = "auto-heteroprio"
+
+    def __init__(self) -> None:
+        super().__init__(type_orders={})
+        # Per type: mean estimate per arch (first-encounter snapshot,
+        # updated as a running mean over pushed tasks).
+        self._delta_sums: dict[str, dict[str, float]] = {}
+        self._delta_counts: dict[str, int] = {}
+        self._orders_dirty = True
+
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        self._delta_sums = {}
+        self._delta_counts = {}
+        self._orders_dirty = True
+
+    def push(self, task: Task) -> None:
+        sums = self._delta_sums.get(task.type_name)
+        if sums is None:
+            sums = {arch: 0.0 for arch in self.ctx.available_archs}
+            self._delta_sums[task.type_name] = sums
+            self._delta_counts[task.type_name] = 0
+            self._orders_dirty = True
+        for arch in self.ctx.available_archs:
+            if task.can_exec(arch):
+                sums[arch] += self.ctx.estimate(task, arch)
+        self._delta_counts[task.type_name] += 1
+        super().push(task)
+
+    def _speedup(self, type_name: str, arch: str) -> float:
+        """Mean speedup of ``arch`` over the slowest arch for this type.
+
+        Types an architecture cannot execute get speedup 0 so they sort
+        to the end of that architecture's order.
+        """
+        sums = self._delta_sums[type_name]
+        count = max(1, self._delta_counts[type_name])
+        mine = sums.get(arch, 0.0) / count
+        if mine <= 0.0:
+            return 0.0
+        worst = max(s / count for s in sums.values() if s > 0.0)
+        return worst / mine
+
+    def _scan_order(self, arch: str) -> list[str]:
+        if self._orders_dirty:
+            for a in self.ctx.available_archs:
+                known = [t for t in self._seen_types if t in self._delta_sums]
+                accel = [t for t in known if self._speedup(t, a) > 0.0]
+                rest = [t for t in known if self._speedup(t, a) <= 0.0]
+                # GPUs (any accelerator arch, i.e. not the slowest-per-type
+                # arch in general): drain the most-accelerated types first;
+                # CPUs the least-accelerated. "Accelerator" here means the
+                # arch achieves a mean speedup > 1 across known types.
+                mean_speedup = (
+                    sum(self._speedup(t, a) for t in accel) / len(accel)
+                    if accel
+                    else 1.0
+                )
+                reverse = mean_speedup > 1.0
+                accel.sort(key=lambda t: self._speedup(t, a), reverse=reverse)
+                self.type_orders[a] = accel + rest
+            self._orders_dirty = False
+        return super()._scan_order(arch)

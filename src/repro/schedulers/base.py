@@ -1,0 +1,68 @@
+"""The scheduler interface: StarPU's PUSH/POP contract.
+
+Every policy — MultiPrio and all baselines — implements this interface
+and is driven identically by the engine:
+
+* ``push(task)`` is called once per task, the moment its dependencies are
+  all released (the task is *ready*);
+* ``pop(worker)`` is called whenever ``worker`` is idle; returning ``None``
+  parks the worker until new work is pushed or a completion occurs;
+* ``force_pop(worker)`` is a liveness escape hatch the engine only uses
+  if every worker is idle, nothing is running and ready tasks remain —
+  a correct policy should virtually never be force-popped (the engine
+  counts occurrences in :class:`~repro.runtime.engine.SimResult`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.task import Task
+from repro.runtime.worker import Worker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.engine import SchedContext
+
+
+class Scheduler:
+    """Base class; concrete policies override ``push`` and ``pop``."""
+
+    #: Registry/reporting name; subclasses override.
+    name = "base"
+
+    def __init__(self) -> None:
+        self.ctx: "SchedContext" = None  # type: ignore[assignment]
+
+    def setup(self, ctx: "SchedContext") -> None:
+        """Bind to a run context and reset all per-run state.
+
+        Called by the engine at the start of every simulation; subclasses
+        overriding this must call ``super().setup(ctx)``.
+        """
+        self.ctx = ctx
+
+    # -- hook points -------------------------------------------------------
+
+    def push(self, task: Task) -> None:
+        """A task just became ready."""
+        raise NotImplementedError
+
+    def pop(self, worker: Worker) -> Task | None:
+        """``worker`` is idle; return a ready task for it, or ``None``."""
+        raise NotImplementedError
+
+    def force_pop(self, worker: Worker) -> Task | None:
+        """Last-resort pop ignoring any admission heuristics."""
+        return self.pop(worker)
+
+    # -- optional hooks -------------------------------------------------------
+
+    def on_task_done(self, task: Task, worker: Worker) -> None:
+        """Called when a task completes (before successors are pushed)."""
+
+    def stats(self) -> dict[str, float]:
+        """Per-run counters for reporting (evictions, steals, ...)."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

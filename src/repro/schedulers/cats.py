@@ -1,0 +1,123 @@
+"""CATS — criticality-aware task scheduling (Chronaki et al. [17]).
+
+From the paper's related work: CATS "dynamically assigns critical tasks
+to fast cores in a heterogeneous multi-core". Ready tasks are classified
+by their bottom level (longest flop-weighted path to a sink, computed
+on demand over the submitted DAG): tasks whose bottom level is within
+``critical_frac`` of the longest seen are *critical* and queue for the
+fast architecture (largest mean throughput); the rest queue for the slow
+ones. Idle workers drain their own class first and help the other class
+from the appropriate end when empty.
+
+Included as a third task-centric baseline; the paper compares against
+its published results rather than re-running it, so no figure asserts
+on CATS — it enriches the scheduler family for users of this library.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.runtime.task import Task
+from repro.runtime.worker import Worker
+from repro.schedulers.base import Scheduler
+from repro.utils.validation import check_in_range
+
+
+class CATS(Scheduler):
+    """Criticality-aware scheduling: critical tasks go to fast units."""
+
+    name = "cats"
+
+    def __init__(self, critical_frac: float = 0.75) -> None:
+        super().__init__()
+        self.critical_frac = check_in_range("critical_frac", critical_frac, 0.0, 1.0)
+        self._critical: list[tuple[float, int, Task]] = []  # max-heap by blevel
+        self._normal: deque[Task] = deque()
+        self._blevel: dict[int, float] = {}
+        self._max_blevel = 0.0
+        self._fast_arch = ""
+        self._seq = 0
+
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        self._critical = []
+        self._normal = deque()
+        self._blevel = {}
+        self._max_blevel = 0.0
+        self._seq = 0
+        # Fast architecture: the one with the fewest, biggest workers is
+        # not knowable in the abstract; use mean default-kernel speed.
+        self._fast_arch = "cuda" if "cuda" in ctx.available_archs else ctx.available_archs[0]
+
+    # -- bottom levels -----------------------------------------------------
+
+    def _bottom_level(self, task: Task) -> float:
+        """Memoized flop-weighted bottom level over the submitted DAG.
+
+        Iterative DFS: the STF front-end has already materialized every
+        successor by the time a task becomes ready in practice, and any
+        later-submitted successors would only raise criticality (the
+        same partial-view caveat the paper accepts for NOD).
+        """
+        cached = self._blevel.get(task.tid)
+        if cached is not None:
+            return cached
+        stack = [(task, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current.tid in self._blevel:
+                continue
+            if expanded:
+                best = max(
+                    (self._blevel[s.tid] for s in current.succs),
+                    default=0.0,
+                )
+                self._blevel[current.tid] = current.flops + best
+            else:
+                stack.append((current, True))
+                for succ in current.succs:
+                    if succ.tid not in self._blevel:
+                        stack.append((succ, False))
+        return self._blevel[task.tid]
+
+    # -- hooks ---------------------------------------------------------------
+
+    def push(self, task: Task) -> None:
+        blevel = self._bottom_level(task)
+        self._max_blevel = max(self._max_blevel, blevel)
+        is_critical = (
+            blevel >= self.critical_frac * self._max_blevel
+            and task.can_exec(self._fast_arch)
+        )
+        if is_critical:
+            heapq.heappush(self._critical, (-blevel, self._seq, task))
+            self._seq += 1
+        else:
+            self._normal.append(task)
+
+    def pop(self, worker: Worker) -> Task | None:
+        if worker.arch == self._fast_arch:
+            if self._critical:
+                return heapq.heappop(self._critical)[2]
+            return self._pop_normal(worker)
+        task = self._pop_normal(worker)
+        if task is not None:
+            return task
+        # Slow worker helps with the *least* critical of the fast queue.
+        if self._critical:
+            least = max(self._critical)  # smallest blevel in a min-heap of negatives
+            if least[2].can_exec(worker.arch):
+                self._critical.remove(least)
+                heapq.heapify(self._critical)
+                return least[2]
+        return None
+
+    def _pop_normal(self, worker: Worker) -> Task | None:
+        for _ in range(len(self._normal)):
+            task = self._normal.popleft()
+            if task.can_exec(worker.arch):
+                return task
+            self._normal.append(task)
+        return None

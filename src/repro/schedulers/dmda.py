@@ -1,0 +1,21 @@
+"""Dmda — the dequeue model made data-aware (StarPU ``dmda``).
+
+Extends :class:`~repro.schedulers.dm.Dm` by adding the estimated data
+transfer time to the fitness (so a fast GPU loses its edge when the
+inputs live in host RAM) and by prefetching the inputs of each assigned
+task toward its target memory node as soon as the assignment is decided
+— the push-time-mapping advantage the paper contrasts with MultiPrio's
+pop-time mapping in Section VI-A.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.dm import Dm
+
+
+class Dmda(Dm):
+    """Data-aware dequeue model: fitness includes transfer estimates."""
+
+    name = "dmda"
+    data_aware = True
+    prefetch = True

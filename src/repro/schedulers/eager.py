@@ -1,0 +1,41 @@
+"""Eager: StarPU's simplest policy — one central FIFO.
+
+Workers take the oldest ready task they can execute. No affinity, no
+priorities, no data awareness; the floor every other policy should beat
+on heterogeneous workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.runtime.task import Task
+from repro.runtime.worker import Worker
+from repro.schedulers.base import Scheduler
+
+
+class Eager(Scheduler):
+    """Central FIFO queue shared by all workers."""
+
+    name = "eager"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: deque[Task] = deque()
+
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        self._queue = deque()
+
+    def push(self, task: Task) -> None:
+        self._queue.append(task)
+
+    def pop(self, worker: Worker) -> Task | None:
+        # Usually the head matches; otherwise scan for the first
+        # executable task (e.g. a GPU-only task facing a CPU worker).
+        for _ in range(len(self._queue)):
+            task = self._queue.popleft()
+            if task.can_exec(worker.arch):
+                return task
+            self._queue.append(task)
+        return None

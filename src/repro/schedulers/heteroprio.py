@@ -1,0 +1,103 @@
+"""HeteroPrio — per-task-type bucket scheduling (Agullo et al. [3]).
+
+Ready tasks are dispatched into FIFO buckets, one per task *type*. Each
+architecture consumes the buckets in its own order: the order encodes the
+per-type priorities that, in the original semi-automatic scheduler, the
+application expert provides (typically: GPUs first drain the types they
+accelerate most, CPUs the types they handle comparatively well).
+
+This is the scheduler whose "priority per type hides per-task
+information" limitation motivates MultiPrio. The automatic variant that
+derives the orders from observed affinities (Flint et al. [9]) lives in
+:mod:`repro.schedulers.auto_heteroprio`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.runtime.task import Task
+from repro.runtime.worker import Worker
+from repro.schedulers.base import Scheduler
+
+
+class HeteroPrio(Scheduler):
+    """Bucket-per-type scheduler with per-architecture consumption orders.
+
+    Parameters
+    ----------
+    type_orders:
+        Mapping ``arch -> [type_name, ...]``: the order in which workers
+        of that architecture scan buckets. Types missing from an order
+        are scanned afterwards, in first-seen order, so an incomplete
+        specification still drains every bucket.
+    steal_guard:
+        Maximum acceptable slowdown for taking a task whose best
+        architecture is elsewhere (the original HeteroPrio's
+        acceptable-slowdown check when consuming non-preferred buckets).
+        ``None`` disables the guard.
+    """
+
+    name = "heteroprio"
+
+    def __init__(
+        self,
+        type_orders: dict[str, list[str]] | None = None,
+        steal_guard: float | None = 15.0,
+    ) -> None:
+        super().__init__()
+        self.type_orders = {a: list(ts) for a, ts in (type_orders or {}).items()}
+        self.steal_guard = steal_guard
+        self._buckets: dict[str, deque[Task]] = {}
+        self._seen_types: list[str] = []
+
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        self._buckets = {}
+        self._seen_types = []
+
+    # -- hooks -------------------------------------------------------------
+
+    def push(self, task: Task) -> None:
+        bucket = self._buckets.get(task.type_name)
+        if bucket is None:
+            bucket = deque()
+            self._buckets[task.type_name] = bucket
+            self._seen_types.append(task.type_name)
+        bucket.append(task)
+
+    def _scan_order(self, arch: str) -> list[str]:
+        explicit = self.type_orders.get(arch, [])
+        tail = [t for t in self._seen_types if t not in explicit]
+        return [t for t in explicit if t in self._buckets] + tail
+
+    def _guard_allows(self, task: Task, worker: Worker) -> bool:
+        """Acceptable-slowdown check for non-best workers."""
+        if self.steal_guard is None:
+            return True
+        ctx = self.ctx
+        best = ctx.best_arch(task)
+        if worker.arch == best:
+            return True
+        return ctx.estimate(task, worker.arch) <= self.steal_guard * ctx.estimate(
+            task, best
+        )
+
+    def pop(self, worker: Worker) -> Task | None:
+        for type_name in self._scan_order(worker.arch):
+            bucket = self._buckets.get(type_name)
+            if not bucket:
+                continue
+            head = bucket[0]
+            if head.can_exec(worker.arch) and self._guard_allows(head, worker):
+                return bucket.popleft()
+        return None
+
+    def force_pop(self, worker: Worker) -> Task | None:
+        for bucket in self._buckets.values():
+            for _ in range(len(bucket)):
+                task = bucket.popleft()
+                if task.can_exec(worker.arch):
+                    return task
+                bucket.append(task)
+        return None

@@ -1,0 +1,62 @@
+"""Random: StarPU's ``random`` policy — push-time assignment to a worker
+drawn with probability proportional to the worker's speed on the task.
+
+Serves as a statistical baseline: it balances *expected* load but ignores
+readiness, criticality and locality entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.runtime.task import Task
+from repro.runtime.worker import Worker
+from repro.schedulers.base import Scheduler
+from repro.utils.rng import make_rng
+
+
+class RandomScheduler(Scheduler):
+    """Speed-weighted random push-time assignment, FIFO per worker."""
+
+    name = "random"
+
+    def __init__(self, seed: int | None = None) -> None:
+        super().__init__()
+        self._seed = seed
+        self._rng: np.random.Generator = make_rng(seed)
+        self._queues: dict[int, deque[Task]] = {}
+
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        self._rng = make_rng(self._seed)
+        self._queues = {w.wid: deque() for w in ctx.workers}
+
+    def push(self, task: Task) -> None:
+        ctx = self.ctx
+        candidates = [w for w in ctx.workers if ctx.can_exec(task, w.arch)]
+        # Weight by speed: 1/δ normalized.
+        weights = np.array(
+            [1.0 / max(ctx.estimate(task, w.arch), 1e-9) for w in candidates]
+        )
+        weights /= weights.sum()
+        chosen = candidates[int(self._rng.choice(len(candidates), p=weights))]
+        self._queues[chosen.wid].append(task)
+
+    def pop(self, worker: Worker) -> Task | None:
+        queue = self._queues[worker.wid]
+        if queue:
+            return queue.popleft()
+        return None
+
+    def force_pop(self, worker: Worker) -> Task | None:
+        # Drain any queue holding an executable task (its owner may be
+        # unable to reach it only in pathological configurations).
+        for queue in self._queues.values():
+            for _ in range(len(queue)):
+                task = queue.popleft()
+                if task.can_exec(worker.arch):
+                    return task
+                queue.append(task)
+        return None

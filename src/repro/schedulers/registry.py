@@ -1,0 +1,71 @@
+"""Name → scheduler factory registry used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.multiprio import MultiPrio
+from repro.schedulers.auto_heteroprio import AutoHeteroPrio
+from repro.schedulers.base import Scheduler
+from repro.schedulers.cats import CATS
+from repro.schedulers.dm import Dm
+from repro.schedulers.dmda import Dmda
+from repro.schedulers.dmdas import Dmdas
+from repro.schedulers.eager import Eager
+from repro.schedulers.heteroprio import HeteroPrio
+from repro.schedulers.random_sched import RandomScheduler
+from repro.schedulers.static_heft import StaticHEFT
+from repro.schedulers.ws import LocalityWorkStealing, WorkStealing
+from repro.utils.validation import ValidationError
+
+_FACTORIES: dict[str, Callable[[], Scheduler]] = {
+    "eager": Eager,
+    "random": RandomScheduler,
+    "ws": WorkStealing,
+    "lws": LocalityWorkStealing,
+    "cats": CATS,
+    "dm": Dm,
+    "dmda": Dmda,
+    "dmdas": Dmdas,
+    "heteroprio": AutoHeteroPrio,  # the automated variant, as evaluated
+    "heteroprio-manual": HeteroPrio,
+    "static-heft": StaticHEFT,
+    "multiprio": MultiPrio,
+    "multiprio-noevict": lambda: MultiPrio(eviction=False),
+    "multiprio-nolocality": lambda: MultiPrio(use_locality=False),
+    "multiprio-nocrit": lambda: MultiPrio(use_criticality=False),
+    "multiprio-rawbrw": lambda: MultiPrio(drain_aware=False),
+}
+
+
+def _register_extensions() -> None:
+    """Extension schedulers live outside the core package; import them
+    lazily so the registry module has no hard dependency on them."""
+    from repro.extensions.energy import EnergyAwareMultiPrio
+
+    _FACTORIES.setdefault("multiprio-energy", EnergyAwareMultiPrio)
+
+
+_register_extensions()
+
+
+def scheduler_names() -> list[str]:
+    """All registered scheduler names."""
+    return sorted(_FACTORIES)
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a fresh scheduler by registry name."""
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValidationError(
+            f"unknown scheduler {name!r}; known: {', '.join(scheduler_names())}"
+        )
+    return factory()
+
+
+def register_scheduler(name: str, factory: Callable[[], Scheduler]) -> None:
+    """Register a custom scheduler factory (used by examples/tests)."""
+    if name in _FACTORIES:
+        raise ValidationError(f"scheduler {name!r} already registered")
+    _FACTORIES[name] = factory

@@ -1,0 +1,98 @@
+"""Work stealing (StarPU ``ws``): per-worker deques with stealing.
+
+A task released by a completion is queued on the releasing worker
+(producer locality); source tasks are round-robined. Idle workers pop
+their own deque LIFO and steal FIFO from the most-loaded victim. This is
+the resource-centric family of Section II — no heterogeneity awareness,
+which is exactly why the paper excludes it from GPU comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.runtime.task import Task
+from repro.runtime.worker import Worker
+from repro.schedulers.base import Scheduler
+
+
+class WorkStealing(Scheduler):
+    """Per-worker deques; steal from the most loaded victim."""
+
+    name = "ws"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._deques: dict[int, deque[Task]] = {}
+        self._releasing_worker: Worker | None = None
+        self._rr = 0
+        self._n_steals = 0
+
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        self._deques = {w.wid: deque() for w in ctx.workers}
+        self._releasing_worker = None
+        self._rr = 0
+        self._n_steals = 0
+
+    # -- placement -----------------------------------------------------------
+
+    def on_task_done(self, task: Task, worker: Worker) -> None:
+        # Successors pushed right after this callback land on `worker`.
+        self._releasing_worker = worker
+
+    def _owner_for(self, task: Task) -> Worker:
+        ctx = self.ctx
+        releasing = self._releasing_worker
+        if releasing is not None and ctx.can_exec(task, releasing.arch):
+            return releasing
+        eligible = [w for w in ctx.workers if ctx.can_exec(task, w.arch)]
+        worker = eligible[self._rr % len(eligible)]
+        self._rr += 1
+        return worker
+
+    def push(self, task: Task) -> None:
+        self._deques[self._owner_for(task).wid].append(task)
+
+    # -- consumption -------------------------------------------------------------
+
+    def _steal_victims(self, thief: Worker) -> list[Worker]:
+        """Victims ordered most-loaded first."""
+        others = [w for w in self.ctx.workers if w.wid != thief.wid]
+        others.sort(key=lambda w: -len(self._deques[w.wid]))
+        return others
+
+    def pop(self, worker: Worker) -> Task | None:
+        own = self._deques[worker.wid]
+        while own:
+            task = own.pop()  # LIFO on own deque
+            if task.can_exec(worker.arch):
+                return task
+            own.appendleft(task)
+            break
+        for victim in self._steal_victims(worker):
+            queue = self._deques[victim.wid]
+            for _ in range(len(queue)):
+                task = queue.popleft()  # FIFO steal
+                if task.can_exec(worker.arch):
+                    self._n_steals += 1
+                    return task
+                queue.append(task)
+        return None
+
+    def stats(self) -> dict[str, float]:
+        return {"steals": float(self._n_steals)}
+
+
+class LocalityWorkStealing(WorkStealing):
+    """``lws``: steal from same-memory-node neighbours first."""
+
+    name = "lws"
+
+    def _steal_victims(self, thief: Worker) -> list[Worker]:
+        others = [w for w in self.ctx.workers if w.wid != thief.wid]
+        # Same node first, then by load.
+        others.sort(
+            key=lambda w: (w.memory_node != thief.memory_node, -len(self._deques[w.wid]))
+        )
+        return others

@@ -1,0 +1,52 @@
+"""Small shared utilities: units, RNG handling, validation helpers."""
+
+from repro.utils.units import (
+    US_PER_MS,
+    US_PER_S,
+    KIB,
+    MIB,
+    GIB,
+    us_to_ms,
+    us_to_s,
+    ms_to_us,
+    s_to_us,
+    bytes_human,
+    time_human,
+    gflops,
+)
+from repro.utils.rng import make_rng, derive_rng
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+    ReproError,
+    ValidationError,
+    SchedulingError,
+    DeadlockError,
+)
+
+__all__ = [
+    "US_PER_MS",
+    "US_PER_S",
+    "KIB",
+    "MIB",
+    "GIB",
+    "us_to_ms",
+    "us_to_s",
+    "ms_to_us",
+    "s_to_us",
+    "bytes_human",
+    "time_human",
+    "gflops",
+    "make_rng",
+    "derive_rng",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "ReproError",
+    "ValidationError",
+    "SchedulingError",
+    "DeadlockError",
+]

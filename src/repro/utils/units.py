@@ -1,0 +1,68 @@
+"""Unit conventions used across the simulator.
+
+All simulated times are in **microseconds** (float). All data sizes are in
+**bytes** (int). All computational work is in **flops** (float). These
+helpers convert to and from human-facing units and format quantities for
+reports.
+"""
+
+from __future__ import annotations
+
+US_PER_MS: float = 1_000.0
+US_PER_S: float = 1_000_000.0
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+
+def us_to_ms(us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return us / US_PER_MS
+
+
+def us_to_s(us: float) -> float:
+    """Convert microseconds to seconds."""
+    return us / US_PER_S
+
+
+def ms_to_us(ms: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return ms * US_PER_MS
+
+
+def s_to_us(s: float) -> float:
+    """Convert seconds to microseconds."""
+    return s * US_PER_S
+
+
+def gflops(flops: float, time_us: float) -> float:
+    """Achieved GFlop/s given total flops and elapsed time in microseconds.
+
+    Returns 0.0 for non-positive durations so callers can report empty runs
+    without special-casing.
+    """
+    if time_us <= 0.0:
+        return 0.0
+    return flops / (time_us * 1e-6) / 1e9
+
+
+def bytes_human(n: int) -> str:
+    """Format a byte count using binary prefixes, e.g. ``7.5 MiB``."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def time_human(us: float) -> str:
+    """Format a duration in microseconds with an adaptive unit."""
+    if us < 1_000.0:
+        return f"{us:.1f} us"
+    if us < US_PER_S:
+        return f"{us / US_PER_MS:.2f} ms"
+    return f"{us / US_PER_S:.3f} s"

@@ -1,0 +1,55 @@
+"""Argument validation helpers and the repository exception hierarchy."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """A scheduler produced an inconsistent decision (e.g. popped a task
+    twice or assigned a task to a worker that cannot execute it)."""
+
+
+class DeadlockError(ReproError, RuntimeError):
+    """The simulation stopped making progress with unfinished tasks."""
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate ``value > 0``; returns the value for inline use."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate ``value >= 0``; returns the value for inline use."""
+    if not value >= 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Validate ``lo <= value <= hi``; returns the value for inline use."""
+    if not (lo <= value <= hi):
+        raise ValidationError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> Any:
+    """Validate ``isinstance(value, expected)``; returns the value."""
+    if not isinstance(value, expected):
+        exp = (
+            expected.__name__
+            if isinstance(expected, type)
+            else "/".join(t.__name__ for t in expected)
+        )
+        raise ValidationError(f"{name} must be {exp}, got {type(value).__name__}")
+    return value

@@ -1,0 +1,70 @@
+"""ASCII chart tests."""
+
+import pytest
+
+from repro.analysis.ascii_plot import grouped_bars, hbar_chart, series_plot
+from repro.utils.validation import ValidationError
+
+
+class TestHbar:
+    def test_bars_scale_to_peak(self):
+        art = hbar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = art.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_reference_annotation(self):
+        art = hbar_chart({"a": 1.0, "dmdas": 1.0}, reference="dmdas")
+        assert "<- reference" in art
+
+    def test_title_and_unit(self):
+        art = hbar_chart({"a": 2.0}, title="T", unit="ms")
+        assert art.startswith("T")
+        assert "2ms" in art
+
+    def test_zero_value_has_no_bar(self):
+        art = hbar_chart({"a": 0.0, "b": 1.0})
+        zero_line = [l for l in art.splitlines() if l.startswith("a")][0]
+        assert "#" not in zero_line
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValidationError):
+            hbar_chart({})
+        with pytest.raises(ValidationError):
+            hbar_chart({"a": -1.0})
+
+
+class TestGroupedBars:
+    def test_shared_scale_across_groups(self):
+        art = grouped_bars(
+            {"m1": {"s": 10.0}, "m2": {"s": 5.0}},
+            width=20,
+        )
+        lines = [l for l in art.splitlines() if "#" in l]
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_group_headers(self):
+        art = grouped_bars({"intel": {"mp": 1.0}})
+        assert "intel:" in art
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            grouped_bars({})
+
+
+class TestSeriesPlot:
+    def test_axes_labels(self):
+        art = series_plot([0, 1, 2], [5.0, 7.0, 6.0], height=6, width=30)
+        assert "7" in art and "5" in art
+        assert art.count("*") == 3
+
+    def test_flat_series(self):
+        art = series_plot([0, 1], [3.0, 3.0])
+        assert "*" in art
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValidationError):
+            series_plot([1], [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            series_plot([], [])

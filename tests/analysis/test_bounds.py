@@ -1,0 +1,74 @@
+"""Makespan bound tests: every bound must actually bound."""
+
+import pytest
+
+from repro.analysis.bounds import efficiency_report, makespan_bounds
+from repro.runtime.engine import Simulator
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.stf import TaskFlow
+from repro.runtime.task import AccessMode
+from repro.schedulers.registry import make_scheduler, scheduler_names
+from tests.conftest import make_chain_program, make_fork_join_program
+
+
+@pytest.fixture
+def pm(hetero_machine):
+    return AnalyticalPerfModel(hetero_machine.calibration())
+
+
+class TestBounds:
+    def test_chain_bound_is_the_chain(self, hetero_machine, pm):
+        program = make_chain_program(n=6, flops=1e8)
+        bounds = makespan_bounds(program, hetero_machine.platform(), pm)
+        per_task = min(pm.estimate(program.tasks[0], a) for a in ("cpu", "cuda"))
+        assert bounds.critical_path_us == pytest.approx(6 * per_task, rel=0.01)
+        assert bounds.best_us == bounds.critical_path_us
+
+    def test_wide_program_bound_is_work(self, hetero_machine, pm):
+        flow = TaskFlow()
+        for _ in range(200):
+            flow.submit("gemm", [(flow.data(8), AccessMode.W)], flops=1e8,
+                        implementations=("cpu", "cuda"))
+        program = flow.program()
+        bounds = makespan_bounds(program, hetero_machine.platform(), pm)
+        assert bounds.work_bound_us > bounds.critical_path_us
+
+    def test_exclusive_arch_bound(self, hetero_machine, pm):
+        flow = TaskFlow()
+        for _ in range(30):
+            flow.submit("gemm", [(flow.data(8), AccessMode.W)], flops=1e9,
+                        implementations=("cuda",))
+        program = flow.program()
+        bounds = makespan_bounds(program, hetero_machine.platform(), pm)
+        # 30 GPU-only tasks over 2 GPU workers dominates total/6 workers.
+        assert bounds.exclusive_work_bound_us > bounds.work_bound_us
+
+    @pytest.mark.parametrize("name", ["multiprio", "dmdas", "eager", "lws"])
+    def test_every_schedule_respects_bounds(self, hetero_machine, pm, name):
+        program = make_fork_join_program(width=12, flops=2e8)
+        sim = Simulator(hetero_machine.platform(), make_scheduler(name), pm, seed=0)
+        res = sim.run(program)
+        bounds = makespan_bounds(program, hetero_machine.platform(), pm)
+        assert res.makespan >= bounds.best_us - 1e-6
+
+
+class TestEfficiencyReport:
+    def test_fields_and_range(self, hetero_machine, pm):
+        program = make_fork_join_program(width=8)
+        sim = Simulator(hetero_machine.platform(), make_scheduler("multiprio"), pm,
+                        seed=0)
+        res = sim.run(program)
+        report = efficiency_report(res, program, hetero_machine.platform(), pm)
+        assert 0.0 < report["efficiency"] <= 1.0
+        assert report["best_bound_us"] <= report["makespan_us"] + 1e-6
+
+    def test_better_scheduler_scores_higher(self, hetero_machine, pm):
+        program = make_fork_join_program(width=24, flops=5e8)
+        scores = {}
+        for name in ("multiprio", "random"):
+            sim = Simulator(hetero_machine.platform(), make_scheduler(name), pm, seed=0)
+            res = sim.run(program)
+            scores[name] = efficiency_report(
+                res, program, hetero_machine.platform(), pm
+            )["efficiency"]
+        assert scores["multiprio"] >= scores["random"]

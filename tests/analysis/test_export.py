@@ -1,0 +1,58 @@
+"""Trace export tests (Chrome tracing JSON + CSV)."""
+
+import json
+
+from repro.analysis.export import to_chrome_trace, to_csv
+from repro.runtime.engine import Simulator
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.schedulers.registry import make_scheduler
+from tests.conftest import make_fork_join_program
+
+
+def run_trace(machine):
+    program = make_fork_join_program(width=6)
+    sim = Simulator(
+        machine.platform(),
+        make_scheduler("multiprio"),
+        AnalyticalPerfModel(machine.calibration()),
+        seed=0,
+    )
+    res = sim.run(program)
+    return program, res.trace
+
+
+class TestChromeTrace:
+    def test_valid_json_with_all_tasks(self, hetero_machine):
+        program, trace = run_trace(hetero_machine)
+        doc = json.loads(to_chrome_trace(trace))
+        tasks = [e for e in doc["traceEvents"] if e.get("cat") == "task"]
+        assert len(tasks) == len(program)
+        assert all(e["ph"] == "X" and e["dur"] >= 0 for e in tasks)
+
+    def test_thread_names_cover_workers(self, hetero_machine):
+        _, trace = run_trace(hetero_machine)
+        doc = json.loads(to_chrome_trace(trace))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == len(trace.workers)
+
+    def test_wait_events_emitted_when_stalled(self, hetero_machine):
+        _, trace = run_trace(hetero_machine)
+        doc = json.loads(to_chrome_trace(trace))
+        waits = [e for e in doc["traceEvents"] if e.get("cat") == "transfer"]
+        stalls = [r for r in trace.task_records if r.wait_time > 0]
+        assert len(waits) == len(stalls)
+
+
+class TestCsv:
+    def test_header_and_rows(self, hetero_machine):
+        program, trace = run_trace(hetero_machine)
+        text = to_csv(trace)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("tid,type,worker")
+        assert len(lines) == len(program) + 1
+
+    def test_rows_sorted_by_start(self, hetero_machine):
+        _, trace = run_trace(hetero_machine)
+        lines = to_csv(trace).strip().splitlines()[1:]
+        starts = [float(line.split(",")[5]) for line in lines]
+        assert starts == sorted(starts)

@@ -1,0 +1,54 @@
+"""Statistics helper tests."""
+
+import pytest
+
+from repro.analysis.stats import geometric_mean, load_balance_index, summarize_results
+from repro.experiments.harness import ExperimentResult
+
+
+def row(scheduler, makespan, gflops=1.0):
+    return ExperimentResult(
+        experiment="t",
+        machine="m",
+        scheduler=scheduler,
+        workload="w",
+        makespan_us=makespan,
+        gflops=gflops,
+        bytes_transferred=100,
+    )
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestLoadBalance:
+    def test_perfect_balance(self):
+        assert load_balance_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hot_worker(self):
+        assert load_balance_index([9.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+
+    def test_degenerate(self):
+        assert load_balance_index([]) == 1.0
+        assert load_balance_index([0.0, 0.0]) == 1.0
+
+
+class TestSummarize:
+    def test_grouped_by_scheduler(self):
+        rows = [row("a", 10.0), row("a", 20.0), row("b", 5.0)]
+        summary = summarize_results(rows)
+        assert summary["a"]["runs"] == 2
+        assert summary["a"]["mean_makespan_us"] == 15.0
+        assert summary["b"]["mean_makespan_us"] == 5.0
+        assert summary["a"]["total_bytes"] == 200.0

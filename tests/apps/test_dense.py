@@ -1,0 +1,135 @@
+"""Dense generator tests: task counts, DAG shape, flops, priorities."""
+
+import pytest
+
+from repro.apps.dense import (
+    cholesky_program,
+    cholesky_task_count,
+    kernels,
+    lu_program,
+    lu_task_count,
+    qr_program,
+    qr_task_count,
+)
+from repro.runtime.dag import (
+    critical_path_length,
+    task_type_histogram,
+    topological_order,
+    validate_dag,
+)
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("nt", [1, 2, 3, 5, 8])
+    def test_task_count_closed_form(self, nt):
+        program = cholesky_program(nt, 64)
+        assert len(program) == cholesky_task_count(nt)
+        validate_dag(program.tasks)
+
+    def test_kernel_mix(self):
+        nt = 5
+        hist = task_type_histogram(cholesky_program(nt, 64).tasks)
+        assert hist["potrf"] == nt
+        assert hist["trsm"] == nt * (nt - 1) // 2
+        assert hist["syrk"] == nt * (nt - 1) // 2
+        assert hist["gemm"] == nt * (nt - 1) * (nt - 2) // 6
+
+    def test_total_flops_close_to_n_cubed_over_3(self):
+        nt, b = 10, 128
+        program = cholesky_program(nt, b)
+        n = nt * b
+        assert program.total_flops() == pytest.approx(n**3 / 3, rel=0.25)
+
+    def test_first_task_is_potrf_last_depends_on_everything(self):
+        program = cholesky_program(4, 64)
+        order = topological_order(program.tasks)
+        assert order[0].type_name == "potrf"
+        sinks = program.sink_tasks()
+        assert len(sinks) == 1
+        assert sinks[0].type_name == "potrf"  # POTRF(nt-1, nt-1)
+
+    def test_priorities_decrease_along_k(self):
+        program = cholesky_program(6, 64)
+        potrfs = sorted(
+            (t for t in program.tasks if t.type_name == "potrf"),
+            key=lambda t: t.tag[1],
+        )
+        prios = [t.priority for t in potrfs]
+        assert prios == sorted(prios, reverse=True)
+
+    def test_no_priorities_option(self):
+        program = cholesky_program(4, 64, with_priorities=False)
+        assert all(t.priority == 0 for t in program.tasks)
+
+    def test_only_lower_triangle_registered(self):
+        program = cholesky_program(4, 64)
+        # nt*(nt+1)/2 = 10 tiles for nt=4.
+        assert len(program.handles) == 10
+
+
+class TestLU:
+    @pytest.mark.parametrize("nt", [1, 2, 4, 6])
+    def test_task_count_closed_form(self, nt):
+        program = lu_program(nt, 64)
+        assert len(program) == lu_task_count(nt)
+        validate_dag(program.tasks)
+
+    def test_larger_than_cholesky(self):
+        """LU's non-symmetric updates roughly double the work (the
+        paper's Section VI-A)."""
+        nt = 6
+        chol = cholesky_program(nt, 64)
+        lu = lu_program(nt, 64)
+        assert lu.total_flops() > 1.7 * chol.total_flops()
+        assert len(lu) > len(chol)
+
+    def test_kernel_mix(self):
+        nt = 4
+        hist = task_type_histogram(lu_program(nt, 64).tasks)
+        assert hist["getrf"] == nt
+        assert hist["trsm"] == nt * (nt - 1)  # row + column panels
+        assert hist["gemm"] == sum((nt - k - 1) ** 2 for k in range(nt))
+
+
+class TestQR:
+    @pytest.mark.parametrize("nt", [1, 2, 4, 6])
+    def test_task_count_closed_form(self, nt):
+        program = qr_program(nt, 64)
+        assert len(program) == qr_task_count(nt)
+        validate_dag(program.tasks)
+
+    def test_kernel_mix(self):
+        nt = 4
+        hist = task_type_histogram(qr_program(nt, 64).tasks)
+        assert hist["geqrt"] == nt
+        assert hist["ormqr"] == nt * (nt - 1) // 2
+        assert hist["tsqrt"] == nt * (nt - 1) // 2
+        assert hist["tsmqr"] == sum((nt - k - 1) ** 2 for k in range(nt))
+
+    def test_deeper_critical_path_than_cholesky(self):
+        """The serial TSQRT panel chains make tile QR's critical path
+        longer than Cholesky's at equal tile count."""
+        nt, b = 8, 64
+        qr_cp = critical_path_length(qr_program(nt, b).tasks, lambda t: 1.0)
+        chol_cp = critical_path_length(cholesky_program(nt, b).tasks, lambda t: 1.0)
+        assert qr_cp > chol_cp
+
+
+class TestKernelFlops:
+    def test_gemm_is_twice_syrk(self):
+        assert kernels.gemm_flops(100) == 2 * kernels.syrk_flops(100)
+
+    def test_potrf_smallest(self):
+        b = 128
+        assert kernels.potrf_flops(b) < kernels.trsm_flops(b) < kernels.gemm_flops(b)
+
+    def test_invalid_tile_size(self):
+        from repro.utils.validation import ValidationError
+
+        with pytest.raises(ValidationError):
+            kernels.gemm_flops(0)
+
+    def test_totals(self):
+        assert kernels.cholesky_total_flops(300) == pytest.approx(300**3 / 3)
+        assert kernels.lu_total_flops(300) == pytest.approx(2 * 300**3 / 3)
+        assert kernels.qr_total_flops(300) == pytest.approx(4 * 300**3 / 3)

@@ -1,0 +1,89 @@
+"""Dense building-block units: TiledMatrix and expert priorities."""
+
+import pytest
+
+from repro.apps.dense.priorities import (
+    PRIORITY_LEVELS,
+    assign_bottom_level_priorities,
+    clear_priorities,
+)
+from repro.apps.dense.tiled_matrix import TiledMatrix
+from repro.runtime.stf import TaskFlow
+from repro.runtime.task import AccessMode
+
+
+class TestTiledMatrix:
+    def test_lazy_registration(self):
+        flow = TaskFlow()
+        A = TiledMatrix(flow, 4, 32)
+        assert A.n_registered() == 0
+        A.tile(0, 0)
+        A.tile(0, 0)  # same handle
+        assert A.n_registered() == 1
+
+    def test_tile_identity(self):
+        flow = TaskFlow()
+        A = TiledMatrix(flow, 4, 32)
+        assert A.tile(1, 2) is A.tile(1, 2)
+        assert A.tile(1, 2) is not A.tile(2, 1)
+
+    def test_sizes_and_labels(self):
+        flow = TaskFlow()
+        A = TiledMatrix(flow, 3, 64, name="B", dtype_bytes=4)
+        handle = A.tile(2, 1)
+        assert handle.size == 4 * 64 * 64
+        assert handle.label == "B[2,1]"
+        assert A.n == 192
+
+    def test_bounds_checked(self):
+        flow = TaskFlow()
+        A = TiledMatrix(flow, 3, 64)
+        with pytest.raises(IndexError):
+            A.tile(3, 0)
+        with pytest.raises(IndexError):
+            A.tile(-1, 0)
+
+    def test_lower_only_rejects_upper(self):
+        flow = TaskFlow()
+        A = TiledMatrix(flow, 3, 64, lower_only=True)
+        A.tile(2, 1)
+        with pytest.raises(IndexError, match="diagonal"):
+            A.tile(1, 2)
+
+
+class TestPriorities:
+    def build(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        a = flow.submit("a", [(h, AccessMode.W)], flops=10.0)
+        b = flow.submit("b", [(h, AccessMode.RW)], flops=1.0)
+        return flow.program(), a, b
+
+    def test_bottom_level_priorities_ordered(self):
+        program, a, b = self.build()
+        assign_bottom_level_priorities(program)
+        assert a.priority > b.priority
+        assert a.priority == PRIORITY_LEVELS  # the critical source
+
+    def test_priorities_bounded(self):
+        program, *_ = self.build()
+        assign_bottom_level_priorities(program)
+        assert all(0 <= t.priority <= PRIORITY_LEVELS for t in program.tasks)
+
+    def test_clear(self):
+        program, a, _ = self.build()
+        assign_bottom_level_priorities(program)
+        clear_priorities(program)
+        assert all(t.priority == 0 for t in program.tasks)
+
+    def test_empty_program_noop(self):
+        program = TaskFlow().program()
+        assign_bottom_level_priorities(program)  # must not raise
+
+    def test_zero_flops_noop(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        flow.submit("a", [(h, AccessMode.W)], flops=0.0)
+        program = flow.program()
+        assign_bottom_level_priorities(program)
+        assert program.tasks[0].priority == 0

@@ -1,0 +1,155 @@
+"""FMM generator tests: octree geometry, task graph shape, COMMUTE use."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fmm import (
+    Octree,
+    fmm_program,
+    fmm_program_from_tree,
+    generate_particles,
+    leaf_occupancy,
+)
+from repro.runtime.dag import task_type_histogram, validate_dag
+from repro.utils.validation import ValidationError
+
+
+class TestParticles:
+    @pytest.mark.parametrize("dist", ["uniform", "ellipsoid", "plummer"])
+    def test_in_unit_cube(self, dist):
+        pts = generate_particles(2000, dist, seed=1)
+        assert pts.shape == (2000, 3)
+        assert pts.min() >= 0.0 and pts.max() < 1.0
+
+    def test_deterministic_with_seed(self):
+        a = generate_particles(100, "uniform", seed=5)
+        b = generate_particles(100, "uniform", seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValidationError):
+            generate_particles(10, "spiral")
+
+    def test_ellipsoid_is_sparser_than_uniform(self):
+        n, height = 20000, 5
+        uni = leaf_occupancy(generate_particles(n, "uniform", seed=2), height)
+        ell = leaf_occupancy(generate_particles(n, "ellipsoid", seed=2), height)
+        assert len(ell) < len(uni)
+        # And more skewed: larger max occupancy.
+        assert max(ell.values()) > max(uni.values())
+
+    def test_occupancy_conserves_particles(self):
+        pts = generate_particles(5000, "plummer", seed=3)
+        occ = leaf_occupancy(pts, 4)
+        assert sum(occ.values()) == 5000
+
+    def test_occupancy_bad_shape(self):
+        with pytest.raises(ValidationError):
+            leaf_occupancy(np.zeros((5, 2)), 3)
+
+
+class TestOctree:
+    def test_single_leaf(self):
+        tree = Octree(3, {(0, 0, 0): 10})
+        assert tree.n_cells() == 3  # leaf + 2 ancestors
+        assert len(tree.leaves()) == 1
+        assert tree.leaves()[0].n_particles == 10
+
+    def test_parent_links_and_counts(self):
+        tree = Octree(2, {(0, 0, 0): 5, (1, 1, 1): 7})
+        root = tree.cells_at(0)[0]
+        assert root.n_particles == 12
+        assert len(root.children) == 2
+
+    def test_neighbors(self):
+        occ = {(x, y, z): 1 for x in range(4) for y in range(4) for z in range(4)}
+        tree = Octree(3, occ)
+        corner = tree.levels[2][(0, 0, 0)]
+        middle = tree.levels[2][(1, 1, 1)]
+        assert len(tree.neighbors(corner)) == 7
+        assert len(tree.neighbors(middle)) == 26
+
+    def test_interaction_list_well_separated(self):
+        occ = {(x, y, z): 1 for x in range(4) for y in range(4) for z in range(4)}
+        tree = Octree(3, occ)
+        cell = tree.levels[2][(0, 0, 0)]
+        ilist = tree.interaction_list(cell)
+        near = {c.key for c in tree.neighbors(cell)} | {cell.key}
+        assert ilist, "interior cells must have interaction partners"
+        assert all(c.key not in near for c in ilist)
+        assert all(c.level == cell.level for c in ilist)
+
+    def test_interaction_list_bounded(self):
+        occ = {(x, y, z): 1 for x in range(8) for y in range(8) for z in range(8)}
+        tree = Octree(4, occ)
+        for cell in tree.cells_at(3):
+            assert len(tree.interaction_list(cell)) <= 189
+
+    def test_empty_occupancy_rejected(self):
+        with pytest.raises(ValidationError):
+            Octree(3, {})
+
+    def test_out_of_grid_leaf_rejected(self):
+        with pytest.raises(ValidationError):
+            Octree(2, {(5, 0, 0): 1})
+
+
+class TestTaskGraph:
+    def test_task_mix_and_validity(self):
+        program = fmm_program(n_particles=5000, height=4, seed=9)
+        validate_dag(program.tasks)
+        hist = task_type_histogram(program.tasks)
+        for kernel in ("p2m", "m2m", "m2l", "l2p", "p2p"):
+            assert hist.get(kernel, 0) > 0, kernel
+
+    def test_p2m_per_leaf_and_p2p_per_leaf(self):
+        pts = generate_particles(3000, "uniform", seed=1)
+        occ = leaf_occupancy(pts, 4)
+        tree = Octree(4, occ)
+        program = fmm_program_from_tree(tree)
+        hist = task_type_histogram(program.tasks)
+        assert hist["p2m"] == len(tree.leaves())
+        assert hist["p2p"] == len(tree.leaves())
+        assert hist["l2p"] <= len(tree.leaves())
+
+    def test_m2m_depends_on_children_p2m(self):
+        program = fmm_program(n_particles=2000, height=3, seed=4)
+        m2m = [t for t in program.tasks if t.type_name == "m2m"]
+        assert m2m
+        for task in m2m:
+            assert all(p.type_name in ("p2m", "m2m") for p in task.preds)
+
+    def test_wide_disconnected_dag(self):
+        """The FMM DAG's defining property (Section VI-B): its critical
+        path is tiny compared to its size."""
+        from repro.runtime.dag import critical_path_length
+
+        program = fmm_program(n_particles=20000, height=4, seed=2)
+        cp_tasks = critical_path_length(program.tasks, lambda t: 1.0)
+        assert cp_tasks <= 12
+        assert len(program) > 300
+
+    def test_p2p_and_l2p_commute_on_forces(self):
+        program = fmm_program(n_particles=2000, height=3, seed=4)
+        from repro.runtime.task import AccessMode
+
+        p2p = [t for t in program.tasks if t.type_name == "p2p"]
+        l2p = [t for t in program.tasks if t.type_name == "l2p"]
+        assert any(
+            mode is AccessMode.COMMUTE for t in p2p for _, mode in t.accesses
+        )
+        # No ordering edges between a leaf's p2p and l2p (they commute).
+        for t in p2p:
+            assert all(s.type_name != "l2p" for s in t.succs)
+            assert all(p.type_name != "l2p" for p in t.preds)
+
+    def test_p2p_work_scales_quadratically_with_occupancy(self):
+        from repro.runtime.dag import work_per_type
+
+        small = fmm_program(n_particles=2000, height=4, seed=1)
+        large = fmm_program(n_particles=20000, height=4, seed=1)
+        # 10x the particles in the same leaves -> ~100x the near-field work.
+        ratio = work_per_type(large.tasks)["p2p"] / work_per_type(small.tasks)["p2p"]
+        assert ratio > 30
+        # Total work grows too (the far field is occupancy-independent).
+        assert large.total_flops() > 1.3 * small.total_flops()

@@ -1,0 +1,66 @@
+"""Flop-model units across the three applications."""
+
+import pytest
+
+from repro.apps.fmm import kernels as fmm_k
+from repro.apps.sparseqr.taskgraph import assemble_flops, panel_flops, update_flops
+from repro.apps.sparseqr.fronts import Front
+from repro.utils.validation import ValidationError
+
+
+class TestFmmKernels:
+    def test_expansion_terms(self):
+        assert fmm_k.expansion_terms(5) == 36
+        with pytest.raises(ValidationError):
+            fmm_k.expansion_terms(0)
+
+    def test_p2p_quadratic_in_targets(self):
+        small = fmm_k.p2p_flops(100, 0)
+        large = fmm_k.p2p_flops(200, 0)
+        assert large == pytest.approx(4 * small)
+
+    def test_p2p_includes_neighbor_sources(self):
+        assert fmm_k.p2p_flops(100, 500) > fmm_k.p2p_flops(100, 0)
+
+    def test_m2l_linear_in_sources(self):
+        one = fmm_k.m2l_flops(1, 36)
+        many = fmm_k.m2l_flops(27, 36)
+        assert many == pytest.approx(27 * one)
+
+    def test_translation_kernels_quadratic_in_terms(self):
+        assert fmm_k.m2m_flops(8, 72) == pytest.approx(4 * fmm_k.m2m_flops(8, 36))
+        assert fmm_k.l2l_flops(72) == pytest.approx(4 * fmm_k.l2l_flops(36))
+
+    def test_particle_kernels_linear(self):
+        assert fmm_k.p2m_flops(200, 36) == pytest.approx(2 * fmm_k.p2m_flops(100, 36))
+        assert fmm_k.l2p_flops(200, 36) == pytest.approx(2 * fmm_k.l2p_flops(100, 36))
+
+
+class TestSparseQrKernels:
+    def test_panel_flops_positive_and_monotone(self):
+        assert 0 < panel_flops(500, 128) < panel_flops(5000, 128)
+
+    def test_panel_flops_never_negative(self):
+        assert panel_flops(10, 128) >= 0.0  # m < w/3 edge
+
+    def test_update_scales_with_all_dims(self):
+        base = update_flops(1000, 128, 128)
+        assert update_flops(2000, 128, 128) == pytest.approx(2 * base)
+        assert update_flops(1000, 256, 128) == pytest.approx(2 * base)
+        assert update_flops(1000, 128, 64) == pytest.approx(base / 2)
+
+    def test_assemble_counts_children_cbs(self):
+        parent = Front(0, 500, 300, 150)
+        child1 = Front(1, 200, 150, 80)
+        child2 = Front(2, 100, 90, 40)
+        child1.parent = parent
+        child2.parent = parent
+        parent.children = [child1, child2]
+        expected = 2.0 * (
+            child1.cb_rows * child1.cb_cols + child2.cb_rows * child2.cb_cols
+        )
+        assert assemble_flops(parent) == pytest.approx(expected)
+
+    def test_leaf_assemble_is_zero(self):
+        leaf = Front(0, 100, 80, 40)
+        assert assemble_flops(leaf) == 0.0

@@ -1,0 +1,80 @@
+"""Nested-dissection tree generator tests."""
+
+import pytest
+
+from repro.apps.sparseqr.nested_dissection import nested_dissection_tree
+from repro.apps.sparseqr.taskgraph import sparse_qr_program
+from repro.runtime.dag import validate_dag
+from repro.utils.validation import ValidationError
+
+
+class TestStructure:
+    def test_root_separator_scales_like_sqrt_n(self):
+        small = nested_dissection_tree(16, 16)
+        large = nested_dissection_tree(64, 64)
+        root_small = small.roots()[0]
+        root_large = large.roots()[0]
+        # Separator of an n x n grid ~ n: 4x the grid side -> 4x pivots.
+        assert root_large.npiv == pytest.approx(4 * root_small.npiv, rel=0.2)
+
+    def test_balanced_binary_tree(self):
+        tree = nested_dissection_tree(32, 32)
+        root = tree.roots()[0]
+        assert len(root.children) == 2
+        sizes = [len(list(_descendants(c))) for c in root.children]
+        assert abs(sizes[0] - sizes[1]) <= max(sizes) * 0.3
+
+    def test_leaves_are_small(self):
+        tree = nested_dissection_tree(32, 32, leaf_points=16, dofs=1)
+        for leaf in tree.leaves():
+            assert leaf.npiv <= 3 * 16  # leaf points (+rounding slack)
+
+    def test_fronts_shrink_with_depth(self):
+        tree = nested_dissection_tree(64, 64)
+        by_depth: dict[int, list[int]] = {}
+        for front in tree.fronts:
+            by_depth.setdefault(front.depth, []).append(front.npiv)
+        depths = sorted(by_depth)
+        assert max(by_depth[depths[0]]) > max(by_depth[depths[-1]])
+
+    def test_dofs_scale_dimensions(self):
+        base = nested_dissection_tree(16, 16, dofs=1)
+        scaled = nested_dissection_tree(16, 16, dofs=3)
+        assert scaled.roots()[0].npiv == 3 * base.roots()[0].npiv
+
+    def test_rectangular_grid(self):
+        tree = nested_dissection_tree(64, 8)
+        validate_tree_shapes(tree)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            nested_dissection_tree(0, 8)
+        with pytest.raises(ValidationError):
+            nested_dissection_tree(8, 8, dofs=0)
+
+
+class TestTaskGraph:
+    def test_program_builds_and_validates(self):
+        tree = nested_dissection_tree(32, 32, dofs=2)
+        program = sparse_qr_program(tree)
+        validate_dag(program.tasks)
+        assert len(program) > len(tree)
+
+    def test_postorder_consistency(self):
+        tree = nested_dissection_tree(24, 24)
+        order = tree.postorder()
+        assert len(order) == len(tree)
+        assert order[-1].parent is None
+
+
+def _descendants(front):
+    yield front
+    for child in front.children:
+        yield from _descendants(child)
+
+
+def validate_tree_shapes(tree):
+    for front in tree.fronts:
+        assert front.npiv >= 1
+        assert front.ncols >= front.npiv
+        assert front.nrows >= front.npiv

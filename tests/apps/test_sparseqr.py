@@ -1,0 +1,149 @@
+"""Sparse QR generator tests: fronts, trees, matrices, task graph."""
+
+import pytest
+
+from repro.apps.sparseqr import (
+    EliminationTree,
+    Front,
+    MATRICES,
+    TreeProfile,
+    matrix_by_name,
+    matrix_tree,
+    sparse_qr_program,
+    synthetic_elimination_tree,
+)
+from repro.runtime.dag import task_type_histogram, validate_dag
+from repro.utils.validation import ValidationError
+
+
+class TestFront:
+    def test_cb_bounded_by_min_dim(self):
+        front = Front(0, nrows=1000, ncols=100, npiv=60)
+        assert front.cb_rows == 40  # min(m, n) - k
+        assert front.cb_cols == 40
+
+    def test_factor_flops_positive_and_cubic(self):
+        small = Front(0, 100, 100, 50)
+        big = Front(1, 200, 200, 100)
+        assert 0 < small.factor_flops() < big.factor_flops()
+        assert big.factor_flops() / small.factor_flops() == pytest.approx(8.0, rel=0.1)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValidationError):
+            Front(0, 10, 10, 0)
+        with pytest.raises(ValidationError):
+            Front(0, 5, 10, 8)  # nrows < npiv
+
+
+class TestTreeGen:
+    def test_front_count_close_to_profile(self):
+        profile = TreeProfile(n_fronts=200)
+        tree = synthetic_elimination_tree(profile, seed=1)
+        assert 150 <= len(tree) <= 200
+
+    def test_postorder_children_first(self):
+        tree = synthetic_elimination_tree(TreeProfile(n_fronts=80), seed=2)
+        seen = set()
+        for front in tree.postorder():
+            for child in front.children:
+                assert child.fid in seen
+            seen.add(front.fid)
+
+    def test_flop_targeting(self):
+        profile = TreeProfile(n_fronts=150, root_cols=1500)
+        target = 5e11
+        tree = synthetic_elimination_tree(profile, target_flops=target, seed=3)
+        assert tree.total_factor_flops() == pytest.approx(target, rel=0.25)
+
+    def test_deterministic(self):
+        a = synthetic_elimination_tree(TreeProfile(n_fronts=60), seed=7)
+        b = synthetic_elimination_tree(TreeProfile(n_fronts=60), seed=7)
+        assert [(f.nrows, f.ncols, f.npiv) for f in a.fronts] == [
+            (f.nrows, f.ncols, f.npiv) for f in b.fronts
+        ]
+
+    def test_front_sizes_grow_toward_root(self):
+        tree = synthetic_elimination_tree(TreeProfile(n_fronts=200), seed=4)
+        by_depth: dict[int, list[int]] = {}
+        for front in tree.fronts:
+            by_depth.setdefault(front.depth, []).append(front.ncols)
+        depths = sorted(by_depth)
+        mean_top = sum(by_depth[depths[0]]) / len(by_depth[depths[0]])
+        mean_bottom = sum(by_depth[depths[-1]]) / len(by_depth[depths[-1]])
+        assert mean_top > 2 * mean_bottom
+
+
+class TestMatrices:
+    def test_collection_matches_paper_table(self):
+        assert len(MATRICES) == 10
+        rucci = matrix_by_name("Rucci1")
+        assert (rucci.rows, rucci.cols, rucci.nnz) == (1977885, 109900, 7791168)
+        tf18 = matrix_by_name("TF18")
+        assert tf18.gflops == 229042
+
+    def test_sorted_by_gflops_in_fig7(self):
+        from repro.experiments.fig7_matrices import run_fig7
+
+        rows = run_fig7(scale=0.02)
+        gflops = [r.spec.gflops for r in rows]
+        assert gflops == sorted(gflops)
+
+    def test_unknown_matrix(self):
+        with pytest.raises(ValidationError):
+            matrix_by_name("bogus")
+
+    def test_tree_scales_with_op_count(self):
+        small = matrix_tree(matrix_by_name("cat_ears_4_4"), scale=0.05)
+        large = matrix_tree(matrix_by_name("TF17"), scale=0.05)
+        assert large.total_factor_flops() > 10 * small.total_factor_flops()
+
+
+class TestTaskGraph:
+    def test_valid_dag_with_expected_kernels(self):
+        tree = matrix_tree(matrix_by_name("e18"), scale=0.02)
+        program = sparse_qr_program(tree)
+        validate_dag(program.tasks)
+        hist = task_type_histogram(program.tasks)
+        assert hist["assemble"] > 0
+        assert hist["front_geqrt"] > 0
+        assert hist["front_tsmqr"] > 0
+
+    def test_parent_assembly_depends_on_children(self):
+        tree = synthetic_elimination_tree(TreeProfile(n_fronts=30), seed=5)
+        program = sparse_qr_program(tree)
+        # Any front with children: its assemble must (transitively through
+        # the CB handle) depend on a child task.
+        assembles = [t for t in program.tasks
+                     if t.type_name == "assemble" and t.tag[0] == "assemble"]
+        with_children = [f for f in tree.fronts if f.children]
+        assert with_children
+        by_front = {}
+        for t in assembles:
+            by_front.setdefault(t.tag[1], []).append(t)
+        for front in with_children:
+            deps_ok = any(t.preds for t in by_front[front.fid])
+            assert deps_ok, f"front {front.fid} assembly has no dependencies"
+
+    def test_irregular_granularity(self):
+        """Front size spread must translate into orders-of-magnitude task
+        flop spread — the paper's defining feature of this workload."""
+        tree = matrix_tree(matrix_by_name("TF17"), scale=0.05)
+        program = sparse_qr_program(tree)
+        flops = sorted(t.flops for t in program.tasks if t.flops > 0)
+        assert flops[-1] / flops[0] > 1e3
+
+    def test_2d_fronts_only_above_threshold(self):
+        tree = synthetic_elimination_tree(
+            TreeProfile(n_fronts=40, root_cols=4000), seed=6
+        )
+        program = sparse_qr_program(tree, tile=256, tile2d_threshold=4)
+        hist = task_type_histogram(program.tasks)
+        # tsqrt kernels only appear in 2D-partitioned fronts.
+        assert hist.get("front_tsqrt", 0) > 0
+
+    def test_access_lists_bounded(self):
+        """Assembly chunking must keep access lists small (the heaps scan
+        them in the locality heuristic)."""
+        tree = matrix_tree(matrix_by_name("TF18"), scale=0.02)
+        program = sparse_qr_program(tree)
+        assert max(len(t.accesses) for t in program.tasks) <= 64

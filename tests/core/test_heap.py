@@ -1,0 +1,137 @@
+"""Binary max-heap tests: ordering, removal, staleness, invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.heap import TaskHeap
+from repro.runtime.task import Task, TaskState
+
+
+def make_task(tid: int) -> Task:
+    task = Task(tid, "k", implementations=("cpu",))
+    task.state = TaskState.READY
+    return task
+
+
+class TestBasics:
+    def test_empty(self):
+        heap = TaskHeap()
+        assert len(heap) == 0
+        assert heap.best() is None
+        assert heap.top_candidates(5) == []
+
+    def test_orders_by_gain_first(self):
+        heap = TaskHeap()
+        heap.insert(make_task(0), 0.2, 0.9)
+        heap.insert(make_task(1), 0.8, 0.1)
+        heap.insert(make_task(2), 0.5, 0.5)
+        assert heap.best().gain == 0.8
+
+    def test_criticality_breaks_gain_ties(self):
+        heap = TaskHeap()
+        heap.insert(make_task(0), 0.5, 0.1)
+        top = heap.insert(make_task(1), 0.5, 0.9)
+        assert heap.best() is top
+
+    def test_insertion_order_breaks_full_ties(self):
+        heap = TaskHeap()
+        first = heap.insert(make_task(0), 0.5, 0.5)
+        heap.insert(make_task(1), 0.5, 0.5)
+        assert heap.best() is first
+
+    def test_remove_root_promotes_next(self):
+        heap = TaskHeap()
+        entries = [heap.insert(make_task(i), g, 0.0) for i, g in enumerate((0.9, 0.7, 0.8))]
+        heap.remove(entries[0])
+        assert heap.best().gain == 0.8
+        heap.check_invariants()
+
+    def test_remove_middle_entry(self):
+        heap = TaskHeap()
+        entries = [heap.insert(make_task(i), i / 10, 0.0) for i in range(10)]
+        heap.remove(entries[5])
+        assert len(heap) == 9
+        heap.check_invariants()
+        with pytest.raises(ValueError):
+            heap.remove(entries[5])
+
+    def test_drain_returns_descending_order(self):
+        heap = TaskHeap()
+        gains = [0.3, 0.9, 0.1, 0.7, 0.5, 0.2, 0.8]
+        for i, g in enumerate(gains):
+            heap.insert(make_task(i), g, 0.0)
+        seen = []
+        while len(heap):
+            entry = heap.best()
+            seen.append(entry.gain)
+            heap.remove(entry)
+        assert seen == sorted(gains, reverse=True)
+
+
+class TestStaleness:
+    def test_stale_root_discarded_on_best(self):
+        discarded = []
+        heap = TaskHeap(
+            is_stale=lambda t: t.state is TaskState.DONE,
+            on_discard=discarded.append,
+        )
+        stale_task = make_task(0)
+        heap.insert(stale_task, 0.9, 0.0)
+        live = heap.insert(make_task(1), 0.5, 0.0)
+        stale_task.state = TaskState.DONE
+        assert heap.best() is live
+        assert len(discarded) == 1
+        assert len(heap) == 1
+
+    def test_top_candidates_skips_stale(self):
+        heap = TaskHeap(is_stale=lambda t: t.state is TaskState.DONE)
+        tasks = [make_task(i) for i in range(6)]
+        for i, t in enumerate(tasks):
+            heap.insert(t, 0.5 + i / 100, 0.0)
+        tasks[3].state = TaskState.DONE
+        tasks[5].state = TaskState.DONE
+        window = heap.top_candidates(6)
+        assert all(e.task.state is TaskState.READY for e in window)
+        assert len(window) == 4
+
+    def test_purge_stale_counts(self):
+        heap = TaskHeap(is_stale=lambda t: t.state is TaskState.DONE)
+        tasks = [make_task(i) for i in range(5)]
+        for t in tasks:
+            heap.insert(t, 0.5, 0.0)
+        for t in tasks[:2]:
+            t.state = TaskState.DONE
+        assert heap.purge_stale() == 2
+        assert len(heap) == 3
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1),
+            st.floats(min_value=0, max_value=1),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    st.randoms(use_true_random=False),
+)
+def test_random_insert_remove_preserves_invariants(scores, rng):
+    """Property: any interleaving of inserts and removals keeps the heap
+    ordered with consistent positions."""
+    heap = TaskHeap()
+    entries = []
+    for i, (gain, prio) in enumerate(scores):
+        entries.append(heap.insert(make_task(i), gain, prio))
+        if rng.random() < 0.3 and entries:
+            victim = entries.pop(rng.randrange(len(entries)))
+            heap.remove(victim)
+        heap.check_invariants()
+    # Drain fully; keys must come out non-increasing.
+    last = None
+    while len(heap):
+        entry = heap.best()
+        heap.remove(entry)
+        if last is not None:
+            assert entry.key() <= last
+        last = entry.key()

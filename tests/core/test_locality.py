@@ -1,0 +1,60 @@
+"""LS_SDH² locality score tests (Eq. 3)."""
+
+import pytest
+
+from repro.core.locality import ls_sdh2
+from repro.runtime.data import DataHandle
+from repro.runtime.task import AccessMode, Task
+
+
+def handle(hid: int, size: int, nodes: set[int]) -> DataHandle:
+    h = DataHandle(hid, size, home_node=0)
+    h.valid_nodes = set(nodes)
+    return h
+
+
+def test_reads_count_linearly():
+    h = handle(0, 100, {1})
+    t = Task(0, "k", [(h, AccessMode.R)])
+    assert ls_sdh2(t, 1) == 100.0
+
+
+def test_writes_count_quadratically():
+    h = handle(0, 100, {1})
+    t = Task(0, "k", [(h, AccessMode.W)])
+    assert ls_sdh2(t, 1) == 100.0**2
+
+
+def test_rw_counts_in_both_sums():
+    h = handle(0, 100, {1})
+    t = Task(0, "k", [(h, AccessMode.RW)])
+    assert ls_sdh2(t, 1) == 100.0 + 100.0**2
+
+
+def test_commute_counts_in_both_sums():
+    h = handle(0, 10, {2})
+    t = Task(0, "k", [(h, AccessMode.COMMUTE)])
+    assert ls_sdh2(t, 2) == 10.0 + 100.0
+
+
+def test_non_resident_data_ignored():
+    h = handle(0, 100, {1})
+    t = Task(0, "k", [(h, AccessMode.RW)])
+    assert ls_sdh2(t, 0) == 0.0
+
+
+def test_write_dominates_read_of_same_total_size():
+    """Keeping the written tile local must outweigh an equally-sized
+    read replica — the quadratic term of Eq. 3."""
+    write_h = handle(0, 1000, {1})
+    read_h = handle(1, 1000, {2})
+    t_write_local = Task(0, "k", [(write_h, AccessMode.W), (read_h, AccessMode.R)])
+    assert ls_sdh2(t_write_local, 1) > ls_sdh2(t_write_local, 2)
+
+
+def test_mixed_accesses_sum():
+    h_r = handle(0, 50, {3})
+    h_w = handle(1, 20, {3})
+    h_missing = handle(2, 1000, {0})
+    t = Task(0, "k", [(h_r, AccessMode.R), (h_w, AccessMode.W), (h_missing, AccessMode.R)])
+    assert ls_sdh2(t, 3) == pytest.approx(50.0 + 400.0)

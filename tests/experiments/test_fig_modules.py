@@ -1,0 +1,63 @@
+"""Unit-level tests of the figure experiment modules (no heavy sims)."""
+
+import pytest
+
+from repro.experiments.fig5_dense import KERNELS, TILE_SIZES, Fig5Cell
+from repro.experiments.fig6_fmm import Fig6Cell, Fig6Result
+from repro.experiments.fig8_sparseqr import Fig8Cell, Fig8Result
+
+
+class TestFig5Units:
+    def test_kernel_map_covers_paper_routines(self):
+        assert set(KERNELS) == {"potrf", "getrf", "geqrf"}
+
+    def test_paper_tile_sets(self):
+        assert TILE_SIZES["intel-v100"] == (640, 1280, 2560)
+        assert TILE_SIZES["amd-a100"] == (960, 1920, 3840)
+
+    def test_gain_metric_sign(self):
+        cell = Fig5Cell("m", "potrf", 1000, multiprio_us=80.0, dmdas_us=100.0,
+                        best_tile_multiprio=960, best_tile_dmdas=1920)
+        assert cell.gain_over_dmdas == pytest.approx(0.25)
+        cell2 = Fig5Cell("m", "potrf", 1000, multiprio_us=125.0, dmdas_us=100.0,
+                         best_tile_multiprio=960, best_tile_dmdas=1920)
+        assert cell2.gain_over_dmdas == pytest.approx(-0.2)
+
+
+class TestFig6Units:
+    def make(self):
+        result = Fig6Result()
+        for sched, spans in (("a", (10, 6, 8)), ("b", (9, 7, 7.5))):
+            for streams, span in zip((1, 2, 4), spans):
+                result.cells.append(Fig6Cell("m", sched, streams, span))
+        return result
+
+    def test_best_picks_min_over_streams(self):
+        result = self.make()
+        assert result.best("m", "a").makespan_us == 6
+        assert result.best("m", "a").gpu_streams == 2
+
+    def test_winner(self):
+        assert self.make().winner("m") == "a"
+
+
+class TestFig8Units:
+    def test_ratio_definition(self):
+        cell = Fig8Cell("m", "x", 100.0,
+                        makespans_us={"dmdas": 200.0, "multiprio": 100.0})
+        assert cell.ratio("multiprio") == pytest.approx(2.0)
+        assert cell.ratio("dmdas") == pytest.approx(1.0)
+
+    def test_mean_ratio_per_machine(self):
+        result = Fig8Result()
+        result.cells.append(
+            Fig8Cell("m1", "x", 1.0, makespans_us={"dmdas": 100.0, "multiprio": 50.0})
+        )
+        result.cells.append(
+            Fig8Cell("m1", "y", 2.0, makespans_us={"dmdas": 100.0, "multiprio": 200.0})
+        )
+        result.cells.append(
+            Fig8Cell("m2", "x", 1.0, makespans_us={"dmdas": 100.0, "multiprio": 100.0})
+        )
+        assert result.mean_ratio("m1", "multiprio") == pytest.approx((2.0 + 0.5) / 2)
+        assert result.mean_ratio("m2", "multiprio") == pytest.approx(1.0)

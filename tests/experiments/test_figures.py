@@ -1,0 +1,107 @@
+"""Smoke + shape tests for the figure-level experiments (small scales)."""
+
+import pytest
+
+from repro.experiments.fig4_eviction import format_fig4, run_fig4
+from repro.experiments.fig5_dense import format_fig5, run_fig5
+from repro.experiments.fig6_fmm import format_fig6, run_fig6
+from repro.experiments.fig7_matrices import format_fig7, run_fig7
+from repro.experiments.fig8_sparseqr import format_fig8, run_fig8
+from repro.apps.sparseqr import matrix_by_name
+from repro.platform.machines import intel_v100
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(n_tiles=12, tile_size=960)
+
+    def test_eviction_reduces_gpu_idle(self, result):
+        assert result.with_eviction.gpu_idle_frac < result.without_eviction.gpu_idle_frac
+
+    def test_eviction_improves_makespan(self, result):
+        assert result.with_eviction.makespan_us <= result.without_eviction.makespan_us
+
+    def test_format(self, result):
+        text = format_fig4(result, gantt=True)
+        assert "with eviction" in text and "without eviction" in text
+        assert "|" in text  # gantt rows
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(
+            kernels=("potrf",),
+            machines=[intel_v100(1)],
+            matrix_sizes=(7680,),
+            tile_sizes={"intel-v100": (1280,)},
+        )
+
+    def test_cells_complete(self, result):
+        assert len(result.cells) == 1
+        cell = result.cells[0]
+        assert cell.multiprio_us > 0 and cell.dmdas_us > 0
+        assert cell.best_tile_multiprio == 1280
+
+    def test_format(self, result):
+        assert "gain" in format_fig5(result)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(
+            n_particles=20_000,
+            height=4,
+            stream_counts=(1, 2),
+            machines=("intel-v100",),
+        )
+
+    def test_grid_size(self, result):
+        assert len(result.cells) == 3 * 2
+
+    def test_best_and_winner(self, result):
+        best = result.best("intel-v100", "multiprio")
+        assert best.makespan_us > 0
+        assert result.winner("intel-v100") in ("multiprio", "dmdas", "heteroprio")
+
+    def test_format(self, result):
+        assert "shortest makespan" in format_fig6(result)
+
+
+class TestFig7:
+    def test_all_matrices_synthesized(self):
+        rows = run_fig7(scale=0.02)
+        assert len(rows) == 10
+        for row in rows:
+            assert row.n_fronts > 50
+            assert row.flop_error < 0.6  # min-dims floor the tiny scales
+
+    def test_format_includes_published_columns(self):
+        text = format_fig7(run_fig7(scale=0.02))
+        assert "Rucci1" in text and "mk13-b5" in text
+        assert "1,977,885" in text or "1977885" in text
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(
+            matrices=[matrix_by_name("cat_ears_4_4"), matrix_by_name("e18")],
+            scale=0.02,
+            machines=("intel-v100",),
+        )
+
+    def test_ratios_positive(self, result):
+        for cell in result.cells:
+            for sched in cell.makespans_us:
+                assert cell.ratio(sched) > 0
+            assert cell.ratio("dmdas") == pytest.approx(1.0)
+
+    def test_mean_ratio(self, result):
+        assert result.mean_ratio("intel-v100", "multiprio") > 0
+
+    def test_format(self, result):
+        text = format_fig8(result)
+        assert "multiprio / dmdas" in text

@@ -1,0 +1,60 @@
+"""Experiment harness and reporting tests."""
+
+import pytest
+
+from repro.experiments.harness import run_grid, run_one, speedup_table
+from repro.experiments.reporting import format_series, format_table
+from repro.platform.machines import small_hetero
+from tests.conftest import make_fork_join_program
+
+
+@pytest.fixture(scope="module")
+def grid_rows():
+    program = make_fork_join_program(width=8, flops=5e7)
+    machine = small_hetero(n_cpus=2, n_gpus=1)
+    return run_grid(
+        [program], [machine], ["eager", "dmdas", "multiprio"], experiment="t"
+    )
+
+
+class TestHarness:
+    def test_run_one_returns_row_and_simresult(self):
+        program = make_fork_join_program(width=4)
+        machine = small_hetero(n_cpus=2, n_gpus=1)
+        row, res = run_one(program, machine, "eager", experiment="x", seed=1)
+        assert row.scheduler == "eager"
+        assert row.machine == machine.name
+        assert row.makespan_us == res.makespan > 0
+
+    def test_grid_covers_cartesian_product(self, grid_rows):
+        assert len(grid_rows) == 3
+        assert {r.scheduler for r in grid_rows} == {"eager", "dmdas", "multiprio"}
+
+    def test_speedup_table_reference(self, grid_rows):
+        table = speedup_table(grid_rows, reference="dmdas")
+        ((_, ratios),) = table.items()
+        assert ratios["dmdas"] == pytest.approx(1.0)
+        assert all(r > 0 for r in ratios.values())
+
+    def test_speedup_missing_reference(self, grid_rows):
+        assert speedup_table(grid_rows, reference="nonexistent") == {}
+
+    def test_determinism_across_calls(self):
+        program = make_fork_join_program(width=6)
+        machine = small_hetero(n_cpus=2, n_gpus=1)
+        row1, _ = run_one(program, machine, "multiprio", seed=5, noise_sigma=0.2)
+        row2, _ = run_one(program, machine, "multiprio", seed=5, noise_sigma=0.2)
+        assert row1.makespan_us == row2.makespan_us
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [300, 4.123]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_format_series(self):
+        text = format_series("makespan", ["x1", "x2"], [1.0, 2.0], unit="ms")
+        assert "makespan [ms]" in text
+        assert "x2" in text

@@ -1,0 +1,28 @@
+"""Tests for the Table II / Fig. 3 worked-example experiments."""
+
+import pytest
+
+from repro.experiments.fig3_nod import format_fig3, run_fig3
+from repro.experiments.table2_gain import format_table2, run_table2
+
+
+class TestTable2:
+    def test_reproduces_published_gains(self):
+        result = run_table2()
+        assert result.max_abs_error < 1e-3
+
+    def test_format_contains_both_rows(self):
+        text = format_table2(run_table2())
+        assert "ours" in text and "paper" in text
+        assert "0.631" in text and "0.763" in text
+
+
+class TestFig3:
+    def test_reproduces_published_nod(self):
+        result = run_fig3()
+        assert result.nod_t2 == pytest.approx(2.5)
+        assert result.nod_t3 == pytest.approx(1.0)
+
+    def test_format(self):
+        text = format_fig3(run_fig3())
+        assert "2.5" in text and "1.0" in text

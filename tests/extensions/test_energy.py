@@ -1,0 +1,114 @@
+"""Energy extension tests: accounting and the energy-aware scheduler."""
+
+import pytest
+
+from repro.analysis.validation import check_schedule
+from repro.extensions.energy import (
+    ArchPower,
+    EnergyAwareMultiPrio,
+    PowerModel,
+    energy_of_result,
+)
+from repro.runtime.engine import Simulator
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.schedulers.registry import make_scheduler
+from tests.conftest import make_fork_join_program
+
+
+class TestArchPower:
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ArchPower(busy_watts=0.0, idle_watts=0.0)
+        with pytest.raises(ValueError):
+            ArchPower(busy_watts=10.0, idle_watts=20.0)
+
+
+class TestPowerModel:
+    def test_defaults(self):
+        model = PowerModel()
+        assert model.arch_power("cuda").busy_watts > model.arch_power("cpu").busy_watts
+
+    def test_override(self):
+        model = PowerModel({"cpu": ArchPower(20.0, 5.0)})
+        assert model.arch_power("cpu").busy_watts == 20.0
+        assert model.arch_power("cuda").busy_watts == 250.0
+
+    def test_unknown_arch_has_fallback(self):
+        assert PowerModel().arch_power("tpu").busy_watts > 0
+
+    def test_energy_us(self):
+        model = PowerModel({"cpu": ArchPower(10.0, 1.0)})
+        # 1 s busy + 1 s idle at (10, 1) W = 11 J.
+        assert model.energy_us("cpu", 1e6, 1e6) == pytest.approx(11.0)
+
+
+class TestEnergyOfResult:
+    def test_busy_plus_idle_accounting(self, hetero_machine):
+        program = make_fork_join_program(width=8, flops=5e8)
+        sim = Simulator(
+            hetero_machine.platform(),
+            make_scheduler("multiprio"),
+            AnalyticalPerfModel(hetero_machine.calibration()),
+            seed=0,
+        )
+        res = sim.run(program)
+        joules = energy_of_result(res, sim.platform)
+        assert joules > 0
+        # Upper bound: everything busy at max power the whole makespan.
+        worst = sum(
+            PowerModel().arch_power(a).busy_watts
+            * sim.platform.n_workers(a)
+            * res.makespan
+            * 1e-6
+            for a in sim.platform.archs
+        )
+        assert joules <= worst + 1e-9
+
+    def test_longer_run_costs_more_idle_energy(self, hetero_machine):
+        program = make_fork_join_program(width=4, flops=1e8)
+        sim = Simulator(
+            hetero_machine.platform(),
+            make_scheduler("eager"),
+            AnalyticalPerfModel(hetero_machine.calibration()),
+            seed=0,
+        )
+        res = sim.run(program)
+        base = energy_of_result(res, sim.platform)
+        hot_idle = PowerModel({"cpu": ArchPower(12.0, 11.0)})
+        assert energy_of_result(res, sim.platform, hot_idle) > base
+
+
+class TestEnergyAwareScheduler:
+    def test_is_feasible(self, hetero_machine):
+        program = make_fork_join_program(width=16, flops=5e8)
+        sim = Simulator(
+            hetero_machine.platform(),
+            EnergyAwareMultiPrio(),
+            AnalyticalPerfModel(hetero_machine.calibration()),
+            seed=0,
+        )
+        res = sim.run(program)
+        check_schedule(program, res.trace, sim.platform.workers)
+
+    def test_shifts_work_toward_cpus(self, hetero_machine):
+        """The relaxation must increase (or keep) the CPU share vs the
+        baseline on a GPU-favoured workload."""
+        program = make_fork_join_program(width=48, flops=8e8)
+        pm = AnalyticalPerfModel(hetero_machine.calibration())
+
+        def cpu_share(sched):
+            sim = Simulator(hetero_machine.platform(), sched, pm, seed=0)
+            res = sim.run(program)
+            total = sum(res.exec_time_by_arch.values())
+            return res.exec_time_by_arch.get("cpu", 0.0) / total, res
+
+        base_share, base_res = cpu_share(make_scheduler("multiprio"))
+        energy_share, energy_res = cpu_share(EnergyAwareMultiPrio())
+        assert energy_share >= base_share
+
+    def test_registry_name(self):
+        assert EnergyAwareMultiPrio().name == "multiprio-energy"
+
+    def test_invalid_relax(self):
+        with pytest.raises(Exception):
+            EnergyAwareMultiPrio(energy_relax=0.0)

@@ -1,0 +1,61 @@
+"""History-model integration: calibration improves across repeated runs.
+
+StarPU calibrates its performance models by running; this test drives
+the same loop — a HistoryPerfModel whose cold estimates are pessimistic
+learns the true per-bucket means after one full execution, and the
+estimates then match the measured times.
+"""
+
+import pytest
+
+from repro.platform.machines import small_hetero
+from repro.runtime.engine import Simulator
+from repro.runtime.perfmodel import AnalyticalPerfModel, HistoryPerfModel
+from repro.schedulers.registry import make_scheduler
+from tests.conftest import make_fork_join_program
+
+
+def test_history_model_learns_from_a_run(hetero_machine):
+    truth = AnalyticalPerfModel(hetero_machine.calibration())
+    history = HistoryPerfModel(truth, min_samples=2, cold_factor=3.0)
+    program = make_fork_join_program(width=12, flops=3e8)
+
+    task = program.tasks[1]
+    cold = history.estimate(task, "cpu")
+    assert cold == pytest.approx(3.0 * truth.estimate(task, "cpu"))
+
+    sim = Simulator(hetero_machine.platform(), make_scheduler("eager"), history, seed=0)
+    sim.run(program)
+    # Fork-join: 12 identical middle tasks — plenty of samples per bucket.
+    arch_used = "cpu" if history.n_samples(task, "cpu") >= 2 else "cuda"
+    warm = history.estimate(task, arch_used)
+    assert warm == pytest.approx(truth.estimate(task, arch_used), rel=0.01)
+
+
+def test_calibrated_model_improves_scheduling(hetero_machine):
+    """A dm-family scheduler misled by 5x-pessimistic GPU cold estimates
+    must recover once the history model has calibrated."""
+    truth = AnalyticalPerfModel(hetero_machine.calibration())
+    program = make_fork_join_program(width=24, flops=8e8)
+
+    class GpuPessimist(HistoryPerfModel):
+        def estimate(self, task, arch):
+            value = super().estimate(task, arch)
+            key = self._key(task, arch)
+            if arch == "cuda" and self._counts.get(key, 0) < self.min_samples:
+                return value * 5.0
+            return value
+
+    history = GpuPessimist(truth, min_samples=2)
+    spans = []
+    for _ in range(3):
+        sim = Simulator(
+            hetero_machine.platform(), make_scheduler("dmda"), history, seed=0
+        )
+        spans.append(sim.run(program).makespan)
+    assert spans[-1] <= spans[0] * 1.001  # calibration never hurts here
+    # And the calibrated run matches the oracle-model run.
+    oracle = Simulator(
+        hetero_machine.platform(), make_scheduler("dmda"), truth, seed=0
+    ).run(program)
+    assert spans[-1] == pytest.approx(oracle.makespan, rel=0.05)

@@ -1,0 +1,103 @@
+"""Machine model tests: the paper's two platforms and the calibrations."""
+
+import pytest
+
+from repro.platform.calibration import (
+    default_calibration,
+    dense_calibration,
+    fmm_calibration,
+    sparseqr_calibration,
+)
+from repro.platform.machines import (
+    MACHINES,
+    amd_a100,
+    cpu_only,
+    fig4_machine,
+    intel_v100,
+    small_hetero,
+)
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.task import Task
+from repro.utils.validation import ValidationError
+
+
+class TestMachines:
+    def test_intel_v100_topology(self):
+        plat = intel_v100(gpu_streams=4).platform()
+        assert plat.n_workers("cpu") == 30  # 32 cores - 2 GPU drivers
+        assert plat.n_workers("cuda") == 8  # 2 GPUs x 4 streams
+        assert len(plat.nodes) == 3
+
+    def test_amd_a100_has_more_slower_cpus(self):
+        intel = intel_v100(1)
+        amd = amd_a100(1)
+        assert amd.platform().n_workers("cpu") > 2 * intel.platform().n_workers("cpu") - 4
+        # Per-core rate about half (the paper's "each CPU is 2x slower").
+        t = Task(0, "gemm", flops=1e9, implementations=("cpu",))
+        ti = AnalyticalPerfModel(intel.calibration()).estimate(t, "cpu")
+        t2 = Task(1, "gemm", flops=1e9, implementations=("cpu",))
+        ta = AnalyticalPerfModel(amd.calibration()).estimate(t2, "cpu")
+        assert ta == pytest.approx(2 * ti, rel=0.1)
+
+    def test_amd_gpus_faster(self):
+        t = Task(0, "gemm", flops=5e9, implementations=("cuda",))
+        ti = AnalyticalPerfModel(intel_v100().calibration()).estimate(t, "cuda")
+        t2 = Task(1, "gemm", flops=5e9, implementations=("cuda",))
+        ta = AnalyticalPerfModel(amd_a100().calibration()).estimate(t2, "cuda")
+        assert ta < ti / 1.5
+
+    def test_fig4_machine_shape(self):
+        plat = fig4_machine().platform()
+        assert plat.n_workers("cpu") == 6
+        assert plat.n_workers("cuda") == 1
+
+    def test_cpu_only(self):
+        plat = cpu_only(5).platform()
+        assert plat.archs == ["cpu"]
+        assert plat.n_workers() == 5
+
+    def test_invalid_streams(self):
+        with pytest.raises(ValidationError):
+            intel_v100(gpu_streams=0)
+        with pytest.raises(ValidationError):
+            amd_a100(gpu_streams=-1)
+
+    def test_registry(self):
+        assert set(MACHINES) >= {"intel-v100", "amd-a100", "fig4"}
+        assert MACHINES["intel-v100"]().name == "intel-v100"
+
+
+class TestCalibrations:
+    @pytest.mark.parametrize(
+        "factory", [dense_calibration, fmm_calibration, sparseqr_calibration]
+    )
+    def test_default_fallback_exists(self, factory):
+        table = factory()
+        assert table.has("unheard-of-kernel", "cpu")
+        assert table.has("unheard-of-kernel", "cuda")
+
+    def test_gpu_wins_big_gemm_cpu_wins_small(self):
+        pm = AnalyticalPerfModel(default_calibration())
+        big = Task(0, "gemm", flops=2e9, implementations=("cpu", "cuda"))
+        small = Task(1, "gemm", flops=1e5, implementations=("cpu", "cuda"))
+        assert pm.estimate(big, "cuda") < pm.estimate(big, "cpu")
+        assert pm.estimate(small, "cpu") < pm.estimate(small, "cuda")
+
+    def test_tree_kernels_are_cpu_best(self):
+        """FMM M2M/L2L must favour the CPU at any realistic size."""
+        pm = AnalyticalPerfModel(fmm_calibration())
+        for flops in (1e4, 1e6, 1e7):
+            t = Task(0, "m2m", flops=flops, implementations=("cpu", "cuda"))
+            assert pm.estimate(t, "cpu") < pm.estimate(t, "cuda")
+            t._est_cache.clear()
+
+    def test_p2p_is_gpu_best_at_scale(self):
+        pm = AnalyticalPerfModel(fmm_calibration())
+        t = Task(0, "p2p", flops=5e8, implementations=("cpu", "cuda"))
+        assert pm.estimate(t, "cuda") < pm.estimate(t, "cpu") / 10
+
+    def test_scaling_factors_apply(self):
+        base = dense_calibration(1.0, 1.0)
+        scaled = dense_calibration(2.0, 3.0)
+        assert scaled.lookup("gemm", "cpu").gflops == 2 * base.lookup("gemm", "cpu").gflops
+        assert scaled.lookup("gemm", "cuda").gflops == 3 * base.lookup("gemm", "cuda").gflops

@@ -1,0 +1,167 @@
+"""GPU memory capacity and LRU replica eviction tests."""
+
+import pytest
+
+from repro.runtime.data import DataHandle
+from repro.runtime.memory import Link, MemoryNode, TransferEngine
+from repro.utils.validation import ValidationError
+
+
+def bounded_engine(capacity=1000):
+    nodes = [
+        MemoryNode(0, "ram", "ram", "cpu"),
+        MemoryNode(1, "gpu0", "gpu", "cuda", capacity=capacity),
+    ]
+    links = [Link(0, 1, 1000.0, 1.0), Link(1, 0, 1000.0, 1.0)]
+    return TransferEngine(nodes, links)
+
+
+class TestCapacityAccounting:
+    def test_usage_tracks_fetches(self):
+        eng = bounded_engine(1000)
+        h = DataHandle(0, 400, home_node=0)
+        eng.fetch(h, 1, now=0.0)
+        assert eng.usage(1) == 400
+        assert eng.usage(0) == 0  # unbounded nodes are not tracked
+
+    def test_invalidation_releases_usage(self):
+        eng = bounded_engine(1000)
+        h = DataHandle(0, 400, home_node=0)
+        eng.fetch(h, 1, now=0.0)
+        eng.invalidate_others(h, keep=0, now=1.0)
+        assert eng.usage(1) == 0
+
+    def test_write_target_accounted(self):
+        eng = bounded_engine(1000)
+        h = DataHandle(0, 300, home_node=0)
+        eng.invalidate_others(h, keep=1, now=0.0)
+        assert eng.usage(1) == 300
+
+
+class TestLRUEviction:
+    def test_lru_replica_evicted_under_pressure(self):
+        eng = bounded_engine(1000)
+        old = DataHandle(0, 600, home_node=0)
+        new1 = DataHandle(1, 300, home_node=0)
+        new2 = DataHandle(2, 300, home_node=0)
+        eng.fetch(old, 1, now=0.0)
+        eng.fetch(new1, 1, now=10.0)
+        eng.fetch(new2, 1, now=2000.0)  # needs room: old is LRU
+        assert not old.is_valid_on(1)
+        assert old.is_valid_on(0)  # the RAM copy survives
+        assert new1.is_valid_on(1) and new2.is_valid_on(1)
+        assert eng.n_evictions == 1
+        assert eng.usage(1) == 600
+
+    def test_recently_touched_survives(self):
+        eng = bounded_engine(1000)
+        a = DataHandle(0, 500, home_node=0)
+        b = DataHandle(1, 400, home_node=0)
+        eng.fetch(a, 1, now=0.0)
+        eng.fetch(b, 1, now=10.0)
+        eng.touch(a, 1, now=2000.0)  # refresh a: b becomes LRU
+        c = DataHandle(2, 500, home_node=0)
+        eng.fetch(c, 1, now=3000.0)
+        assert a.is_valid_on(1)
+        assert not b.is_valid_on(1)
+
+    def test_pinned_replica_never_evicted(self):
+        eng = bounded_engine(1000)
+        pinned = DataHandle(0, 600, home_node=0)
+        eng.fetch(pinned, 1, now=0.0)
+        eng.pin(pinned, 1)
+        other = DataHandle(1, 600, home_node=0)
+        eng.fetch(other, 1, now=2000.0)
+        assert pinned.is_valid_on(1)
+        assert eng.n_overcommits == 1  # could not make room
+        eng.unpin(pinned, 1)
+        third = DataHandle(2, 600, home_node=0)
+        eng.fetch(third, 1, now=4000.0)
+        assert not pinned.is_valid_on(1)
+
+    def test_sole_copy_never_evicted(self):
+        eng = bounded_engine(1000)
+        only = DataHandle(0, 600, home_node=1)  # lives on the GPU only
+        eng._account_insert(only, 1, 0.0)
+        other = DataHandle(1, 600, home_node=0)
+        eng.fetch(other, 1, now=100.0)
+        assert only.is_valid_on(1)
+        assert eng.n_overcommits == 1
+
+    def test_reset_clears_residency(self):
+        eng = bounded_engine(1000)
+        h = DataHandle(0, 500, home_node=0)
+        eng.fetch(h, 1, now=0.0)
+        eng.reset_runtime_state()
+        assert eng.usage(1) == 0
+        assert eng.n_evictions == 0
+
+
+class TestEndToEnd:
+    def test_small_gpu_forces_retransfers(self):
+        """With a GPU smaller than the working set, data ping-pongs and
+        total traffic grows vs an unbounded GPU."""
+        from repro.platform.machines import MachineModel
+        from repro.runtime.engine import Simulator
+        from repro.runtime.perfmodel import AnalyticalPerfModel
+        from repro.runtime.platform_config import (
+            LinkSpec,
+            MachineSpec,
+            MemoryNodeSpec,
+        )
+        from repro.runtime.stf import TaskFlow
+        from repro.runtime.task import AccessMode
+        from repro.schedulers.registry import make_scheduler
+        from repro.platform.calibration import default_calibration
+
+        def machine(capacity):
+            spec = MachineSpec(
+                "tiny",
+                nodes=(
+                    MemoryNodeSpec("ram", "ram", "cpu", 1),
+                    MemoryNodeSpec("gpu0", "gpu", "cuda", 1, capacity=capacity),
+                ),
+                links=(LinkSpec("ram", "gpu0", 12.0), LinkSpec("gpu0", "ram", 12.0)),
+            )
+            return MachineModel(spec, 1.0, 1.0)
+
+        def build():
+            flow = TaskFlow()
+            handles = [flow.data(2 * 2**20) for _ in range(8)]  # 16 MiB set
+            for h in handles:
+                flow.submit("init", [(h, AccessMode.W)], flops=1.0,
+                            implementations=("cpu",))
+            barrier = None
+            for _ in range(3):  # three GPU sweeps over the whole set
+                for h in handles:
+                    accesses = [(h, AccessMode.R)]
+                    if barrier is not None:
+                        accesses.append((barrier, AccessMode.R))
+                    flow.submit("gemm", accesses, flops=5e8,
+                                implementations=("cuda",))
+                # Barrier between sweeps: forces the full-set reuse
+                # distance so a small GPU memory must churn replicas.
+                barrier = flow.data(8)
+                sync = [(h, AccessMode.R) for h in handles]
+                sync.append((barrier, AccessMode.W))
+                flow.submit("sync", sync, flops=1.0, implementations=("cpu",))
+            return flow.program()
+
+        def run(capacity):
+            m = machine(capacity)
+            sim = Simulator(
+                m.platform(),
+                make_scheduler("eager"),
+                AnalyticalPerfModel(default_calibration()),
+                seed=0,
+            )
+            return sim.run(build())
+
+        unbounded = run(None)
+        tight = run(6 * 2**20)  # holds only 3 of 8 handles
+        assert tight.bytes_transferred > unbounded.bytes_transferred
+        assert tight.makespan >= unbounded.makespan
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            MemoryNode(0, "x", "gpu", "cuda", capacity=0)

@@ -1,0 +1,113 @@
+"""DAG utility tests: topological order, levels, critical path."""
+
+import pytest
+
+from repro.runtime.dag import (
+    bottom_levels,
+    critical_path_length,
+    critical_path_tasks,
+    max_width,
+    task_type_histogram,
+    top_levels,
+    topological_order,
+    validate_dag,
+    work_per_type,
+)
+from repro.runtime.stf import TaskFlow
+from repro.runtime.task import AccessMode, Task
+from repro.utils.validation import ValidationError
+
+R, W, RW = AccessMode.R, AccessMode.RW, AccessMode.RW
+
+
+def diamond():
+    """a -> (b, c) -> d with distinct flops."""
+    flow = TaskFlow()
+    h1, h2 = flow.data(8), flow.data(8)
+    a = flow.submit("a", [(h1, AccessMode.W), (h2, AccessMode.W)], flops=1.0)
+    b = flow.submit("b", [(h1, AccessMode.RW)], flops=10.0)
+    c = flow.submit("c", [(h2, AccessMode.RW)], flops=3.0)
+    d = flow.submit("d", [(h1, AccessMode.R), (h2, AccessMode.R)], flops=2.0)
+    return flow.program(), (a, b, c, d)
+
+
+def test_topological_order_respects_edges():
+    program, _ = diamond()
+    order = topological_order(program.tasks)
+    pos = {t.tid: i for i, t in enumerate(order)}
+    for task in program.tasks:
+        for pred in task.preds:
+            assert pos[pred.tid] < pos[task.tid]
+
+
+def test_cycle_detected():
+    a = Task(0, "a")
+    b = Task(1, "b")
+    a.preds.append(b); b.succs.append(a)
+    b.preds.append(a); a.succs.append(b)
+    with pytest.raises(ValidationError, match="cycle"):
+        topological_order([a, b])
+
+
+def test_validate_dag_catches_asymmetric_edge():
+    a = Task(0, "a")
+    b = Task(1, "b")
+    b.preds.append(a)  # missing a.succs entry
+    with pytest.raises(ValidationError, match="successor list"):
+        validate_dag([a, b])
+
+
+def test_validate_dag_catches_self_loop():
+    a = Task(0, "a")
+    a.preds.append(a)
+    a.succs.append(a)
+    with pytest.raises(ValidationError, match="itself"):
+        validate_dag([a])
+
+
+def test_bottom_levels_diamond():
+    program, (a, b, c, d) = diamond()
+    levels = bottom_levels(program.tasks, lambda t: t.flops)
+    assert levels[d.tid] == 2.0
+    assert levels[b.tid] == 12.0
+    assert levels[c.tid] == 5.0
+    assert levels[a.tid] == 13.0
+
+
+def test_top_levels_diamond():
+    program, (a, b, c, d) = diamond()
+    levels = top_levels(program.tasks, lambda t: t.flops)
+    assert levels[a.tid] == 0.0
+    assert levels[b.tid] == 1.0
+    assert levels[d.tid] == 11.0  # through b
+
+
+def test_critical_path_length_and_chain():
+    program, (a, b, c, d) = diamond()
+    assert critical_path_length(program.tasks, lambda t: t.flops) == 13.0
+    chain = critical_path_tasks(program.tasks, lambda t: t.flops)
+    assert [t.tid for t in chain] == [a.tid, b.tid, d.tid]
+
+
+def test_critical_path_empty():
+    assert critical_path_length([], lambda t: 1.0) == 0.0
+    assert critical_path_tasks([], lambda t: 1.0) == []
+
+
+def test_histogram_and_work():
+    program, _ = diamond()
+    assert task_type_histogram(program.tasks) == {"a": 1, "b": 1, "c": 1, "d": 1}
+    assert work_per_type(program.tasks)["b"] == 10.0
+
+
+def test_max_width_diamond():
+    program, _ = diamond()
+    assert max_width(program.tasks) == 2
+
+
+def test_max_width_chain():
+    flow = TaskFlow()
+    h = flow.data(8)
+    for _ in range(5):
+        flow.submit("t", [(h, AccessMode.RW)])
+    assert max_width(flow.program().tasks) == 1

@@ -1,0 +1,203 @@
+"""Simulation engine tests: correctness, determinism, pipelining."""
+
+import pytest
+
+from repro.analysis.validation import check_schedule
+from repro.runtime.dag import critical_path_length
+from repro.runtime.engine import Simulator
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.stf import TaskFlow
+from repro.runtime.task import AccessMode, Task, TaskState
+from repro.runtime.worker import Worker
+from repro.schedulers.base import Scheduler
+from repro.schedulers.eager import Eager
+from repro.utils.validation import DeadlockError, SchedulingError
+from tests.conftest import make_chain_program, make_fork_join_program
+
+
+def simulate(machine, program, scheduler=None, **kw):
+    sim = Simulator(
+        machine.platform(),
+        scheduler or Eager(),
+        AnalyticalPerfModel(machine.calibration()),
+        seed=0,
+        **kw,
+    )
+    return sim, sim.run(program)
+
+
+class TestCompleteness:
+    def test_all_tasks_executed(self, hetero_machine):
+        program = make_fork_join_program(width=8)
+        sim, res = simulate(hetero_machine, program)
+        assert res.n_tasks == len(program)
+        assert all(t.state is TaskState.DONE for t in program.tasks)
+
+    def test_schedule_is_feasible(self, hetero_machine):
+        program = make_fork_join_program(width=8)
+        sim, res = simulate(hetero_machine, program)
+        check_schedule(program, res.trace, sim.platform.workers)
+
+    def test_empty_program(self, hetero_machine):
+        program = TaskFlow("empty").program()
+        _, res = simulate(hetero_machine, program)
+        assert res.makespan == 0.0
+        assert res.n_tasks == 0
+
+    def test_chain_respects_order(self, hetero_machine):
+        program = make_chain_program(n=6)
+        sim, res = simulate(hetero_machine, program)
+        records = sorted(res.trace.task_records, key=lambda r: r.start)
+        tids = [r.tid for r in records]
+        assert tids == sorted(tids)
+
+
+class TestDeterminism:
+    def test_same_seed_same_makespan(self, hetero_machine):
+        program = make_fork_join_program(width=10)
+        _, res1 = simulate(hetero_machine, program)
+        _, res2 = simulate(hetero_machine, program)
+        assert res1.makespan == res2.makespan
+
+    def test_program_reusable_across_runs(self, hetero_machine, two_gpu_machine):
+        program = make_fork_join_program(width=10)
+        _, res1 = simulate(hetero_machine, program)
+        _, res2 = simulate(two_gpu_machine, program)
+        _, res3 = simulate(hetero_machine, program)
+        assert res1.makespan == res3.makespan
+        assert res2.makespan != 0
+
+
+class TestTimingModel:
+    def test_makespan_at_least_critical_path(self, hetero_machine):
+        program = make_chain_program(n=8, flops=1e8)
+        pm = AnalyticalPerfModel(hetero_machine.calibration())
+        cp = critical_path_length(
+            program.tasks,
+            lambda t: min(pm.estimate(t, a) for a in ("cpu", "cuda")),
+        )
+        _, res = simulate(hetero_machine, program)
+        assert res.makespan >= cp - 1e-6
+
+    def test_serial_chain_has_no_parallel_speedup(self, hetero_machine, cpu_machine):
+        program = make_chain_program(n=6, flops=1e8)
+        _, res_many = simulate(hetero_machine, program)
+        _, res_cpu = simulate(cpu_machine, program)
+        # Chain length dominated by per-task time; more workers cannot help
+        # beyond running each task on the fastest unit.
+        assert res_many.makespan <= res_cpu.makespan
+
+    def test_transfer_wait_recorded(self, hetero_machine):
+        flow = TaskFlow()
+        big = flow.data(64 * 2**20, label="big")  # 64 MiB
+        flow.submit("init", [(big, AccessMode.W)], flops=1e6, implementations=("cpu",))
+        flow.submit("gemm", [(big, AccessMode.R)], flops=1e6, implementations=("cuda",))
+        program = flow.program()
+        sim, res = simulate(hetero_machine, program)
+        gpu_rec = [r for r in res.trace.task_records if r.type_name == "gemm"][0]
+        assert gpu_rec.wait_time > 0  # had to fetch 64 MiB over PCIe
+        assert res.bytes_transferred == 64 * 2**20
+
+    def test_noise_changes_durations_but_not_validity(self, hetero_machine):
+        program = make_fork_join_program(width=6)
+        pm = AnalyticalPerfModel(hetero_machine.calibration(), noise_sigma=0.4)
+        sim = Simulator(hetero_machine.platform(), Eager(), pm, seed=7)
+        res = sim.run(program)
+        check_schedule(program, res.trace, sim.platform.workers)
+
+
+class TestPipeline:
+    def test_pipeline_overlaps_transfers(self):
+        """With lookahead, a GPU's next task's transfer overlaps the
+        current execution, so total makespan shrinks. One GPU worker so
+        the overlap cannot come from a sibling stream."""
+        from repro.platform.machines import small_hetero
+
+        machine = small_hetero(n_cpus=1, n_gpus=1, gpu_streams=1)
+        flow = TaskFlow()
+        handles = [flow.data(8 * 2**20, label=f"h{i}") for i in range(8)]
+        for h in handles:
+            flow.submit("init", [(h, AccessMode.W)], flops=1e3, implementations=("cpu",))
+        for h in handles:
+            flow.submit("gemm", [(h, AccessMode.R)], flops=5e9, implementations=("cuda",))
+        program = flow.program()
+        _, res_pipe = simulate(machine, program, pipeline=True)
+        _, res_nopipe = simulate(machine, program, pipeline=False)
+        assert res_pipe.makespan < res_nopipe.makespan
+
+    def test_pipeline_preserves_feasibility(self, hetero_machine):
+        program = make_fork_join_program(width=12)
+        sim, res = simulate(hetero_machine, program, pipeline=True)
+        check_schedule(program, res.trace, sim.platform.workers)
+
+
+class _NullScheduler(Scheduler):
+    """Never returns work: must trigger the deadlock diagnosis."""
+
+    name = "null"
+
+    def push(self, task: Task) -> None:
+        pass
+
+    def pop(self, worker: Worker) -> Task | None:
+        return None
+
+
+class _WrongArchScheduler(Eager):
+    """Returns tasks to workers that cannot execute them."""
+
+    name = "wrong-arch"
+
+    def pop(self, worker: Worker) -> Task | None:
+        task = self._queue.popleft() if self._queue else None
+        return task
+
+
+class TestErrorHandling:
+    def test_null_scheduler_deadlocks(self, hetero_machine):
+        program = make_chain_program(n=3)
+        with pytest.raises(DeadlockError, match="stalled"):
+            simulate(hetero_machine, program, scheduler=_NullScheduler())
+
+    def test_wrong_arch_assignment_rejected(self, hetero_machine):
+        flow = TaskFlow()
+        h = flow.data(8)
+        flow.submit("t", [(h, AccessMode.W)], implementations=("cuda",))
+        program = flow.program()
+        with pytest.raises(SchedulingError, match="implementation"):
+            # CPU worker (wid 0) requests first and receives the cuda task.
+            simulate(hetero_machine, program, scheduler=_WrongArchScheduler())
+
+    def test_unexecutable_program_rejected(self, cpu_machine):
+        flow = TaskFlow()
+        h = flow.data(8)
+        flow.submit("t", [(h, AccessMode.W)], implementations=("cuda",))
+        program = flow.program()
+        with pytest.raises(SchedulingError, match="platform"):
+            simulate(cpu_machine, program)
+
+
+class TestAccounting:
+    def test_idle_fractions_bounded(self, hetero_machine):
+        program = make_fork_join_program(width=8)
+        _, res = simulate(hetero_machine, program)
+        for frac in res.idle_frac_by_arch.values():
+            assert 0.0 <= frac <= 1.0
+
+    def test_exec_time_by_arch_sums_to_busy_time(self, hetero_machine):
+        program = make_fork_join_program(width=8)
+        _, res = simulate(hetero_machine, program)
+        total_exec = sum(r.exec_time for r in res.trace.task_records)
+        assert sum(res.exec_time_by_arch.values()) == pytest.approx(total_exec)
+
+    def test_gflops_property(self, hetero_machine):
+        program = make_fork_join_program(width=4, flops=1e9)
+        _, res = simulate(hetero_machine, program)
+        expected = res.total_flops / (res.makespan * 1e-6) / 1e9
+        assert res.gflops == pytest.approx(expected)
+
+    def test_record_trace_off(self, hetero_machine):
+        program = make_fork_join_program(width=4)
+        _, res = simulate(hetero_machine, program, record_trace=False)
+        assert res.trace is None
+        assert res.makespan > 0

@@ -1,0 +1,145 @@
+"""Transfer engine tests: links, routing, contention, coherence."""
+
+import pytest
+
+from repro.runtime.data import DataHandle
+from repro.runtime.memory import Link, MemoryNode, TransferEngine
+from repro.utils.validation import ValidationError
+
+
+def engine_3nodes() -> TransferEngine:
+    """RAM (0) <-> GPU0 (1), RAM <-> GPU1 (2); no GPU-GPU peer link."""
+    nodes = [
+        MemoryNode(0, "ram", "ram", "cpu"),
+        MemoryNode(1, "gpu0", "gpu", "cuda"),
+        MemoryNode(2, "gpu1", "gpu", "cuda"),
+    ]
+    links = [
+        Link(0, 1, bandwidth=1000.0, latency=5.0),
+        Link(1, 0, bandwidth=1000.0, latency=5.0),
+        Link(0, 2, bandwidth=1000.0, latency=5.0),
+        Link(2, 0, bandwidth=1000.0, latency=5.0),
+    ]
+    return TransferEngine(nodes, links)
+
+
+class TestLink:
+    def test_duration(self):
+        link = Link(0, 1, bandwidth=100.0, latency=2.0)
+        assert link.duration(1000) == pytest.approx(12.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValidationError):
+            Link(0, 1, bandwidth=0.0, latency=1.0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValidationError):
+            Link(0, 1, bandwidth=1.0, latency=-1.0)
+
+
+class TestFetch:
+    def test_local_data_is_free(self):
+        eng = engine_3nodes()
+        h = DataHandle(0, 1000, home_node=1)
+        assert eng.fetch(h, 1, now=10.0) == 10.0
+
+    def test_direct_transfer_time(self):
+        eng = engine_3nodes()
+        h = DataHandle(0, 1000, home_node=0)
+        arrival = eng.fetch(h, 1, now=0.0)
+        assert arrival == pytest.approx(5.0 + 1.0)
+        assert h.is_valid_on(1)
+        assert h.is_valid_on(0)  # read replica, source stays valid
+
+    def test_relay_through_ram(self):
+        eng = engine_3nodes()
+        h = DataHandle(0, 1000, home_node=1)
+        arrival = eng.fetch(h, 2, now=0.0)
+        assert arrival == pytest.approx(2 * (5.0 + 1.0))
+        assert h.is_valid_on(2)
+
+    def test_link_contention_serializes(self):
+        eng = engine_3nodes()
+        h1 = DataHandle(0, 1000, home_node=0)
+        h2 = DataHandle(1, 1000, home_node=0)
+        a1 = eng.fetch(h1, 1, now=0.0)
+        a2 = eng.fetch(h2, 1, now=0.0)
+        assert a2 == pytest.approx(a1 + 5.0 + 1.0)
+
+    def test_different_links_are_independent(self):
+        eng = engine_3nodes()
+        h1 = DataHandle(0, 1000, home_node=0)
+        h2 = DataHandle(1, 1000, home_node=0)
+        a1 = eng.fetch(h1, 1, now=0.0)
+        a2 = eng.fetch(h2, 2, now=0.0)
+        assert a1 == pytest.approx(a2)
+
+    def test_in_flight_transfer_shared(self):
+        eng = engine_3nodes()
+        h = DataHandle(0, 1000, home_node=0)
+        a1 = eng.fetch(h, 1, now=0.0)
+        a2 = eng.fetch(h, 1, now=1.0)  # second reader, same destination
+        assert a2 == a1
+        assert eng.total_bytes_moved() == 1000
+
+    def test_zero_size_is_free(self):
+        eng = engine_3nodes()
+        h = DataHandle(0, 0, home_node=0)
+        assert eng.fetch(h, 1, now=3.0) == 3.0
+        assert eng.total_bytes_moved() == 0
+
+    def test_unreachable_destination_raises(self):
+        nodes = [MemoryNode(0, "a", "gpu", "cuda"), MemoryNode(1, "b", "gpu", "cuda")]
+        eng = TransferEngine(nodes, [])
+        h = DataHandle(0, 10, home_node=0)
+        with pytest.raises(ValidationError, match="no route"):
+            eng.fetch(h, 1, now=0.0)
+
+    def test_picks_fastest_source(self):
+        eng = engine_3nodes()
+        h = DataHandle(0, 1000, home_node=1)
+        eng.fetch(h, 0, now=0.0)  # replicate to RAM
+        # Now valid on {0, 1}; fetching to 2 should go direct from RAM.
+        arrival = eng.fetch(h, 2, now=100.0)
+        assert arrival == pytest.approx(106.0)
+
+
+class TestCoherence:
+    def test_invalidate_others(self):
+        eng = engine_3nodes()
+        h = DataHandle(0, 1000, home_node=0)
+        eng.fetch(h, 1, now=0.0)
+        eng.fetch(h, 2, now=0.0)
+        assert h.valid_nodes == {0, 1, 2}
+        eng.invalidate_others(h, keep=1)
+        assert h.valid_nodes == {1}
+
+    def test_estimate_has_no_side_effects(self):
+        eng = engine_3nodes()
+        h = DataHandle(0, 1000, home_node=0)
+        est = eng.estimate_fetch(h, 1, now=0.0)
+        assert est == pytest.approx(6.0)
+        assert not h.is_valid_on(1)
+        assert eng.total_bytes_moved() == 0
+
+    def test_estimate_accounts_for_queueing(self):
+        eng = engine_3nodes()
+        h1 = DataHandle(0, 1000, home_node=0)
+        h2 = DataHandle(1, 1000, home_node=0)
+        eng.fetch(h1, 1, now=0.0)
+        est = eng.estimate_fetch(h2, 1, now=0.0)
+        assert est == pytest.approx(12.0)
+
+    def test_reset_runtime_state(self):
+        eng = engine_3nodes()
+        h = DataHandle(0, 1000, home_node=0)
+        eng.fetch(h, 1, now=0.0)
+        eng.reset_runtime_state()
+        assert eng.total_bytes_moved() == 0
+        assert all(link.busy_until == 0.0 for link in eng.links())
+
+    def test_duplicate_link_rejected(self):
+        nodes = [MemoryNode(0, "a", "ram", "cpu"), MemoryNode(1, "b", "gpu", "cuda")]
+        links = [Link(0, 1, 1.0, 0.0), Link(0, 1, 2.0, 0.0)]
+        with pytest.raises(ValidationError, match="duplicate"):
+            TransferEngine(nodes, links)

@@ -1,0 +1,146 @@
+"""Performance model tests: calibration, ramps, history learning."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.perfmodel import (
+    AnalyticalPerfModel,
+    CalibrationTable,
+    HistoryPerfModel,
+    KernelCalibration,
+)
+from repro.runtime.task import Task
+from repro.utils.rng import make_rng
+from repro.utils.validation import ValidationError
+
+
+def table(**entries) -> CalibrationTable:
+    base = {
+        ("gemm", "cpu"): KernelCalibration(10.0, 1.0),
+        ("gemm", "cuda"): KernelCalibration(1000.0, 10.0, ramp_flops=1e8),
+        ("*", "cpu"): KernelCalibration(5.0, 1.0),
+        ("*", "cuda"): KernelCalibration(500.0, 10.0),
+    }
+    base.update(entries)
+    return CalibrationTable(base)
+
+
+def task(type_name="gemm", flops=1e9) -> Task:
+    return Task(0, type_name, flops=flops, implementations=("cpu", "cuda"))
+
+
+class TestKernelCalibration:
+    def test_time_is_overhead_plus_flops(self):
+        calib = KernelCalibration(10.0, overhead_us=2.0)  # 10 GF = 1e4 flop/us
+        assert calib.time_us(1e6) == pytest.approx(2.0 + 100.0)
+
+    def test_zero_flops_costs_overhead_only(self):
+        calib = KernelCalibration(10.0, overhead_us=2.0, ramp_flops=1e9)
+        assert calib.time_us(0.0) == 2.0
+
+    def test_ramp_penalizes_small_kernels(self):
+        fast_but_wide = KernelCalibration(1000.0, 0.0, ramp_flops=1e8)
+        slow_but_lean = KernelCalibration(20.0, 0.0, ramp_flops=0.0)
+        small, large = 1e5, 1e10
+        assert slow_but_lean.time_us(small) < fast_but_wide.time_us(small)
+        assert fast_but_wide.time_us(large) < slow_but_lean.time_us(large)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValidationError):
+            KernelCalibration(0.0)
+        with pytest.raises(ValidationError):
+            KernelCalibration(1.0, overhead_us=-1.0)
+        with pytest.raises(ValidationError):
+            KernelCalibration(1.0, ramp_flops=-5.0)
+
+
+class TestCalibrationTable:
+    def test_specific_entry_wins_over_default(self):
+        t = table()
+        assert t.lookup("gemm", "cpu").gflops == 10.0
+        assert t.lookup("unknown", "cpu").gflops == 5.0
+
+    def test_missing_arch_raises(self):
+        t = CalibrationTable({("gemm", "cpu"): KernelCalibration(1.0)})
+        with pytest.raises(ValidationError, match="no calibration"):
+            t.lookup("gemm", "cuda")
+
+    def test_has(self):
+        t = table()
+        assert t.has("gemm", "cuda")
+        assert t.has("anything", "cpu")  # default entry
+        assert not CalibrationTable({}).has("gemm", "cpu")
+
+    def test_with_entry_is_a_copy(self):
+        t = table()
+        t2 = t.with_entry("gemm", "cpu", KernelCalibration(99.0))
+        assert t.lookup("gemm", "cpu").gflops == 10.0
+        assert t2.lookup("gemm", "cpu").gflops == 99.0
+
+
+class TestAnalyticalModel:
+    def test_estimate_matches_calibration(self):
+        model = AnalyticalPerfModel(table())
+        t = task(flops=1e9)
+        assert model.estimate(t, "cpu") == pytest.approx(1.0 + 1e9 / 1e4)
+
+    def test_estimate_cached_per_task(self):
+        model = AnalyticalPerfModel(table())
+        t = task()
+        first = model.estimate(t, "cpu")
+        assert t._est_cache["cpu"] == first
+
+    def test_deterministic_without_noise(self):
+        model = AnalyticalPerfModel(table())
+        t = task()
+        rng = make_rng(0)
+        assert model.sample(t, "cpu", rng) == model.estimate(t, "cpu")
+
+    def test_noise_has_unit_mean(self):
+        model = AnalyticalPerfModel(table(), noise_sigma=0.3)
+        t = task()
+        rng = make_rng(0)
+        samples = np.array([model.sample(t, "cpu", rng) for _ in range(4000)])
+        assert samples.mean() == pytest.approx(model.estimate(t, "cpu"), rel=0.03)
+        assert samples.std() > 0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValidationError):
+            AnalyticalPerfModel(table(), noise_sigma=-0.1)
+
+
+class TestHistoryModel:
+    def test_cold_start_falls_back_to_truth(self):
+        truth = AnalyticalPerfModel(table())
+        model = HistoryPerfModel(truth, min_samples=3)
+        t = task()
+        assert model.estimate(t, "cpu") == truth.estimate(t, "cpu")
+
+    def test_learns_from_measurements(self):
+        truth = AnalyticalPerfModel(table())
+        model = HistoryPerfModel(truth, min_samples=2)
+        t = task()
+        model.record(t, "cpu", 500.0)
+        model.record(t, "cpu", 700.0)
+        assert model.estimate(t, "cpu") == pytest.approx(600.0)
+        assert model.n_samples(t, "cpu") == 2
+
+    def test_buckets_separate_sizes(self):
+        truth = AnalyticalPerfModel(table())
+        model = HistoryPerfModel(truth, min_samples=1)
+        small, big = task(flops=1e6), task(flops=1e9)
+        model.record(small, "cpu", 1.0)
+        assert model.estimate(big, "cpu") == truth.estimate(big, "cpu")
+
+    def test_cold_factor_scales_fallback(self):
+        truth = AnalyticalPerfModel(table())
+        model = HistoryPerfModel(truth, min_samples=1, cold_factor=2.0)
+        t = task()
+        assert model.estimate(t, "cpu") == pytest.approx(2.0 * truth.estimate(t, "cpu"))
+
+    def test_invalid_params(self):
+        truth = AnalyticalPerfModel(table())
+        with pytest.raises(ValidationError):
+            HistoryPerfModel(truth, min_samples=0)
+        with pytest.raises(ValidationError):
+            HistoryPerfModel(truth, cold_factor=0.0)

@@ -1,0 +1,77 @@
+"""Platform construction tests."""
+
+import pytest
+
+from repro.runtime.platform_config import (
+    LinkSpec,
+    MachineSpec,
+    MemoryNodeSpec,
+    Platform,
+    simple_machine,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestSimpleMachine:
+    def test_worker_counts(self):
+        plat = Platform(simple_machine(n_cpus=4, n_gpus=2, gpu_streams=3))
+        assert plat.n_workers() == 4 + 2 * 3
+        assert plat.n_workers("cpu") == 4
+        assert plat.n_workers("cuda") == 6
+
+    def test_memory_topology(self):
+        plat = Platform(simple_machine(n_cpus=2, n_gpus=2))
+        assert len(plat.nodes) == 3
+        assert plat.ram_node().mid == 0
+        assert [n.kind for n in plat.nodes] == ["ram", "gpu", "gpu"]
+
+    def test_workers_of_node(self):
+        plat = Platform(simple_machine(n_cpus=2, n_gpus=1, gpu_streams=2))
+        assert len(plat.workers_of_node(0)) == 2
+        assert len(plat.workers_of_node(1)) == 2
+        assert all(w.arch == "cuda" for w in plat.workers_of_node(1))
+
+    def test_nodes_of_arch(self):
+        plat = Platform(simple_machine(n_cpus=2, n_gpus=2))
+        assert [n.mid for n in plat.nodes_of_arch("cuda")] == [1, 2]
+
+    def test_links_bidirectional(self):
+        plat = Platform(simple_machine(n_cpus=1, n_gpus=1))
+        assert plat.transfers.link(0, 1) is not None
+        assert plat.transfers.link(1, 0) is not None
+        assert plat.transfers.link(1, 1) is None
+
+    def test_archs_sorted(self):
+        plat = Platform(simple_machine())
+        assert plat.archs == ["cpu", "cuda"]
+
+
+class TestValidation:
+    def test_no_workers_rejected(self):
+        spec = MachineSpec("m", nodes=(MemoryNodeSpec("ram", "ram", "cpu", 0),))
+        with pytest.raises(ValidationError, match="no workers"):
+            Platform(spec)
+
+    def test_negative_worker_count_rejected(self):
+        with pytest.raises(ValidationError):
+            MemoryNodeSpec("ram", "ram", "cpu", -1)
+
+    def test_unknown_link_endpoint_rejected(self):
+        spec = MachineSpec(
+            "m",
+            nodes=(MemoryNodeSpec("ram", "ram", "cpu", 1),),
+            links=(LinkSpec("ram", "gpu9", 10.0),),
+        )
+        with pytest.raises(ValidationError, match="unknown memory node"):
+            Platform(spec)
+
+    def test_bad_node_kind_rejected(self):
+        from repro.runtime.memory import MemoryNode
+
+        with pytest.raises(ValidationError):
+            MemoryNode(0, "x", "disk", "cpu")
+
+    def test_worker_names_unique(self):
+        plat = Platform(simple_machine(n_cpus=3, n_gpus=2, gpu_streams=2))
+        names = [w.name for w in plat.workers]
+        assert len(names) == len(set(names))

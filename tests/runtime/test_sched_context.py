@@ -1,0 +1,98 @@
+"""SchedContext tests: the scheduler's window into the runtime."""
+
+import pytest
+
+from repro.runtime.engine import SchedContext
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.stf import TaskFlow
+from repro.runtime.task import AccessMode
+from repro.utils.validation import SchedulingError
+
+
+@pytest.fixture
+def ctx(hetero_machine):
+    return SchedContext(
+        hetero_machine.platform(), AnalyticalPerfModel(hetero_machine.calibration())
+    )
+
+
+def gemm(flow, flops=2e9, impls=("cpu", "cuda")):
+    return flow.submit("gemm", [(flow.data(1 << 20), AccessMode.RW)], flops=flops,
+                       implementations=impls)
+
+
+class TestArchQueries:
+    def test_available_archs(self, ctx):
+        assert ctx.available_archs == ("cpu", "cuda")
+
+    def test_best_arch_for_gpu_friendly_task(self, ctx):
+        task = gemm(TaskFlow())
+        assert ctx.best_arch(task) == "cuda"
+        assert ctx.second_best_arch(task) == "cpu"
+
+    def test_best_arch_cached(self, ctx):
+        task = gemm(TaskFlow())
+        ctx.best_arch(task)
+        assert task.sched["_best_arch"] == "cuda"
+
+    def test_single_impl_second_best_none(self, ctx):
+        task = gemm(TaskFlow(), impls=("cpu",))
+        assert ctx.best_arch(task) == "cpu"
+        assert ctx.second_best_arch(task) is None
+
+    def test_exec_archs_filters_platform(self, ctx):
+        task = gemm(TaskFlow(), impls=("cuda", "fpga"))
+        assert ctx.exec_archs(task) == ["cuda"]
+        assert ctx.can_exec(task, "cuda")
+        assert not ctx.can_exec(task, "fpga")
+
+    def test_no_executable_arch_raises(self, ctx):
+        task = gemm(TaskFlow(), impls=("fpga",))
+        with pytest.raises(SchedulingError):
+            ctx.best_arch(task)
+
+
+class TestDataQueries:
+    def test_transfer_estimate_zero_when_local(self, ctx):
+        flow = TaskFlow()
+        task = gemm(flow)
+        assert ctx.transfer_estimate(task, 0) == 0.0  # data starts in RAM
+
+    def test_transfer_estimate_positive_when_remote(self, ctx):
+        flow = TaskFlow()
+        task = gemm(flow)
+        assert ctx.transfer_estimate(task, 1) > 0.0
+
+    def test_transfer_estimate_combines_without_double_count(self, ctx):
+        """Two missing handles over the same link: the total must be less
+        than the sum of the two independent full estimates once queueing
+        exists, but at least the single-handle estimate."""
+        flow = TaskFlow()
+        h1, h2 = flow.data(8 << 20), flow.data(8 << 20)
+        task = flow.submit(
+            "gemm", [(h1, AccessMode.R), (h2, AccessMode.R)], flops=1e9,
+            implementations=("cuda",),
+        )
+        single = ctx.platform.transfers.estimate_fetch(h1, 1, 0.0)
+        combined = ctx.transfer_estimate(task, 1)
+        assert combined >= single
+        assert combined <= 2.2 * single
+
+    def test_bytes_on_node(self, ctx):
+        flow = TaskFlow()
+        h = flow.data(1000)
+        task = flow.submit("k", [(h, AccessMode.R)])
+        assert ctx.bytes_on_node(task, 0) == 1000
+        assert ctx.bytes_on_node(task, 1) == 0
+
+    def test_prefetch_registers_replica(self, ctx):
+        flow = TaskFlow()
+        h = flow.data(1 << 20)
+        task = flow.submit("gemm", [(h, AccessMode.R)], flops=1e9,
+                           implementations=("cuda",))
+        ctx.prefetch(task, 1)
+        assert h.is_valid_on(1)
+
+    def test_workers_shortcuts(self, ctx):
+        assert ctx.n_workers() == len(ctx.workers)
+        assert ctx.n_workers("cpu") == len(ctx.workers_of_arch("cpu")) == 4

@@ -1,0 +1,193 @@
+"""STF dependency-inference tests: R/W/RW/COMMUTE semantics."""
+
+import pytest
+
+from repro.runtime.stf import TaskFlow
+from repro.runtime.task import AccessMode
+
+R, W, RW, C = AccessMode.R, AccessMode.W, AccessMode.RW, AccessMode.COMMUTE
+
+
+def preds(task):
+    return {p.tid for p in task.preds}
+
+
+class TestBasicDependencies:
+    def test_read_after_write(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        writer = flow.submit("w", [(h, W)])
+        reader = flow.submit("r", [(h, R)])
+        assert preds(reader) == {writer.tid}
+
+    def test_independent_readers(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        writer = flow.submit("w", [(h, W)])
+        r1 = flow.submit("r", [(h, R)])
+        r2 = flow.submit("r", [(h, R)])
+        assert preds(r1) == {writer.tid}
+        assert preds(r2) == {writer.tid}
+        assert r2.tid not in preds(r1)
+
+    def test_write_after_read_waits_for_all_readers(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        w0 = flow.submit("w", [(h, W)])
+        r1 = flow.submit("r", [(h, R)])
+        r2 = flow.submit("r", [(h, R)])
+        w1 = flow.submit("w", [(h, W)])
+        assert preds(w1) == {r1.tid, r2.tid}
+        assert w0.tid not in preds(w1)  # covered transitively
+
+    def test_write_after_write_serializes(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        w0 = flow.submit("w", [(h, W)])
+        w1 = flow.submit("w", [(h, W)])
+        assert preds(w1) == {w0.tid}
+
+    def test_rw_chain(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        tasks = [flow.submit("t", [(h, RW)]) for _ in range(4)]
+        for earlier, later in zip(tasks, tasks[1:]):
+            assert preds(later) == {earlier.tid}
+
+    def test_multi_handle_dependencies_deduplicated(self):
+        flow = TaskFlow()
+        h1, h2 = flow.data(8), flow.data(8)
+        producer = flow.submit("p", [(h1, W), (h2, W)])
+        consumer = flow.submit("c", [(h1, R), (h2, R)])
+        assert consumer.preds.count(producer) == 1
+
+    def test_no_false_dependencies_between_disjoint_handles(self):
+        flow = TaskFlow()
+        h1, h2 = flow.data(8), flow.data(8)
+        a = flow.submit("a", [(h1, RW)])
+        b = flow.submit("b", [(h2, RW)])
+        assert preds(b) == set()
+        assert a.succs == []
+
+
+class TestCommute:
+    def test_commuters_mutually_independent(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        w = flow.submit("w", [(h, W)])
+        c1 = flow.submit("c", [(h, C)])
+        c2 = flow.submit("c", [(h, C)])
+        assert preds(c1) == {w.tid}
+        assert preds(c2) == {w.tid}
+
+    def test_reader_after_group_waits_for_all_commuters(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        flow.submit("w", [(h, W)])
+        c1 = flow.submit("c", [(h, C)])
+        c2 = flow.submit("c", [(h, C)])
+        r = flow.submit("r", [(h, R)])
+        assert preds(r) == {c1.tid, c2.tid}
+
+    def test_reader_closes_group(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        flow.submit("w", [(h, W)])
+        flow.submit("c", [(h, C)])
+        r = flow.submit("r", [(h, R)])
+        c3 = flow.submit("c", [(h, C)])
+        # The new commuter belongs to a fresh group based on the reader.
+        assert preds(c3) == {r.tid}
+
+    def test_writer_after_group(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        flow.submit("w", [(h, W)])
+        c1 = flow.submit("c", [(h, C)])
+        c2 = flow.submit("c", [(h, C)])
+        w2 = flow.submit("w", [(h, W)])
+        assert preds(w2) == {c1.tid, c2.tid}
+
+    def test_commuter_after_readers(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        flow.submit("w", [(h, W)])
+        r1 = flow.submit("r", [(h, R)])
+        r2 = flow.submit("r", [(h, R)])
+        c = flow.submit("c", [(h, C)])
+        assert preds(c) == {r1.tid, r2.tid}
+
+    def test_full_sequence_matches_worked_example(self):
+        # W1, C1, C2, R1, C3, W2 — the example from the module design.
+        flow = TaskFlow()
+        h = flow.data(8)
+        w1 = flow.submit("w1", [(h, W)])
+        c1 = flow.submit("c1", [(h, C)])
+        c2 = flow.submit("c2", [(h, C)])
+        r1 = flow.submit("r1", [(h, R)])
+        c3 = flow.submit("c3", [(h, C)])
+        w2 = flow.submit("w2", [(h, W)])
+        assert preds(c1) == {w1.tid}
+        assert preds(c2) == {w1.tid}
+        assert preds(r1) == {c1.tid, c2.tid}
+        assert preds(c3) == {r1.tid}
+        assert preds(w2) == {c3.tid}
+
+
+class TestValidation:
+    def test_duplicate_handle_access_rejected(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        with pytest.raises(ValueError, match="twice"):
+            flow.submit("t", [(h, R), (h, W)])
+
+    def test_foreign_handle_rejected(self):
+        flow_a, flow_b = TaskFlow(), TaskFlow()
+        h = flow_a.data(8)
+        with pytest.raises(ValueError, match="not created"):
+            flow_b.submit("t", [(h, R)])
+
+    def test_finalized_flow_rejects_submissions(self):
+        flow = TaskFlow()
+        flow.data(8)
+        flow.program()
+        with pytest.raises(RuntimeError):
+            flow.data(8)
+
+    def test_no_implementation_rejected(self):
+        flow = TaskFlow()
+        with pytest.raises(ValueError, match="no implementation"):
+            flow.submit("t", [], implementations=())
+
+
+class TestProgram:
+    def test_source_and_sink_tasks(self):
+        flow = TaskFlow("p")
+        h = flow.data(8)
+        a = flow.submit("a", [(h, W)])
+        b = flow.submit("b", [(h, RW)])
+        program = flow.program()
+        assert program.source_tasks() == [a]
+        assert program.sink_tasks() == [b]
+        assert program.n_edges == 1
+
+    def test_total_flops(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        flow.submit("a", [(h, W)], flops=10.0)
+        flow.submit("b", [(h, RW)], flops=32.0)
+        assert flow.program().total_flops() == 42.0
+
+    def test_reset_runtime_state(self):
+        flow = TaskFlow()
+        h = flow.data(8)
+        a = flow.submit("a", [(h, W)])
+        b = flow.submit("b", [(h, R)])
+        program = flow.program()
+        b.n_unfinished_preds = 0
+        h.valid_nodes = {0, 1, 2}
+        a.sched["junk"] = 1
+        program.reset_runtime_state()
+        assert b.n_unfinished_preds == 1
+        assert h.valid_nodes == {h.home_node}
+        assert a.sched == {}

@@ -1,0 +1,70 @@
+"""Task and access-mode unit tests."""
+
+import pytest
+
+from repro.runtime.data import DataHandle
+from repro.runtime.task import AccessMode, Task, TaskState
+
+
+class TestAccessMode:
+    @pytest.mark.parametrize(
+        "mode,is_read,is_write",
+        [
+            (AccessMode.R, True, False),
+            (AccessMode.W, False, True),
+            (AccessMode.RW, True, True),
+            (AccessMode.COMMUTE, True, True),
+        ],
+    )
+    def test_read_write_flags(self, mode, is_read, is_write):
+        assert mode.is_read is is_read
+        assert mode.is_write is is_write
+
+
+class TestTask:
+    def test_requires_implementation(self):
+        with pytest.raises(ValueError):
+            Task(0, "t", implementations=())
+
+    def test_can_exec(self):
+        t = Task(0, "t", implementations=("cpu", "cuda"))
+        assert t.can_exec("cpu") and t.can_exec("cuda")
+        assert not t.can_exec("fpga")
+
+    def test_name(self):
+        assert Task(7, "gemm").name == "gemm#7"
+
+    def test_handles_filtering(self):
+        h1, h2, h3 = (DataHandle(i, 10) for i in range(3))
+        t = Task(0, "t", [(h1, AccessMode.R), (h2, AccessMode.W), (h3, AccessMode.RW)])
+        assert t.handles() == [h1, h2, h3]
+        assert t.handles(written=True) == [h2, h3]
+        assert t.handles(written=False) == [h1, h3]
+
+    def test_footprint(self):
+        h1, h2 = DataHandle(0, 100), DataHandle(1, 50)
+        t = Task(0, "t", [(h1, AccessMode.R), (h2, AccessMode.W)])
+        assert t.footprint_bytes() == 150
+
+    def test_reset_runtime_state(self):
+        t = Task(0, "t")
+        pred = Task(1, "p")
+        t.preds.append(pred)
+        t.state = TaskState.DONE
+        t.sched["x"] = 1
+        t._est_cache["cpu"] = 5.0
+        t.reset_runtime_state()
+        assert t.state is TaskState.SUBMITTED
+        assert t.n_unfinished_preds == 1
+        assert t.sched == {}
+        assert t._est_cache == {}
+
+    def test_negative_handle_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataHandle(0, -1)
+
+    def test_handle_defaults(self):
+        h = DataHandle(3, 10)
+        assert h.label == "d3"
+        assert h.valid_nodes == {0}
+        assert h.is_valid_on(0) and not h.is_valid_on(1)

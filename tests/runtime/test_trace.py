@@ -1,0 +1,106 @@
+"""Trace tooling tests: records, idle accounting, Gantt, critical path."""
+
+import pytest
+
+from repro.runtime.task import Task
+from repro.runtime.trace import Trace
+from repro.runtime.worker import Worker
+
+
+def make_workers():
+    return [Worker(0, "cpu", 0, "cpu0"), Worker(1, "cuda", 1, "gpu0")]
+
+
+def make_task(tid, preds=()):
+    task = Task(tid, "k")
+    for p in preds:
+        task.preds.append(p)
+        p.succs.append(task)
+    return task
+
+
+class TestAccounting:
+    def test_makespan_and_busy(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        t0, t1 = make_task(0), make_task(1)
+        trace.record_task(t0, workers[0], 0.0, 0.0, 10.0)
+        trace.record_task(t1, workers[1], 0.0, 5.0, 20.0)
+        assert trace.makespan() == 20.0
+        assert trace.busy_time(0) == 10.0
+        assert trace.busy_time(1) == 15.0
+        assert trace.wait_time(1) == 5.0
+
+    def test_idle_fraction(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        trace.record_task(make_task(0), workers[0], 0.0, 0.0, 5.0)
+        trace.record_task(make_task(1), workers[1], 0.0, 0.0, 20.0)
+        assert trace.idle_fraction(0) == pytest.approx(0.75)
+        assert trace.idle_fraction(1) == pytest.approx(0.0)
+
+    def test_idle_fraction_by_arch(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        trace.record_task(make_task(0), workers[1], 0.0, 0.0, 10.0)
+        assert trace.idle_fraction_by_arch("cpu") == pytest.approx(1.0)
+        assert trace.idle_fraction_by_arch("cuda") == pytest.approx(0.0)
+        assert trace.idle_fraction_by_arch("tpu") == 0.0
+
+    def test_empty_trace(self):
+        trace = Trace(make_workers())
+        assert trace.makespan() == 0.0
+        assert trace.idle_fraction(0) == 0.0
+        assert trace.gantt_ascii() == "(empty trace)"
+
+    def test_per_worker_summary(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        trace.record_task(make_task(0), workers[0], 0.0, 1.0, 2.0)
+        rows = trace.per_worker_summary()
+        assert len(rows) == 2
+        assert rows[0]["n_tasks"] == 1
+        assert rows[1]["n_tasks"] == 0
+
+
+class TestPracticalCriticalPath:
+    def test_chain_through_dependencies(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        a = make_task(0)
+        b = make_task(1, preds=[a])
+        c = make_task(2, preds=[b])
+        trace.record_task(a, workers[0], 0.0, 0.0, 5.0)
+        trace.record_task(b, workers[1], 5.0, 5.0, 9.0)
+        trace.record_task(c, workers[0], 9.0, 9.0, 15.0)
+        chain = trace.practical_critical_path([a, b, c])
+        assert [r.tid for r in chain] == [0, 1, 2]
+
+    def test_worker_occupancy_blocker(self):
+        """A task delayed by its worker's previous task, not by a DAG
+        predecessor, must chain through the occupying task."""
+        workers = make_workers()
+        trace = Trace(workers)
+        a = make_task(0)
+        b = make_task(1)  # independent of a
+        trace.record_task(a, workers[0], 0.0, 0.0, 8.0)
+        trace.record_task(b, workers[0], 8.0, 8.0, 10.0)
+        chain = trace.practical_critical_path([a, b])
+        assert [r.tid for r in chain] == [0, 1]
+
+
+class TestGantt:
+    def test_gantt_contains_worker_rows(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        trace.record_task(make_task(0), workers[0], 0.0, 0.0, 10.0)
+        art = trace.gantt_ascii(width=20)
+        assert "cpu0" in art and "gpu0" in art
+        assert "K" in art  # task type letter
+
+    def test_gantt_shows_wait_as_tilde(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        trace.record_task(make_task(0), workers[0], 0.0, 5.0, 10.0)
+        art = trace.gantt_ascii(width=20)
+        assert "~" in art

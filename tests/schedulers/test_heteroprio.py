@@ -1,0 +1,125 @@
+"""HeteroPrio / AutoHeteroPrio behavioural tests."""
+
+from repro.runtime.engine import SchedContext
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.stf import TaskFlow
+from repro.runtime.task import AccessMode, TaskState
+from repro.schedulers.auto_heteroprio import AutoHeteroPrio
+from repro.schedulers.heteroprio import HeteroPrio
+
+
+def make_ctx(machine):
+    return SchedContext(machine.platform(), AnalyticalPerfModel(machine.calibration()))
+
+
+def ready(flow, type_name, flops, impls=("cpu", "cuda")):
+    task = flow.submit(type_name, [(flow.data(1024), AccessMode.RW)], flops=flops,
+                       implementations=impls)
+    task.state = TaskState.READY
+    return task
+
+
+class TestManualOrders:
+    def test_arch_follows_its_order(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = HeteroPrio(
+            type_orders={"cpu": ["potrf", "gemm"], "cuda": ["gemm", "potrf"]},
+            steal_guard=None,
+        )
+        sched.setup(ctx)
+        flow = TaskFlow()
+        potrf = ready(flow, "potrf", 1e8)
+        gemm = ready(flow, "gemm", 1e8)
+        sched.push(potrf)
+        sched.push(gemm)
+        cpu = ctx.workers_of_arch("cpu")[0]
+        gpu = ctx.workers_of_arch("cuda")[0]
+        assert sched.pop(cpu) is potrf
+        assert sched.pop(gpu) is gemm
+
+    def test_unlisted_types_still_drain(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = HeteroPrio(type_orders={"cpu": ["gemm"]}, steal_guard=None)
+        sched.setup(ctx)
+        flow = TaskFlow()
+        other = ready(flow, "mystery", 1e6)
+        sched.push(other)
+        assert sched.pop(ctx.workers_of_arch("cpu")[0]) is other
+
+    def test_fifo_within_bucket(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = HeteroPrio(steal_guard=None)
+        sched.setup(ctx)
+        flow = TaskFlow()
+        first = ready(flow, "gemm", 1e8)
+        second = ready(flow, "gemm", 1e8)
+        sched.push(first)
+        sched.push(second)
+        worker = ctx.workers_of_arch("cuda")[0]
+        assert sched.pop(worker) is first
+        assert sched.pop(worker) is second
+
+
+class TestStealGuard:
+    def test_guard_blocks_terrible_slowdown(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = HeteroPrio(steal_guard=5.0)
+        sched.setup(ctx)
+        flow = TaskFlow()
+        # Large gemm: ~50x slower on one CPU core than on the GPU.
+        gemm = ready(flow, "gemm", 2e9)
+        sched.push(gemm)
+        cpu = ctx.workers_of_arch("cpu")[0]
+        gpu = ctx.workers_of_arch("cuda")[0]
+        assert sched.pop(cpu) is None
+        assert sched.pop(gpu) is gemm
+
+    def test_guard_admits_modest_slowdown(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = HeteroPrio(steal_guard=20.0)
+        sched.setup(ctx)
+        flow = TaskFlow()
+        # Small potrf: CPU competitive.
+        potrf = ready(flow, "potrf", 1e7)
+        sched.push(potrf)
+        cpu = ctx.workers_of_arch("cpu")[0]
+        assert sched.pop(cpu) is potrf
+
+
+class TestAutoOrders:
+    def test_gpu_prefers_most_accelerated_type(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = AutoHeteroPrio()
+        sched.setup(ctx)
+        flow = TaskFlow()
+        # gemm has a much larger GPU speedup than potrf at this size.
+        potrf = ready(flow, "potrf", 1e9)
+        gemm = ready(flow, "gemm", 1e9)
+        sched.push(potrf)
+        sched.push(gemm)
+        order = sched._scan_order("cuda")
+        assert order.index("gemm") < order.index("potrf")
+
+    def test_cpu_order_is_reversed(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = AutoHeteroPrio()
+        sched.setup(ctx)
+        flow = TaskFlow()
+        sched.push(ready(flow, "potrf", 1e9))
+        sched.push(ready(flow, "gemm", 1e9))
+        cpu_order = sched._scan_order("cpu")
+        gpu_order = sched._scan_order("cuda")
+        assert cpu_order.index("potrf") < cpu_order.index("gemm")
+        assert gpu_order.index("gemm") < gpu_order.index("potrf")
+
+    def test_cpu_only_types_sort_last_for_gpu(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = AutoHeteroPrio()
+        sched.setup(ctx)
+        flow = TaskFlow()
+        cpu_only = ready(flow, "io", 1e6, impls=("cpu",))
+        both = ready(flow, "gemm", 1e9)
+        sched.push(cpu_only)
+        sched.push(both)
+        order = sched._scan_order("cuda")
+        assert order.index("gemm") < order.index("io")

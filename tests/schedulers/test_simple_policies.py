@@ -1,0 +1,96 @@
+"""Eager and Random scheduler tests."""
+
+import pytest
+
+from repro.runtime.engine import SchedContext
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.stf import TaskFlow
+from repro.runtime.task import AccessMode, TaskState
+from repro.schedulers.eager import Eager
+from repro.schedulers.random_sched import RandomScheduler
+
+
+def make_ctx(machine):
+    return SchedContext(machine.platform(), AnalyticalPerfModel(machine.calibration()))
+
+
+def ready(flow, impls=("cpu", "cuda"), flops=1e6):
+    task = flow.submit("k", [(flow.data(64), AccessMode.RW)], flops=flops,
+                       implementations=impls)
+    task.state = TaskState.READY
+    return task
+
+
+class TestEager:
+    def test_fifo_order(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = Eager()
+        sched.setup(ctx)
+        flow = TaskFlow()
+        first, second = ready(flow), ready(flow)
+        sched.push(first)
+        sched.push(second)
+        worker = ctx.workers[0]
+        assert sched.pop(worker) is first
+        assert sched.pop(worker) is second
+        assert sched.pop(worker) is None
+
+    def test_skips_incompatible_head(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = Eager()
+        sched.setup(ctx)
+        flow = TaskFlow()
+        gpu_task = ready(flow, impls=("cuda",))
+        cpu_task = ready(flow, impls=("cpu",))
+        sched.push(gpu_task)
+        sched.push(cpu_task)
+        cpu_worker = ctx.workers_of_arch("cpu")[0]
+        assert sched.pop(cpu_worker) is cpu_task
+        gpu_worker = ctx.workers_of_arch("cuda")[0]
+        assert sched.pop(gpu_worker) is gpu_task
+
+    def test_setup_clears_state(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = Eager()
+        sched.setup(ctx)
+        flow = TaskFlow()
+        sched.push(ready(flow))
+        sched.setup(ctx)
+        assert sched.pop(ctx.workers[0]) is None
+
+
+class TestRandom:
+    def test_only_capable_workers_receive(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = RandomScheduler(seed=3)
+        sched.setup(ctx)
+        flow = TaskFlow()
+        for _ in range(20):
+            sched.push(ready(flow, impls=("cuda",)))
+        cpu_wids = {w.wid for w in ctx.workers_of_arch("cpu")}
+        assert all(not sched._queues[wid] for wid in cpu_wids)
+
+    def test_speed_weighting_prefers_fast_arch(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+        sched = RandomScheduler(seed=3)
+        sched.setup(ctx)
+        flow = TaskFlow()
+        for _ in range(200):
+            sched.push(ready(flow, flops=2e9))  # strongly GPU-best
+        gpu_count = sum(
+            len(sched._queues[w.wid]) for w in ctx.workers_of_arch("cuda")
+        )
+        assert gpu_count > 150
+
+    def test_deterministic_given_seed(self, hetero_machine):
+        ctx = make_ctx(hetero_machine)
+
+        def landing_pattern():
+            sched = RandomScheduler(seed=11)
+            sched.setup(ctx)
+            flow = TaskFlow()
+            for _ in range(30):
+                sched.push(ready(flow))
+            return [len(sched._queues[w.wid]) for w in ctx.workers]
+
+        assert landing_pattern() == landing_pattern()

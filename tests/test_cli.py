@@ -1,0 +1,77 @@
+"""CLI tests (drive main() directly, checking stdout and files)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "multiprio" in out and "intel-v100" in out
+
+
+def test_run_cholesky_two_schedulers(capsys):
+    code = main(
+        ["run", "--app", "cholesky", "--size", "6", "--tile", "512",
+         "--machine", "intel-v100", "--scheduler", "multiprio", "eager"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "multiprio" in out and "eager" in out
+    assert "makespan" in out
+
+
+def test_run_fmm_with_gantt(capsys):
+    code = main(
+        ["run", "--app", "fmm", "--particles", "3000", "--height", "3",
+         "--scheduler", "multiprio", "--gantt"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "|" in out  # gantt rows
+
+
+def test_run_sparseqr(capsys):
+    code = main(
+        ["run", "--app", "sparseqr", "--matrix", "cat_ears_4_4",
+         "--scale", "0.01", "--scheduler", "multiprio"]
+    )
+    assert code == 0
+    assert "cat_ears_4_4" in capsys.readouterr().out
+
+
+def test_chrome_trace_output(tmp_path, capsys):
+    prefix = str(tmp_path / "trace")
+    code = main(
+        ["run", "--app", "cholesky", "--size", "4", "--tile", "512",
+         "--scheduler", "eager", "--chrome-trace", prefix]
+    )
+    assert code == 0
+    path = tmp_path / "trace.eager.json"
+    assert path.exists()
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_csv_trace_output(tmp_path, capsys):
+    prefix = str(tmp_path / "trace")
+    code = main(
+        ["run", "--app", "lu", "--size", "3", "--tile", "512",
+         "--scheduler", "eager", "--csv-trace", prefix]
+    )
+    assert code == 0
+    assert (tmp_path / "trace.eager.csv").read_text().startswith("tid,")
+
+
+@pytest.mark.parametrize("name", ["table2", "fig3"])
+def test_light_experiments(name, capsys):
+    assert main(["experiment", name]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_unknown_scheduler_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--scheduler", "bogus"])

@@ -1,0 +1,65 @@
+"""RNG determinism and validation helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, make_rng
+from repro.utils.validation import (
+    ValidationError,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(42).integers(0, 1 << 30) == make_rng(42).integers(0, 1 << 30)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_default_seed_is_stable(self):
+        assert make_rng(None).integers(0, 1 << 30) == make_rng(None).integers(0, 1 << 30)
+
+    def test_derive_is_deterministic(self):
+        a = derive_rng(make_rng(9), "worker", 3).integers(0, 1 << 30)
+        b = derive_rng(make_rng(9), "worker", 3).integers(0, 1 << 30)
+        assert a == b
+
+    def test_derive_keys_differ(self):
+        parent1, parent2 = make_rng(9), make_rng(9)
+        a = derive_rng(parent1, "x").integers(0, 1 << 30)
+        b = derive_rng(parent2, "y").integers(0, 1 << 30)
+        assert a != b
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2.0) == 2.0
+        with pytest.raises(ValidationError):
+            check_positive("x", 0.0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -1e-9)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ValidationError):
+            check_in_range("x", 1.5, 0.0, 1.0)
+
+    def test_check_type(self):
+        assert check_type("x", 3, int) == 3
+        with pytest.raises(ValidationError, match="must be int"):
+            check_type("x", "3", int)
+
+    def test_error_hierarchy(self):
+        from repro.utils.validation import DeadlockError, ReproError, SchedulingError
+
+        assert issubclass(ValidationError, (ReproError, ValueError))
+        assert issubclass(SchedulingError, (ReproError, RuntimeError))
+        assert issubclass(DeadlockError, (ReproError, RuntimeError))

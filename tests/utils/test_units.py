@@ -1,0 +1,40 @@
+"""Unit helpers tests."""
+
+import pytest
+
+from repro.utils.units import (
+    bytes_human,
+    gflops,
+    ms_to_us,
+    s_to_us,
+    time_human,
+    us_to_ms,
+    us_to_s,
+)
+
+
+def test_round_trips():
+    assert us_to_ms(ms_to_us(3.5)) == pytest.approx(3.5)
+    assert us_to_s(s_to_us(0.25)) == pytest.approx(0.25)
+
+
+def test_gflops():
+    # 1e9 flops in 1 second = 1 GFlop/s.
+    assert gflops(1e9, 1_000_000.0) == pytest.approx(1.0)
+    assert gflops(1e9, 0.0) == 0.0
+
+
+@pytest.mark.parametrize(
+    "n,expected",
+    [(512, "512 B"), (2048, "2.0 KiB"), (3 * 2**20, "3.0 MiB"), (5 * 2**30, "5.0 GiB")],
+)
+def test_bytes_human(n, expected):
+    assert bytes_human(n) == expected
+
+
+@pytest.mark.parametrize(
+    "us,needle",
+    [(5.0, "us"), (1500.0, "ms"), (2_500_000.0, "s")],
+)
+def test_time_human(us, needle):
+    assert time_human(us).endswith(needle)
