@@ -1,0 +1,36 @@
+"""Faults bench: scheduler robustness under injected failures.
+
+No paper counterpart — the paper measures a healthy platform — but the
+schedulers live inside StarPU, where kernels fail and devices drop off.
+Sweeps the transient per-attempt failure rate on the Fig. 4 Cholesky
+shape and adds one fail-stop scenario (a GPU stream dies mid-run). Shape
+assertions: every run completes, transient faults actually fire and are
+retried, fault-free rows stay exactly at their baselines, and the
+fail-stop run survives the death of the stream.
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.faults_sweep import format_faults_sweep, run_faults_sweep
+
+
+def test_faults_sweep(benchmark, report):
+    n_tiles = max(8, int(10 * bench_scale()))
+    result = benchmark.pedantic(
+        run_faults_sweep,
+        kwargs={"n_tiles": n_tiles, "tile_size": 960},
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        if row.fault_rate == 0.0:
+            assert row.stats.task_failures == 0
+            assert row.degradation == 0.0  # disabled model is bit-identical
+        else:
+            assert row.stats.task_failures > 0
+            assert row.stats.retries == row.stats.task_failures
+            assert row.stats.wasted_exec_us > 0.0
+    for row in result.killed_rows:
+        assert row.stats.worker_failures == 1
+        assert row.stats.lost_replica_bytes == 0  # sibling stream keeps the node
+        assert row.makespan_us > 0.0
+    report(format_faults_sweep(result), "faults_sweep")

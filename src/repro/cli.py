@@ -21,6 +21,7 @@ from repro.analysis.export import to_chrome_trace, to_csv
 from repro.apps.dense import cholesky_program, lu_program, qr_program
 from repro.apps.fmm import fmm_program
 from repro.apps.sparseqr import matrix_by_name, matrix_tree, sparse_qr_program
+from repro.experiments.faults_sweep import format_faults_sweep, run_faults_sweep
 from repro.experiments.fig3_nod import format_fig3, run_fig3
 from repro.experiments.fig4_eviction import format_fig4, run_fig4
 from repro.experiments.fig7_matrices import format_fig7, run_fig7
@@ -28,6 +29,7 @@ from repro.experiments.reporting import format_table
 from repro.experiments.table2_gain import format_table2, run_table2
 from repro.platform.machines import MACHINES
 from repro.runtime.engine import Simulator
+from repro.runtime.faults import FaultModel, parse_fault_rates, parse_kill_spec
 from repro.runtime.perfmodel import AnalyticalPerfModel
 from repro.schedulers.registry import make_scheduler, scheduler_names
 from repro.utils.units import time_human
@@ -53,9 +55,22 @@ def _build_program(args: argparse.Namespace):
     raise SystemExit(f"unknown app {args.app!r}")
 
 
+def _build_fault_model(args: argparse.Namespace) -> FaultModel | None:
+    """A :class:`FaultModel` from CLI flags, or ``None`` when all are unset."""
+    if not (args.fault_rate or args.kill_worker):
+        return None
+    return FaultModel(
+        task_failure_rate=parse_fault_rates(args.fault_rate) if args.fault_rate else 0.0,
+        worker_kills=[parse_kill_spec(s) for s in args.kill_worker],
+        max_retries=args.max_retries,
+        seed=args.seed,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     machine = MACHINES[args.machine](gpu_streams=args.streams)
     program = _build_program(args)
+    fault_model = _build_fault_model(args)
     print(f"{program}: {program.total_flops() / 1e9:.1f} Gflop on {machine.name}")
     rows = []
     want_trace = bool(args.gantt or args.chrome_trace or args.csv_trace)
@@ -66,8 +81,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             AnalyticalPerfModel(machine.calibration(), noise_sigma=args.noise),
             seed=args.seed,
             record_trace=want_trace,
+            fault_model=fault_model,
         )
         res = sim.run(program)
+        if res.faults is not None:
+            print(f"{name} faults: " + ", ".join(
+                f"{k}={v:g}" for k, v in res.faults.as_dict().items()
+            ))
         rows.append(
             [
                 name,
@@ -112,6 +132,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(format_fig4(run_fig4(), gantt=args.gantt))
     elif args.name == "fig7":
         print(format_fig7(run_fig7(scale=args.scale)))
+    elif args.name == "faults":
+        print(format_faults_sweep(run_faults_sweep()))
     else:
         raise SystemExit(
             f"unknown experiment {args.name!r} (heavy grids — fig5/fig6/fig8 — "
@@ -150,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--matrix", default="e18", help="sparseqr: Fig. 7 matrix name")
     run.add_argument("--scale", type=float, default=0.02,
                      help="sparseqr: op-count scale")
+    run.add_argument("--fault-rate", metavar="P|ARCH=P,...",
+                     help="transient per-attempt failure probability, either a "
+                          "bare float or per-arch 'cuda=0.1,cpu=0.01'")
+    run.add_argument("--kill-worker", metavar="WID@TIME", action="append",
+                     default=[], help="fail-stop worker WID at TIME (µs); repeatable")
+    run.add_argument("--max-retries", type=int, default=3,
+                     help="retries per task before RetryExhaustedError")
     run.add_argument("--gantt", action="store_true", help="print ASCII Gantt")
     run.add_argument("--chrome-trace", metavar="PREFIX",
                      help="write chrome://tracing JSON per scheduler")
@@ -158,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=cmd_run)
 
     exp = sub.add_parser("experiment", help="run a light paper experiment")
-    exp.add_argument("name", choices=["table2", "fig3", "fig4", "fig7"])
+    exp.add_argument("name", choices=["table2", "fig3", "fig4", "fig7", "faults"])
     exp.add_argument("--gantt", action="store_true")
     exp.add_argument("--scale", type=float, default=0.05)
     exp.set_defaults(func=cmd_experiment)

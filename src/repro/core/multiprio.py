@@ -104,6 +104,7 @@ class MultiPrio(Scheduler):
         self._n_evictions = 0
         self._n_rejections = 0
         self._n_stale_discards = 0
+        self._n_task_failures = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -118,6 +119,7 @@ class MultiPrio(Scheduler):
         self._n_evictions = 0
         self._n_rejections = 0
         self._n_stale_discards = 0
+        self._n_task_failures = 0
         for node in ctx.platform.nodes:
             if ctx.platform.workers_of_node(node.mid):
                 self.heaps[node.mid] = TaskHeap(
@@ -239,6 +241,38 @@ class MultiPrio(Scheduler):
                 return entry.task
         return None
 
+    # -- fault hooks -------------------------------------------------------------
+
+    def on_task_failed(self, task: Task, worker: Worker) -> None:
+        """Count the transient failure; the engine re-pushes the task
+        (its duplicates were already invalidated when it was taken)."""
+        self._n_task_failures += 1
+
+    def on_worker_failed(self, worker: Worker) -> list[Task]:
+        """Drop the dead worker's node heap once its last worker dies.
+
+        Entries of the dropped heap usually survive as duplicates in
+        other nodes' heaps; tasks whose *only* live entry was on the dead
+        node are returned for the engine to re-push.
+        """
+        mid = worker.memory_node
+        if self.ctx.workers_of_node(mid):
+            return []  # surviving streams keep serving this heap
+        heap = self.heaps.pop(mid, None)
+        if heap is None:
+            return []
+        orphans: list[Task] = []
+        for entry in list(heap):
+            task = entry.task
+            entry_map = task.sched.get("mp_entries", {})
+            entry_map.pop(mid, None)
+            if not self._is_stale(task) and not entry_map:
+                orphans.append(task)
+        heap.clear()
+        self.ready_tasks_count.pop(mid, None)
+        self.best_remaining_work.pop(mid, None)
+        return orphans
+
     # -- internals ---------------------------------------------------------------
 
     def _remove_entry(self, heap: TaskHeap, entry: HeapEntry, mid: int) -> None:
@@ -252,6 +286,8 @@ class MultiPrio(Scheduler):
         task.sched["mp_taken"] = True
         delta = task.sched.get("mp_best_delta", 0.0)
         for mid in task.sched.get("mp_brw_nodes", ()):  # eager, exact BRW
+            if mid not in self.best_remaining_work:
+                continue  # node lost to a worker failure
             self.best_remaining_work[mid] -= delta
             if self.best_remaining_work[mid] < 1e-9:
                 self.best_remaining_work[mid] = 0.0
@@ -327,4 +363,5 @@ class MultiPrio(Scheduler):
             "evictions": float(self._n_evictions),
             "pop_rejections": float(self._n_rejections),
             "stale_discards": float(self._n_stale_discards),
+            "task_failures": float(self._n_task_failures),
         }

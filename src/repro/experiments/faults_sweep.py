@@ -1,0 +1,170 @@
+"""Fault sweep: scheduler robustness under injected transient failures.
+
+No paper counterpart — the paper evaluates on a healthy platform — but
+the schedulers it compares live inside StarPU, where kernels do fail and
+devices do drop off. This experiment asks the production question: *does
+MultiPrio's advantage survive a misbehaving platform?* It sweeps the
+per-attempt transient failure rate on the Fig. 4 Cholesky setup and
+reports, per scheduler, the makespan degradation relative to its own
+fault-free run, plus the fault counters from
+:class:`~repro.runtime.faults.FaultStats`.
+
+A scripted fail-stop variant is included to exercise the recovery path:
+the platform runs the GPU with two streams and one stream is killed
+mid-run, so its running + staged tasks are recovered and re-pushed while
+the device memory survives through the sibling stream. (Killing the
+*last* worker of a GPU node on a write-heavy dense kernel correctly ends
+in :class:`~repro.utils.validation.DataLossError` — the sole replica of
+a freshly-written tile dies with the device.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.dense.cholesky import cholesky_program
+from repro.experiments.reporting import format_table
+from repro.platform.machines import small_hetero
+from repro.runtime.engine import Simulator
+from repro.runtime.faults import FaultModel, FaultStats
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.schedulers.registry import make_scheduler
+
+DEFAULT_RATES = (0.0, 0.02, 0.05, 0.1)
+DEFAULT_SCHEDULERS = ("multiprio", "dmdas", "heteroprio")
+
+
+@dataclass
+class FaultSweepRow:
+    """One (scheduler, failure-rate) cell of the sweep."""
+
+    scheduler: str
+    fault_rate: float
+    makespan_us: float
+    degradation: float  # relative to the scheduler's fault-free makespan
+    stats: FaultStats
+
+
+@dataclass
+class FaultSweepResult:
+    """The full sweep plus the fail-stop recovery column."""
+
+    workload: str
+    machine: str
+    rows: list[FaultSweepRow]
+    killed_rows: list[FaultSweepRow]
+
+    def rows_of(self, scheduler: str) -> list[FaultSweepRow]:
+        """The transient-failure rows of one scheduler, by rate."""
+        return [r for r in self.rows if r.scheduler == scheduler]
+
+
+def run_faults_sweep(
+    n_tiles: int = 10,
+    tile_size: int = 960,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    schedulers: tuple[str, ...] = DEFAULT_SCHEDULERS,
+    seed: int = 0,
+    max_retries: int = 10,
+    kill_spec: tuple[tuple[int, float], ...] = ((6, 10_000.0),),
+) -> FaultSweepResult:
+    """Sweep transient failure rates (plus one fail-stop scenario).
+
+    The platform is the Fig. 4 shape (6 CPU workers + 1 GPU) but with
+    two GPU streams; ``kill_spec`` defaults to killing stream 0 (worker
+    6) at t = 10 ms — a recoverable failure, since the sibling stream
+    keeps the device memory alive.
+    """
+    machine = small_hetero(n_cpus=6, n_gpus=1, gpu_streams=2)
+    program = cholesky_program(n_tiles, tile_size, with_priorities=False)
+    rows: list[FaultSweepRow] = []
+    killed: list[FaultSweepRow] = []
+
+    def simulate(name: str, fault_model: FaultModel | None):
+        sim = Simulator(
+            machine.platform(),
+            make_scheduler(name),
+            AnalyticalPerfModel(machine.calibration()),
+            seed=seed,
+            record_trace=False,
+            fault_model=fault_model,
+        )
+        return sim.run(program)
+
+    for name in schedulers:
+        baseline = simulate(name, None).makespan
+        for rate in rates:
+            if rate == 0.0:
+                res = simulate(name, FaultModel(task_failure_rate=0.0, seed=seed))
+            else:
+                res = simulate(
+                    name,
+                    FaultModel(
+                        task_failure_rate=rate, max_retries=max_retries, seed=seed
+                    ),
+                )
+            rows.append(
+                FaultSweepRow(
+                    scheduler=name,
+                    fault_rate=rate,
+                    makespan_us=res.makespan,
+                    degradation=res.makespan / baseline - 1.0,
+                    stats=res.faults or FaultStats(),
+                )
+            )
+        res = simulate(
+            name, FaultModel(worker_kills=dict(kill_spec), seed=seed)
+        )
+        killed.append(
+            FaultSweepRow(
+                scheduler=name,
+                fault_rate=0.0,
+                makespan_us=res.makespan,
+                degradation=res.makespan / baseline - 1.0,
+                stats=res.faults or FaultStats(),
+            )
+        )
+    return FaultSweepResult(
+        workload=program.name,
+        machine=machine.name,
+        rows=rows,
+        killed_rows=killed,
+    )
+
+
+def format_faults_sweep(result: FaultSweepResult) -> str:
+    """Render the sweep as reporting tables."""
+    rows = [
+        [
+            r.scheduler,
+            f"{r.fault_rate * 100:.0f}%",
+            f"{r.makespan_us / 1e3:.1f}",
+            f"{r.degradation * 100:+.1f}%",
+            f"{r.stats.task_failures}",
+            f"{r.stats.retries}",
+            f"{r.stats.wasted_exec_us / 1e3:.1f}",
+        ]
+        for r in result.rows
+    ]
+    out = format_table(
+        ["scheduler", "fail rate", "makespan ms", "degradation", "failures", "retries", "wasted ms"],
+        rows,
+        title=f"Transient-failure sweep: {result.workload} on {result.machine}",
+    )
+    krows = [
+        [
+            r.scheduler,
+            f"{r.makespan_us / 1e3:.1f}",
+            f"{r.degradation * 100:+.1f}%",
+            f"{r.stats.worker_failures}",
+            f"{r.stats.tasks_recovered}",
+            f"{r.stats.lost_replica_bytes / 2**20:.1f}",
+        ]
+        for r in result.killed_rows
+    ]
+    out += "\n\n" + format_table(
+        ["scheduler", "makespan ms", "degradation", "worker deaths", "recovered", "lost MiB"],
+        krows,
+        title="Fail-stop recovery: one GPU stream killed at t=10ms",
+    )
+    return out

@@ -27,14 +27,26 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.runtime.events import TASK_COMPLETION, WORKER_REQUEST
+from repro.runtime.events import (
+    TASK_COMPLETION,
+    TASK_FAILURE,
+    TASK_RETRY,
+    WORKER_FAILURE,
+    WORKER_REQUEST,
+)
+from repro.runtime.faults import FaultModel, FaultStats
 from repro.runtime.platform_config import Platform
 from repro.runtime.stf import Program
 from repro.runtime.task import Task, TaskState
 from repro.runtime.trace import Trace
 from repro.runtime.worker import Worker
 from repro.utils.rng import make_rng
-from repro.utils.validation import DeadlockError, SchedulingError
+from repro.utils.validation import (
+    DataLossError,
+    DeadlockError,
+    RetryExhaustedError,
+    SchedulingError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.perfmodel import PerfModel
@@ -53,9 +65,32 @@ class SchedContext:
         self.platform = platform
         self.perfmodel = perfmodel
         self.now = 0.0
+        # Workers lost to injected fail-stop failures this run.
+        self._dead_wids: set[int] = set()
         # Architectures that both exist on the platform and have workers.
         self.available_archs: tuple[str, ...] = tuple(
             a for a in platform.archs if platform.n_workers(a) > 0
+        )
+
+    def reset(self) -> None:
+        """Per-run reset: clock, dead-worker set, available architectures."""
+        self.now = 0.0
+        self._dead_wids.clear()
+        self.available_archs = tuple(
+            a for a in self.platform.archs if self.platform.n_workers(a) > 0
+        )
+
+    # -- liveness ----------------------------------------------------------
+
+    def is_alive(self, worker: Worker) -> bool:
+        """Whether ``worker`` has not been lost to a fail-stop failure."""
+        return worker.wid not in self._dead_wids
+
+    def mark_worker_dead(self, worker: Worker) -> None:
+        """Remove ``worker`` from every topology view (fail-stop failure)."""
+        self._dead_wids.add(worker.wid)
+        self.available_archs = tuple(
+            a for a in self.platform.archs if len(self.workers_of_arch(a)) > 0
         )
 
     # -- estimates ----------------------------------------------------------
@@ -140,16 +175,38 @@ class SchedContext:
 
     @property
     def workers(self) -> list[Worker]:
-        """All workers of the platform."""
-        return self.platform.workers
+        """All live workers of the platform."""
+        if not self._dead_wids:
+            return self.platform.workers
+        return [w for w in self.platform.workers if w.wid not in self._dead_wids]
 
     def workers_of_arch(self, arch: str) -> list[Worker]:
-        """Workers of one architecture."""
-        return self.platform.workers_of_arch(arch)
+        """Live workers of one architecture."""
+        if not self._dead_wids:
+            return self.platform.workers_of_arch(arch)
+        return [
+            w
+            for w in self.platform.workers_of_arch(arch)
+            if w.wid not in self._dead_wids
+        ]
+
+    def workers_of_node(self, node: int) -> list[Worker]:
+        """Live workers computing from memory node ``node``."""
+        if not self._dead_wids:
+            return self.platform.workers_of_node(node)
+        return [
+            w
+            for w in self.platform.workers_of_node(node)
+            if w.wid not in self._dead_wids
+        ]
 
     def n_workers(self, arch: str | None = None) -> int:
-        """Worker count, optionally per architecture."""
-        return self.platform.n_workers(arch)
+        """Live worker count, optionally per architecture."""
+        if not self._dead_wids:
+            return self.platform.n_workers(arch)
+        if arch is None:
+            return len(self.workers)
+        return len(self.workers_of_arch(arch))
 
 
 @dataclass
@@ -165,6 +222,8 @@ class SimResult:
     forced_pops: int
     scheduler_stats: dict[str, float] = field(default_factory=dict)
     trace: Trace | None = None
+    #: Fault bookkeeping; ``None`` when the run had no fault model.
+    faults: FaultStats | None = None
 
     @property
     def gflops(self) -> float:
@@ -199,6 +258,12 @@ class Simulator:
         (``STARPU_LIMIT_MAX_SUBMITTED_TASKS``). ``None`` (default)
         submits the whole program ahead; small windows reveal the DAG
         progressively, shrinking every scheduler's lookahead.
+    fault_model:
+        Optional :class:`~repro.runtime.faults.FaultModel` injecting
+        transient task failures, fail-stop worker failures and link
+        degradation. ``None`` (default) runs the fault-free engine,
+        bit-identical to the pre-resilience behaviour: the fault paths
+        never sample and never touch the execution-noise RNG.
     """
 
     def __init__(
@@ -211,6 +276,7 @@ class Simulator:
         record_trace: bool = True,
         pipeline: bool = True,
         submission_window: int | None = None,
+        fault_model: FaultModel | None = None,
     ) -> None:
         if submission_window is not None and submission_window < 1:
             raise SchedulingError(
@@ -223,6 +289,7 @@ class Simulator:
         self.record_trace = record_trace
         self.pipeline = pipeline
         self.submission_window = submission_window
+        self.fault_model = fault_model
         self.ctx = SchedContext(platform, perfmodel)
 
     # -- main loop ---------------------------------------------------------
@@ -232,7 +299,7 @@ class Simulator:
         program.reset_runtime_state()
         self.platform.reset_runtime_state()
         ctx = self.ctx
-        ctx.now = 0.0
+        ctx.reset()
         scheduler = self.scheduler
         scheduler.setup(ctx)
 
@@ -245,6 +312,19 @@ class Simulator:
         n_total = len(program.tasks)
         forced_pops = 0
         pipeline = self.pipeline
+        transfers = self.platform.transfers
+
+        fault = self.fault_model
+        faults = FaultStats() if fault is not None else None
+        # Transient-failure count per task id (for the retry cap).
+        attempts: dict[int, int] = {}
+        if fault is not None:
+            fault.reset()
+            for link in transfers.links():
+                link.degradations = fault.degradation_windows(link.src, link.dst)
+            for death_time, wid in fault.failure_schedule(self.platform):
+                heapq.heappush(events, (death_time, seq, WORKER_FAILURE, wid))
+                seq += 1
 
         workers = self.platform.workers
         # Per-worker pipeline state.
@@ -281,6 +361,8 @@ class Simulator:
 
         def schedule_request(worker: Worker, now: float) -> None:
             nonlocal seq
+            if not ctx.is_alive(worker):
+                return
             if not request_pending[worker.wid]:
                 request_pending[worker.wid] = True
                 heapq.heappush(events, (now, seq, WORKER_REQUEST, worker))
@@ -331,8 +413,23 @@ class Simulator:
             # (start - pop_time) is the residual (unoverlapped) data stall.
             task.sched["_record"] = (worker.wid, now, start, end)
             current[worker.wid] = task
-            heapq.heappush(events, (end, seq, TASK_COMPLETION, (worker, task)))
+            fail_frac = None if fault is None else fault.attempt_failure(task, worker)
+            if fail_frac is not None:
+                fail_at = start + duration * fail_frac
+                heapq.heappush(events, (fail_at, seq, TASK_FAILURE, (worker, task)))
+            else:
+                heapq.heappush(events, (end, seq, TASK_COMPLETION, (worker, task)))
             seq += 1
+
+        def rollback(task: Task, worker: Worker) -> None:
+            """Undo an acquire(): unpin inputs, clear scheduler scratch,
+            return the task to SUBMITTED so it can be re-pushed. No MSI
+            invalidation and no perfmodel record happen — the attempt
+            leaves no trace beyond the link time its transfers consumed."""
+            for handle in task.sched.get("_pinned", ()):
+                transfers.unpin(handle, worker.memory_node)
+            task.sched.clear()
+            task.state = TaskState.SUBMITTED
 
         def try_stage(worker: Worker, now: float) -> None:
             """Pop one task ahead and start its transfers (lookahead)."""
@@ -345,9 +442,11 @@ class Simulator:
             staged[worker.wid] = (task, arrival, duration)
 
         def wake_workers(now: float) -> None:
-            """Wake workers that could use new work (idle or unstaged)."""
+            """Wake live workers that could use new work (idle or unstaged)."""
             for worker in workers:
                 wid = worker.wid
+                if not ctx.is_alive(worker):
+                    continue
                 if current[wid] is None or (pipeline and staged[wid] is None):
                     schedule_request(worker, now)
 
@@ -357,6 +456,10 @@ class Simulator:
 
             if kind == TASK_COMPLETION:
                 worker, task = payload  # type: ignore[misc]
+                if current[worker.wid] is not task:
+                    # Stale completion of an attempt aborted by a worker
+                    # failure; the task was rolled back and re-pushed.
+                    continue
                 task.state = TaskState.DONE
                 n_done += 1
                 wid, pop_time, start, end = task.sched["_record"]
@@ -368,7 +471,6 @@ class Simulator:
                     trace.record_task(task, worker, pop_time, start, end)
                 # Writes invalidate every other replica (MSI).
                 node = worker.memory_node
-                transfers = self.platform.transfers
                 for handle in task.sched.get("_pinned", ()):
                     transfers.unpin(handle, node)
                 for handle, mode in task.accesses:
@@ -391,10 +493,121 @@ class Simulator:
                 if released:
                     wake_workers(now)
 
+            elif kind == TASK_FAILURE:
+                worker, task = payload  # type: ignore[misc]
+                wid = worker.wid
+                if current[wid] is not task:
+                    # The worker died mid-attempt; the fail-stop path
+                    # already rolled the task back and re-pushed it.
+                    continue
+                assert fault is not None and faults is not None
+                _, _, start, _ = task.sched["_record"]
+                busy_by_worker[wid] += now - start
+                exec_by_arch[worker.arch] += now - start
+                faults.task_failures += 1
+                faults.wasted_exec_us += now - start
+                rollback(task, worker)
+                current[wid] = None
+                scheduler.on_task_failed(task, worker)
+                attempts[task.tid] = n_failures = attempts.get(task.tid, 0) + 1
+                if n_failures > fault.max_retries:
+                    raise RetryExhaustedError(
+                        f"{task.name} failed {n_failures} attempts, exceeding "
+                        f"the fault model's max_retries={fault.max_retries}"
+                    )
+                faults.retries += 1
+                retry_at = now + fault.backoff_us(n_failures)
+                heapq.heappush(events, (retry_at, seq, TASK_RETRY, task))
+                seq += 1
+                schedule_request(worker, now)
+
+            elif kind == TASK_RETRY:
+                task = payload  # type: ignore[assignment]
+                # Skip when a worker-failure recovery re-pushed the task
+                # (or it even completed) while the backoff was pending.
+                if task.state is TaskState.SUBMITTED and task.n_unfinished_preds == 0:
+                    push_ready(task)
+                    wake_workers(now)
+
+            elif kind == WORKER_FAILURE:
+                wid = payload  # type: ignore[assignment]
+                worker = workers[wid]
+                if not ctx.is_alive(worker):
+                    continue  # scripted and sampled deaths may coincide
+                assert faults is not None
+                archs_before = ctx.available_archs
+                ctx.mark_worker_dead(worker)
+                faults.worker_failures += 1
+                recovered: list[Task] = []
+                running = current[wid]
+                if running is not None:
+                    _, _, start, _ = running.sched["_record"]
+                    busy_by_worker[wid] += now - start
+                    exec_by_arch[worker.arch] += now - start
+                    faults.wasted_exec_us += now - start
+                    rollback(running, worker)
+                    current[wid] = None
+                    recovered.append(running)
+                if staged[wid] is not None:
+                    staged_task, _, _ = staged[wid]  # type: ignore[misc]
+                    staged[wid] = None
+                    rollback(staged_task, worker)
+                    recovered.append(staged_task)
+                # Orphans queued inside the scheduler for the dead worker.
+                for orphan in scheduler.on_worker_failed(worker):
+                    if orphan.state is TaskState.READY:
+                        orphan.sched.clear()
+                        orphan.state = TaskState.SUBMITTED
+                        recovered.append(orphan)
+                faults.tasks_recovered += len(recovered)
+                # A device memory dies with its last worker: every replica
+                # it hosted is gone. Sole copies that an unfinished task
+                # still needs to read are unrecoverable.
+                mem = self.platform.nodes[worker.memory_node]
+                if mem.kind == "gpu" and not ctx.workers_of_node(mem.mid):
+                    still_read = {
+                        handle.hid
+                        for t in program.tasks
+                        if t.state is not TaskState.DONE
+                        for handle, mode in t.accesses
+                        if mode.is_read
+                    }
+                    for handle in program.handles:
+                        if not handle.is_valid_on(mem.mid):
+                            continue
+                        sole = len(handle.valid_nodes) == 1
+                        if sole and handle.size > 0 and handle.hid in still_read:
+                            raise DataLossError(
+                                f"worker failure of {worker.name} at t={now:.1f}us "
+                                f"destroyed the only replica of {handle.label} "
+                                f"({handle.size} bytes) on node {mem.name!r}, "
+                                "still needed by unfinished tasks"
+                            )
+                        faults.lost_replica_bytes += handle.size
+                        transfers.drop_replica(handle, mem.mid)
+                # An architecture vanished: cached best-arch choices are
+                # stale, and some tasks may have become unschedulable.
+                if ctx.available_archs != archs_before:
+                    for t in program.tasks:
+                        if t.state is TaskState.DONE:
+                            continue
+                        t.sched.pop("_best_arch", None)
+                        if not any(t.can_exec(a) for a in ctx.available_archs):
+                            raise SchedulingError(
+                                f"worker failure of {worker.name} left {t.name} "
+                                f"with no executable architecture among "
+                                f"{ctx.available_archs}"
+                            )
+                for t in recovered:
+                    push_ready(t)
+                wake_workers(now)
+
             else:  # WORKER_REQUEST
                 worker = payload  # type: ignore[assignment]
                 wid = worker.wid
                 request_pending[wid] = False
+                if not ctx.is_alive(worker):
+                    continue
                 if current[wid] is None:
                     if staged[wid] is not None:
                         task, arrival, duration = staged[wid]  # type: ignore[misc]
@@ -416,6 +629,8 @@ class Simulator:
                     continue
                 progressed = False
                 for worker in workers:
+                    if not ctx.is_alive(worker):
+                        continue
                     task = scheduler.pop(worker) or scheduler.force_pop(worker)
                     if task is not None and task.state is TaskState.READY:
                         forced_pops += 1
@@ -429,12 +644,14 @@ class Simulator:
                     raise DeadlockError(
                         f"simulation stalled with {len(remaining)} unfinished tasks "
                         f"(first few: {remaining[:5]}); scheduler "
-                        f"{scheduler.name!r} returned no task for any idle worker"
+                        f"{scheduler.name!r} returned no task for any idle worker; "
+                        f"scheduler stats: {scheduler.stats()!r}"
                     )
 
         if n_done != n_total:
             raise DeadlockError(
-                f"event queue drained with {n_total - n_done} unfinished tasks"
+                f"event queue drained with {n_total - n_done} unfinished tasks; "
+                f"scheduler {scheduler.name!r} stats: {scheduler.stats()!r}"
             )
 
         makespan = max(
@@ -467,6 +684,7 @@ class Simulator:
             forced_pops=forced_pops,
             scheduler_stats=scheduler.stats(),
             trace=trace,
+            faults=faults,
         )
 
     # -- validation ----------------------------------------------------------

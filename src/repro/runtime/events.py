@@ -7,11 +7,27 @@ tuple comparison away from payload objects. The kinds:
 * ``TASK_COMPLETION`` — a worker finishes a task; payload ``(worker, task)``.
 * ``WORKER_REQUEST`` — an idle worker asks the scheduler for work
   (StarPU's POP hook); payload ``worker``.
+* ``TASK_FAILURE`` — an injected transient failure aborts a running
+  attempt; payload ``(worker, task)``. Scheduled *instead of* the
+  completion event when the fault model fails the attempt.
+* ``WORKER_FAILURE`` — an injected fail-stop failure kills a worker;
+  payload ``wid``.
+* ``TASK_RETRY`` — a previously-failed task's virtual-time backoff
+  expires and it re-enters the scheduler; payload ``task``.
 """
 
 from __future__ import annotations
 
 TASK_COMPLETION = 0
 WORKER_REQUEST = 1
+TASK_FAILURE = 2
+WORKER_FAILURE = 3
+TASK_RETRY = 4
 
-KIND_NAMES = {TASK_COMPLETION: "completion", WORKER_REQUEST: "request"}
+KIND_NAMES = {
+    TASK_COMPLETION: "completion",
+    WORKER_REQUEST: "request",
+    TASK_FAILURE: "task-failure",
+    WORKER_FAILURE: "worker-failure",
+    TASK_RETRY: "retry",
+}

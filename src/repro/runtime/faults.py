@@ -1,0 +1,293 @@
+"""Fault injection: the failure model the resilient engine runs against.
+
+Production runtimes like StarPU face three broad failure classes that a
+scheduler study must survive:
+
+* **transient task failures** — a kernel crashes or produces a result
+  that fails its check (soft errors, ECC events, driver hiccups); the
+  attempt is wasted but the worker survives and the task can be retried;
+* **fail-stop worker failures** — a processing unit drops off (GPU
+  falls off the bus, a core is fenced); its queued and running work must
+  be recovered and, for a device memory, its replicas are gone;
+* **link degradation** — an interconnect is throttled for a while
+  (thermal events, congestion from co-located jobs), multiplying
+  transfer costs during the window.
+
+:class:`FaultModel` describes all three declaratively and samples them
+from its *own* seeded RNG stream, so (a) a run with a fault model is
+deterministic given the seed, and (b) a run *without* one is bit-identical
+to the fault-free engine — the engine's execution-noise RNG is never
+touched by fault sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+from repro.utils.validation import (
+    ValidationError,
+    check_in_range,
+    check_non_negative,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.platform_config import Platform
+    from repro.runtime.task import Task
+    from repro.runtime.worker import Worker
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """A window during which transfer costs are multiplied.
+
+    ``src``/``dst`` restrict the window to one directed link; ``None``
+    matches every link (a machine-wide interconnect brown-out).
+    """
+
+    start_us: float
+    end_us: float
+    factor: float
+    src: int | None = None
+    dst: int | None = None
+
+    def __post_init__(self) -> None:
+        check_non_negative("start_us", self.start_us)
+        if self.end_us <= self.start_us:
+            raise ValidationError(
+                f"degradation window must have end > start, got "
+                f"[{self.start_us}, {self.end_us}]"
+            )
+        if self.factor <= 0:
+            raise ValidationError(f"degradation factor must be > 0, got {self.factor}")
+
+    def matches(self, src: int, dst: int) -> bool:
+        """Whether this window applies to the directed link src -> dst."""
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass
+class FaultStats:
+    """Fault bookkeeping attached to :class:`~repro.runtime.engine.SimResult`.
+
+    ``wasted_exec_us`` is worker time burned on attempts that failed;
+    ``lost_replica_bytes`` counts replicas destroyed on dead memory nodes
+    (they must be re-fetched from surviving copies, or the run aborts
+    with :class:`~repro.utils.validation.DataLossError`).
+    """
+
+    task_failures: int = 0
+    retries: int = 0
+    worker_failures: int = 0
+    tasks_recovered: int = 0
+    lost_replica_bytes: int = 0
+    wasted_exec_us: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat mapping for reporting tables."""
+        return {
+            "task_failures": float(self.task_failures),
+            "retries": float(self.retries),
+            "worker_failures": float(self.worker_failures),
+            "tasks_recovered": float(self.tasks_recovered),
+            "lost_replica_bytes": float(self.lost_replica_bytes),
+            "wasted_exec_us": float(self.wasted_exec_us),
+        }
+
+
+def parse_kill_spec(spec: str) -> tuple[int, float]:
+    """Parse a ``WID@TIME`` CLI kill spec into ``(wid, time_us)``."""
+    try:
+        wid_part, time_part = spec.split("@", 1)
+        wid = int(wid_part)
+        time_us = float(time_part)
+    except ValueError as exc:
+        raise ValidationError(
+            f"kill spec must look like WID@TIME_US (e.g. 2@15000), got {spec!r}"
+        ) from exc
+    if wid < 0:
+        raise ValidationError(f"kill spec worker id must be >= 0, got {wid}")
+    check_non_negative("kill spec time", time_us)
+    return wid, time_us
+
+
+def parse_fault_rates(spec: str) -> float | dict[str, float]:
+    """Parse a CLI failure-rate spec.
+
+    Either a bare probability (``"0.05"``, applied to every architecture)
+    or comma-separated per-arch rates (``"cuda=0.1,cpu=0.01"``).
+    """
+    try:
+        return check_in_range("fault rate", float(spec), 0.0, 1.0)
+    except ValueError:
+        pass
+    rates: dict[str, float] = {}
+    for part in spec.split(","):
+        arch, _, value = part.partition("=")
+        arch = arch.strip()
+        if not arch or not value:
+            raise ValidationError(
+                f"fault-rate spec must be a probability or arch=p[,arch=p], got {spec!r}"
+            )
+        rates[arch] = check_in_range(f"fault rate for {arch}", float(value), 0.0, 1.0)
+    return rates
+
+
+class FaultModel:
+    """Declarative, seeded description of the faults to inject.
+
+    Parameters
+    ----------
+    task_failure_rate:
+        Probability that one execution attempt fails, either a single
+        probability for every architecture or a per-arch mapping
+        (architectures absent from the mapping never fail).
+    worker_kills:
+        Scripted fail-stop failures: ``(wid, time_us)`` pairs (or a
+        mapping ``wid -> time_us``). Each worker dies at most once.
+    worker_mtbf_us:
+        Mean time between fail-stop failures per worker; when set, each
+        worker additionally draws an exponential death time at run start.
+        ``None`` (default) disables sampled deaths.
+    link_degradations:
+        :class:`LinkDegradation` windows applied to matching links.
+    max_retries:
+        Retry cap per task; exceeding it raises
+        :class:`~repro.utils.validation.RetryExhaustedError`.
+    retry_backoff_us:
+        Base of the exponential virtual-time backoff: the n-th retry of a
+        task is re-enqueued ``retry_backoff_us * 2**(n-1)`` after failing.
+    seed:
+        Seed of the model's private RNG stream.
+    """
+
+    def __init__(
+        self,
+        *,
+        task_failure_rate: float | Mapping[str, float] = 0.0,
+        worker_kills: Mapping[int, float] | Iterable[tuple[int, float]] = (),
+        worker_mtbf_us: float | None = None,
+        link_degradations: Iterable[LinkDegradation] = (),
+        max_retries: int = 3,
+        retry_backoff_us: float = 50.0,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(task_failure_rate, Mapping):
+            self.task_failure_rate: float | dict[str, float] = {
+                arch: check_in_range(f"task_failure_rate[{arch}]", rate, 0.0, 1.0)
+                for arch, rate in task_failure_rate.items()
+            }
+        else:
+            self.task_failure_rate = check_in_range(
+                "task_failure_rate", task_failure_rate, 0.0, 1.0
+            )
+        kills = dict(worker_kills) if isinstance(worker_kills, Mapping) else {}
+        if not isinstance(worker_kills, Mapping):
+            for wid, time_us in worker_kills:
+                if wid in kills:
+                    raise ValidationError(f"worker {wid} killed twice")
+                kills[wid] = time_us
+        for wid, time_us in kills.items():
+            if wid < 0:
+                raise ValidationError(f"worker id must be >= 0, got {wid}")
+            check_non_negative(f"kill time for worker {wid}", time_us)
+        self.worker_kills: dict[int, float] = kills
+        if worker_mtbf_us is not None and worker_mtbf_us <= 0:
+            raise ValidationError(f"worker_mtbf_us must be > 0, got {worker_mtbf_us}")
+        self.worker_mtbf_us = worker_mtbf_us
+        self.link_degradations: tuple[LinkDegradation, ...] = tuple(link_degradations)
+        if max_retries < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = int(max_retries)
+        self.retry_backoff_us = check_non_negative("retry_backoff_us", retry_backoff_us)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- per-run lifecycle -------------------------------------------------
+
+    def reset(self) -> None:
+        """Re-seed the private stream so every run replays identically."""
+        self._rng = np.random.default_rng(self.seed)
+
+    def failure_schedule(self, platform: "Platform") -> list[tuple[float, int]]:
+        """Fail-stop events for one run: sorted ``(time_us, wid)`` pairs.
+
+        Scripted kills are taken as-is (ids beyond the platform are
+        rejected); MTBF-sampled deaths draw one exponential per worker
+        from the model's stream, in worker-id order, so the schedule is a
+        pure function of the seed.
+        """
+        n = len(platform.workers)
+        for wid in self.worker_kills:
+            if wid >= n:
+                raise ValidationError(
+                    f"cannot kill worker {wid}: platform {platform.name!r} "
+                    f"has workers 0..{n - 1}"
+                )
+        schedule = dict(self.worker_kills)
+        if self.worker_mtbf_us is not None:
+            for worker in platform.workers:
+                death = float(self._rng.exponential(self.worker_mtbf_us))
+                prior = schedule.get(worker.wid)
+                if prior is None or death < prior:
+                    schedule[worker.wid] = death
+        return sorted((t, wid) for wid, t in schedule.items())
+
+    # -- transient failures --------------------------------------------------
+
+    def arch_failure_rate(self, arch: str) -> float:
+        """Per-attempt failure probability on architecture ``arch``."""
+        if isinstance(self.task_failure_rate, dict):
+            return self.task_failure_rate.get(arch, 0.0)
+        return self.task_failure_rate
+
+    def attempt_failure(self, task: "Task", worker: "Worker") -> float | None:
+        """Sample one execution attempt of ``task`` on ``worker``.
+
+        Returns ``None`` for success, or the fraction of the execution
+        (in ``(0, 1]``) after which the failure manifests. No RNG draw
+        happens when the architecture's rate is zero, so a zero-rate
+        model injects exactly nothing.
+        """
+        rate = self.arch_failure_rate(worker.arch)
+        if rate <= 0.0:
+            return None
+        if self._rng.random() >= rate:
+            return None
+        # Failures rarely manifest instantly; burn at least 10% of the
+        # attempt so wasted-time accounting is never degenerate.
+        return 0.1 + 0.9 * float(self._rng.random())
+
+    def backoff_us(self, n_failures: int) -> float:
+        """Virtual-time backoff before the ``n_failures``-th retry."""
+        return self.retry_backoff_us * (2.0 ** max(0, n_failures - 1))
+
+    # -- link degradation ------------------------------------------------------
+
+    def degradation_windows(self, src: int, dst: int) -> tuple[tuple[float, float, float], ...]:
+        """The ``(start, end, factor)`` windows applying to one link."""
+        return tuple(
+            (d.start_us, d.end_us, d.factor)
+            for d in self.link_degradations
+            if d.matches(src, dst)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultModel rate={self.task_failure_rate!r} "
+            f"kills={self.worker_kills!r} mtbf={self.worker_mtbf_us!r} "
+            f"degradations={len(self.link_degradations)} seed={self.seed}>"
+        )
+
+
+__all__ = [
+    "FaultModel",
+    "FaultStats",
+    "LinkDegradation",
+    "parse_fault_rates",
+    "parse_kill_spec",
+]

@@ -73,6 +73,7 @@ class Link:
         "demand_busy_until",
         "bytes_moved",
         "n_transfers",
+        "degradations",
     )
 
     def __init__(self, src: int, dst: int, bandwidth: float, latency: float) -> None:
@@ -88,15 +89,34 @@ class Link:
         self.demand_busy_until = 0.0
         self.bytes_moved = 0
         self.n_transfers = 0
+        # Fault-injected ``(start, end, factor)`` windows multiplying the
+        # wire time of transfers that start inside them (installed per
+        # run by the engine from a FaultModel; cleared on reset).
+        self.degradations: tuple[tuple[float, float, float], ...] = ()
 
-    def duration(self, nbytes: int) -> float:
-        """Wire time for ``nbytes`` ignoring queueing."""
-        return self.latency + nbytes / self.bandwidth
+    def cost_factor(self, now: float) -> float:
+        """Degradation multiplier in effect at time ``now``."""
+        for start, end, factor in self.degradations:
+            if start <= now < end:
+                return factor
+        return 1.0
+
+    def duration(self, nbytes: int, now: float | None = None) -> float:
+        """Wire time for ``nbytes`` ignoring queueing.
+
+        With ``now`` given, any degradation window covering the start of
+        the transfer multiplies the wire time.
+        """
+        base = self.latency + nbytes / self.bandwidth
+        if now is not None and self.degradations:
+            base *= self.cost_factor(now)
+        return base
 
     def reserve(self, now: float, nbytes: int, prefetch: bool) -> float:
         """Queue one transfer; returns its completion time."""
         clock = self.busy_until if prefetch else self.demand_busy_until
-        end = max(now, clock) + self.duration(nbytes)
+        start = max(now, clock)
+        end = start + self.duration(nbytes, start)
         if prefetch:
             self.busy_until = end
         else:
@@ -109,7 +129,8 @@ class Link:
     def queue_estimate(self, now: float, nbytes: int, prefetch: bool) -> float:
         """Completion estimate without reserving."""
         clock = self.busy_until if prefetch else self.demand_busy_until
-        return max(now, clock) + self.duration(nbytes)
+        start = max(now, clock)
+        return start + self.duration(nbytes, start)
 
     def reset_runtime_state(self) -> None:
         """Clear the FIFO clocks and counters for a fresh simulation."""
@@ -117,6 +138,7 @@ class Link:
         self.demand_busy_until = 0.0
         self.bytes_moved = 0
         self.n_transfers = 0
+        self.degradations = ()
 
 
 class TransferEngine:
@@ -417,6 +439,19 @@ class TransferEngine:
         return (self._links[(src, relay)], self._links[(relay, dst)])
 
     # -- coherence ------------------------------------------------------------
+
+    def drop_replica(self, handle: DataHandle, node: int) -> None:
+        """Destroy the replica of ``handle`` on ``node`` unconditionally.
+
+        Used when a memory node is lost to a fail-stop worker failure:
+        pins and in-flight transfers toward the node are void because no
+        consumer on it survives. The caller is responsible for checking
+        that another valid copy exists (or raising ``DataLossError``).
+        """
+        handle.valid_nodes.discard(node)
+        handle._in_flight.pop(node, None)
+        handle._pins.pop(node, None)
+        self._account_drop(handle, node)
 
     def invalidate_others(self, handle: DataHandle, keep: int, now: float = 0.0) -> None:
         """After a write on ``keep``, drop every other replica."""

@@ -49,6 +49,11 @@ class AutoHeteroPrio(HeteroPrio):
         self._delta_counts[task.type_name] += 1
         super().push(task)
 
+    def on_worker_failed(self, worker: Worker) -> list[Task]:
+        """A lost architecture changes every speedup-derived order."""
+        self._orders_dirty = True
+        return super().on_worker_failed(worker)
+
     def _speedup(self, type_name: str, arch: str) -> float:
         """Mean speedup of ``arch`` over the slowest arch for this type.
 

@@ -60,6 +60,27 @@ class Scheduler:
     def on_task_done(self, task: Task, worker: Worker) -> None:
         """Called when a task completes (before successors are pushed)."""
 
+    def on_task_failed(self, task: Task, worker: Worker) -> None:
+        """A transient fault aborted ``task`` on ``worker``.
+
+        The engine has already rolled the task back (its scheduler
+        scratch is cleared) and will re-push it after a backoff; policies
+        override this to fix internal estimates or counters.
+        """
+
+    def on_worker_failed(self, worker: Worker) -> list[Task]:
+        """``worker`` suffered a fail-stop failure and is gone for good.
+
+        The engine has already removed it from the context's topology
+        views (``ctx.workers``, ``ctx.available_archs``, ...). Policies
+        holding per-worker or per-node queues must purge entries the dead
+        worker owned and return the ready tasks that are no longer
+        reachable through any surviving queue — the engine re-pushes
+        them. The default (for policies with only global queues) purges
+        nothing.
+        """
+        return []
+
     def stats(self) -> dict[str, float]:
         """Per-run counters for reporting (evictions, steals, ...)."""
         return {}

@@ -108,3 +108,22 @@ class Dm(Scheduler):
                     return task
                 queue.append(task)
         return None
+
+    # -- fault hooks ----------------------------------------------------------
+
+    def on_task_failed(self, task: Task, worker: Worker) -> None:
+        """The planned completion charged into the worker's availability
+        will never happen; let the estimate re-anchor on the clock."""
+        if self._expected_free[worker.wid] < self.ctx.now:
+            self._expected_free[worker.wid] = self.ctx.now
+
+    def on_worker_failed(self, worker: Worker) -> list[Task]:
+        """Push-time assignment binds tasks to workers: hand every task
+        queued on the dead worker back to the engine for re-pushing
+        (push re-runs the fitness over the surviving workers)."""
+        queue = self._queues.get(worker.wid)
+        if not queue:
+            return []
+        orphans = list(queue)
+        queue.clear()
+        return orphans

@@ -70,3 +70,13 @@ class Dmdas(Dmda):
                     heapq.heapify(heap)
                     return task
         return None
+
+    def on_worker_failed(self, worker: Worker) -> list[Task]:
+        """Purge the dead worker's priority heap; the engine re-pushes
+        its tasks and push re-assigns them to surviving workers."""
+        heap = self._heaps.get(worker.wid)
+        if not heap:
+            return []
+        orphans = [task for _, _, task in heap]
+        heap.clear()
+        return orphans

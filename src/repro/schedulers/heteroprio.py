@@ -101,3 +101,11 @@ class HeteroPrio(Scheduler):
                     return task
                 bucket.append(task)
         return None
+
+    def on_worker_failed(self, worker: Worker) -> list[Task]:
+        """Buckets are global (per task type), so no queued task is bound
+        to the dead worker; when the last worker of an architecture dies,
+        drop its scan order so stale per-arch state does not linger."""
+        if not self.ctx.workers_of_arch(worker.arch):
+            self.type_orders.pop(worker.arch, None)
+        return []

@@ -22,6 +22,19 @@ class DeadlockError(ReproError, RuntimeError):
     """The simulation stopped making progress with unfinished tasks."""
 
 
+class FaultError(ReproError, RuntimeError):
+    """Base class for unrecoverable injected-fault outcomes."""
+
+
+class DataLossError(FaultError):
+    """A fail-stop worker failure destroyed the sole valid replica of a
+    handle that an unfinished task still needs to read."""
+
+
+class RetryExhaustedError(FaultError):
+    """A task kept failing transiently past the configured retry cap."""
+
+
 def check_positive(name: str, value: float) -> float:
     """Validate ``value > 0``; returns the value for inline use."""
     if not value > 0:

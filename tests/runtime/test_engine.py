@@ -1,5 +1,7 @@
 """Simulation engine tests: correctness, determinism, pipelining."""
 
+import heapq
+
 import pytest
 
 from repro.analysis.validation import check_schedule
@@ -9,8 +11,10 @@ from repro.runtime.perfmodel import AnalyticalPerfModel
 from repro.runtime.stf import TaskFlow
 from repro.runtime.task import AccessMode, Task, TaskState
 from repro.runtime.worker import Worker
+from repro.runtime.events import TASK_COMPLETION
 from repro.schedulers.base import Scheduler
 from repro.schedulers.eager import Eager
+from repro.schedulers.registry import make_scheduler
 from repro.utils.validation import DeadlockError, SchedulingError
 from tests.conftest import make_chain_program, make_fork_join_program
 
@@ -66,6 +70,28 @@ class TestDeterminism:
         _, res3 = simulate(hetero_machine, program)
         assert res1.makespan == res3.makespan
         assert res2.makespan != 0
+
+    def test_reset_runtime_state_clears_sched_scratch(self, hetero_machine):
+        program = make_fork_join_program(width=4)
+        simulate(hetero_machine, program)
+        assert all(t.sched for t in program.tasks)  # runs leave records behind
+        program.reset_runtime_state()
+        assert all(not t.sched for t in program.tasks)
+
+    def test_program_reusable_across_different_arch_platforms(
+        self, hetero_machine, cpu_machine
+    ):
+        """A stale per-task scratch (e.g. a cached best arch of 'cuda')
+        leaking from a hetero run must not poison a CPU-only rerun."""
+        program = make_fork_join_program(width=6)
+        _, res_gpu = simulate(
+            hetero_machine, program, scheduler=make_scheduler("multiprio")
+        )
+        _, res_cpu = simulate(
+            cpu_machine, program, scheduler=make_scheduler("multiprio")
+        )
+        assert all(t.state is TaskState.DONE for t in program.tasks)
+        assert res_gpu.makespan > 0 and res_cpu.makespan > 0
 
 
 class TestTimingModel:
@@ -153,11 +179,38 @@ class _WrongArchScheduler(Eager):
         return task
 
 
+class _LossyHeapq:
+    """heapq facade that loses TASK_COMPLETION events (a simulated engine
+    bug): executions start but never finish, so the event queue drains."""
+
+    def __getattr__(self, attr):
+        return getattr(heapq, attr)
+
+    def heappush(self, heap, item):
+        if item[2] != TASK_COMPLETION:
+            heapq.heappush(heap, item)
+
+
 class TestErrorHandling:
     def test_null_scheduler_deadlocks(self, hetero_machine):
         program = make_chain_program(n=3)
         with pytest.raises(DeadlockError, match="stalled"):
             simulate(hetero_machine, program, scheduler=_NullScheduler())
+
+    def test_stalled_deadlock_reports_scheduler_stats(self, hetero_machine):
+        program = make_chain_program(n=3)
+        with pytest.raises(DeadlockError, match=r"stalled.*scheduler stats:"):
+            simulate(hetero_machine, program, scheduler=_NullScheduler())
+
+    def test_drained_queue_deadlock_reports_scheduler_stats(
+        self, hetero_machine, monkeypatch
+    ):
+        import repro.runtime.engine as engine_mod
+
+        monkeypatch.setattr(engine_mod, "heapq", _LossyHeapq())
+        program = make_chain_program(n=3)
+        with pytest.raises(DeadlockError, match=r"drained.*stats:"):
+            simulate(hetero_machine, program)
 
     def test_wrong_arch_assignment_rejected(self, hetero_machine):
         flow = TaskFlow()

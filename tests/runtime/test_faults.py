@@ -1,0 +1,248 @@
+"""Fault injection and fault-tolerant execution tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.machines import small_hetero
+from repro.runtime.engine import Simulator
+from repro.runtime.faults import (
+    FaultModel,
+    LinkDegradation,
+    parse_fault_rates,
+    parse_kill_spec,
+)
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.stf import TaskFlow
+from repro.runtime.task import AccessMode, TaskState
+from repro.schedulers.eager import Eager
+from repro.schedulers.registry import make_scheduler
+from repro.utils.validation import (
+    DataLossError,
+    RetryExhaustedError,
+    ValidationError,
+)
+from tests.conftest import make_chain_program, make_fork_join_program
+
+
+def simulate(machine, program, scheduler=None, fault_model=None, **kw):
+    sim = Simulator(
+        machine.platform(),
+        scheduler or Eager(),
+        AnalyticalPerfModel(machine.calibration()),
+        seed=0,
+        fault_model=fault_model,
+        **kw,
+    )
+    return sim, sim.run(program)
+
+
+def make_shared_read_program(width: int = 12, flops: float = 5e8):
+    """One CPU-written handle fanned out to dual-impl readers.
+
+    Readers only *read*, so the RAM replica survives any GPU-side copy —
+    a dead GPU then costs replicas but never the last one.
+    """
+    flow = TaskFlow("shared-read")
+    h = flow.data(4 * 2**20, label="h")
+    flow.submit("init", [(h, AccessMode.W)], flops=1e6, implementations=("cpu",))
+    outs = [flow.data(4096, label=f"o{i}") for i in range(width)]
+    for out in outs:
+        flow.submit(
+            "gemm",
+            [(h, AccessMode.R), (out, AccessMode.W)],
+            flops=flops,
+            implementations=("cpu", "cuda"),
+        )
+    return flow.program()
+
+
+def make_gpu_chain_program(n: int = 6, flops: float = 5e8):
+    """A cuda-only RW chain: every intermediate lives only on the GPU."""
+    flow = TaskFlow("gpu-chain")
+    h = flow.data(2**20, label="h")
+    flow.submit("init", [(h, AccessMode.W)], flops=flops, implementations=("cuda",))
+    for _ in range(n - 1):
+        flow.submit("gemm", [(h, AccessMode.RW)], flops=flops,
+                    implementations=("cuda",))
+    return flow.program()
+
+
+class TestTransientFailures:
+    def test_failed_tasks_are_retried_to_completion(self, hetero_machine):
+        program = make_fork_join_program(width=10)
+        _, base = simulate(hetero_machine, program)
+        model = FaultModel(task_failure_rate=0.4, max_retries=100, seed=1)
+        _, res = simulate(hetero_machine, program, fault_model=model)
+        assert all(t.state is TaskState.DONE for t in program.tasks)
+        assert res.faults is not None
+        assert res.faults.task_failures > 0
+        assert res.faults.retries == res.faults.task_failures
+        assert res.faults.wasted_exec_us > 0.0
+        assert res.makespan > base.makespan  # retries + backoff cost time
+
+    def test_retry_exhaustion_raises_typed_error(self, hetero_machine):
+        program = make_chain_program(n=3)
+        model = FaultModel(task_failure_rate=1.0, max_retries=2, seed=0)
+        with pytest.raises(RetryExhaustedError, match="max_retries=2"):
+            simulate(hetero_machine, program, fault_model=model)
+
+    def test_per_arch_rate_spares_unlisted_archs(self, cpu_machine):
+        program = make_chain_program(n=4)
+        model = FaultModel(task_failure_rate={"cuda": 1.0}, max_retries=0, seed=0)
+        _, res = simulate(cpu_machine, program, fault_model=model)
+        assert res.faults.task_failures == 0  # cpu rate defaults to 0
+
+    def test_arch_failure_rate_lookup(self):
+        model = FaultModel(task_failure_rate={"cuda": 0.2})
+        assert model.arch_failure_rate("cuda") == 0.2
+        assert model.arch_failure_rate("cpu") == 0.0
+        assert FaultModel(task_failure_rate=0.1).arch_failure_rate("cpu") == 0.1
+
+    def test_backoff_doubles_per_failure(self):
+        model = FaultModel(retry_backoff_us=50.0)
+        assert [model.backoff_us(n) for n in (1, 2, 3)] == [50.0, 100.0, 200.0]
+
+
+class TestDeterminism:
+    def test_disabled_model_is_bit_identical(self, hetero_machine):
+        program = make_fork_join_program(width=10)
+        _, base = simulate(hetero_machine, program)
+        zero = FaultModel(task_failure_rate=0.0, seed=0)
+        _, res = simulate(hetero_machine, program, fault_model=zero)
+        assert res.makespan == base.makespan
+        assert res.bytes_transferred == base.bytes_transferred
+        assert base.faults is None
+        assert res.faults.task_failures == 0
+
+    def test_seeded_fault_runs_replay_identically(self, hetero_machine):
+        program = make_fork_join_program(width=10)
+        model = FaultModel(task_failure_rate=0.3, max_retries=100, seed=7)
+        _, res1 = simulate(hetero_machine, program, fault_model=model)
+        _, res2 = simulate(hetero_machine, program, fault_model=model)
+        assert res1.makespan == res2.makespan
+        assert res1.faults.as_dict() == res2.faults.as_dict()
+
+    def test_mtbf_schedule_is_seed_deterministic(self, hetero_machine):
+        platform = hetero_machine.platform()
+        model = FaultModel(worker_mtbf_us=1e5, seed=3)
+        first = model.failure_schedule(platform)
+        model.reset()
+        assert model.failure_schedule(platform) == first
+        assert len(first) == len(platform.workers)
+
+
+class TestWorkerFailStop:
+    def test_kill_one_stream_recovers_and_completes(self, hetero_machine):
+        # hetero_machine has 2 GPU streams: killing one leaves the device
+        # memory alive through its sibling.
+        program = make_gpu_chain_program(n=8)
+        _, base = simulate(hetero_machine, program)
+        gpu_wids = [w.wid for w in hetero_machine.platform().workers
+                    if w.arch == "cuda"]
+        model = FaultModel(worker_kills={gpu_wids[0]: base.makespan / 2}, seed=0)
+        sim, res = simulate(hetero_machine, program, fault_model=model)
+        assert all(t.state is TaskState.DONE for t in program.tasks)
+        assert res.faults.worker_failures == 1
+        assert res.faults.tasks_recovered >= 1  # the running chain link
+        assert res.faults.lost_replica_bytes == 0  # node survived
+        assert res.makespan > base.makespan
+        assert "cuda" in sim.ctx.available_archs  # sibling stream remains
+
+    def test_dead_node_replicas_are_invalidated(self):
+        machine = small_hetero(n_cpus=2, n_gpus=1, gpu_streams=1)
+        program = make_shared_read_program(width=12)
+        _, base = simulate(machine, program)
+        gpu_wid = next(w.wid for w in machine.platform().workers
+                       if w.arch == "cuda")
+        model = FaultModel(worker_kills={gpu_wid: base.makespan / 3}, seed=0)
+        sim, res = simulate(machine, program, fault_model=model)
+        assert all(t.state is TaskState.DONE for t in program.tasks)
+        assert res.faults.worker_failures == 1
+        # The GPU held a read-only copy of the shared handle: dropped and
+        # re-served from the surviving RAM replica, never fatal.
+        assert res.faults.lost_replica_bytes > 0
+        assert "cuda" not in sim.ctx.available_archs
+        assert all(w.arch == "cpu" for w in sim.ctx.workers)
+
+    def test_sole_replica_on_dead_node_raises_data_loss(self):
+        machine = small_hetero(n_cpus=1, n_gpus=1, gpu_streams=1)
+        program = make_gpu_chain_program(n=6)
+        _, base = simulate(machine, program)
+        gpu_wid = next(w.wid for w in machine.platform().workers
+                       if w.arch == "cuda")
+        model = FaultModel(worker_kills={gpu_wid: base.makespan / 2}, seed=0)
+        with pytest.raises(DataLossError, match="only replica"):
+            simulate(machine, program, fault_model=model)
+
+    def test_every_policy_survives_a_stream_kill(self, hetero_machine):
+        program = make_fork_join_program(width=12, flops=5e8)
+        gpu_wids = [w.wid for w in hetero_machine.platform().workers
+                    if w.arch == "cuda"]
+        for name in ("multiprio", "dmdas", "heteroprio", "dm", "eager"):
+            _, base = simulate(
+                hetero_machine, program, scheduler=make_scheduler(name)
+            )
+            model = FaultModel(
+                worker_kills={gpu_wids[0]: base.makespan / 2}, seed=0
+            )
+            _, res = simulate(
+                hetero_machine, program,
+                scheduler=make_scheduler(name), fault_model=model,
+            )
+            assert all(t.state is TaskState.DONE for t in program.tasks), name
+            assert res.faults.worker_failures == 1, name
+
+    def test_scripted_kill_beyond_platform_rejected(self, cpu_machine):
+        program = make_chain_program(n=2)
+        model = FaultModel(worker_kills={99: 1000.0})
+        with pytest.raises(ValidationError, match="cannot kill worker 99"):
+            simulate(cpu_machine, program, fault_model=model)
+
+
+class TestLinkDegradation:
+    def test_degraded_window_slows_transfers(self, hetero_machine):
+        flow = TaskFlow()
+        big = flow.data(64 * 2**20, label="big")
+        flow.submit("init", [(big, AccessMode.W)], flops=1e6,
+                    implementations=("cpu",))
+        flow.submit("gemm", [(big, AccessMode.R)], flops=1e6,
+                    implementations=("cuda",))
+        program = flow.program()
+        _, base = simulate(hetero_machine, program)
+        model = FaultModel(
+            link_degradations=[LinkDegradation(0.0, 1e12, factor=8.0)], seed=0
+        )
+        _, res = simulate(hetero_machine, program, fault_model=model)
+        assert res.makespan > base.makespan
+
+    def test_window_validation(self):
+        with pytest.raises(ValidationError, match="end > start"):
+            LinkDegradation(10.0, 5.0, factor=2.0)
+        with pytest.raises(ValidationError, match="factor"):
+            LinkDegradation(0.0, 1.0, factor=0.0)
+
+    def test_windows_match_links(self):
+        everywhere = LinkDegradation(0.0, 1.0, factor=2.0)
+        one_link = LinkDegradation(0.0, 1.0, factor=2.0, src=0, dst=1)
+        assert everywhere.matches(3, 4)
+        assert one_link.matches(0, 1)
+        assert not one_link.matches(1, 0)
+        model = FaultModel(link_degradations=[one_link])
+        assert model.degradation_windows(0, 1) == ((0.0, 1.0, 2.0),)
+        assert model.degradation_windows(1, 0) == ()
+
+
+class TestCliSpecs:
+    def test_parse_kill_spec(self):
+        assert parse_kill_spec("2@15000") == (2, 15000.0)
+        for bad in ("2", "x@5", "2@", "-1@5", "1@-5"):
+            with pytest.raises(ValidationError):
+                parse_kill_spec(bad)
+
+    def test_parse_fault_rates(self):
+        assert parse_fault_rates("0.05") == 0.05
+        assert parse_fault_rates("cuda=0.1,cpu=0.01") == {"cuda": 0.1, "cpu": 0.01}
+        for bad in ("1.5", "cuda=2", "cuda", "=0.1"):
+            with pytest.raises(ValidationError):
+                parse_fault_rates(bad)
