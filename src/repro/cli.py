@@ -27,6 +27,12 @@ from repro.experiments.fig4_eviction import format_fig4, run_fig4
 from repro.experiments.fig7_matrices import format_fig7, run_fig7
 from repro.experiments.reporting import format_table
 from repro.experiments.table2_gain import format_table2, run_table2
+from repro.obs.export import (
+    events_to_chrome,
+    events_to_jsonl,
+    summary_report,
+    trace_from_events,
+)
 from repro.platform.machines import MACHINES
 from repro.runtime.engine import Simulator
 from repro.runtime.faults import FaultModel, parse_fault_rates, parse_kill_spec
@@ -142,6 +148,58 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a workload with event recording and export/analyze the stream."""
+    machine = MACHINES[args.machine](gpu_streams=args.streams)
+    program = _build_program(args)
+    fault_model = _build_fault_model(args)
+    for name in args.scheduler:
+        sim = Simulator(
+            machine.platform(),
+            make_scheduler(name),
+            AnalyticalPerfModel(machine.calibration(), noise_sigma=args.noise),
+            seed=args.seed,
+            record_trace=False,
+            record_level=args.level,
+            fault_model=fault_model,
+        )
+        res = sim.run(program)
+        events = res.events or ()
+        workers = sim.platform.workers
+        if args.action == "export":
+            if args.format == "chrome":
+                payload = events_to_chrome(
+                    events, workers=workers, metrics=sim.obs.metrics
+                )
+                ext = "json"
+            elif args.format == "jsonl":
+                payload = events_to_jsonl(events)
+                ext = "jsonl"
+            else:  # csv
+                payload = to_csv(trace_from_events(events, workers))
+                ext = "csv"
+            path = f"{args.out}.{name}.{ext}"
+            with open(path, "w") as fh:
+                fh.write(payload)
+            print(f"{args.format} trace ({len(events)} events) written to {path}")
+        elif args.action == "summary":
+            print(f"--- {name} ---")
+            print(summary_report(events, workers=workers, tasks=program.tasks))
+            print()
+        else:  # criticalpath
+            trace = trace_from_events(events, workers)
+            chain = trace.practical_critical_path(list(program.tasks))
+            span = trace.makespan()
+            on_chain = sum(r.exec_time for r in chain)
+            share = 100.0 * on_chain / span if span > 0 else 0.0
+            print(f"--- {name}: {len(chain)} tasks on the practical critical "
+                  f"path ({share:.1f}% of {span:.1f} us executing) ---")
+            for rec in chain:
+                print(f"  {rec.type_name}#{rec.tid:<5} worker {rec.worker:<3} "
+                      f"[{rec.start:>10.1f} -> {rec.end:>10.1f}]")
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("schedulers:", ", ".join(scheduler_names()))
     print("machines:  ", ", ".join(sorted(MACHINES)))
@@ -149,42 +207,63 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    """Workload/machine/fault flags shared by ``run`` and ``trace``."""
+    p.add_argument("--app", default="cholesky",
+                   choices=["cholesky", "lu", "qr", "fmm", "sparseqr"])
+    p.add_argument("--machine", default="intel-v100", choices=sorted(MACHINES))
+    p.add_argument("--scheduler", nargs="+", default=["multiprio", "dmdas"],
+                   choices=scheduler_names())
+    p.add_argument("--streams", type=int, default=1, help="GPU streams")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--noise", type=float, default=0.0,
+                   help="lognormal execution-noise sigma")
+    p.add_argument("--size", type=int, default=16, help="dense: tile count")
+    p.add_argument("--tile", type=int, default=960, help="dense: tile size")
+    p.add_argument("--particles", type=int, default=20000, help="fmm")
+    p.add_argument("--height", type=int, default=4, help="fmm octree height")
+    p.add_argument("--distribution", default="ellipsoid",
+                   choices=["uniform", "ellipsoid", "plummer"])
+    p.add_argument("--matrix", default="e18", help="sparseqr: Fig. 7 matrix name")
+    p.add_argument("--scale", type=float, default=0.02,
+                   help="sparseqr: op-count scale")
+    p.add_argument("--fault-rate", metavar="P|ARCH=P,...",
+                   help="transient per-attempt failure probability, either a "
+                        "bare float or per-arch 'cuda=0.1,cpu=0.01'")
+    p.add_argument("--kill-worker", metavar="WID@TIME", action="append",
+                   default=[], help="fail-stop worker WID at TIME (µs); repeatable")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="retries per task before RetryExhaustedError")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="simulate one workload under schedulers")
-    run.add_argument("--app", default="cholesky",
-                     choices=["cholesky", "lu", "qr", "fmm", "sparseqr"])
-    run.add_argument("--machine", default="intel-v100", choices=sorted(MACHINES))
-    run.add_argument("--scheduler", nargs="+", default=["multiprio", "dmdas"],
-                     choices=scheduler_names())
-    run.add_argument("--streams", type=int, default=1, help="GPU streams")
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--noise", type=float, default=0.0,
-                     help="lognormal execution-noise sigma")
-    run.add_argument("--size", type=int, default=16, help="dense: tile count")
-    run.add_argument("--tile", type=int, default=960, help="dense: tile size")
-    run.add_argument("--particles", type=int, default=20000, help="fmm")
-    run.add_argument("--height", type=int, default=4, help="fmm octree height")
-    run.add_argument("--distribution", default="ellipsoid",
-                     choices=["uniform", "ellipsoid", "plummer"])
-    run.add_argument("--matrix", default="e18", help="sparseqr: Fig. 7 matrix name")
-    run.add_argument("--scale", type=float, default=0.02,
-                     help="sparseqr: op-count scale")
-    run.add_argument("--fault-rate", metavar="P|ARCH=P,...",
-                     help="transient per-attempt failure probability, either a "
-                          "bare float or per-arch 'cuda=0.1,cpu=0.01'")
-    run.add_argument("--kill-worker", metavar="WID@TIME", action="append",
-                     default=[], help="fail-stop worker WID at TIME (µs); repeatable")
-    run.add_argument("--max-retries", type=int, default=3,
-                     help="retries per task before RetryExhaustedError")
+    _add_workload_args(run)
     run.add_argument("--gantt", action="store_true", help="print ASCII Gantt")
     run.add_argument("--chrome-trace", metavar="PREFIX",
                      help="write chrome://tracing JSON per scheduler")
     run.add_argument("--csv-trace", metavar="PREFIX",
                      help="write per-task CSV per scheduler")
     run.set_defaults(func=cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run with event recording; export or analyze the event stream",
+    )
+    trace.add_argument("action", choices=["export", "summary", "criticalpath"])
+    _add_workload_args(trace)
+    trace.add_argument("--level", default="decisions",
+                       choices=["tasks", "decisions", "all"],
+                       help="event granularity to record")
+    trace.add_argument("--format", default="chrome",
+                       choices=["chrome", "jsonl", "csv"],
+                       help="export format (export action only)")
+    trace.add_argument("--out", default="trace", metavar="PREFIX",
+                       help="export file prefix (export action only)")
+    trace.set_defaults(func=cmd_trace)
 
     exp = sub.add_parser("experiment", help="run a light paper experiment")
     exp.add_argument("name", choices=["table2", "fig3", "fig4", "fig7", "faults"])

@@ -142,6 +142,10 @@ class MultiPrio(Scheduler):
             if stored is entry:
                 del entry_map[node]
                 self.ready_tasks_count[node] -= 1
+                if self.obs is not None:
+                    self.record_queue_depth(
+                        f"heap_depth.node{node}", self.ready_tasks_count[node]
+                    )
                 break
         self._n_stale_discards += 1
 
@@ -185,6 +189,11 @@ class MultiPrio(Scheduler):
         task.sched["mp_entries"] = entries
         task.sched["mp_brw_nodes"] = brw_nodes
         task.sched["mp_best_delta"] = deltas[best_arch]
+        if self.obs is not None:
+            for mid in enabled_nodes:
+                self.record_queue_depth(
+                    f"heap_depth.node{mid}", self.ready_tasks_count[mid]
+                )
 
     # -- POP (Alg. 2) ----------------------------------------------------------
 
@@ -193,6 +202,7 @@ class MultiPrio(Scheduler):
         heap = self.heaps.get(worker.memory_node)
         if heap is None:
             return None
+        dec = self.decisions_enabled
         tries = 0
         rejected: set[int] = set()
         while tries < self.max_tries:
@@ -204,7 +214,8 @@ class MultiPrio(Scheduler):
             if not live:
                 break
             top = max(live, key=HeapEntry.key)
-            if not self._pop_condition(top.task, worker):
+            admitted, brw, delta = self._admission(top.task, worker)
+            if not admitted:
                 if self.evict_on_reject:
                     # Literal Alg. 2 eviction: drop the task from this
                     # node's heap; duplicates elsewhere keep it alive.
@@ -215,10 +226,40 @@ class MultiPrio(Scheduler):
                     rejected.add(id(top))
                 self._n_evictions += 1
                 tries += 1
+                if dec:
+                    self.record_decision(
+                        "evict" if self.evict_on_reject else "skip",
+                        task=top.task,
+                        worker=worker,
+                        gain=top.gain,
+                        nod=top.prio,
+                        pop_condition=False,
+                        brw=brw,
+                        delta=delta,
+                    )
                 continue
             entry = self._locality_refine(top, live, worker)
             self._remove_entry(heap, entry, worker.memory_node)
             self._take(entry.task)
+            if dec:
+                # The ε/top-n candidate set the locality refinement chose
+                # from (estimates are cached, so re-deriving is cheap).
+                threshold = top.gain - self.locality_eps
+                cands = tuple(
+                    e.task.tid for e in live[: self.locality_n] if e.gain >= threshold
+                )
+                self.record_decision(
+                    "pop",
+                    task=entry.task,
+                    worker=worker,
+                    gain=entry.gain,
+                    nod=entry.prio,
+                    ls_sdh2=ls_sdh2(entry.task, worker.memory_node),
+                    pop_condition=True,
+                    brw=brw,
+                    delta=self.ctx.estimate(entry.task, worker.arch),
+                    candidates=cands,
+                )
             return entry.task
         if tries:
             self._n_rejections += 1
@@ -238,6 +279,15 @@ class MultiPrio(Scheduler):
                 entry = max(live, key=lambda e: e.key())
                 self._remove_entry(heap, entry, mid)
                 self._take(entry.task)
+                self.record_decision(
+                    "force-pop",
+                    task=entry.task,
+                    worker=worker,
+                    gain=entry.gain,
+                    nod=entry.prio,
+                    pop_condition=True,
+                    reason=f"stall rescue from node {mid}",
+                )
                 return entry.task
         return None
 
@@ -279,6 +329,10 @@ class MultiPrio(Scheduler):
         heap.remove(entry)
         self.ready_tasks_count[mid] -= 1
         entry.task.sched.get("mp_entries", {}).pop(mid, None)
+        if self.obs is not None:
+            self.record_queue_depth(
+                f"heap_depth.node{mid}", self.ready_tasks_count[mid]
+            )
 
     def _take(self, task: Task) -> None:
         """Commit a task to execution: mark duplicates stale and release
@@ -330,18 +384,30 @@ class MultiPrio(Scheduler):
         are busy enough that letting a slow unit help maintains DAG
         progress instead of stretching the makespan.
         """
+        return self._admission(task, worker)[0]
+
+    def _admission(self, task: Task, worker: Worker) -> tuple[bool, float | None, float]:
+        """One admission test with its provenance.
+
+        Returns ``(admitted, brw, delta)``: the verdict, the (drain-
+        adjusted) best-remaining-work the test compared against (``None``
+        on the branches that never read it — best-arch workers, eviction
+        disabled, slowdown-cap rejections), and δ(t, worker.arch). The
+        decision events published at ``record_level="decisions"`` carry
+        exactly these values.
+        """
         ctx = self.ctx
         best_arch = ctx.best_arch(task)
+        delta = ctx.estimate(task, worker.arch)
         if worker.arch == best_arch:
-            return True
+            return True, None, delta
         if not self.eviction:
-            return True
+            return True, None, delta
         if (
             self.slowdown_cap is not None
-            and ctx.estimate(task, worker.arch)
-            > self.slowdown_cap * ctx.estimate(task, best_arch)
+            and delta > self.slowdown_cap * ctx.estimate(task, best_arch)
         ):
-            return False
+            return False, None, delta
         brw = max(
             (
                 self.best_remaining_work[node.mid]
@@ -353,7 +419,7 @@ class MultiPrio(Scheduler):
         if self.drain_aware:
             n_best = max(1, ctx.n_workers(best_arch))
             brw /= n_best
-        return brw > self.brw_safety * ctx.estimate(task, worker.arch)
+        return brw > self.brw_safety * delta, brw, delta
 
     # -- reporting -------------------------------------------------------------------
 

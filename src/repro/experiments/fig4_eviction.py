@@ -9,14 +9,24 @@ shrinks.
 
 We reproduce the full setup: same workload, same platform shape, per-
 resource idle percentages, makespans, and the practical critical path.
+The whole analysis is regenerated from the observability event stream
+(``record_level="decisions"``) rather than the engine's built-in trace:
+the Gantt, idle fractions and critical path come out of
+:mod:`repro.obs.export`, and the decision counts expose how often the
+pop condition actually fired.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.apps.dense.cholesky import cholesky_program
 from repro.core.multiprio import MultiPrio
+from repro.obs.export import (
+    decision_counts,
+    idle_fractions_from_events,
+    trace_from_events,
+)
 from repro.platform.machines import fig4_machine
 from repro.runtime.engine import Simulator
 from repro.runtime.perfmodel import AnalyticalPerfModel
@@ -33,6 +43,7 @@ class Fig4Variant:
     cpu_idle_frac: float
     critical_path_len: int
     trace: Trace
+    decisions: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -65,18 +76,23 @@ def run_fig4(n_tiles: int = 20, tile_size: int = 960, seed: int = 0) -> Fig4Resu
             scheduler,
             AnalyticalPerfModel(machine.calibration()),
             seed=seed,
-            record_trace=True,
+            record_trace=False,
+            record_level="decisions",
         )
         res = sim.run(program)
-        assert res.trace is not None
-        pcp = res.trace.practical_critical_path(program.tasks)
+        assert res.events is not None
+        workers = sim.platform.workers
+        trace = trace_from_events(res.events, workers)
+        idle = idle_fractions_from_events(res.events, workers)
+        pcp = trace.practical_critical_path(program.tasks)
         variants[eviction] = Fig4Variant(
             label="with eviction" if eviction else "without eviction",
             makespan_us=res.makespan,
-            gpu_idle_frac=res.idle_frac_by_arch.get("cuda", 0.0),
-            cpu_idle_frac=res.idle_frac_by_arch.get("cpu", 0.0),
+            gpu_idle_frac=idle.get("cuda", 0.0),
+            cpu_idle_frac=idle.get("cpu", 0.0),
             critical_path_len=len(pcp),
-            trace=res.trace,
+            trace=trace,
+            decisions=decision_counts(res.events),
         )
     return Fig4Result(with_eviction=variants[True], without_eviction=variants[False])
 
@@ -91,6 +107,11 @@ def format_fig4(result: Fig4Result, *, gantt: bool = False) -> str:
             f"CPU idle = {variant.cpu_idle_frac * 100:5.1f}%   "
             f"practical CP = {variant.critical_path_len} tasks"
         )
+        if variant.decisions:
+            lines.append(
+                "  " + " " * 18 + "decisions: "
+                + ", ".join(f"{a}={n}" for a, n in sorted(variant.decisions.items()))
+            )
     lines.append(
         f"  eviction gains: GPU idle -{result.gpu_idle_reduction * 100:.1f} points, "
         f"makespan -{result.makespan_gain * 100:.1f}%  "

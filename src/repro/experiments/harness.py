@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.obs.events import RecordLevel
 from repro.platform.machines import MachineModel
 from repro.runtime.engine import SimResult, Simulator
 from repro.runtime.perfmodel import AnalyticalPerfModel
@@ -36,8 +37,14 @@ def run_one(
     seed: int = 0,
     noise_sigma: float = 0.0,
     record_trace: bool = False,
+    record_level: RecordLevel | str | int = RecordLevel.OFF,
 ) -> tuple[ExperimentResult, SimResult]:
-    """Simulate one (program, machine, scheduler) combination."""
+    """Simulate one (program, machine, scheduler) combination.
+
+    ``record_level`` enables the observability subsystem for the run;
+    the returned :class:`SimResult` then carries the event stream and a
+    metrics snapshot (see :mod:`repro.obs`).
+    """
     perfmodel = AnalyticalPerfModel(machine.calibration(), noise_sigma=noise_sigma)
     sim = Simulator(
         machine.platform(),
@@ -45,6 +52,7 @@ def run_one(
         perfmodel,
         seed=seed,
         record_trace=record_trace,
+        record_level=record_level,
     )
     res = sim.run(program)
     row = ExperimentResult(

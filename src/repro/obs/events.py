@@ -1,0 +1,268 @@
+"""Structured event taxonomy of the observability subsystem.
+
+Every noteworthy runtime occurrence — task lifecycle transitions, data
+transfers with their real source node, fault handling, and the
+*decision-provenance* records behind scheduler pops and evictions — is a
+small frozen dataclass with a stable ``kind`` string. Events serialize
+to flat dicts (:meth:`Event.to_dict`) and back
+(:func:`event_from_dict`), which is what the JSONL exporter/importer in
+:mod:`repro.obs.export` round-trips.
+
+The :class:`RecordLevel` flag gates what the engine publishes:
+
+* ``off`` — observability entirely disabled (the default; the simulation
+  is bit-identical to a build without the subsystem);
+* ``tasks`` — task lifecycle (submit/ready/pop/stage/start/end),
+  per-link transfers, and fault/retry events;
+* ``decisions`` — ``tasks`` plus one :class:`DecisionEvent` per
+  scheduler pop, skip, eviction or forced pop;
+* ``all`` — everything (currently a synonym for ``decisions``, reserved
+  for debug-grade firehoses).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+from repro.utils.validation import ValidationError
+
+
+class RecordLevel(enum.IntEnum):
+    """How much the engine records; ordered so ``>=`` comparisons work."""
+
+    OFF = 0
+    TASKS = 1
+    DECISIONS = 2
+    ALL = 3
+
+    @classmethod
+    def parse(cls, value: "RecordLevel | str | int") -> "RecordLevel":
+        """Coerce a CLI/API value (name, int or member) into a level."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        if isinstance(value, str):
+            try:
+                return cls[value.strip().upper()]
+            except KeyError:
+                raise ValidationError(
+                    f"unknown record level {value!r}; expected one of "
+                    f"{[lv.name.lower() for lv in cls]}"
+                ) from None
+        raise ValidationError(f"cannot parse record level from {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base event: everything carries the virtual emission time ``t`` (µs)."""
+
+    kind: ClassVar[str] = "event"
+
+    t: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-ready mapping, ``kind`` included."""
+        out: dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class TaskSubmit(Event):
+    """The STF main thread submitted a task (it entered the engine's view)."""
+
+    kind: ClassVar[str] = "task_submit"
+
+    tid: int
+    type_name: str
+
+
+@dataclass(frozen=True, slots=True)
+class TaskReady(Event):
+    """A task's last dependency completed; it was pushed to the scheduler."""
+
+    kind: ClassVar[str] = "task_ready"
+
+    tid: int
+    type_name: str
+
+
+@dataclass(frozen=True, slots=True)
+class TaskPop(Event):
+    """The scheduler handed a task to a worker (``staged`` = lookahead pop)."""
+
+    kind: ClassVar[str] = "task_pop"
+
+    tid: int
+    wid: int
+    staged: bool = False
+    forced: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class TaskStage(Event):
+    """A popped task's input transfers started ahead of execution."""
+
+    kind: ClassVar[str] = "task_stage"
+
+    tid: int
+    wid: int
+    arrival: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class TaskStart(Event):
+    """A worker began executing a task (``start`` >= ``t`` when data stalls)."""
+
+    kind: ClassVar[str] = "task_start"
+
+    tid: int
+    type_name: str
+    wid: int
+    node: int
+    start: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskEnd(Event):
+    """A task completed; carries the full execution record."""
+
+    kind: ClassVar[str] = "task_end"
+
+    tid: int
+    type_name: str
+    wid: int
+    node: int
+    pop_time: float
+    start: float
+    end: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskFault(Event):
+    """An injected transient failure aborted a running attempt."""
+
+    kind: ClassVar[str] = "task_fault"
+
+    tid: int
+    wid: int
+    wasted_us: float
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRetryScheduled(Event):
+    """A failed task's backoff expired and it re-entered the scheduler."""
+
+    kind: ClassVar[str] = "task_retry"
+
+    tid: int
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerDeath(Event):
+    """An injected fail-stop failure removed a worker for good."""
+
+    kind: ClassVar[str] = "worker_death"
+
+    wid: int
+    name: str
+    n_recovered: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class TransferEvent(Event):
+    """One committed link reservation with its *real* endpoints.
+
+    Relayed GPU-to-GPU copies produce one event per traversed link, so
+    ``src``/``dst`` always name the physical link the bytes crossed —
+    the provenance the old ``src=-1`` trace records lacked.
+    """
+
+    kind: ClassVar[str] = "transfer"
+
+    hid: int
+    src: int
+    dst: int
+    nbytes: int
+    start: float
+    end: float
+    prefetch: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionEvent(Event):
+    """Scheduler decision provenance: *why* a task was popped or evicted.
+
+    ``action`` is one of ``pop`` (task handed to the worker), ``skip``
+    (pop condition failed, entry left in the heap), ``evict`` (pop
+    condition failed, entry removed — Alg. 2's literal eviction) or
+    ``force-pop`` (liveness escape hatch). Score fields are ``None``
+    when the policy does not compute them; ``candidates`` is the ε/top-n
+    window the locality refinement considered.
+    """
+
+    kind: ClassVar[str] = "decision"
+
+    scheduler: str
+    action: str
+    tid: int
+    type_name: str = ""
+    wid: int = -1
+    node: int = -1
+    gain: float | None = None
+    nod: float | None = None
+    ls_sdh2: float | None = None
+    locality_bytes: float | None = None
+    pop_condition: bool | None = None
+    brw: float | None = None
+    delta: float | None = None
+    candidates: tuple[int, ...] = ()
+    reason: str = ""
+
+
+#: Registry used by the JSONL importer; every concrete event kind.
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        TaskSubmit,
+        TaskReady,
+        TaskPop,
+        TaskStage,
+        TaskStart,
+        TaskEnd,
+        TaskFault,
+        TaskRetryScheduled,
+        WorkerDeath,
+        TransferEvent,
+        DecisionEvent,
+    )
+}
+
+
+def event_from_dict(data: dict[str, Any]) -> Event:
+    """Rebuild an event from its :meth:`Event.to_dict` mapping."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValidationError(f"unknown event kind {kind!r}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValidationError(
+            f"event kind {kind!r} does not accept fields {sorted(unknown)}"
+        )
+    coerced = {
+        name: tuple(value) if isinstance(value, list) else value
+        for name, value in payload.items()
+    }
+    return cls(**coerced)

@@ -27,6 +27,20 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.bus import Observability
+from repro.obs.events import (
+    RecordLevel,
+    TaskEnd,
+    TaskFault,
+    TaskPop,
+    TaskReady,
+    TaskRetryScheduled,
+    TaskStage,
+    TaskStart,
+    TaskSubmit,
+    WorkerDeath,
+)
+from repro.obs.metrics import MetricsSnapshot
 from repro.runtime.events import (
     TASK_COMPLETION,
     TASK_FAILURE,
@@ -224,6 +238,10 @@ class SimResult:
     trace: Trace | None = None
     #: Fault bookkeeping; ``None`` when the run had no fault model.
     faults: FaultStats | None = None
+    #: Structured event stream; ``None`` unless ``record_level`` enabled it.
+    events: tuple | None = None
+    #: End-of-run metrics snapshot; ``None`` unless ``record_level`` enabled it.
+    metrics: MetricsSnapshot | None = None
 
     @property
     def gflops(self) -> float:
@@ -264,6 +282,15 @@ class Simulator:
         degradation. ``None`` (default) runs the fault-free engine,
         bit-identical to the pre-resilience behaviour: the fault paths
         never sample and never touch the execution-noise RNG.
+    record_level:
+        :class:`~repro.obs.events.RecordLevel` (or its name) gating the
+        observability subsystem: ``"off"`` (default) records nothing and
+        keeps the simulation bit-identical to a build without the
+        subsystem; ``"tasks"`` publishes lifecycle/transfer/fault events
+        and metrics; ``"decisions"`` adds scheduler decision provenance.
+        The bound :class:`~repro.obs.bus.Observability` instance is
+        exposed as ``self.obs``; the captured stream and metrics
+        snapshot land on :class:`SimResult`.
     """
 
     def __init__(
@@ -277,6 +304,7 @@ class Simulator:
         pipeline: bool = True,
         submission_window: int | None = None,
         fault_model: FaultModel | None = None,
+        record_level: RecordLevel | str | int = RecordLevel.OFF,
     ) -> None:
         if submission_window is not None and submission_window < 1:
             raise SchedulingError(
@@ -290,6 +318,12 @@ class Simulator:
         self.pipeline = pipeline
         self.submission_window = submission_window
         self.fault_model = fault_model
+        self.record_level = RecordLevel.parse(record_level)
+        self.obs: Observability | None = (
+            Observability(self.record_level)
+            if self.record_level >= RecordLevel.TASKS
+            else None
+        )
         self.ctx = SchedContext(platform, perfmodel)
 
     # -- main loop ---------------------------------------------------------
@@ -300,7 +334,13 @@ class Simulator:
         self.platform.reset_runtime_state()
         ctx = self.ctx
         ctx.reset()
+        obs = self.obs
+        if obs is not None:
+            obs.begin_run(self.platform)
+        self.platform.transfers.observer = obs
+        emit = obs.emit if obs is not None else None
         scheduler = self.scheduler
+        scheduler.obs = obs
         scheduler.setup(ctx)
 
         self._validate_program(program)
@@ -337,6 +377,8 @@ class Simulator:
 
         def push_ready(task: Task) -> None:
             task.state = TaskState.READY
+            if emit is not None:
+                emit(TaskReady(ctx.now, task.tid, task.type_name))
             scheduler.push(task)
 
         # Progressive submission: a task only enters the scheduler's view
@@ -350,10 +392,15 @@ class Simulator:
             while revealed < n_total and revealed - n_done < window:  # type: ignore[operator]
                 task = program.tasks[revealed]
                 revealed += 1
+                if emit is not None:
+                    emit(TaskSubmit(ctx.now, task.tid, task.type_name))
                 if task.n_unfinished_preds == 0 and task.state is TaskState.SUBMITTED:
                     push_ready(task)
 
         if window is None:
+            if emit is not None:
+                for task in program.tasks:
+                    emit(TaskSubmit(0.0, task.tid, task.type_name))
             for task in program.source_tasks():
                 push_ready(task)
         else:
@@ -395,7 +442,8 @@ class Simulator:
                 if mode.is_read and handle.size > 0:
                     done = transfers.fetch(handle, node, now)
                     if trace is not None and done > now:
-                        trace.record_transfer(handle.hid, -1, node, handle.size, now, done)
+                        src = transfers.fetch_source(handle.hid, node)
+                        trace.record_transfer(handle.hid, src, node, handle.size, now, done)
                     arrival = max(arrival, done)
                     transfers.pin(handle, node)
                     pinned.append(handle)
@@ -413,6 +461,13 @@ class Simulator:
             # (start - pop_time) is the residual (unoverlapped) data stall.
             task.sched["_record"] = (worker.wid, now, start, end)
             current[worker.wid] = task
+            if emit is not None:
+                emit(
+                    TaskStart(
+                        now, task.tid, task.type_name, worker.wid,
+                        worker.memory_node, start,
+                    )
+                )
             fail_frac = None if fault is None else fault.attempt_failure(task, worker)
             if fail_frac is not None:
                 fail_at = start + duration * fail_frac
@@ -438,8 +493,12 @@ class Simulator:
             task = scheduler.pop(worker)
             if task is None:
                 return
+            if emit is not None:
+                emit(TaskPop(now, task.tid, worker.wid, staged=True))
             arrival, duration = acquire(worker, task, now)
             staged[worker.wid] = (task, arrival, duration)
+            if emit is not None:
+                emit(TaskStage(now, task.tid, worker.wid, arrival))
 
         def wake_workers(now: float) -> None:
             """Wake live workers that could use new work (idle or unstaged)."""
@@ -469,6 +528,13 @@ class Simulator:
                 self.perfmodel.record(task, worker.arch, end - start)
                 if trace is not None:
                     trace.record_task(task, worker, pop_time, start, end)
+                if emit is not None:
+                    emit(
+                        TaskEnd(
+                            now, task.tid, task.type_name, worker.wid,
+                            worker.memory_node, pop_time, start, end,
+                        )
+                    )
                 # Writes invalidate every other replica (MSI).
                 node = worker.memory_node
                 for handle in task.sched.get("_pinned", ()):
@@ -510,6 +576,8 @@ class Simulator:
                 current[wid] = None
                 scheduler.on_task_failed(task, worker)
                 attempts[task.tid] = n_failures = attempts.get(task.tid, 0) + 1
+                if emit is not None:
+                    emit(TaskFault(now, task.tid, wid, now - start, n_failures))
                 if n_failures > fault.max_retries:
                     raise RetryExhaustedError(
                         f"{task.name} failed {n_failures} attempts, exceeding "
@@ -526,6 +594,8 @@ class Simulator:
                 # Skip when a worker-failure recovery re-pushed the task
                 # (or it even completed) while the backoff was pending.
                 if task.state is TaskState.SUBMITTED and task.n_unfinished_preds == 0:
+                    if emit is not None:
+                        emit(TaskRetryScheduled(now, task.tid, attempts.get(task.tid, 0)))
                     push_ready(task)
                     wake_workers(now)
 
@@ -560,6 +630,8 @@ class Simulator:
                         orphan.state = TaskState.SUBMITTED
                         recovered.append(orphan)
                 faults.tasks_recovered += len(recovered)
+                if emit is not None:
+                    emit(WorkerDeath(now, wid, worker.name, len(recovered)))
                 # A device memory dies with its last worker: every replica
                 # it hosted is gone. Sole copies that an unfinished task
                 # still needs to read are unrecoverable.
@@ -616,6 +688,8 @@ class Simulator:
                     else:
                         task = scheduler.pop(worker)
                         if task is not None:
+                            if emit is not None:
+                                emit(TaskPop(now, task.tid, worker.wid))
                             arrival, duration = acquire(worker, task, now)
                             begin_exec(worker, task, now, arrival, duration)
                     if current[wid] is not None:
@@ -634,6 +708,8 @@ class Simulator:
                     task = scheduler.pop(worker) or scheduler.force_pop(worker)
                     if task is not None and task.state is TaskState.READY:
                         forced_pops += 1
+                        if emit is not None:
+                            emit(TaskPop(now, task.tid, worker.wid, forced=True))
                         arrival, duration = acquire(worker, task, now)
                         begin_exec(worker, task, now, arrival, duration)
                         progressed = True
@@ -685,6 +761,8 @@ class Simulator:
             scheduler_stats=scheduler.stats(),
             trace=trace,
             faults=faults,
+            events=tuple(obs.events) if obs is not None else None,
+            metrics=obs.snapshot(makespan) if obs is not None else None,
         )
 
     # -- validation ----------------------------------------------------------

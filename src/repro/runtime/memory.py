@@ -10,8 +10,14 @@ completion.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from repro.obs.events import TransferEvent
 from repro.runtime.data import DataHandle
 from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.bus import Observability
 
 
 class MemoryNode:
@@ -173,6 +179,11 @@ class TransferEngine:
         }
         self.n_evictions = 0
         self.n_overcommits = 0
+        #: Observability channel (bound per run by the engine; None = off).
+        self.observer: "Observability | None" = None
+        # Source node of the most recent committed fetch per (hid, dst):
+        # the transfer-provenance record behind Trace.record_transfer.
+        self._fetch_src: dict[tuple[int, int], int] = {}
 
     # -- introspection -----------------------------------------------------
 
@@ -188,6 +199,12 @@ class TransferEngine:
         """Bytes moved across all links since the last reset."""
         return sum(link.bytes_moved for link in self._links.values())
 
+    def fetch_source(self, hid: int, dst: int) -> int:
+        """Source node that served the last committed fetch of ``hid``
+        toward ``dst`` (``-1`` when no transfer was ever committed, e.g.
+        the replica was already resident)."""
+        return self._fetch_src.get((hid, dst), -1)
+
     def reset_runtime_state(self) -> None:
         """Reset all link clocks, counters and residency tracking."""
         for link in self._links.values():
@@ -198,6 +215,7 @@ class TransferEngine:
             self._usage[mid] = 0
         self.n_evictions = 0
         self.n_overcommits = 0
+        self._fetch_src.clear()
 
     # -- capacity / LRU residency ------------------------------------------
 
@@ -368,8 +386,19 @@ class TransferEngine:
             )
 
         clock = now
+        obs = self.observer
         for link in best_route:
+            begin = max(clock, link.busy_until if prefetch else link.demand_busy_until)
             clock = link.reserve(clock, handle.size, prefetch)
+            if obs is not None:
+                obs.emit(
+                    TransferEvent(
+                        now, handle.hid, link.src, link.dst, handle.size,
+                        begin, clock, prefetch,
+                    )
+                )
+        if best_route:
+            self._fetch_src[(handle.hid, dst)] = best_route[0].src
         handle.valid_nodes.add(dst)
         handle._in_flight[dst] = clock
         self._account_insert(handle, dst, now)
@@ -423,8 +452,19 @@ class TransferEngine:
         if best_route is None or best_arrival is None or best_arrival >= deadline:
             return None
         clock = now
+        obs = self.observer
         for link in best_route:
+            begin = max(clock, link.demand_busy_until)
             clock = link.reserve(clock, handle.size, prefetch=False)
+            if obs is not None:
+                obs.emit(
+                    TransferEvent(
+                        now, handle.hid, link.src, link.dst, handle.size,
+                        begin, clock, False,
+                    )
+                )
+        if best_route:
+            self._fetch_src[(handle.hid, dst)] = best_route[0].src
         return clock
 
     def _route_links(self, src: int, dst: int) -> tuple[Link, ...] | None:

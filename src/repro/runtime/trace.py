@@ -179,8 +179,9 @@ class Trace:
         ``~`` when waiting for data.
         """
         span = self.makespan()
-        if span <= 0:
+        if span <= 0 or not self.workers:
             return "(empty trace)"
+        width = max(1, int(width))
         lines: list[str] = []
         name_width = max(len(w.name) for w in self.workers)
         for worker in self.workers:
@@ -198,5 +199,6 @@ class Trace:
                 for i in range(mid, hi):
                     cells[i] = letter
             lines.append(f"{worker.name:>{name_width}} |{''.join(cells)}|")
-        lines.append(f"{'':>{name_width}}  0{'':>{width - 12}}{span:10.0f}us")
+        pad = max(0, width - 12)
+        lines.append(f"{'':>{name_width}}  0{'':>{pad}}{span:10.0f}us")
         return "\n".join(lines)

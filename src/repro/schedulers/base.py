@@ -17,10 +17,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.events import DecisionEvent
 from repro.runtime.task import Task
 from repro.runtime.worker import Worker
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.bus import Observability
     from repro.runtime.engine import SchedContext
 
 
@@ -30,8 +32,12 @@ class Scheduler:
     #: Registry/reporting name; subclasses override.
     name = "base"
 
+    #: Observability channel, bound by the engine each run (None = off).
+    obs: "Observability | None" = None
+
     def __init__(self) -> None:
         self.ctx: "SchedContext" = None  # type: ignore[assignment]
+        self.obs = None
 
     def setup(self, ctx: "SchedContext") -> None:
         """Bind to a run context and reset all per-run state.
@@ -80,6 +86,50 @@ class Scheduler:
         nothing.
         """
         return []
+
+    # -- decision provenance ---------------------------------------------------
+
+    @property
+    def decisions_enabled(self) -> bool:
+        """Whether the engine asked for decision-provenance events."""
+        obs = self.obs
+        return obs is not None and obs.decisions
+
+    def record_decision(
+        self,
+        action: str,
+        task: Task | None = None,
+        worker: Worker | None = None,
+        **fields,
+    ) -> None:
+        """Publish one :class:`~repro.obs.events.DecisionEvent`.
+
+        No-op unless the engine enabled decision-level observability, so
+        policies may call it unconditionally at their decision points;
+        hot loops that must also avoid building the keyword arguments
+        should guard on :attr:`decisions_enabled` first.
+        """
+        obs = self.obs
+        if obs is None or not obs.decisions:
+            return
+        obs.emit(
+            DecisionEvent(
+                t=self.ctx.now,
+                scheduler=self.name,
+                action=action,
+                tid=-1 if task is None else task.tid,
+                type_name="" if task is None else task.type_name,
+                wid=-1 if worker is None else worker.wid,
+                node=-1 if worker is None else worker.memory_node,
+                **fields,
+            )
+        )
+
+    def record_queue_depth(self, key: str, depth: float) -> None:
+        """Sample a queue-depth gauge (no-op when observability is off)."""
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.gauge(key).set(depth, self.ctx.now)
 
     def stats(self) -> dict[str, float]:
         """Per-run counters for reporting (evictions, steals, ...)."""

@@ -60,7 +60,19 @@ class Dmdas(Dmda):
         chosen = window.pop(best_i)
         for item in window:
             heapq.heappush(heap, item)
-        return chosen[2]
+        task = chosen[2]
+        if self.decisions_enabled:
+            self.record_decision(
+                "pop",
+                task=task,
+                worker=worker,
+                pop_condition=True,
+                locality_bytes=float(best_local),
+                delta=self.ctx.estimate(task, worker.arch),
+                candidates=tuple(t.tid for _, _, t in window) + (task.tid,),
+                reason=f"priority:{-top_prio}",
+            )
+        return task
 
     def force_pop(self, worker: Worker) -> Task | None:
         for heap in self._heaps.values():

@@ -84,13 +84,36 @@ class HeteroPrio(Scheduler):
         )
 
     def pop(self, worker: Worker) -> Task | None:
+        dec = self.decisions_enabled
         for type_name in self._scan_order(worker.arch):
             bucket = self._buckets.get(type_name)
             if not bucket:
                 continue
             head = bucket[0]
-            if head.can_exec(worker.arch) and self._guard_allows(head, worker):
-                return bucket.popleft()
+            if not head.can_exec(worker.arch):
+                continue
+            if not self._guard_allows(head, worker):
+                if dec:
+                    self.record_decision(
+                        "skip",
+                        task=head,
+                        worker=worker,
+                        pop_condition=False,
+                        delta=self.ctx.estimate(head, worker.arch),
+                        reason=f"steal-guard bucket:{type_name}",
+                    )
+                continue
+            task = bucket.popleft()
+            if dec:
+                self.record_decision(
+                    "pop",
+                    task=task,
+                    worker=worker,
+                    pop_condition=True,
+                    delta=self.ctx.estimate(task, worker.arch),
+                    reason=f"bucket:{type_name}",
+                )
+            return task
         return None
 
     def force_pop(self, worker: Worker) -> Task | None:

@@ -7,7 +7,7 @@ from repro.runtime.engine import Simulator
 from repro.runtime.perfmodel import AnalyticalPerfModel
 from repro.runtime.stf import TaskFlow
 from repro.runtime.task import AccessMode
-from repro.schedulers.registry import make_scheduler, scheduler_names
+from repro.schedulers.registry import make_scheduler
 from tests.conftest import make_chain_program, make_fork_join_program
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps.sparseqr import (
-    EliminationTree,
     Front,
     MATRICES,
     TreeProfile,

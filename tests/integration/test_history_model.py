@@ -8,7 +8,6 @@ estimates then match the measured times.
 
 import pytest
 
-from repro.platform.machines import small_hetero
 from repro.runtime.engine import Simulator
 from repro.runtime.perfmodel import AnalyticalPerfModel, HistoryPerfModel
 from repro.schedulers.registry import make_scheduler

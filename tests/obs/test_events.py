@@ -1,0 +1,87 @@
+"""Event taxonomy tests: levels, serialization, round-trips."""
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    DecisionEvent,
+    Event,
+    RecordLevel,
+    TaskEnd,
+    TaskPop,
+    TransferEvent,
+    event_from_dict,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestRecordLevel:
+    def test_parse_names(self):
+        assert RecordLevel.parse("off") is RecordLevel.OFF
+        assert RecordLevel.parse("tasks") is RecordLevel.TASKS
+        assert RecordLevel.parse("DECISIONS") is RecordLevel.DECISIONS
+        assert RecordLevel.parse(" all ") is RecordLevel.ALL
+
+    def test_parse_ints_and_members(self):
+        assert RecordLevel.parse(2) is RecordLevel.DECISIONS
+        assert RecordLevel.parse(RecordLevel.TASKS) is RecordLevel.TASKS
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValidationError):
+            RecordLevel.parse("verbose")
+        with pytest.raises(ValidationError):
+            RecordLevel.parse(3.5)
+
+    def test_ordering(self):
+        assert RecordLevel.OFF < RecordLevel.TASKS < RecordLevel.DECISIONS
+
+
+class TestSerialization:
+    def test_to_dict_includes_kind(self):
+        ev = TaskPop(t=1.5, tid=7, wid=2, staged=True)
+        d = ev.to_dict()
+        assert d["kind"] == "task_pop"
+        assert d["tid"] == 7 and d["staged"] is True
+
+    def test_tuples_become_lists(self):
+        ev = DecisionEvent(
+            t=0.0, scheduler="multiprio", action="pop", tid=1, candidates=(1, 2, 3)
+        )
+        assert ev.to_dict()["candidates"] == [1, 2, 3]
+
+    @pytest.mark.parametrize("kind", sorted(EVENT_TYPES))
+    def test_registry_kinds_are_consistent(self, kind):
+        assert EVENT_TYPES[kind].kind == kind
+
+    def test_round_trip_every_kind(self):
+        samples = [
+            TaskEnd(t=9.0, tid=1, type_name="gemm", wid=0, node=1,
+                    pop_time=1.0, start=2.0, end=9.0),
+            TransferEvent(t=2.0, hid=3, src=0, dst=1, nbytes=4096,
+                          start=2.0, end=3.0, prefetch=True),
+            DecisionEvent(t=4.0, scheduler="multiprio", action="skip", tid=5,
+                          gain=0.5, nod=0.1, pop_condition=False, brw=7.0,
+                          delta=9.0, candidates=(5, 6)),
+        ]
+        for ev in samples:
+            back = event_from_dict(ev.to_dict())
+            assert back == ev
+            assert type(back) is type(ev)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown event kind"):
+            event_from_dict({"kind": "nope", "t": 0.0})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError, match="does not accept"):
+            event_from_dict({"kind": "task_pop", "t": 0.0, "tid": 1,
+                             "wid": 0, "bogus": 1})
+
+    def test_events_are_frozen(self):
+        ev = TaskPop(t=0.0, tid=1, wid=0)
+        with pytest.raises(AttributeError):
+            ev.tid = 2
+
+    def test_base_event_kind(self):
+        assert Event.kind == "event"
+        assert "event" not in EVENT_TYPES  # only concrete kinds importable

@@ -14,7 +14,6 @@ from repro.platform.machines import (
     cpu_only,
     fig4_machine,
     intel_v100,
-    small_hetero,
 )
 from repro.runtime.perfmodel import AnalyticalPerfModel
 from repro.runtime.task import Task

@@ -104,3 +104,70 @@ class TestGantt:
         trace.record_task(make_task(0), workers[0], 0.0, 5.0, 10.0)
         art = trace.gantt_ascii(width=20)
         assert "~" in art
+
+    def test_gantt_no_workers(self):
+        assert Trace([]).gantt_ascii() == "(empty trace)"
+
+    def test_gantt_zero_span_with_records(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        trace.record_task(make_task(0), workers[0], 0.0, 0.0, 0.0)
+        assert trace.gantt_ascii() == "(empty trace)"
+
+    def test_gantt_narrow_width(self):
+        """Footer must not raise for widths below the timestamp field."""
+        workers = make_workers()
+        trace = Trace(workers)
+        trace.record_task(make_task(0), workers[0], 0.0, 0.0, 10.0)
+        for width in (1, 5, 11, 12):
+            art = trace.gantt_ascii(width=width)
+            assert "cpu0" in art
+
+    def test_gantt_nonpositive_width_clamped(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        trace.record_task(make_task(0), workers[0], 0.0, 0.0, 10.0)
+        assert "K" in trace.gantt_ascii(width=0)
+
+    def test_gantt_unnamed_type_uses_hash(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        trace.record_task(Task(0, ""), workers[0], 0.0, 0.0, 10.0)
+        assert "#" in trace.gantt_ascii(width=20)
+
+
+class TestPracticalCriticalPathEdges:
+    def test_empty_trace(self):
+        assert Trace(make_workers()).practical_critical_path([]) == []
+
+    def test_single_record(self):
+        workers = make_workers()
+        trace = Trace(workers)
+        a = make_task(0)
+        trace.record_task(a, workers[0], 0.0, 0.0, 5.0)
+        chain = trace.practical_critical_path([a])
+        assert [r.tid for r in chain] == [0]
+
+    def test_prefers_latest_blocker(self):
+        """The chain follows whichever candidate finished last: a DAG
+        predecessor beating the worker's previous occupant."""
+        workers = make_workers()
+        trace = Trace(workers)
+        dep = make_task(0)
+        occupant = make_task(1)  # same worker, ends earlier than dep
+        final = make_task(2, preds=[dep])
+        trace.record_task(occupant, workers[0], 0.0, 0.0, 3.0)
+        trace.record_task(dep, workers[1], 0.0, 0.0, 8.0)
+        trace.record_task(final, workers[0], 8.0, 8.0, 12.0)
+        chain = trace.practical_critical_path([dep, occupant, final])
+        assert [r.tid for r in chain] == [0, 2]
+
+    def test_unknown_tasks_fall_back_to_worker_chain(self):
+        """Without DAG info the chain still follows worker occupancy."""
+        workers = make_workers()
+        trace = Trace(workers)
+        a, b = make_task(0), make_task(1)
+        trace.record_task(a, workers[0], 0.0, 0.0, 5.0)
+        trace.record_task(b, workers[0], 5.0, 5.0, 9.0)
+        chain = trace.practical_critical_path([])  # no task objects given
+        assert [r.tid for r in chain] == [0, 1]

@@ -1,7 +1,5 @@
 """Dm / Dmda / Dmdas behavioural tests."""
 
-import pytest
-
 from repro.runtime.engine import SchedContext, Simulator
 from repro.runtime.perfmodel import AnalyticalPerfModel
 from repro.runtime.stf import TaskFlow

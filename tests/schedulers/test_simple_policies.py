@@ -1,7 +1,5 @@
 """Eager and Random scheduler tests."""
 
-import pytest
-
 from repro.runtime.engine import SchedContext
 from repro.runtime.perfmodel import AnalyticalPerfModel
 from repro.runtime.stf import TaskFlow

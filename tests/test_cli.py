@@ -75,3 +75,49 @@ def test_light_experiments(name, capsys):
 def test_unknown_scheduler_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["run", "--scheduler", "bogus"])
+
+
+class TestTraceCommand:
+    ARGS = ["--app", "cholesky", "--size", "4", "--tile", "512",
+            "--scheduler", "multiprio"]
+
+    def test_export_chrome(self, tmp_path, capsys):
+        prefix = str(tmp_path / "tr")
+        code = main(["trace", "export", "--format", "chrome",
+                     "--out", prefix, *self.ARGS])
+        assert code == 0
+        doc = json.loads((tmp_path / "tr.multiprio.json").read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "M", "i", "C"} <= phases
+
+    def test_export_jsonl_round_trips(self, tmp_path, capsys):
+        from repro.obs.export import events_from_jsonl
+
+        prefix = str(tmp_path / "tr")
+        code = main(["trace", "export", "--format", "jsonl",
+                     "--out", prefix, *self.ARGS])
+        assert code == 0
+        events = events_from_jsonl((tmp_path / "tr.multiprio.jsonl").read_text())
+        assert events and {e.kind for e in events} >= {"task_end", "decision"}
+
+    def test_export_csv(self, tmp_path, capsys):
+        prefix = str(tmp_path / "tr")
+        code = main(["trace", "export", "--format", "csv",
+                     "--out", prefix, *self.ARGS])
+        assert code == 0
+        assert (tmp_path / "tr.multiprio.csv").read_text().startswith("tid,")
+
+    def test_summary(self, capsys):
+        assert main(["trace", "summary", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "scheduler decisions" in out
+        assert "practical critical path" in out
+
+    def test_criticalpath(self, capsys):
+        assert main(["trace", "criticalpath", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "practical critical" in out and "worker" in out
+
+    def test_level_tasks_has_no_decisions(self, capsys):
+        assert main(["trace", "summary", "--level", "tasks", *self.ARGS]) == 0
+        assert "scheduler decisions" not in capsys.readouterr().out

@@ -30,6 +30,7 @@ def test_top_level_exports_resolve():
         "repro.analysis",
         "repro.extensions",
         "repro.utils",
+        "repro.obs",
         "repro.cli",
     ],
 )
@@ -46,6 +47,7 @@ def test_all_exports_resolve_in_subpackages():
         "repro.analysis",
         "repro.extensions",
         "repro.utils",
+        "repro.obs",
     ):
         mod = importlib.import_module(module)
         for name in getattr(mod, "__all__", []):
@@ -68,10 +70,13 @@ def test_readme_quickstart_names_exist():
 
 def test_public_classes_have_docstrings():
     from repro.core.multiprio import MultiPrio
+    from repro.obs.bus import EventBus, Observability
+    from repro.obs.metrics import Gauge, MetricsRegistry
     from repro.runtime.engine import SchedContext, Simulator
     from repro.runtime.stf import Program, TaskFlow
 
-    for obj in (MultiPrio, Simulator, SchedContext, TaskFlow, Program):
+    for obj in (MultiPrio, Simulator, SchedContext, TaskFlow, Program,
+                EventBus, Observability, Gauge, MetricsRegistry):
         assert obj.__doc__
         for name, member in vars(obj).items():
             if callable(member) and not name.startswith("_"):
