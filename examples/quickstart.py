@@ -1,17 +1,18 @@
 #!/usr/bin/env python
-"""Quickstart: build a task graph, run it under two schedulers, compare.
+"""Quickstart: build a task graph, run it under three schedulers, compare.
 
-Demonstrates the core public API in ~40 lines:
+Demonstrates the public API in ~40 lines:
 
 * declare data handles and submit tasks through the STF front-end
   (dependencies are inferred from the access modes);
-* instantiate a heterogeneous machine model;
-* simulate under MultiPrio and under StarPU's dmdas baseline.
+* run everything through :func:`repro.simulate` — one call from
+  (program, machine, scheduler) to a result;
+* tune a scheduler via registry parameters (``sched_params``).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import AccessMode, AnalyticalPerfModel, Simulator, TaskFlow, make_scheduler
+from repro import AccessMode, SimConfig, TaskFlow, simulate
 from repro.platform import small_hetero
 from repro.utils.units import time_human
 
@@ -40,15 +41,16 @@ print(f"program: {len(program)} tasks, {program.n_edges} dependency edges")
 
 machine = small_hetero(n_cpus=6, n_gpus=1, gpu_streams=2)
 for scheduler_name in ("multiprio", "dmdas", "eager"):
-    sim = Simulator(
-        machine.platform(),
-        make_scheduler(scheduler_name),
-        AnalyticalPerfModel(machine.calibration()),
-        seed=42,
-    )
-    res = sim.run(program)
+    res = simulate(program, machine, scheduler_name, seed=42)
     print(
         f"{scheduler_name:10s} makespan = {time_human(res.makespan):>10}   "
         f"{res.gflops:7.1f} GFlop/s   "
         f"data moved = {res.bytes_transferred / 2**20:.1f} MiB"
     )
+
+# Registry names identify scheduler *families*: sched_params selects a
+# member. A SimConfig bundles options for reuse across calls.
+cfg = SimConfig(seed=42, sched_params={"locality_n": 5, "locality_eps": 0.1})
+res = simulate(program, machine, "multiprio", config=cfg)
+print(f"multiprio (top-5 locality window, eps=0.1): "
+      f"makespan = {time_human(res.makespan)}")

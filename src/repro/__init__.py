@@ -3,19 +3,18 @@ Priorities on Heterogeneous Computing Systems* (MultiPrio, IPPS 2024).
 
 Public API quick tour::
 
-    from repro import (
-        TaskFlow, AccessMode, Simulator, MultiPrio,
-        AnalyticalPerfModel, make_scheduler,
-    )
+    from repro import simulate
     from repro.platform import small_hetero
     from repro.apps.dense import cholesky_program
 
     machine = small_hetero(n_cpus=6, n_gpus=1)
     program = cholesky_program(n_tiles=10, tile_size=512)
-    sim = Simulator(machine.platform(), MultiPrio(),
-                    AnalyticalPerfModel(machine.calibration()))
-    result = sim.run(program)
+    result = simulate(program, machine, "multiprio")
     print(result.makespan, result.gflops)
+
+:func:`simulate` is the one-call facade; the underlying pieces
+(:class:`Simulator`, :class:`MultiPrio`, the perf models, the
+scheduler registry) remain public for fine-grained control.
 
 Subpackages:
 
@@ -43,8 +42,9 @@ from repro.runtime import (
 )
 from repro.core import MultiPrio
 from repro.schedulers import make_scheduler, scheduler_names, register_scheduler
+from repro.api import SimConfig, simulate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessMode",
@@ -63,5 +63,7 @@ __all__ = [
     "make_scheduler",
     "scheduler_names",
     "register_scheduler",
+    "simulate",
+    "SimConfig",
     "__version__",
 ]

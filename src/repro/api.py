@@ -1,0 +1,152 @@
+"""Top-level facade: one call from (program, machine, scheduler) to a result.
+
+:func:`simulate` hides the wiring between the machine models, the
+scheduler registry, the performance models and the discrete-event
+engine behind a single entry point::
+
+    from repro import simulate
+    from repro.apps.dense import cholesky_program
+
+    res = simulate(cholesky_program(10, 960), "intel-v100", "multiprio")
+    print(res.makespan, res.gflops)
+
+Every knob the engine exposes is available as a keyword, or bundled in
+a reusable :class:`SimConfig`::
+
+    cfg = SimConfig(seed=3, noise_sigma=0.05, record_level="decisions")
+    res = simulate(program, machine, "multiprio", config=cfg)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.obs.events import RecordLevel
+from repro.platform.machines import MACHINES, MachineModel
+from repro.runtime.engine import SimResult, Simulator
+from repro.runtime.faults import FaultModel
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.stf import Program
+from repro.schedulers.base import Scheduler
+from repro.schedulers.registry import make_scheduler
+from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.perfmodel import PerfModel
+
+
+@dataclass
+class SimConfig:
+    """Bundled simulation options for :func:`simulate`.
+
+    Attributes mirror :class:`~repro.runtime.engine.Simulator` keywords;
+    ``sched_params`` are forwarded to the scheduler factory when the
+    scheduler is given by registry name, and ``perfmodel`` (when set)
+    replaces the default :class:`AnalyticalPerfModel` built from the
+    machine's calibration with ``noise_sigma``.
+    """
+
+    seed: int = 0
+    noise_sigma: float = 0.0
+    perfmodel: "PerfModel | None" = None
+    faults: FaultModel | None = None
+    record_trace: bool = False
+    record_level: RecordLevel | str | int = RecordLevel.OFF
+    pipeline: bool = True
+    submission_window: int | None = None
+    sched_params: dict = field(default_factory=dict)
+
+
+def _resolve_machine(machine: MachineModel | str) -> MachineModel:
+    """A :class:`MachineModel` from an instance or a registry name."""
+    if isinstance(machine, str):
+        factory = MACHINES.get(machine)
+        if factory is None:
+            raise ValidationError(
+                f"unknown machine {machine!r}; known: {', '.join(sorted(MACHINES))}"
+            )
+        return factory()
+    return machine
+
+
+def simulate(
+    program: Program,
+    machine: MachineModel | str,
+    scheduler: Scheduler | str = "multiprio",
+    *,
+    config: SimConfig | None = None,
+    seed: int = 0,
+    noise_sigma: float = 0.0,
+    perfmodel: "PerfModel | None" = None,
+    faults: FaultModel | None = None,
+    record_trace: bool = False,
+    record_level: RecordLevel | str | int = RecordLevel.OFF,
+    pipeline: bool = True,
+    submission_window: int | None = None,
+    sched_params: dict | None = None,
+) -> SimResult:
+    """Simulate ``program`` on ``machine`` under ``scheduler``.
+
+    Parameters
+    ----------
+    program:
+        The task graph (from :class:`~repro.runtime.stf.TaskFlow` or an
+        application generator).
+    machine:
+        A :class:`~repro.platform.machines.MachineModel` or its registry
+        name (``"intel-v100"``, ``"amd-a100"``, ...).
+    scheduler:
+        A :class:`~repro.schedulers.base.Scheduler` instance or a
+        registry name; names are instantiated with ``sched_params``.
+    config:
+        A :class:`SimConfig` bundling all remaining options. When given
+        it takes precedence over the individual keywords.
+    perfmodel:
+        Explicit performance model (e.g.
+        :class:`~repro.runtime.perfmodel.HistoryPerfModel`); ``None``
+        builds an :class:`AnalyticalPerfModel` from the machine's
+        calibration with ``noise_sigma`` execution noise.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultModel`.
+    record_trace / record_level / pipeline / submission_window / seed:
+        Forwarded to :class:`~repro.runtime.engine.Simulator`.
+
+    Returns the engine's :class:`~repro.runtime.engine.SimResult`.
+    """
+    cfg = config if config is not None else SimConfig(
+        seed=seed,
+        noise_sigma=noise_sigma,
+        perfmodel=perfmodel,
+        faults=faults,
+        record_trace=record_trace,
+        record_level=record_level,
+        pipeline=pipeline,
+        submission_window=submission_window,
+        sched_params=dict(sched_params) if sched_params else {},
+    )
+    mach = _resolve_machine(machine)
+    if isinstance(scheduler, str):
+        sched = make_scheduler(scheduler, **cfg.sched_params)
+    else:
+        if cfg.sched_params:
+            raise ValidationError(
+                "sched_params only apply when the scheduler is given by name; "
+                f"got an instance plus params {cfg.sched_params!r}"
+            )
+        sched = scheduler
+    pm = cfg.perfmodel
+    if pm is None:
+        pm = AnalyticalPerfModel(mach.calibration(), noise_sigma=cfg.noise_sigma)
+    sim = Simulator(
+        mach.platform(),
+        sched,
+        pm,
+        seed=cfg.seed,
+        record_trace=cfg.record_trace,
+        pipeline=cfg.pipeline,
+        submission_window=cfg.submission_window,
+        fault_model=cfg.faults,
+        record_level=cfg.record_level,
+    )
+    return sim.run(program)

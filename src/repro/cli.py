@@ -20,11 +20,14 @@ from typing import Sequence
 from repro.analysis.export import to_chrome_trace, to_csv
 from repro.apps.dense import cholesky_program, lu_program, qr_program
 from repro.apps.fmm import fmm_program
-from repro.apps.sparseqr import matrix_by_name, matrix_tree, sparse_qr_program
+from repro.apps.sparseqr import MATRICES, matrix_by_name, matrix_tree, sparse_qr_program
 from repro.experiments.faults_sweep import format_faults_sweep, run_faults_sweep
 from repro.experiments.fig3_nod import format_fig3, run_fig3
 from repro.experiments.fig4_eviction import format_fig4, run_fig4
+from repro.experiments.fig5_dense import format_fig5, run_fig5
+from repro.experiments.fig6_fmm import format_fig6, run_fig6
 from repro.experiments.fig7_matrices import format_fig7, run_fig7
+from repro.experiments.fig8_sparseqr import format_fig8, run_fig8
 from repro.experiments.reporting import format_table
 from repro.experiments.table2_gain import format_table2, run_table2
 from repro.obs.export import (
@@ -37,7 +40,7 @@ from repro.platform.machines import MACHINES
 from repro.runtime.engine import Simulator
 from repro.runtime.faults import FaultModel, parse_fault_rates, parse_kill_spec
 from repro.runtime.perfmodel import AnalyticalPerfModel
-from repro.schedulers.registry import make_scheduler, scheduler_names
+from repro.schedulers.registry import make_scheduler, parse_sched_opts, scheduler_names
 from repro.utils.units import time_human
 
 
@@ -80,10 +83,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"{program}: {program.total_flops() / 1e9:.1f} Gflop on {machine.name}")
     rows = []
     want_trace = bool(args.gantt or args.chrome_trace or args.csv_trace)
+    sched_opts = parse_sched_opts(args.sched_opt)
     for name in args.scheduler:
         sim = Simulator(
             machine.platform(),
-            make_scheduler(name),
+            make_scheduler(name, **sched_opts),
             AnalyticalPerfModel(machine.calibration(), noise_sigma=args.noise),
             seed=args.seed,
             record_trace=want_trace,
@@ -130,21 +134,46 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    progress = None
+    if args.jobs > 1:
+        # stderr, so parallel runs stay byte-identical to serial on stdout
+        def progress(done: int, total: int) -> None:
+            print(f"\r{args.name}: {done}/{total} cells", end="", file=sys.stderr)
+            if done == total:
+                print(file=sys.stderr)
+
     if args.name == "table2":
         print(format_table2(run_table2()))
     elif args.name == "fig3":
         print(format_fig3(run_fig3()))
     elif args.name == "fig4":
         print(format_fig4(run_fig4(), gantt=args.gantt))
+    elif args.name == "fig5":
+        # reduced default grid (one matrix size) so the CLI run stays
+        # interactive; the full sweep lives in benchmarks/
+        print(format_fig5(run_fig5(
+            matrix_sizes=tuple(args.sizes) if args.sizes else (11520,),
+            jobs=args.jobs, progress=progress,
+        )))
+    elif args.name == "fig6":
+        print(format_fig6(run_fig6(
+            n_particles=args.particles, height=args.height,
+            jobs=args.jobs, progress=progress,
+        )))
     elif args.name == "fig7":
-        print(format_fig7(run_fig7(scale=args.scale)))
+        print(format_fig7(run_fig7(scale=args.scale, jobs=args.jobs)))
+    elif args.name == "fig8":
+        matrices = sorted(MATRICES, key=lambda s: s.gflops)
+        if args.matrices:
+            matrices = [matrix_by_name(n) for n in args.matrices]
+        else:
+            matrices = matrices[: args.n_matrices]
+        print(format_fig8(run_fig8(
+            matrices=matrices, scale=args.scale,
+            jobs=args.jobs, progress=progress,
+        )))
     elif args.name == "faults":
-        print(format_faults_sweep(run_faults_sweep()))
-    else:
-        raise SystemExit(
-            f"unknown experiment {args.name!r} (heavy grids — fig5/fig6/fig8 — "
-            "run through `pytest benchmarks/ --benchmark-only`)"
-        )
+        print(format_faults_sweep(run_faults_sweep(jobs=args.jobs, progress=progress)))
     return 0
 
 
@@ -153,10 +182,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     machine = MACHINES[args.machine](gpu_streams=args.streams)
     program = _build_program(args)
     fault_model = _build_fault_model(args)
+    sched_opts = parse_sched_opts(args.sched_opt)
     for name in args.scheduler:
         sim = Simulator(
             machine.platform(),
-            make_scheduler(name),
+            make_scheduler(name, **sched_opts),
             AnalyticalPerfModel(machine.calibration(), noise_sigma=args.noise),
             seed=args.seed,
             record_trace=False,
@@ -214,6 +244,10 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--machine", default="intel-v100", choices=sorted(MACHINES))
     p.add_argument("--scheduler", nargs="+", default=["multiprio", "dmdas"],
                    choices=scheduler_names())
+    p.add_argument("--sched-opt", metavar="KEY=VALUE", action="append", default=[],
+                   help="scheduler constructor parameter forwarded to every "
+                        "selected scheduler (repeatable), e.g. "
+                        "--sched-opt locality_eps=0.2 --sched-opt eviction=false")
     p.add_argument("--streams", type=int, default=1, help="GPU streams")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--noise", type=float, default=0.0,
@@ -266,9 +300,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(func=cmd_trace)
 
     exp = sub.add_parser("experiment", help="run a light paper experiment")
-    exp.add_argument("name", choices=["table2", "fig3", "fig4", "fig7", "faults"])
+    exp.add_argument("name", choices=[
+        "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "faults",
+    ])
+    exp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for sweep experiments "
+                          "(fig5/fig6/fig7/fig8/faults); results are "
+                          "identical for any value")
     exp.add_argument("--gantt", action="store_true")
-    exp.add_argument("--scale", type=float, default=0.05)
+    exp.add_argument("--scale", type=float, default=0.05,
+                     help="sparseqr op-count scale (fig7/fig8)")
+    exp.add_argument("--sizes", type=int, nargs="+",
+                     help="fig5: matrix sizes (default: 11520)")
+    exp.add_argument("--particles", type=int, default=50_000,
+                     help="fig6: particle count (reduced CLI default)")
+    exp.add_argument("--height", type=int, default=4,
+                     help="fig6: octree height (reduced CLI default)")
+    exp.add_argument("--matrices", nargs="+", metavar="NAME",
+                     help="fig8: explicit matrix subset")
+    exp.add_argument("--n-matrices", type=int, default=4,
+                     help="fig8: smallest-N matrix subset when --matrices unset")
     exp.set_defaults(func=cmd_experiment)
 
     lst = sub.add_parser("list", help="list schedulers, machines and apps")

@@ -11,10 +11,25 @@ The heap supports what MultiPrio's POP needs beyond a textbook heap:
 * ``remove(entry)`` — O(log n) removal of an arbitrary entry, for the
   eviction mechanism;
 * lazy invalidation — a task popped from one node's heap leaves *stale*
-  duplicates in the others; those are recognized through the
-  ``is_stale`` predicate and discarded when encountered, exactly as the
-  paper describes ("when workers try to select these duplicates, they
-  will recognize that they have already been processed and remove them").
+  duplicates in the others; those are recognized and discarded when
+  encountered, exactly as the paper describes ("when workers try to
+  select these duplicates, they will recognize that they have already
+  been processed and remove them").
+
+Staleness is detected two ways, combined with *or*:
+
+* the entry-level ``dead`` tombstone — the scheduler marks every
+  duplicate of a taken task dead at take time, an O(#duplicates) flag
+  write with no heap mutation. Tombstoned entries are physically purged
+  only when ``best()``/``top_candidates()``/``purge_stale()`` encounter
+  them, so the purge cost rides on queries that were already touching
+  those slots. Because tombstones live on the *entry*, a task that is
+  rolled back and re-pushed (fault retry) cannot resurrect its old
+  duplicates — the stale entries stay dead even though the task itself
+  is READY again;
+* the optional task-level ``is_stale`` predicate, kept for schedulers
+  (and tests) that derive staleness from task state instead of marking
+  entries.
 """
 
 from __future__ import annotations
@@ -25,9 +40,16 @@ from repro.runtime.task import Task
 
 
 class HeapEntry:
-    """One (task, gain, prio) node of a :class:`TaskHeap`."""
+    """One (task, gain, prio) node of a :class:`TaskHeap`.
 
-    __slots__ = ("task", "gain", "prio", "seq", "pos")
+    ``sort_key`` is the ordering tuple, computed once at construction —
+    sift comparisons read the attribute instead of re-allocating the
+    tuple. ``dead`` is the lazy-deletion tombstone: setting it costs one
+    attribute write; the heap purges the entry whenever a query next
+    encounters it.
+    """
+
+    __slots__ = ("task", "gain", "prio", "seq", "pos", "dead", "sort_key")
 
     def __init__(self, task: Task, gain: float, prio: float, seq: int) -> None:
         self.task = task
@@ -35,10 +57,12 @@ class HeapEntry:
         self.prio = prio
         self.seq = seq
         self.pos = -1  # maintained by the heap
+        self.dead = False  # tombstone; set by the scheduler at take time
+        self.sort_key = (gain, prio, -seq)
 
     def key(self) -> tuple[float, float, int]:
         """Ordering key; larger means more prioritized."""
-        return (self.gain, self.prio, -self.seq)
+        return self.sort_key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<HeapEntry {self.task.name} gain={self.gain:.3f} prio={self.prio:.3f}>"
@@ -52,8 +76,10 @@ class TaskHeap:
     node:
         Memory node id this heap serves (informational).
     is_stale:
-        Predicate marking entries whose task was already taken from a
-        duplicate heap; stale entries are discarded on sight.
+        Optional task-level predicate marking entries whose task was
+        already taken from a duplicate heap; checked *in addition to*
+        the entry-level ``dead`` tombstone. ``None`` (the fast path)
+        relies on tombstones alone.
     on_discard:
         Callback invoked with each discarded stale entry (the scheduler
         uses it to keep its ready-task counters exact).
@@ -68,7 +94,7 @@ class TaskHeap:
         self.node = node
         self._a: list[HeapEntry] = []
         self._seq = 0
-        self._is_stale = is_stale or (lambda task: False)
+        self._is_stale = is_stale
         self._on_discard = on_discard
 
     # -- basics ---------------------------------------------------------
@@ -109,11 +135,13 @@ class TaskHeap:
 
     def best(self) -> HeapEntry | None:
         """The highest-scored live entry (stale roots are discarded)."""
+        pred = self._is_stale
         while self._a:
             root = self._a[0]
-            if not self._is_stale(root.task):
+            if root.dead or (pred is not None and pred(root.task)):
+                self._discard(root)
+            else:
                 return root
-            self._discard(root)
         return None
 
     def top_candidates(self, n: int) -> list[HeapEntry]:
@@ -125,9 +153,13 @@ class TaskHeap:
         live tasks. The returned list is ordered by heap position (the
         root, if any, comes first).
         """
+        pred = self._is_stale
         while True:
             window = self._a[: max(0, n)]
-            stale = [e for e in window if self._is_stale(e.task)]
+            if pred is None:
+                stale = [e for e in window if e.dead]
+            else:
+                stale = [e for e in window if e.dead or pred(e.task)]
             if not stale:
                 return window
             for entry in stale:
@@ -135,7 +167,11 @@ class TaskHeap:
 
     def purge_stale(self) -> int:
         """Discard every stale entry in the heap; returns the count."""
-        stale = [e for e in self._a if self._is_stale(e.task)]
+        pred = self._is_stale
+        if pred is None:
+            stale = [e for e in self._a if e.dead]
+        else:
+            stale = [e for e in self._a if e.dead or pred(e.task)]
         for entry in stale:
             self._discard(entry)
         return len(stale)
@@ -150,11 +186,11 @@ class TaskHeap:
     def _sift_up(self, pos: int) -> None:
         a = self._a
         entry = a[pos]
-        key = entry.key()
+        key = entry.sort_key
         while pos > 0:
             parent_pos = (pos - 1) >> 1
             parent = a[parent_pos]
-            if key <= parent.key():
+            if key <= parent.sort_key:
                 break
             a[pos] = parent
             parent.pos = pos
@@ -166,15 +202,15 @@ class TaskHeap:
         a = self._a
         size = len(a)
         entry = a[pos]
-        key = entry.key()
+        key = entry.sort_key
         while True:
             child = 2 * pos + 1
             if child >= size:
                 break
             right = child + 1
-            if right < size and a[right].key() > a[child].key():
+            if right < size and a[right].sort_key > a[child].sort_key:
                 child = right
-            if a[child].key() <= key:
+            if a[child].sort_key <= key:
                 break
             a[pos] = a[child]
             a[pos].pos = pos

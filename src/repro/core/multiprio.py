@@ -105,6 +105,12 @@ class MultiPrio(Scheduler):
         self._n_rejections = 0
         self._n_stale_discards = 0
         self._n_task_failures = 0
+        # Drain-adjusted best-remaining-work per best arch, memoized
+        # between BRW mutations (cleared in push/_take/on_worker_failed).
+        self._brw_memo: dict[str, float] = {}
+        # Whether push-time δ values may be reused at pop time (set from
+        # the perf model's `stable_estimates` promise in setup()).
+        self._stable_deltas = False
 
     # -- lifecycle -------------------------------------------------------
 
@@ -120,11 +126,14 @@ class MultiPrio(Scheduler):
         self._n_rejections = 0
         self._n_stale_discards = 0
         self._n_task_failures = 0
+        self._brw_memo = {}
+        self._stable_deltas = bool(getattr(ctx.perfmodel, "stable_estimates", False))
         for node in ctx.platform.nodes:
             if ctx.platform.workers_of_node(node.mid):
+                # Staleness is tracked with entry tombstones (marked in
+                # `_take`), so the heaps need no task-level predicate.
                 self.heaps[node.mid] = TaskHeap(
                     node=node.mid,
-                    is_stale=self._is_stale,
                     on_discard=self._on_discard,
                 )
                 self.best_remaining_work[node.mid] = 0.0
@@ -159,6 +168,11 @@ class MultiPrio(Scheduler):
         deltas = {a: ctx.estimate(task, a) for a in archs}
         gains = self._gain.observe_and_score(deltas)
         best_arch = ctx.best_arch(task)
+        # The raw NOD is arch-independent unless filtering is on; the
+        # per-arch trackers below still observe it in node order.
+        raw_nod = 0.0
+        if self.use_criticality and not self.arch_filtered_nod:
+            raw_nod = nod(task)
 
         brw_nodes: list[int] = []
         entries: dict[int, HeapEntry] = {}
@@ -174,7 +188,7 @@ class MultiPrio(Scheduler):
                     arch = node.arch
                     raw = nod(task, lambda t, _a=arch: t.can_exec(_a))
                 else:
-                    raw = nod(task)
+                    raw = raw_nod
                 prio = self._nod[node.arch].observe_and_score(raw)
             else:
                 prio = 0.0
@@ -189,6 +203,8 @@ class MultiPrio(Scheduler):
         task.sched["mp_entries"] = entries
         task.sched["mp_brw_nodes"] = brw_nodes
         task.sched["mp_best_delta"] = deltas[best_arch]
+        task.sched["mp_deltas"] = deltas
+        self._brw_memo.clear()
         if self.obs is not None:
             for mid in enabled_nodes:
                 self.record_queue_depth(
@@ -202,33 +218,35 @@ class MultiPrio(Scheduler):
         heap = self.heaps.get(worker.memory_node)
         if heap is None:
             return None
+        if self.evict_on_reject:
+            return self._pop_evicting(heap, worker)
+        # Skip-on-reject (the default): rejections leave the heap
+        # untouched and staleness cannot change mid-pop, so one candidate
+        # window per pop suffices. Walking it in decreasing key order
+        # replays exactly the rejection sequence the per-try re-scanning
+        # loop would produce, at a fraction of the cost.
+        window = heap.top_candidates(max(self.locality_n, self.max_tries + 1))
+        if not window:
+            return None
         dec = self.decisions_enabled
         tries = 0
         rejected: set[int] = set()
-        while tries < self.max_tries:
-            # Cheap first pass: the most prioritized candidate and the
-            # admission test; the (costlier) locality refinement only
-            # runs for a candidate that will actually be taken.
-            window = heap.top_candidates(max(self.locality_n, self.max_tries + 1))
-            live = [e for e in window if id(e) not in rejected]
-            if not live:
+        for top in sorted(window, key=HeapEntry.key, reverse=True):
+            if tries >= self.max_tries:
                 break
-            top = max(live, key=HeapEntry.key)
+            # Cheap first pass: the admission test; the (costlier)
+            # locality refinement only runs for a candidate that will
+            # actually be taken.
             admitted, brw, delta = self._admission(top.task, worker)
             if not admitted:
-                if self.evict_on_reject:
-                    # Literal Alg. 2 eviction: drop the task from this
-                    # node's heap; duplicates elsewhere keep it alive.
-                    self._remove_entry(heap, top, worker.memory_node)
-                else:
-                    # Skip: leave the entry for when the best workers'
-                    # backlog grows; try the next prioritized candidate.
-                    rejected.add(id(top))
+                # Skip: leave the entry for when the best workers'
+                # backlog grows; try the next prioritized candidate.
+                rejected.add(id(top))
                 self._n_evictions += 1
                 tries += 1
                 if dec:
                     self.record_decision(
-                        "evict" if self.evict_on_reject else "skip",
+                        "skip",
                         task=top.task,
                         worker=worker,
                         gain=top.gain,
@@ -238,32 +256,86 @@ class MultiPrio(Scheduler):
                         delta=delta,
                     )
                 continue
+            live = [e for e in window if id(e) not in rejected]
             entry = self._locality_refine(top, live, worker)
             self._remove_entry(heap, entry, worker.memory_node)
             self._take(entry.task)
             if dec:
-                # The ε/top-n candidate set the locality refinement chose
-                # from (estimates are cached, so re-deriving is cheap).
-                threshold = top.gain - self.locality_eps
-                cands = tuple(
-                    e.task.tid for e in live[: self.locality_n] if e.gain >= threshold
-                )
-                self.record_decision(
-                    "pop",
-                    task=entry.task,
-                    worker=worker,
-                    gain=entry.gain,
-                    nod=entry.prio,
-                    ls_sdh2=ls_sdh2(entry.task, worker.memory_node),
-                    pop_condition=True,
-                    brw=brw,
-                    delta=self.ctx.estimate(entry.task, worker.arch),
-                    candidates=cands,
-                )
+                self._record_pop(entry, top, live, worker, brw)
             return entry.task
         if tries:
             self._n_rejections += 1
         return None
+
+    def _pop_evicting(self, heap: TaskHeap, worker: Worker) -> Task | None:
+        """The ``evict_on_reject=True`` variant of :meth:`pop`.
+
+        Every rejection physically removes the candidate from this
+        node's heap (the literal Alg. 2 eviction; duplicates elsewhere
+        keep the task alive), so the candidate window must be rebuilt
+        after each mutation.
+        """
+        dec = self.decisions_enabled
+        tries = 0
+        while tries < self.max_tries:
+            window = heap.top_candidates(max(self.locality_n, self.max_tries + 1))
+            if not window:
+                break
+            top = max(window, key=HeapEntry.key)
+            admitted, brw, delta = self._admission(top.task, worker)
+            if not admitted:
+                self._remove_entry(heap, top, worker.memory_node)
+                self._n_evictions += 1
+                tries += 1
+                if dec:
+                    self.record_decision(
+                        "evict",
+                        task=top.task,
+                        worker=worker,
+                        gain=top.gain,
+                        nod=top.prio,
+                        pop_condition=False,
+                        brw=brw,
+                        delta=delta,
+                    )
+                continue
+            entry = self._locality_refine(top, window, worker)
+            self._remove_entry(heap, entry, worker.memory_node)
+            self._take(entry.task)
+            if dec:
+                self._record_pop(entry, top, window, worker, brw)
+            return entry.task
+        if tries:
+            self._n_rejections += 1
+        return None
+
+    def _record_pop(
+        self,
+        entry: HeapEntry,
+        top: HeapEntry,
+        live: list[HeapEntry],
+        worker: Worker,
+        brw: float | None,
+    ) -> None:
+        """Publish the decision-provenance record of a successful pop."""
+        # The ε/top-n candidate set the locality refinement chose
+        # from (estimates are cached, so re-deriving is cheap).
+        threshold = top.gain - self.locality_eps
+        cands = tuple(
+            e.task.tid for e in live[: self.locality_n] if e.gain >= threshold
+        )
+        self.record_decision(
+            "pop",
+            task=entry.task,
+            worker=worker,
+            gain=entry.gain,
+            nod=entry.prio,
+            ls_sdh2=ls_sdh2(entry.task, worker.memory_node),
+            pop_condition=True,
+            brw=brw,
+            delta=self.ctx.estimate(entry.task, worker.arch),
+            candidates=cands,
+        )
 
     def force_pop(self, worker: Worker) -> Task | None:
         """Liveness escape hatch: take the best live entry executable by
@@ -305,6 +377,7 @@ class MultiPrio(Scheduler):
         other nodes' heaps; tasks whose *only* live entry was on the dead
         node are returned for the engine to re-push.
         """
+        self._brw_memo.clear()  # worker counts (drain divisor) changed
         mid = worker.memory_node
         if self.ctx.workers_of_node(mid):
             return []  # surviving streams keep serving this heap
@@ -335,9 +408,17 @@ class MultiPrio(Scheduler):
             )
 
     def _take(self, task: Task) -> None:
-        """Commit a task to execution: mark duplicates stale and release
-        its contribution to every best-architecture work counter."""
+        """Commit a task to execution: tombstone its duplicates and
+        release its contribution to every best-architecture work counter.
+
+        The tombstones are entry-level (``HeapEntry.dead``), so they
+        survive a fault rollback: a task re-pushed after a transient
+        failure gets fresh entries while its pre-failure duplicates stay
+        dead instead of resurrecting.
+        """
         task.sched["mp_taken"] = True
+        for dup in task.sched.get("mp_entries", {}).values():
+            dup.dead = True
         delta = task.sched.get("mp_best_delta", 0.0)
         for mid in task.sched.get("mp_brw_nodes", ()):  # eager, exact BRW
             if mid not in self.best_remaining_work:
@@ -346,6 +427,7 @@ class MultiPrio(Scheduler):
             if self.best_remaining_work[mid] < 1e-9:
                 self.best_remaining_work[mid] = 0.0
         task.sched["mp_brw_nodes"] = []
+        self._brw_memo.clear()
 
     def _locality_refine(
         self, top: HeapEntry, live: list[HeapEntry], worker: Worker
@@ -369,7 +451,7 @@ class MultiPrio(Scheduler):
                 continue
             score = ls_sdh2(entry.task, worker.memory_node)
             if score > best_score or (
-                score == best_score and entry.key() > best_entry.key()
+                score == best_score and entry.sort_key > best_entry.sort_key
             ):
                 best_entry = entry
                 best_score = score
@@ -398,27 +480,34 @@ class MultiPrio(Scheduler):
         """
         ctx = self.ctx
         best_arch = ctx.best_arch(task)
-        delta = ctx.estimate(task, worker.arch)
+        # δ values were computed at push time; with a stable perf model
+        # they are reused here, otherwise queried live (history models
+        # legitimately drift between push and pop).
+        deltas = task.sched["mp_deltas"] if self._stable_deltas else None
+        delta = deltas[worker.arch] if deltas is not None else ctx.estimate(task, worker.arch)
         if worker.arch == best_arch:
             return True, None, delta
         if not self.eviction:
             return True, None, delta
-        if (
-            self.slowdown_cap is not None
-            and delta > self.slowdown_cap * ctx.estimate(task, best_arch)
-        ):
-            return False, None, delta
-        brw = max(
-            (
-                self.best_remaining_work[node.mid]
-                for node in ctx.platform.nodes_of_arch(best_arch)
-                if node.mid in self.best_remaining_work
-            ),
-            default=0.0,
+        best_delta = (
+            deltas[best_arch] if deltas is not None else ctx.estimate(task, best_arch)
         )
-        if self.drain_aware:
-            n_best = max(1, ctx.n_workers(best_arch))
-            brw /= n_best
+        if self.slowdown_cap is not None and delta > self.slowdown_cap * best_delta:
+            return False, None, delta
+        brw = self._brw_memo.get(best_arch)
+        if brw is None:
+            brw = max(
+                (
+                    self.best_remaining_work[node.mid]
+                    for node in ctx.platform.nodes_of_arch(best_arch)
+                    if node.mid in self.best_remaining_work
+                ),
+                default=0.0,
+            )
+            if self.drain_aware:
+                n_best = max(1, ctx.n_workers(best_arch))
+                brw /= n_best
+            self._brw_memo[best_arch] = brw
         return brw > self.brw_safety * delta, brw, delta
 
     # -- reporting -------------------------------------------------------------------

@@ -22,13 +22,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import simulate
 from repro.apps.dense.cholesky import cholesky_program
 from repro.experiments.reporting import format_table
 from repro.platform.machines import small_hetero
-from repro.runtime.engine import Simulator
 from repro.runtime.faults import FaultModel, FaultStats
-from repro.runtime.perfmodel import AnalyticalPerfModel
-from repro.schedulers.registry import make_scheduler
+from repro.sweep import CallSpec, run_tasks
 
 DEFAULT_RATES = (0.0, 0.02, 0.05, 0.1)
 DEFAULT_SCHEDULERS = ("multiprio", "dmdas", "heteroprio")
@@ -59,6 +58,38 @@ class FaultSweepResult:
         return [r for r in self.rows if r.scheduler == scheduler]
 
 
+def _faults_cell(
+    scheduler: str,
+    n_tiles: int,
+    tile_size: int,
+    seed: int,
+    scenario: str,
+    rate: float,
+    max_retries: int,
+    kill_spec: tuple[tuple[int, float], ...],
+) -> tuple[float, FaultStats]:
+    """One (scheduler, fault scenario) run, executable in any process.
+
+    ``scenario`` is ``"healthy"`` (no fault model — the degradation
+    baseline), ``"rate"`` (transient failures at ``rate``) or ``"kill"``
+    (the scripted fail-stop). Returns (makespan_us, stats).
+    """
+    machine = small_hetero(n_cpus=6, n_gpus=1, gpu_streams=2)
+    program = cholesky_program(n_tiles, tile_size, with_priorities=False)
+    if scenario == "healthy":
+        fault_model = None
+    elif scenario == "kill":
+        fault_model = FaultModel(worker_kills=dict(kill_spec), seed=seed)
+    elif rate == 0.0:
+        fault_model = FaultModel(task_failure_rate=0.0, seed=seed)
+    else:
+        fault_model = FaultModel(
+            task_failure_rate=rate, max_retries=max_retries, seed=seed
+        )
+    res = simulate(program, machine, scheduler, seed=seed, faults=fault_model)
+    return res.makespan, res.faults or FaultStats()
+
+
 def run_faults_sweep(
     n_tiles: int = 10,
     tile_size: int = 960,
@@ -67,63 +98,49 @@ def run_faults_sweep(
     seed: int = 0,
     max_retries: int = 10,
     kill_spec: tuple[tuple[int, float], ...] = ((6, 10_000.0),),
+    jobs: int = 1,
+    progress=None,
 ) -> FaultSweepResult:
     """Sweep transient failure rates (plus one fail-stop scenario).
 
     The platform is the Fig. 4 shape (6 CPU workers + 1 GPU) but with
     two GPU streams; ``kill_spec`` defaults to killing stream 0 (worker
     6) at t = 10 ms — a recoverable failure, since the sibling stream
-    keeps the device memory alive.
+    keeps the device memory alive. ``jobs`` fans the scenario grid out
+    over worker processes.
     """
-    machine = small_hetero(n_cpus=6, n_gpus=1, gpu_streams=2)
-    program = cholesky_program(n_tiles, tile_size, with_priorities=False)
+    scenarios: list[tuple[str, str, float]] = []
+    for name in schedulers:
+        scenarios.append((name, "healthy", 0.0))
+        for rate in rates:
+            scenarios.append((name, "rate", rate))
+        scenarios.append((name, "kill", 0.0))
+    tasks = [
+        CallSpec(
+            _faults_cell,
+            (name, n_tiles, tile_size, seed, scenario, rate, max_retries, kill_spec),
+        )
+        for name, scenario, rate in scenarios
+    ]
+    outcomes = run_tasks(tasks, jobs=jobs, progress=progress)
+
     rows: list[FaultSweepRow] = []
     killed: list[FaultSweepRow] = []
-
-    def simulate(name: str, fault_model: FaultModel | None):
-        sim = Simulator(
-            machine.platform(),
-            make_scheduler(name),
-            AnalyticalPerfModel(machine.calibration()),
-            seed=seed,
-            record_trace=False,
-            fault_model=fault_model,
+    baselines: dict[str, float] = {}
+    for (name, scenario, rate), (makespan, stats) in zip(scenarios, outcomes):
+        if scenario == "healthy":
+            baselines[name] = makespan
+            continue
+        row = FaultSweepRow(
+            scheduler=name,
+            fault_rate=rate,
+            makespan_us=makespan,
+            degradation=makespan / baselines[name] - 1.0,
+            stats=stats,
         )
-        return sim.run(program)
-
-    for name in schedulers:
-        baseline = simulate(name, None).makespan
-        for rate in rates:
-            if rate == 0.0:
-                res = simulate(name, FaultModel(task_failure_rate=0.0, seed=seed))
-            else:
-                res = simulate(
-                    name,
-                    FaultModel(
-                        task_failure_rate=rate, max_retries=max_retries, seed=seed
-                    ),
-                )
-            rows.append(
-                FaultSweepRow(
-                    scheduler=name,
-                    fault_rate=rate,
-                    makespan_us=res.makespan,
-                    degradation=res.makespan / baseline - 1.0,
-                    stats=res.faults or FaultStats(),
-                )
-            )
-        res = simulate(
-            name, FaultModel(worker_kills=dict(kill_spec), seed=seed)
-        )
-        killed.append(
-            FaultSweepRow(
-                scheduler=name,
-                fault_rate=0.0,
-                makespan_us=res.makespan,
-                degradation=res.makespan / baseline - 1.0,
-                stats=res.faults or FaultStats(),
-            )
-        )
+        (killed if scenario == "kill" else rows).append(row)
+    machine = small_hetero(n_cpus=6, n_gpus=1, gpu_streams=2)
+    program = cholesky_program(n_tiles, tile_size, with_priorities=False)
     return FaultSweepResult(
         workload=program.name,
         machine=machine.name,

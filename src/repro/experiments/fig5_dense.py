@@ -20,10 +20,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.apps.dense import cholesky_program, lu_program, qr_program
-from repro.experiments.harness import run_one
 from repro.experiments.reporting import format_table
 from repro.platform.machines import MachineModel, amd_a100, intel_v100
 from repro.runtime.stf import Program
+from repro.sweep import CallSpec, SweepCell, SweepSpec, run_sweep
 
 KERNELS: dict[str, Callable[..., Program]] = {
     "potrf": cholesky_program,
@@ -66,6 +66,48 @@ class Fig5Result:
     cells: list[Fig5Cell] = field(default_factory=list)
 
 
+def fig5_spec(
+    *,
+    kernels: Sequence[str] = ("potrf", "getrf", "geqrf"),
+    machines: Sequence[MachineModel] | None = None,
+    matrix_sizes: Sequence[int] = (11520, 23040, 34560),
+    tile_sizes: dict[str, Sequence[int]] | None = None,
+    schedulers: Sequence[str] = ("multiprio", "dmdas"),
+    seed: int = 0,
+) -> SweepSpec:
+    """The dense sweep as a declarative cell list (tile size in
+    ``extra``); cell order matches the historical serial loop so the
+    best-tile tie-break (first strictly-smaller makespan wins) is
+    unchanged."""
+    machines = list(machines) if machines is not None else [intel_v100(1), amd_a100(1)]
+    tiles = dict(TILE_SIZES)
+    if tile_sizes:
+        tiles.update(tile_sizes)
+    cells: list[SweepCell] = []
+    for machine in machines:
+        for kernel in kernels:
+            gen = KERNELS[kernel]
+            for n in matrix_sizes:
+                for tile in tiles[machine.name]:
+                    n_tiles = max(2, round(n / tile))
+                    for sched in schedulers:
+                        cells.append(
+                            SweepCell(
+                                program=CallSpec(gen, (n_tiles, tile)),
+                                machine=machine,
+                                scheduler=sched,
+                                seed=seed,
+                                noise_sigma=DENSE_NOISE,
+                                extra={
+                                    "kernel": kernel,
+                                    "matrix_size": n,
+                                    "tile": tile,
+                                },
+                            )
+                        )
+    return SweepSpec(experiment="fig5", cells=cells)
+
+
 def run_fig5(
     *,
     kernels: Sequence[str] = ("potrf", "getrf", "geqrf"),
@@ -74,45 +116,44 @@ def run_fig5(
     tile_sizes: dict[str, Sequence[int]] | None = None,
     schedulers: Sequence[str] = ("multiprio", "dmdas"),
     seed: int = 0,
+    jobs: int = 1,
+    progress=None,
 ) -> Fig5Result:
-    """Run the dense sweep; per cell the best tile size is selected
-    independently per scheduler, as the paper does."""
-    machines = list(machines) if machines is not None else [intel_v100(1), amd_a100(1)]
-    tiles = dict(TILE_SIZES)
-    if tile_sizes:
-        tiles.update(tile_sizes)
+    """Run the dense sweep (``jobs`` processes); per cell the best tile
+    size is selected independently per scheduler, as the paper does."""
+    spec = fig5_spec(
+        kernels=kernels,
+        machines=machines,
+        matrix_sizes=matrix_sizes,
+        tile_sizes=tile_sizes,
+        schedulers=schedulers,
+        seed=seed,
+    )
+    rows = run_sweep(spec, jobs=jobs, progress=progress)
     result = Fig5Result()
-    for machine in machines:
-        for kernel in kernels:
-            gen = KERNELS[kernel]
-            for n in matrix_sizes:
-                best: dict[str, tuple[float, int]] = {}
-                for tile in tiles[machine.name]:
-                    n_tiles = max(2, round(n / tile))
-                    program = gen(n_tiles, tile)
-                    for sched in schedulers:
-                        row, _ = run_one(
-                            program,
-                            machine,
-                            sched,
-                            experiment="fig5",
-                            seed=seed,
-                            noise_sigma=DENSE_NOISE,
-                        )
-                        prev = best.get(sched)
-                        if prev is None or row.makespan_us < prev[0]:
-                            best[sched] = (row.makespan_us, tile)
-                result.cells.append(
-                    Fig5Cell(
-                        machine=machine.name,
-                        kernel=kernel,
-                        matrix_size=n,
-                        multiprio_us=best["multiprio"][0],
-                        dmdas_us=best["dmdas"][0],
-                        best_tile_multiprio=best["multiprio"][1],
-                        best_tile_dmdas=best["dmdas"][1],
-                    )
-                )
+    best: dict[tuple[str, str, int], dict[str, tuple[float, int]]] = {}
+    order: list[tuple[str, str, int]] = []
+    for row in rows:
+        key = (row.machine, row.extra["kernel"], row.extra["matrix_size"])
+        if key not in best:
+            best[key] = {}
+            order.append(key)
+        prev = best[key].get(row.scheduler)
+        if prev is None or row.makespan_us < prev[0]:
+            best[key][row.scheduler] = (row.makespan_us, row.extra["tile"])
+    for machine_name, kernel, n in order:
+        spans = best[(machine_name, kernel, n)]
+        result.cells.append(
+            Fig5Cell(
+                machine=machine_name,
+                kernel=kernel,
+                matrix_size=n,
+                multiprio_us=spans["multiprio"][0],
+                dmdas_us=spans["dmdas"][0],
+                best_tile_multiprio=spans["multiprio"][1],
+                best_tile_dmdas=spans["dmdas"][1],
+            )
+        )
     return result
 
 

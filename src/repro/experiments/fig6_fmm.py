@@ -19,9 +19,9 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.apps.fmm import fmm_program
-from repro.experiments.harness import run_one
 from repro.experiments.reporting import format_table
-from repro.platform.machines import MachineModel, amd_a100, intel_v100
+from repro.platform.machines import amd_a100, intel_v100
+from repro.sweep import CallSpec, SweepCell, SweepSpec, run_sweep
 
 #: Execution variance of the FMM kernels (irregular particle boxes).
 FMM_NOISE = 0.15
@@ -56,6 +56,45 @@ class Fig6Result:
         return min(schedulers, key=lambda s: self.best(machine, s).makespan_us)
 
 
+def fig6_spec(
+    *,
+    n_particles: int = 200_000,
+    height: int = 5,
+    distribution: str = "ellipsoid",
+    schedulers: Sequence[str] = ("multiprio", "dmdas", "heteroprio"),
+    stream_counts: Sequence[int] = (1, 2, 4),
+    machines: Sequence[str] = ("intel-v100", "amd-a100"),
+    seed: int = 0,
+) -> SweepSpec:
+    """The FMM grid as a declarative cell list. The particle
+    distribution is seeded, so rebuilding the program per cell yields
+    the identical task graph in every worker process."""
+    program = CallSpec(
+        fmm_program,
+        kwargs=dict(
+            n_particles=n_particles,
+            height=height,
+            distribution=distribution,
+            seed=seed,
+        ),
+    )
+    factories = {"intel-v100": intel_v100, "amd-a100": amd_a100}
+    cells = [
+        SweepCell(
+            program=program,
+            machine=factories[machine_name](gpu_streams=streams),
+            scheduler=sched,
+            seed=seed,
+            noise_sigma=FMM_NOISE,
+            extra={"gpu_streams": streams},
+        )
+        for machine_name in machines
+        for streams in stream_counts
+        for sched in schedulers
+    ]
+    return SweepSpec(experiment="fig6", cells=cells)
+
+
 def run_fig6(
     *,
     n_particles: int = 200_000,
@@ -65,33 +104,30 @@ def run_fig6(
     stream_counts: Sequence[int] = (1, 2, 4),
     machines: Sequence[str] = ("intel-v100", "amd-a100"),
     seed: int = 0,
+    jobs: int = 1,
+    progress=None,
 ) -> Fig6Result:
     """Run the FMM grid (schedulers x machines x stream counts)."""
-    program = fmm_program(
-        n_particles=n_particles, height=height, distribution=distribution, seed=seed
+    spec = fig6_spec(
+        n_particles=n_particles,
+        height=height,
+        distribution=distribution,
+        schedulers=schedulers,
+        stream_counts=stream_counts,
+        machines=machines,
+        seed=seed,
     )
-    factories = {"intel-v100": intel_v100, "amd-a100": amd_a100}
+    rows = run_sweep(spec, jobs=jobs, progress=progress)
     result = Fig6Result()
-    for machine_name in machines:
-        for streams in stream_counts:
-            machine: MachineModel = factories[machine_name](gpu_streams=streams)
-            for sched in schedulers:
-                row, _ = run_one(
-                    program,
-                    machine,
-                    sched,
-                    experiment="fig6",
-                    seed=seed,
-                    noise_sigma=FMM_NOISE,
-                )
-                result.cells.append(
-                    Fig6Cell(
-                        machine=machine_name,
-                        scheduler=sched,
-                        gpu_streams=streams,
-                        makespan_us=row.makespan_us,
-                    )
-                )
+    for row in rows:
+        result.cells.append(
+            Fig6Cell(
+                machine=row.machine,
+                scheduler=row.scheduler,
+                gpu_streams=row.extra["gpu_streams"],
+                makespan_us=row.makespan_us,
+            )
+        )
     return result
 
 

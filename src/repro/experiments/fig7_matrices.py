@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.apps.sparseqr.matrices import MATRICES, MatrixSpec, matrix_tree
 from repro.experiments.reporting import format_table
+from repro.sweep import CallSpec, run_tasks
 
 
 @dataclass
@@ -34,20 +35,24 @@ class Fig7Row:
         return abs(self.achieved_gflops - target) / target
 
 
-def run_fig7(*, scale: float = 1.0, seed: int = 0) -> list[Fig7Row]:
-    """Build every synthetic tree and collect its statistics."""
-    rows: list[Fig7Row] = []
-    for spec in MATRICES:
-        tree = matrix_tree(spec, scale=scale, seed=seed)
-        rows.append(
-            Fig7Row(
-                spec=spec,
-                n_fronts=len(tree),
-                tree_depth=tree.depth(),
-                achieved_gflops=tree.total_factor_flops() / 1e9,
-                scale=scale,
-            )
-        )
+def _fig7_row(spec: MatrixSpec, scale: float, seed: int) -> Fig7Row:
+    """Build one matrix's synthetic tree and collect its statistics
+    (module-level so sweep workers can execute it by reference)."""
+    tree = matrix_tree(spec, scale=scale, seed=seed)
+    return Fig7Row(
+        spec=spec,
+        n_fronts=len(tree),
+        tree_depth=tree.depth(),
+        achieved_gflops=tree.total_factor_flops() / 1e9,
+        scale=scale,
+    )
+
+
+def run_fig7(*, scale: float = 1.0, seed: int = 0, jobs: int = 1) -> list[Fig7Row]:
+    """Build every synthetic tree (``jobs`` processes) and collect
+    statistics."""
+    tasks = [CallSpec(_fig7_row, (spec, scale, seed)) for spec in MATRICES]
+    rows = run_tasks(tasks, jobs=jobs)
     rows.sort(key=lambda r: r.spec.gflops)
     return rows
 

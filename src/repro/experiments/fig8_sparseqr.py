@@ -24,9 +24,10 @@ from typing import Sequence
 
 from repro.apps.sparseqr.matrices import MATRICES, MatrixSpec, matrix_tree
 from repro.apps.sparseqr.taskgraph import sparse_qr_program
-from repro.experiments.harness import run_one
 from repro.experiments.reporting import format_table
 from repro.platform.machines import amd_a100, intel_v100
+from repro.runtime.stf import Program
+from repro.sweep import CallSpec, SweepCell, SweepSpec, run_sweep
 
 #: Execution variance of the multifrontal kernels (irregular fronts).
 NOISE = 0.35
@@ -61,6 +62,47 @@ class Fig8Result:
         return sum(c.ratio(scheduler) for c in mine) / max(1, len(mine))
 
 
+def _fig8_program(spec: MatrixSpec, eff_scale: float, seed: int) -> Program:
+    """Build one matrix's sparse-QR program (module-level so sweep
+    workers can rebuild it by reference)."""
+    tree = matrix_tree(spec, scale=eff_scale, seed=seed)
+    return sparse_qr_program(tree, name=spec.name)
+
+
+def fig8_spec(
+    *,
+    matrices: Sequence[MatrixSpec] = MATRICES,
+    schedulers: Sequence[str] = ("multiprio", "dmdas", "heteroprio"),
+    machines: Sequence[str] = ("intel-v100", "amd-a100"),
+    scale: float = 0.02,
+    min_gflops: float = 120.0,
+    seed: int = 0,
+) -> SweepSpec:
+    """The sparse QR grid as a declarative cell list (matrices sorted by
+    published op count, as the paper plots them)."""
+    factories = {"intel-v100": intel_v100, "amd-a100": amd_a100}
+    cells: list[SweepCell] = []
+    for machine_name in machines:
+        machine = factories[machine_name](gpu_streams=GPU_STREAMS)
+        for spec in sorted(matrices, key=lambda s: s.gflops):
+            eff_scale = max(scale, min_gflops / spec.gflops)
+            for sched in schedulers:
+                cells.append(
+                    SweepCell(
+                        program=CallSpec(_fig8_program, (spec, eff_scale, seed)),
+                        machine=machine,
+                        scheduler=sched,
+                        seed=seed,
+                        noise_sigma=NOISE,
+                        extra={
+                            "matrix": spec.name,
+                            "gflops_published": spec.gflops,
+                        },
+                    )
+                )
+    return SweepSpec(experiment="fig8", cells=cells)
+
+
 def run_fig8(
     *,
     matrices: Sequence[MatrixSpec] = MATRICES,
@@ -69,36 +111,40 @@ def run_fig8(
     scale: float = 0.02,
     min_gflops: float = 120.0,
     seed: int = 0,
+    jobs: int = 1,
+    progress=None,
 ) -> Fig8Result:
-    """Run the sparse QR grid and collect per-matrix ratios.
+    """Run the sparse QR grid (``jobs`` processes) and collect
+    per-matrix ratios.
 
     ``min_gflops`` floors each matrix's scaled op count: shrinking the
     small matrices to a few Gflop leaves runs so short that fixed
     overheads, not scheduling, decide the ranking — the paper's smallest
     matrix is already 236 Gflop.
     """
-    factories = {"intel-v100": intel_v100, "amd-a100": amd_a100}
+    spec_ = fig8_spec(
+        matrices=matrices,
+        schedulers=schedulers,
+        machines=machines,
+        scale=scale,
+        min_gflops=min_gflops,
+        seed=seed,
+    )
+    rows = run_sweep(spec_, jobs=jobs, progress=progress)
     result = Fig8Result()
-    for machine_name in machines:
-        machine = factories[machine_name](gpu_streams=GPU_STREAMS)
-        for spec in sorted(matrices, key=lambda s: s.gflops):
-            eff_scale = max(scale, min_gflops / spec.gflops)
-            tree = matrix_tree(spec, scale=eff_scale, seed=seed)
-            program = sparse_qr_program(tree, name=spec.name)
+    by_key: dict[tuple[str, str], Fig8Cell] = {}
+    for row in rows:
+        key = (row.machine, row.extra["matrix"])
+        cell = by_key.get(key)
+        if cell is None:
             cell = Fig8Cell(
-                machine=machine_name, matrix=spec.name, gflops_published=spec.gflops
+                machine=row.machine,
+                matrix=row.extra["matrix"],
+                gflops_published=row.extra["gflops_published"],
             )
-            for sched in schedulers:
-                row, _ = run_one(
-                    program,
-                    machine,
-                    sched,
-                    experiment="fig8",
-                    seed=seed,
-                    noise_sigma=NOISE,
-                )
-                cell.makespans_us[sched] = row.makespan_us
+            by_key[key] = cell
             result.cells.append(cell)
+        cell.makespans_us[row.scheduler] = row.makespan_us
     return result
 
 

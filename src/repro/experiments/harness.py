@@ -3,14 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
+from repro.api import simulate
 from repro.obs.events import RecordLevel
 from repro.platform.machines import MachineModel
-from repro.runtime.engine import SimResult, Simulator
-from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.engine import SimResult
 from repro.runtime.stf import Program
-from repro.schedulers.registry import make_scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.perfmodel import PerfModel
 
 
 @dataclass
@@ -36,25 +38,33 @@ def run_one(
     experiment: str = "",
     seed: int = 0,
     noise_sigma: float = 0.0,
+    perfmodel: "PerfModel | None" = None,
     record_trace: bool = False,
     record_level: RecordLevel | str | int = RecordLevel.OFF,
+    sched_params: dict | None = None,
 ) -> tuple[ExperimentResult, SimResult]:
     """Simulate one (program, machine, scheduler) combination.
 
-    ``record_level`` enables the observability subsystem for the run;
-    the returned :class:`SimResult` then carries the event stream and a
-    metrics snapshot (see :mod:`repro.obs`).
+    A thin wrapper over :func:`repro.api.simulate` that additionally
+    shapes the outcome into an :class:`ExperimentResult` row.
+    ``perfmodel`` overrides the default analytical model (making e.g.
+    :class:`~repro.runtime.perfmodel.HistoryPerfModel` runs reachable
+    from the harness); ``record_level`` enables the observability
+    subsystem for the run — the returned :class:`SimResult` then
+    carries the event stream and a metrics snapshot (see
+    :mod:`repro.obs`).
     """
-    perfmodel = AnalyticalPerfModel(machine.calibration(), noise_sigma=noise_sigma)
-    sim = Simulator(
-        machine.platform(),
-        make_scheduler(scheduler_name),
-        perfmodel,
+    res = simulate(
+        program,
+        machine,
+        scheduler_name,
         seed=seed,
+        noise_sigma=noise_sigma,
+        perfmodel=perfmodel,
         record_trace=record_trace,
         record_level=record_level,
+        sched_params=sched_params,
     )
-    res = sim.run(program)
     row = ExperimentResult(
         experiment=experiment,
         machine=machine.name,

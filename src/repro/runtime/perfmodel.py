@@ -100,7 +100,14 @@ class CalibrationTable:
 
 
 class PerfModel(Protocol):
-    """What the engine and schedulers need from a performance model."""
+    """What the engine and schedulers need from a performance model.
+
+    Implementations may additionally expose a ``stable_estimates``
+    class attribute: ``True`` promises that ``estimate()`` is constant
+    for a given (task, arch) over a whole run, licensing schedulers to
+    cache the value at push time. Absent or ``False`` (e.g. history
+    models that learn mid-run) means estimates must be queried live.
+    """
 
     def estimate(self, task: Task, arch: str) -> float:
         """δ(t, a): expected execution time in microseconds."""
@@ -119,6 +126,9 @@ class AnalyticalPerfModel:
     multiplicative execution noise (0 = deterministic). Estimates are
     always the noise-free expectation.
     """
+
+    #: δ(t, a) never changes during a run, so schedulers may cache it.
+    stable_estimates = True
 
     def __init__(self, table: CalibrationTable, noise_sigma: float = 0.0) -> None:
         if noise_sigma < 0:
@@ -156,6 +166,9 @@ class HistoryPerfModel:
     ``cold_factor`` (1.0 = oracle fallback; >1 models pessimistic
     uncalibrated guesses).
     """
+
+    #: Estimates drift as history accrues; schedulers must query live.
+    stable_estimates = False
 
     def __init__(
         self,

@@ -33,9 +33,16 @@ __all__ = [
     "make_scheduler",
     "register_scheduler",
     "scheduler_names",
+    "parse_sched_opts",
 ]
 
-_LAZY = {"MultiPrio", "make_scheduler", "register_scheduler", "scheduler_names"}
+_LAZY = {
+    "MultiPrio",
+    "make_scheduler",
+    "register_scheduler",
+    "scheduler_names",
+    "parse_sched_opts",
+}
 
 
 def __getattr__(name: str):

@@ -60,9 +60,12 @@ def test_readme_quickstart_names_exist():
         AccessMode,
         AnalyticalPerfModel,
         MultiPrio,
+        SimConfig,
         Simulator,
         TaskFlow,
         make_scheduler,
+        register_scheduler,
+        simulate,
     )
     from repro.platform import small_hetero  # noqa: F401
     from repro.apps.dense import cholesky_program  # noqa: F401

@@ -1,0 +1,194 @@
+"""Sweep engine tests: serial/parallel bit-identity, failure semantics,
+crash recovery and deterministic seed fan-out.
+
+The determinism contract is the load-bearing one: ``jobs=N`` must return
+*exactly* the rows ``jobs=1`` returns — same values, same order — so
+parallelism can never change a reproduction's numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.apps.dense import cholesky_program, lu_program
+from repro.platform.machines import small_hetero
+from repro.sweep import (
+    CallSpec,
+    SweepCell,
+    SweepSpec,
+    fanout_seeds,
+    run_sweep,
+    run_tasks,
+)
+from repro.utils.validation import RetryExhaustedError, ValidationError
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on(x, bad):
+    if x in bad:
+        raise ValidationError(f"cell {x} bad")
+    return x
+
+
+_CRASH_FLAG = "/tmp/repro_sweep_crash_once"
+
+
+def _crash_once(x):
+    """os._exit kills the worker the first time cell 3 runs — a genuine
+    process crash, not an exception."""
+    if x == 3 and not os.path.exists(_CRASH_FLAG):
+        open(_CRASH_FLAG, "w").close()
+        os._exit(1)
+    return x
+
+
+def _crash_always(x):
+    if x == 1:
+        os._exit(1)
+    return x
+
+
+class TestRunTasks:
+    def test_empty(self):
+        assert run_tasks([]) == []
+        assert run_tasks([], jobs=4) == []
+
+    def test_order_preserved_any_jobs(self):
+        tasks = [CallSpec(_square, (i,)) for i in range(17)]
+        expected = [i * i for i in range(17)]
+        assert run_tasks(tasks, jobs=1) == expected
+        assert run_tasks(tasks, jobs=3, chunk_size=2) == expected
+
+    def test_progress_counts_every_cell(self):
+        calls = []
+        run_tasks(
+            [CallSpec(_square, (i,)) for i in range(6)],
+            jobs=2,
+            chunk_size=2,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert sorted(calls) == [(i, 6) for i in range(1, 7)]
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_lowest_index_error_raised(self, jobs):
+        tasks = [CallSpec(_fail_on, (i, (3, 7))) for i in range(10)]
+        with pytest.raises(ValidationError, match="cell 3 bad"):
+            run_tasks(tasks, jobs=jobs, chunk_size=2)
+
+    def test_crash_retried_on_fresh_pool(self):
+        if os.path.exists(_CRASH_FLAG):
+            os.remove(_CRASH_FLAG)
+        try:
+            out = run_tasks(
+                [CallSpec(_crash_once, (i,)) for i in range(6)],
+                jobs=2,
+                chunk_size=2,
+            )
+            assert out == list(range(6))
+        finally:
+            if os.path.exists(_CRASH_FLAG):
+                os.remove(_CRASH_FLAG)
+
+    def test_persistent_crash_exhausts_retries(self):
+        tasks = [CallSpec(_crash_always, (i,)) for i in range(3)]
+        with pytest.raises(RetryExhaustedError, match="crashed the worker pool"):
+            run_tasks(tasks, jobs=2, chunk_size=1, crash_retries=1)
+
+
+class TestFanoutSeeds:
+    def test_deterministic_and_distinct(self):
+        seeds = fanout_seeds(0, 8)
+        assert seeds == fanout_seeds(0, 8)
+        assert len(set(seeds)) == 8
+        assert seeds != fanout_seeds(1, 8)
+
+    def test_prefix_stable(self):
+        """Growing the replicate count keeps the existing seeds."""
+        assert fanout_seeds(42, 4) == fanout_seeds(42, 8)[:4]
+
+
+def _tiny_spec() -> SweepSpec:
+    machine = small_hetero(n_cpus=4, n_gpus=1)
+    return SweepSpec.grid(
+        "tiny",
+        programs=[
+            CallSpec(cholesky_program, (4, 512)),
+            CallSpec(lu_program, (3, 512)),
+        ],
+        machines=[machine],
+        schedulers=("multiprio", "dmdas"),
+        seeds=(0, 1),
+        noise_sigma=0.1,
+    )
+
+
+class TestRunSweep:
+    def test_parallel_bit_identical_to_serial(self):
+        """The PR's acceptance property, at test scale: every field of
+        every row identical between jobs=1 and jobs=2."""
+        spec = _tiny_spec()
+        serial = run_sweep(spec, jobs=1)
+        parallel = run_sweep(spec, jobs=2, chunk_size=1)
+        assert serial == parallel
+        assert [r.makespan_us for r in serial] == [r.makespan_us for r in parallel]
+
+    def test_grid_order_and_shape(self):
+        spec = _tiny_spec()
+        assert len(spec.cells) == 8  # 1 machine x 2 programs x 2 scheds x 2 seeds
+        rows = run_sweep(spec)
+        assert [r.scheduler for r in rows[:4]] == [
+            "multiprio", "multiprio", "dmdas", "dmdas",
+        ]
+        assert all(r.experiment == "tiny" for r in rows)
+        assert rows[0].workload.startswith("potrf")
+        assert rows[4].workload.startswith("getrf")
+
+    def test_int_seed_count_fans_out(self):
+        machine = small_hetero(n_cpus=2, n_gpus=1)
+        spec = SweepSpec.grid(
+            "fan",
+            programs=[CallSpec(cholesky_program, (3, 512))],
+            machines=[machine],
+            schedulers=("multiprio",),
+            seeds=3,
+            noise_sigma=0.2,
+        )
+        assert [c.seed for c in spec.cells] == fanout_seeds(0, 3)
+        rows = run_sweep(spec)
+        # Independent seeds under noise give distinct makespans.
+        assert len({r.makespan_us for r in rows}) == 3
+
+    def test_sweep_cell_extra_propagates(self):
+        machine = small_hetero(n_cpus=2, n_gpus=1)
+        cell = SweepCell(
+            program=CallSpec(cholesky_program, (3, 512)),
+            machine=machine,
+            scheduler="multiprio",
+            extra={"tile": 512},
+        )
+        rows = run_sweep(SweepSpec("meta", [cell]))
+        assert rows[0].extra["tile"] == 512
+
+
+class TestExperimentJobsIndependence:
+    def test_fig7_parallel_matches_serial(self):
+        from repro.experiments.fig7_matrices import run_fig7
+
+        serial = run_fig7(scale=0.05, jobs=1)
+        parallel = run_fig7(scale=0.05, jobs=2)
+        assert serial == parallel
+
+    def test_fig5_parallel_matches_serial(self):
+        from repro.experiments.fig5_dense import run_fig5
+
+        kwargs = dict(
+            kernels=("potrf",),
+            matrix_sizes=(2560,),
+            schedulers=("multiprio", "dmdas"),
+        )
+        serial = run_fig5(jobs=1, **kwargs)
+        parallel = run_fig5(jobs=2, **kwargs)
+        assert serial.cells == parallel.cells
