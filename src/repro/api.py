@@ -55,6 +55,7 @@ class SimConfig:
     record_level: RecordLevel | str | int = RecordLevel.OFF
     pipeline: bool = True
     submission_window: int | None = None
+    check_invariants: bool | None = None
     sched_params: dict = field(default_factory=dict)
 
 
@@ -84,6 +85,7 @@ def simulate(
     record_level: RecordLevel | str | int = RecordLevel.OFF,
     pipeline: bool = True,
     submission_window: int | None = None,
+    check_invariants: bool | None = None,
     sched_params: dict | None = None,
 ) -> SimResult:
     """Simulate ``program`` on ``machine`` under ``scheduler``.
@@ -109,6 +111,9 @@ def simulate(
         calibration with ``noise_sigma`` execution noise.
     faults:
         Optional :class:`~repro.runtime.faults.FaultModel`.
+    check_invariants:
+        Attach the :mod:`repro.check` runtime validator (``None`` defers
+        to the ``REPRO_CHECK_INVARIANTS`` environment variable).
     record_trace / record_level / pipeline / submission_window / seed:
         Forwarded to :class:`~repro.runtime.engine.Simulator`.
 
@@ -123,6 +128,7 @@ def simulate(
         record_level=record_level,
         pipeline=pipeline,
         submission_window=submission_window,
+        check_invariants=check_invariants,
         sched_params=dict(sched_params) if sched_params else {},
     )
     mach = _resolve_machine(machine)
@@ -148,5 +154,6 @@ def simulate(
         submission_window=cfg.submission_window,
         fault_model=cfg.faults,
         record_level=cfg.record_level,
+        check_invariants=cfg.check_invariants,
     )
     return sim.run(program)

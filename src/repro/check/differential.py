@@ -1,0 +1,332 @@
+"""Differential and metamorphic whole-run properties.
+
+Where :mod:`repro.check.invariants` validates state *inside* one run,
+this module compares *across* runs and against analytic bounds — the
+properties a correct simulator cannot violate regardless of policy:
+
+* **Determinism** — with ``noise_sigma=0`` a run is bit-identical across
+  repeats and across observability flags (``record_trace``,
+  ``record_level``) and the invariant checker being on or off; none of
+  those knobs may perturb the schedule.
+* **Lower bounds** — the makespan is bounded below by the critical path
+  (chain of per-task best-architecture estimates) and by total work
+  divided by the worker count.
+* **Fault-free equivalence** — a :class:`~repro.runtime.faults.FaultModel`
+  whose rates are all zero produces the same run as ``fault_model=None``
+  (the fault paths must not consume RNG draws or perturb event order).
+* **Pipeline bound** — disabling worker lookahead (``pipeline=False``)
+  may only beat the pipelined run by what staging can explain: the
+  runs' total wire time (foregone transfer overlap) plus one mis-bound
+  task per worker (staging commits tasks to workers early).
+
+:func:`run_differential_suite` bundles these with an invariant-checked
+sweep over the built-in applications × schedulers (with and without a
+transient fault load) — the engine behind the ``repro check`` CLI
+subcommand and ``tests/check/test_differential.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.apps.dense import cholesky_program, lu_program, qr_program
+from repro.apps.fmm import fmm_program
+from repro.platform.machines import MACHINES, MachineModel
+from repro.runtime.engine import Simulator, SimResult
+from repro.runtime.faults import FaultModel
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.stf import Program
+from repro.schedulers.registry import make_scheduler
+
+#: Schedulers every sweep covers (the paper's subject + both baselines).
+DEFAULT_SCHEDULERS = ("multiprio", "dmdas", "heteroprio")
+
+#: Absolute slack (µs) for floating-point comparisons of time sums.
+_EPS = 1e-6
+
+
+@dataclass
+class CheckOutcome:
+    """Result of one differential/invariant check."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok  " if self.passed else "FAIL"
+        tail = f" — {self.detail}" if self.detail and not self.passed else ""
+        return f"[{mark}] {self.name}{tail}"
+
+
+def builtin_apps(quick: bool = False) -> list[tuple[str, Callable[[], Program]]]:
+    """Named program factories the sweeps iterate over.
+
+    Quick mode keeps the three structurally-distinct small graphs
+    (dense Cholesky, dense LU, the COMMUTE-heavy FMM); the full set
+    adds QR. Factories rebuild the program each call so parallel or
+    repeated use never shares runtime state by accident.
+    """
+    apps: list[tuple[str, Callable[[], Program]]] = [
+        ("cholesky6", lambda: cholesky_program(6, 512)),
+        ("lu6", lambda: lu_program(6, 512)),
+        ("fmm", lambda: fmm_program(1500, height=3, seed=0)),
+    ]
+    if not quick:
+        apps.append(("qr5", lambda: qr_program(5, 512)))
+    return apps
+
+
+# -- single-run plumbing ---------------------------------------------------
+
+
+def _machine(machine: MachineModel | str) -> MachineModel:
+    if isinstance(machine, str):
+        return MACHINES[machine]()
+    return machine
+
+
+def _run(
+    program: Program,
+    machine: MachineModel,
+    scheduler: str,
+    **kwargs,
+) -> tuple[SimResult, Simulator]:
+    sim = Simulator(
+        machine.platform(),
+        make_scheduler(scheduler),
+        AnalyticalPerfModel(machine.calibration()),
+        seed=0,
+        record_trace=kwargs.pop("record_trace", False),
+        **kwargs,
+    )
+    return sim.run(program), sim
+
+
+def fingerprint(res: SimResult) -> tuple:
+    """Bit-comparable summary of one traced run: every task's placement
+    and timing, the makespan and the bytes moved."""
+    assert res.trace is not None, "fingerprint needs record_trace=True"
+    records = tuple(
+        sorted((r.tid, r.worker, r.start, r.end) for r in res.trace.task_records)
+    )
+    return (records, res.makespan, res.bytes_transferred)
+
+
+def _wire_us(sim: Simulator) -> float:
+    """Total queue-free wire time of every transfer the run committed."""
+    return sum(
+        link.bytes_moved / link.bandwidth + link.n_transfers * link.latency
+        for link in sim.platform.transfers.links()
+    )
+
+
+# -- analytic lower bounds -------------------------------------------------
+
+
+def makespan_lower_bounds(
+    program: Program, machine: MachineModel
+) -> tuple[float, float]:
+    """(critical-path, work/width) lower bounds on any noise-free run.
+
+    Uses each task's best-architecture estimate δ_min — with
+    ``noise_sigma=0`` the sampled duration equals the estimate, so no
+    schedule can finish a dependency chain faster than its δ_min sum,
+    nor all work faster than evenly spread over every worker.
+    """
+    pm = AnalyticalPerfModel(machine.calibration())
+    platform = machine.platform()
+    archs = [a for a in platform.archs if platform.n_workers(a) > 0]
+    dmin: dict[int, float] = {}
+    for task in program.tasks:
+        dmin[task.tid] = min(
+            pm.estimate(task, a) for a in archs if task.can_exec(a)
+        )
+    # program.tasks is in submission order, which topologically orders
+    # the DAG (dependencies only point at earlier submissions).
+    cp: dict[int, float] = {}
+    for task in program.tasks:
+        longest = max((cp[p.tid] for p in task.preds), default=0.0)
+        cp[task.tid] = longest + dmin[task.tid]
+    critical_path = max(cp.values(), default=0.0)
+    work_width = sum(dmin.values()) / max(1, len(platform.workers))
+    return critical_path, work_width
+
+
+# -- differential properties ----------------------------------------------
+
+
+def check_determinism(
+    name: str, program: Program, machine: MachineModel, scheduler: str
+) -> list[CheckOutcome]:
+    """Repeats and observability/checker flags must not move a single task."""
+    out = []
+    base, _ = _run(program, machine, scheduler, record_trace=True)
+    again, _ = _run(program, machine, scheduler, record_trace=True)
+    out.append(CheckOutcome(
+        f"determinism.repeat[{name}/{scheduler}]",
+        fingerprint(base) == fingerprint(again),
+        "two identical noise-free runs diverged",
+    ))
+    checked, _ = _run(
+        program, machine, scheduler, record_trace=True, check_invariants=True
+    )
+    out.append(CheckOutcome(
+        f"determinism.checker[{name}/{scheduler}]",
+        fingerprint(base) == fingerprint(checked),
+        "enabling the invariant checker perturbed the schedule",
+    ))
+    recorded, _ = _run(
+        program, machine, scheduler, record_trace=True, record_level="decisions"
+    )
+    out.append(CheckOutcome(
+        f"determinism.record_level[{name}/{scheduler}]",
+        fingerprint(base) == fingerprint(recorded),
+        "record_level=decisions perturbed the schedule",
+    ))
+    untraced, _ = _run(program, machine, scheduler, record_trace=False)
+    out.append(CheckOutcome(
+        f"determinism.record_trace[{name}/{scheduler}]",
+        (untraced.makespan, untraced.bytes_transferred)
+        == (base.makespan, base.bytes_transferred),
+        "record_trace toggled the makespan or traffic",
+    ))
+
+    cp, ww = makespan_lower_bounds(program, machine)
+    bound = max(cp, ww)
+    out.append(CheckOutcome(
+        f"bounds.makespan[{name}/{scheduler}]",
+        base.makespan >= bound - _EPS,
+        f"makespan {base.makespan:.3f}us beat the lower bound "
+        f"max(critical-path {cp:.3f}, work/width {ww:.3f})us",
+    ))
+    return out
+
+
+def check_fault_free_equivalence(
+    name: str, program: Program, machine: MachineModel, scheduler: str
+) -> CheckOutcome:
+    """An all-zero fault model must be indistinguishable from none."""
+    plain, _ = _run(program, machine, scheduler, record_trace=True)
+    zeroed, _ = _run(
+        program, machine, scheduler, record_trace=True,
+        fault_model=FaultModel(task_failure_rate=0.0, seed=0),
+    )
+    return CheckOutcome(
+        f"faults.zero_rate[{name}/{scheduler}]",
+        fingerprint(plain) == fingerprint(zeroed),
+        "a zero-rate FaultModel perturbed the fault-free run",
+    )
+
+
+def check_pipeline_bound(
+    name: str, program: Program, machine: MachineModel, scheduler: str
+) -> CheckOutcome:
+    """Lookahead staging can only lose what its mechanisms can explain.
+
+    Staging differs from the unpipelined run in two ways: transfers
+    overlap execution (worth at most the total wire time of either run),
+    and each worker *binds* one task ahead of time — a binding that may
+    strand a task on a busy worker while another idles, costing at most
+    the slowest implementation of the largest task, once per worker.
+    A gap beyond that combined allowance means the engine lost time the
+    pipeline mechanism cannot account for.
+    """
+    piped, sim_p = _run(program, machine, scheduler, pipeline=True)
+    unpiped, sim_u = _run(program, machine, scheduler, pipeline=False)
+    pm = AnalyticalPerfModel(machine.calibration())
+    platform = sim_p.platform
+    archs = [a for a in platform.archs if platform.n_workers(a) > 0]
+    max_exec = max(
+        pm.estimate(task, a)
+        for task in program.tasks
+        for a in archs
+        if task.can_exec(a)
+    )
+    allowance = (
+        _wire_us(sim_p) + _wire_us(sim_u)
+        + len(platform.workers) * max_exec + _EPS
+    )
+    gap = piped.makespan - unpiped.makespan
+    return CheckOutcome(
+        f"pipeline.bound[{name}/{scheduler}]",
+        gap <= allowance,
+        f"pipeline=False beat pipeline=True by {gap:.3f}us, more than "
+        f"transfer overlap plus one mis-bound task per worker "
+        f"({allowance:.3f}us) could explain",
+    )
+
+
+def check_invariant_sweep(
+    name: str,
+    program: Program,
+    machine: MachineModel,
+    scheduler: str,
+    fault_rate: float,
+) -> list[CheckOutcome]:
+    """Run under the invariant validator, fault-free and fault-loaded."""
+    out = []
+    try:
+        _run(program, machine, scheduler, check_invariants=True)
+        out.append(CheckOutcome(f"invariants[{name}/{scheduler}]", True))
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+        out.append(CheckOutcome(
+            f"invariants[{name}/{scheduler}]", False, f"{type(exc).__name__}: {exc}"
+        ))
+    try:
+        _run(
+            program, machine, scheduler, check_invariants=True,
+            fault_model=FaultModel(
+                task_failure_rate=fault_rate, max_retries=100, seed=7
+            ),
+        )
+        out.append(CheckOutcome(f"invariants+faults[{name}/{scheduler}]", True))
+    except Exception as exc:  # noqa: BLE001
+        out.append(CheckOutcome(
+            f"invariants+faults[{name}/{scheduler}]", False,
+            f"{type(exc).__name__}: {exc}",
+        ))
+    return out
+
+
+# -- the suite -------------------------------------------------------------
+
+
+def run_differential_suite(
+    machine: MachineModel | str = "intel-v100",
+    schedulers: Iterable[str] = DEFAULT_SCHEDULERS,
+    quick: bool = False,
+    fault_rate: float = 0.05,
+    apps: Iterable[tuple[str, Callable[[], Program]]] | None = None,
+    progress: Callable[[CheckOutcome], None] | None = None,
+) -> list[CheckOutcome]:
+    """Every differential + invariant check over apps × schedulers.
+
+    ``quick`` trims the app list and runs the heavier cross-run
+    properties only under the first scheduler per app (the invariant
+    sweep always covers the full scheduler grid); ``apps`` replaces the
+    built-in grid entirely. ``progress`` is called once per finished
+    check — the CLI uses it for live output.
+    """
+    mach = _machine(machine)
+    schedulers = tuple(schedulers)
+    results: list[CheckOutcome] = []
+
+    def emit(outcomes: CheckOutcome | list[CheckOutcome]) -> None:
+        batch = [outcomes] if isinstance(outcomes, CheckOutcome) else outcomes
+        for outcome in batch:
+            results.append(outcome)
+            if progress is not None:
+                progress(outcome)
+
+    for name, factory in (apps if apps is not None else builtin_apps(quick)):
+        program = factory()
+        for scheduler in schedulers:
+            emit(check_invariant_sweep(name, program, mach, scheduler, fault_rate))
+        diff_scheds = schedulers[:1] if quick else schedulers
+        for scheduler in diff_scheds:
+            emit(check_determinism(name, program, mach, scheduler))
+            emit(check_fault_free_equivalence(name, program, mach, scheduler))
+            emit(check_pipeline_bound(name, program, mach, scheduler))
+    return results

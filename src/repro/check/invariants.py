@@ -1,0 +1,418 @@
+"""Engine-attached runtime invariant validator.
+
+The engine binds one :class:`InvariantChecker` per run (only when
+``check_invariants=True``) and calls :meth:`InvariantChecker.validate`
+at the top of the event loop — i.e. after every fully-processed event,
+with the queue intact — plus once more after the loop drains. Each call
+sweeps six invariant families over the *entire* runtime state:
+
+``clock``
+    Event times never move backward.
+``link``
+    Per-link FIFO clocks and counters are monotone, the demand clock
+    never exceeds the combined clock, and recorded prefetch wire spans
+    are ordered and consistent with the clocks.
+``msi``
+    Replica-set coherence: in-flight transfers and pins target valid
+    replicas, pin counts equal exactly what the running/staged tasks
+    pinned, and the capacity accounting (``_resident``/``_usage``) of
+    bounded nodes matches the handles' sizes.
+``task_state``
+    Only legal lifecycle transitions occurred since the previous check
+    (fault rollbacks are legal only under a fault model); ``DONE`` is
+    terminal.
+``conservation``
+    Every task is in exactly one bucket — unrevealed, waiting on
+    predecessors, scheduler-held (READY), running/staged, retry-pending
+    (with a matching TASK_RETRY event in the queue), or done — and the
+    dependency counters agree with the predecessors' states.
+``scheduler``
+    Whatever the policy's own :meth:`~repro.schedulers.base.Scheduler.check`
+    reports (heap order, counter exactness, ...).
+
+Violations are emitted as
+:class:`~repro.obs.events.InvariantViolation` events (when observability
+is on) and raised as one
+:class:`~repro.utils.validation.InvariantError`. The checker only reads
+engine state — a checked run's schedule is bit-identical to an
+unchecked one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.events import InvariantViolation
+from repro.runtime.events import TASK_RETRY
+from repro.runtime.task import AccessMode, Task, TaskState
+from repro.utils.validation import InvariantError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.bus import Observability
+    from repro.runtime.platform_config import Platform
+    from repro.runtime.stf import Program
+
+_S = TaskState.SUBMITTED
+_READY = TaskState.READY
+_RUNNING = TaskState.RUNNING
+_DONE = TaskState.DONE
+
+#: Transitions observable between two consecutive checks (one event may
+#: compose several steps, e.g. push + rescue-pop gives SUBMITTED→RUNNING).
+_LEGAL = {
+    (_S, _S), (_S, _READY), (_S, _RUNNING),
+    (_READY, _READY), (_READY, _RUNNING),
+    (_RUNNING, _RUNNING), (_RUNNING, _DONE),
+    (_DONE, _DONE),
+}
+#: Rollback transitions, legal only when a fault model is active.
+_FAULT_ONLY = {(_RUNNING, _S), (_READY, _S), (_RUNNING, _READY)}
+
+
+class InvariantChecker:
+    """Validates engine + scheduler state after every simulation event.
+
+    The engine calls :meth:`begin_run` once (binding live references to
+    its loop-local structures — the dicts and the event heap are mutated
+    in place, so the references stay current) and then :meth:`validate`
+    once per event. ``n_checks`` counts validations for reporting.
+    """
+
+    def __init__(self, obs: "Observability | None" = None) -> None:
+        self.obs = obs
+        self.n_checks = 0
+
+    def begin_run(
+        self,
+        *,
+        program: "Program",
+        platform: "Platform",
+        ctx,
+        scheduler,
+        current: dict[int, Task | None],
+        staged: dict[int, tuple[Task, float, float] | None],
+        events: list,
+        fault_active: bool,
+    ) -> None:
+        """Bind one run's live state and snapshot the starting point."""
+        self.program = program
+        self.platform = platform
+        self.ctx = ctx
+        self.scheduler = scheduler
+        self.current = current
+        self.staged = staged
+        self.events = events
+        self.fault_active = fault_active
+        self.n_checks = 0
+        self._node_of_wid = {w.wid: w.memory_node for w in platform.workers}
+        self._handle_by_hid = {h.hid: h for h in program.handles}
+        self._node_ids = {n.mid for n in platform.nodes}
+        self._last_now = 0.0
+        self._prev_state = [t.state for t in program.tasks]
+        # Per-link monotonicity floor: (busy, demand, bytes, transfers).
+        self._link_floor = {
+            id(link): (link.busy_until, link.demand_busy_until,
+                       link.bytes_moved, link.n_transfers)
+            for link in platform.transfers.links()
+        }
+
+    # -- entry point -------------------------------------------------------
+
+    def validate(self, next_now: float, revealed: int, n_done: int) -> None:
+        """Run every invariant family; raise on any violation.
+
+        ``next_now`` is the timestamp of the event about to be processed
+        (or the final clock after the queue drained); ``revealed`` and
+        ``n_done`` mirror the engine's submission-window counters.
+        """
+        self.n_checks += 1
+        violations: list[tuple[str, str]] = []
+        self._check_clock(next_now, violations)
+        self._check_links(violations)
+        running = self._check_conservation(revealed, n_done, violations)
+        self._check_task_states(violations)
+        self._check_msi(running, violations)
+        for detail in self.scheduler.check():
+            violations.append(("scheduler", str(detail)))
+        if violations:
+            self._report(violations)
+
+    def _report(self, violations: list[tuple[str, str]]) -> None:
+        now = self.ctx.now
+        if self.obs is not None:
+            for family, detail in violations:
+                self.obs.emit(InvariantViolation(now, family, detail))
+        shown = "\n".join(f"  [{f}] {d}" for f, d in violations[:20])
+        extra = len(violations) - 20
+        if extra > 0:
+            shown += f"\n  ... and {extra} more"
+        raise InvariantError(
+            f"{len(violations)} invariant violation(s) at t={now:.3f}us "
+            f"(check #{self.n_checks}, scheduler {self.scheduler.name!r}):\n"
+            f"{shown}"
+        )
+
+    # -- families ----------------------------------------------------------
+
+    def _check_clock(self, next_now: float, out: list) -> None:
+        if next_now < self._last_now:
+            out.append((
+                "clock",
+                f"event clock moved backward: next event at t={next_now} "
+                f"after t={self._last_now}",
+            ))
+        else:
+            self._last_now = next_now
+
+    def _check_links(self, out: list) -> None:
+        floors = self._link_floor
+        for link in self.platform.transfers.links():
+            name = f"link {link.src}->{link.dst}"
+            busy, demand, moved, count = floors[id(link)]
+            if link.busy_until < busy or link.demand_busy_until < demand:
+                out.append((
+                    "link",
+                    f"{name} clock moved backward: busy "
+                    f"{busy}->{link.busy_until}, demand "
+                    f"{demand}->{link.demand_busy_until}",
+                ))
+            if link.bytes_moved < moved or link.n_transfers < count:
+                out.append((
+                    "link",
+                    f"{name} counters decreased: bytes {moved}->"
+                    f"{link.bytes_moved}, transfers {count}->{link.n_transfers}",
+                ))
+            floors[id(link)] = (link.busy_until, link.demand_busy_until,
+                                link.bytes_moved, link.n_transfers)
+            if link.demand_busy_until > link.busy_until:
+                out.append((
+                    "link",
+                    f"{name} demand clock {link.demand_busy_until} ahead of "
+                    f"combined clock {link.busy_until}: the two traffic "
+                    f"classes overlap on the wire",
+                ))
+            prev_start = None
+            for span_start, span_end in link._prefetch_spans:
+                if span_end < span_start:
+                    out.append(("link", f"{name} prefetch span ends before "
+                                        f"it starts: ({span_start}, {span_end})"))
+                if prev_start is not None and span_start < prev_start:
+                    out.append(("link", f"{name} prefetch spans out of order"))
+                prev_start = span_start
+                if span_end > link.busy_until:
+                    out.append((
+                        "link",
+                        f"{name} prefetch span ({span_start}, {span_end}) "
+                        f"extends past the link clock {link.busy_until}",
+                    ))
+
+    def _check_task_states(self, out: list) -> None:
+        prev = self._prev_state
+        fault = self.fault_active
+        for task in self.program.tasks:
+            before, after = prev[task.tid], task.state
+            if before is after:
+                continue
+            move = (before, after)
+            if move in _LEGAL or (fault and move in _FAULT_ONLY):
+                prev[task.tid] = after
+                continue
+            why = ("fault-only rollback without a fault model"
+                   if move in _FAULT_ONLY else "illegal lifecycle transition")
+            out.append((
+                "task_state",
+                f"{task.name}: {before.name} -> {after.name} ({why})",
+            ))
+            prev[task.tid] = after
+
+    def _check_conservation(
+        self, revealed: int, n_done: int, out: list
+    ) -> dict[int, list[tuple[Task, int]]]:
+        """Partition every task into exactly one bucket.
+
+        Returns running/staged tasks as ``tid -> [(task, node)]`` so the
+        MSI sweep can derive the expected pin counts without re-walking
+        the worker dicts.
+        """
+        node_of = self._node_of_wid
+        holders: dict[int, list[int]] = {}
+        running: dict[int, list[tuple[Task, int]]] = {}
+        for wid, task in self.current.items():
+            if task is not None:
+                holders.setdefault(task.tid, []).append(wid)
+                running.setdefault(task.tid, []).append((task, node_of[wid]))
+        for wid, entry in self.staged.items():
+            if entry is not None:
+                task = entry[0]
+                holders.setdefault(task.tid, []).append(wid)
+                running.setdefault(task.tid, []).append((task, node_of[wid]))
+
+        retry_pending: set[int] | None = None
+        done_count = 0
+        for task in self.program.tasks:
+            state = task.state
+            if state is _DONE:
+                done_count += 1
+            want = sum(
+                1 for p in task.preds if p.state is not _DONE
+            )
+            if task.n_unfinished_preds != want:
+                out.append((
+                    "conservation",
+                    f"{task.name} counts {task.n_unfinished_preds} unfinished "
+                    f"predecessors but {want} of {len(task.preds)} are not DONE",
+                ))
+            wids = holders.get(task.tid)
+            if wids is not None:
+                if state is not _RUNNING:
+                    out.append((
+                        "conservation",
+                        f"{task.name} held by worker(s) {wids} but in state "
+                        f"{state.name}, not RUNNING",
+                    ))
+                if len(wids) > 1:
+                    out.append((
+                        "conservation",
+                        f"{task.name} held by {len(wids)} workers at once: {wids}",
+                    ))
+                continue
+            if state is _RUNNING:
+                out.append((
+                    "conservation",
+                    f"{task.name} is RUNNING but no worker holds it "
+                    f"(neither current nor staged)",
+                ))
+            elif state is _READY and task.tid >= revealed:
+                out.append((
+                    "conservation",
+                    f"{task.name} is READY but was never submitted "
+                    f"(revealed={revealed})",
+                ))
+            elif state is _S and task.tid < revealed and task.n_unfinished_preds == 0:
+                # Submitted, dependencies met, yet not scheduler-held:
+                # only legal as a failed task awaiting its retry event.
+                if retry_pending is None:
+                    retry_pending = {
+                        payload.tid
+                        for _, _, kind, payload in self.events
+                        if kind == TASK_RETRY
+                    }
+                if task.tid not in retry_pending:
+                    out.append((
+                        "conservation",
+                        f"{task.name} is SUBMITTED with all predecessors done "
+                        f"but is neither scheduler-held nor retry-pending: "
+                        f"the task leaked",
+                    ))
+
+        if done_count != n_done:
+            out.append((
+                "conservation",
+                f"engine counted {n_done} completions but {done_count} "
+                f"tasks are DONE",
+            ))
+        return running
+
+    def _check_msi(
+        self, running: dict[int, list[tuple[Task, int]]], out: list
+    ) -> None:
+        transfers = self.platform.transfers
+        node_ids = self._node_ids
+        worker_died = bool(self.ctx._dead_wids)
+
+        # Expected pins from the running/staged tasks' acquire() records;
+        # handles commute-written by a running task are exempt from the
+        # pins-target-valid check (a concurrent commuting writer's
+        # completion legally invalidates a replica another commuter still
+        # pins — StarPU's COMMUTE leaves the order unspecified).
+        expected_pins: dict[tuple[int, int], int] = {}
+        commute_hids: set[int] = set()
+        for entries in running.values():
+            for task, node in entries:
+                for handle in task.sched.get("_pinned", ()):
+                    key = (handle.hid, node)
+                    expected_pins[key] = expected_pins.get(key, 0) + 1
+                for handle, mode in task.accesses:
+                    if mode is AccessMode.COMMUTE:
+                        commute_hids.add(handle.hid)
+
+        bounded = transfers._resident
+        for handle in self.program.handles:
+            label = handle.label
+            if not handle.valid_nodes and not worker_died:
+                out.append(("msi", f"{label} has no valid replica anywhere"))
+            if not handle.valid_nodes.issubset(node_ids):
+                out.append((
+                    "msi",
+                    f"{label} valid on unknown nodes "
+                    f"{sorted(handle.valid_nodes - node_ids)}",
+                ))
+            for node in handle._in_flight:
+                if node not in handle.valid_nodes:
+                    out.append((
+                        "msi",
+                        f"{label} has a transfer in flight toward node {node} "
+                        f"but no (eagerly registered) replica there",
+                    ))
+            for node, count in handle._pins.items():
+                if count <= 0:
+                    out.append((
+                        "msi",
+                        f"{label} pin count on node {node} is {count} "
+                        f"(stored counts must stay positive)",
+                    ))
+                if (node not in handle.valid_nodes
+                        and handle.hid not in commute_hids):
+                    out.append((
+                        "msi",
+                        f"{label} pinned on node {node} but not valid there "
+                        f"(a running task's input was invalidated)",
+                    ))
+                want = expected_pins.get((handle.hid, node), 0)
+                if count != want:
+                    out.append((
+                        "msi",
+                        f"{label} pin count on node {node} is {count} but "
+                        f"running/staged tasks account for {want}",
+                    ))
+            for node in handle.valid_nodes:
+                if (node in bounded and handle.size > 0
+                        and node != handle.home_node
+                        and handle.hid not in bounded[node]):
+                    out.append((
+                        "msi",
+                        f"{label} valid on bounded node {node} but missing "
+                        f"from its residency accounting",
+                    ))
+        # Pins on handles the running tasks never pinned.
+        for (hid, node), want in expected_pins.items():
+            handle = self._handle_by_hid[hid]
+            if node not in handle._pins:
+                out.append((
+                    "msi",
+                    f"{handle.label} should be pinned {want}x on node {node} "
+                    f"by running/staged tasks but carries no pin",
+                ))
+
+        for mid, resident in bounded.items():
+            total = 0
+            for hid, handle in resident.items():
+                total += handle.size
+                if mid not in handle.valid_nodes:
+                    out.append((
+                        "msi",
+                        f"{handle.label} accounted resident on node {mid} "
+                        f"but not valid there",
+                    ))
+            if total != transfers._usage[mid]:
+                out.append((
+                    "msi",
+                    f"node {mid} usage counter says {transfers._usage[mid]} "
+                    f"bytes but resident handles sum to {total}",
+                ))
+            if resident.keys() != transfers._last_use[mid].keys():
+                out.append((
+                    "msi",
+                    f"node {mid} LRU recency keys diverge from the resident "
+                    f"set",
+                ))

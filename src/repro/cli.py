@@ -19,6 +19,7 @@ from typing import Sequence
 
 from repro.analysis.export import to_chrome_trace, to_csv
 from repro.apps.dense import cholesky_program, lu_program, qr_program
+from repro.check.differential import DEFAULT_SCHEDULERS, run_differential_suite
 from repro.apps.fmm import fmm_program
 from repro.apps.sparseqr import MATRICES, matrix_by_name, matrix_tree, sparse_qr_program
 from repro.experiments.faults_sweep import format_faults_sweep, run_faults_sweep
@@ -230,6 +231,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the correctness suite: invariant-checked sweeps + differential
+    properties over the built-in apps × schedulers."""
+    outcomes = run_differential_suite(
+        machine=args.machine,
+        schedulers=args.scheduler,
+        quick=args.quick,
+        fault_rate=args.fault_rate_check,
+        progress=lambda outcome: print(outcome),
+    )
+    failed = [o for o in outcomes if not o.passed]
+    print()
+    print(f"{len(outcomes) - len(failed)}/{len(outcomes)} checks passed")
+    if failed:
+        print("failing checks:")
+        for outcome in failed:
+            print(f"  {outcome}")
+        return 1
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("schedulers:", ", ".join(scheduler_names()))
     print("machines:  ", ", ".join(sorted(MACHINES)))
@@ -321,6 +343,25 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--n-matrices", type=int, default=4,
                      help="fig8: smallest-N matrix subset when --matrices unset")
     exp.set_defaults(func=cmd_experiment)
+
+    check = sub.add_parser(
+        "check",
+        help="run the correctness suite: invariant-checked app x scheduler "
+             "sweeps plus differential properties (determinism, lower "
+             "bounds, fault-free equivalence, pipeline bound)",
+    )
+    check.add_argument("--quick", action="store_true",
+                       help="trimmed app grid; cross-run properties on one "
+                            "scheduler per app")
+    check.add_argument("--machine", default="intel-v100",
+                       choices=sorted(MACHINES))
+    check.add_argument("--scheduler", nargs="+",
+                       default=list(DEFAULT_SCHEDULERS),
+                       choices=scheduler_names())
+    check.add_argument("--fault-rate-check", type=float, default=0.05,
+                       help="transient failure rate of the fault-loaded "
+                            "invariant sweep")
+    check.set_defaults(func=cmd_check)
 
     lst = sub.add_parser("list", help="list schedulers, machines and apps")
     lst.set_defaults(func=cmd_list)

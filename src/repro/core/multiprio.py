@@ -36,6 +36,8 @@ Ablation knobs used by the benchmark suite:
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.core.criticality import NODTracker, nod
 from repro.core.gain import GainTracker
 from repro.core.heap import HeapEntry, TaskHeap
@@ -102,6 +104,7 @@ class MultiPrio(Scheduler):
         self._gain = GainTracker()
         self._nod: dict[str, NODTracker] = {}
         self._n_evictions = 0
+        self._n_skips = 0
         self._n_rejections = 0
         self._n_stale_discards = 0
         self._n_task_failures = 0
@@ -123,6 +126,7 @@ class MultiPrio(Scheduler):
         self._gain.reset()
         self._nod = {arch: NODTracker() for arch in ctx.available_archs}
         self._n_evictions = 0
+        self._n_skips = 0
         self._n_rejections = 0
         self._n_stale_discards = 0
         self._n_task_failures = 0
@@ -132,9 +136,12 @@ class MultiPrio(Scheduler):
             if ctx.platform.workers_of_node(node.mid):
                 # Staleness is tracked with entry tombstones (marked in
                 # `_take`), so the heaps need no task-level predicate.
+                # The discard callback carries the node id so counters
+                # stay exact even when the task's scratch (and with it
+                # the entry map) was wiped by a fault rollback.
                 self.heaps[node.mid] = TaskHeap(
                     node=node.mid,
-                    on_discard=self._on_discard,
+                    on_discard=partial(self._on_discard, node.mid),
                 )
                 self.best_remaining_work[node.mid] = 0.0
                 self.ready_tasks_count[node.mid] = 0
@@ -144,18 +151,17 @@ class MultiPrio(Scheduler):
         """Duplicate entries of a task already taken elsewhere are stale."""
         return task.state is not TaskState.READY or task.sched.get("mp_taken", False)
 
-    def _on_discard(self, entry: HeapEntry) -> None:
+    def _on_discard(self, node: int, entry: HeapEntry) -> None:
         """A stale duplicate was dropped: fix counters and the entry map."""
-        entry_map = entry.task.sched.get("mp_entries", {})
-        for node, stored in list(entry_map.items()):
-            if stored is entry:
-                del entry_map[node]
-                self.ready_tasks_count[node] -= 1
-                if self.obs is not None:
-                    self.record_queue_depth(
-                        f"heap_depth.node{node}", self.ready_tasks_count[node]
-                    )
-                break
+        if node in self.ready_tasks_count:
+            self.ready_tasks_count[node] -= 1
+            if self.obs is not None:
+                self.record_queue_depth(
+                    f"heap_depth.node{node}", self.ready_tasks_count[node]
+                )
+        entry_map = entry.task.sched.get("mp_entries")
+        if entry_map is not None and entry_map.get(node) is entry:
+            del entry_map[node]
         self._n_stale_discards += 1
 
     # -- PUSH (Alg. 1) ------------------------------------------------------
@@ -242,7 +248,7 @@ class MultiPrio(Scheduler):
                 # Skip: leave the entry for when the best workers'
                 # backlog grows; try the next prioritized candidate.
                 rejected.add(id(top))
-                self._n_evictions += 1
+                self._n_skips += 1
                 tries += 1
                 if dec:
                     self.record_decision(
@@ -258,10 +264,13 @@ class MultiPrio(Scheduler):
                 continue
             live = [e for e in window if id(e) not in rejected]
             entry = self._locality_refine(top, live, worker)
+            # Candidate provenance must be derived before _take mutates
+            # best_remaining_work (the admission tests would differ).
+            cands = self._considered_candidates(top, live, worker) if dec else ()
             self._remove_entry(heap, entry, worker.memory_node)
             self._take(entry.task)
             if dec:
-                self._record_pop(entry, top, live, worker, brw)
+                self._record_pop(entry, worker, brw, cands)
             return entry.task
         if tries:
             self._n_rejections += 1
@@ -300,30 +309,48 @@ class MultiPrio(Scheduler):
                     )
                 continue
             entry = self._locality_refine(top, window, worker)
+            cands = self._considered_candidates(top, window, worker) if dec else ()
             self._remove_entry(heap, entry, worker.memory_node)
             self._take(entry.task)
             if dec:
-                self._record_pop(entry, top, window, worker, brw)
+                self._record_pop(entry, worker, brw, cands)
             return entry.task
         if tries:
             self._n_rejections += 1
         return None
 
+    def _considered_candidates(
+        self, top: HeapEntry, live: list[HeapEntry], worker: Worker
+    ) -> tuple[int, ...]:
+        """The candidate set :meth:`_locality_refine` actually weighed.
+
+        ``top`` is always a candidate; every other entry must sit in the
+        top-``n`` window, score within ε of ``top``, *and* pass the pop
+        condition — entries rejected by the admission test were never
+        considered and must not appear in the provenance record. Called
+        before :meth:`_take` so the admission tests see the same
+        ``best_remaining_work`` the refinement saw.
+        """
+        if not self.use_locality or len(live) == 1:
+            return (top.task.tid,)
+        threshold = top.gain - self.locality_eps
+        cands = [top.task.tid]
+        for e in live[: self.locality_n]:
+            if e is top or e.gain < threshold:
+                continue
+            if not self._pop_condition(e.task, worker):
+                continue
+            cands.append(e.task.tid)
+        return tuple(cands)
+
     def _record_pop(
         self,
         entry: HeapEntry,
-        top: HeapEntry,
-        live: list[HeapEntry],
         worker: Worker,
         brw: float | None,
+        cands: tuple[int, ...],
     ) -> None:
         """Publish the decision-provenance record of a successful pop."""
-        # The ε/top-n candidate set the locality refinement chose
-        # from (estimates are cached, so re-deriving is cheap).
-        threshold = top.gain - self.locality_eps
-        cands = tuple(
-            e.task.tid for e in live[: self.locality_n] if e.gain >= threshold
-        )
         self.record_decision(
             "pop",
             task=entry.task,
@@ -513,10 +540,60 @@ class MultiPrio(Scheduler):
     # -- reporting -------------------------------------------------------------------
 
     def stats(self) -> dict[str, float]:
-        """Per-run counters: evictions/skips, rejected pops, stale drops."""
+        """Per-run counters: skips, evictions, rejected pops, stale drops.
+
+        ``skips`` counts pop-condition rejections that left the entry in
+        the heap (the default skip-on-reject mode); ``evictions`` counts
+        real Alg. 2 evictions that removed the entry
+        (``evict_on_reject=True``); ``pop_rejections`` counts pops that
+        ended empty-handed after at least one rejection.
+        """
         return {
+            "skips": float(self._n_skips),
             "evictions": float(self._n_evictions),
             "pop_rejections": float(self._n_rejections),
             "stale_discards": float(self._n_stale_discards),
             "task_failures": float(self._n_task_failures),
         }
+
+    # -- invariant self-check (repro.check) ---------------------------------
+
+    def check(self) -> list[str]:
+        """Structural self-validation for the invariant checker.
+
+        Verifies heap order/positions, the per-node ready-entry counters
+        against the physical heap sizes, and ``best_remaining_work``
+        against the exact sum of best-arch δ over untaken pushed tasks.
+        """
+        problems: list[str] = []
+        for mid, heap in self.heaps.items():
+            try:
+                heap.check_invariants()
+            except AssertionError as exc:
+                problems.append(f"heap[{mid}] structure: {exc}")
+            counted = self.ready_tasks_count.get(mid)
+            if counted != len(heap):
+                problems.append(
+                    f"ready_tasks_count[{mid}]={counted} but heap holds "
+                    f"{len(heap)} entries"
+                )
+        expect: dict[int, float] = {mid: 0.0 for mid in self.best_remaining_work}
+        seen: set[int] = set()
+        for heap in self.heaps.values():
+            for entry in heap:
+                task = entry.task
+                if entry.dead or self._is_stale(task) or task.tid in seen:
+                    continue
+                seen.add(task.tid)
+                delta = task.sched.get("mp_best_delta", 0.0)
+                for mid in task.sched.get("mp_brw_nodes", ()):
+                    if mid in expect:
+                        expect[mid] += delta
+        for mid, want in expect.items():
+            got = self.best_remaining_work[mid]
+            if abs(got - want) > 1e-6 * max(1.0, abs(want)):
+                problems.append(
+                    f"best_remaining_work[{mid}]={got!r} but the live "
+                    f"entries sum to {want!r}"
+                )
+        return problems

@@ -229,6 +229,23 @@ class DecisionEvent(Event):
     reason: str = ""
 
 
+@dataclass(frozen=True, slots=True)
+class InvariantViolation(Event):
+    """The opt-in invariant checker caught a contract violation.
+
+    Emitted just before :class:`~repro.utils.validation.InvariantError`
+    is raised, so a recorded stream ends with the exact violation(s) —
+    ``check`` names the invariant family (``msi``, ``link``,
+    ``task_state``, ``conservation``, ``clock``, ``scheduler``) and
+    ``detail`` the specific inconsistency.
+    """
+
+    kind: ClassVar[str] = "invariant_violation"
+
+    check: str
+    detail: str
+
+
 #: Registry used by the JSONL importer; every concrete event kind.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
@@ -244,6 +261,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         WorkerDeath,
         TransferEvent,
         DecisionEvent,
+        InvariantViolation,
     )
 }
 

@@ -22,6 +22,7 @@ runtime behaviour.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -291,6 +292,14 @@ class Simulator:
         The bound :class:`~repro.obs.bus.Observability` instance is
         exposed as ``self.obs``; the captured stream and metrics
         snapshot land on :class:`SimResult`.
+    check_invariants:
+        Attach the :mod:`repro.check` validator, which re-verifies MSI
+        coherence, link clocks, task conservation and the scheduler's
+        own invariants after every event (raising
+        :class:`~repro.utils.validation.InvariantError` on violation).
+        ``None`` (default) defers to the ``REPRO_CHECK_INVARIANTS``
+        environment variable; when off, the engine performs exactly one
+        extra local-variable test per event and stays bit-identical.
     """
 
     def __init__(
@@ -305,6 +314,7 @@ class Simulator:
         submission_window: int | None = None,
         fault_model: FaultModel | None = None,
         record_level: RecordLevel | str | int = RecordLevel.OFF,
+        check_invariants: bool | None = None,
     ) -> None:
         if submission_window is not None and submission_window < 1:
             raise SchedulingError(
@@ -318,6 +328,11 @@ class Simulator:
         self.pipeline = pipeline
         self.submission_window = submission_window
         self.fault_model = fault_model
+        if check_invariants is None:
+            check_invariants = os.environ.get(
+                "REPRO_CHECK_INVARIANTS", ""
+            ) not in ("", "0")
+        self.check_invariants = bool(check_invariants)
         self.record_level = RecordLevel.parse(record_level)
         self.obs: Observability | None = (
             Observability(self.record_level)
@@ -374,6 +389,9 @@ class Simulator:
         exec_by_arch: dict[str, float] = {a: 0.0 for a in self.platform.archs}
         busy_by_worker: dict[int, float] = {w.wid: 0.0 for w in workers}
         wait_by_worker: dict[int, float] = {w.wid: 0.0 for w in workers}
+        # Fail-stop death times; a dead worker's idle fraction is taken
+        # over its lifetime, not the whole makespan.
+        death_time: dict[int, float] = {}
 
         def push_ready(task: Task) -> None:
             task.state = TaskState.READY
@@ -509,7 +527,29 @@ class Simulator:
                 if current[wid] is None or (pipeline and staged[wid] is None):
                     schedule_request(worker, now)
 
+        checker = None
+        if self.check_invariants:
+            # Deferred import: the default path never loads repro.check.
+            from repro.check.invariants import InvariantChecker
+
+            checker = InvariantChecker(obs)
+            checker.begin_run(
+                program=program,
+                platform=self.platform,
+                ctx=ctx,
+                scheduler=scheduler,
+                current=current,
+                staged=staged,
+                events=events,
+                fault_active=fault is not None,
+            )
+
         while events:
+            if checker is not None:
+                # Validate the state every processed event left behind,
+                # before the queue is disturbed (the conservation sweep
+                # scans it for pending retries).
+                checker.validate(events[0][0], revealed, n_done)
             now, _, kind, payload = heapq.heappop(events)
             ctx.now = now
 
@@ -567,8 +607,9 @@ class Simulator:
                     # already rolled the task back and re-pushed it.
                     continue
                 assert fault is not None and faults is not None
-                _, _, start, _ = task.sched["_record"]
+                _, pop_time, start, _ = task.sched["_record"]
                 busy_by_worker[wid] += now - start
+                wait_by_worker[wid] += start - pop_time
                 exec_by_arch[worker.arch] += now - start
                 faults.task_failures += 1
                 faults.wasted_exec_us += now - start
@@ -607,14 +648,19 @@ class Simulator:
                 assert faults is not None
                 archs_before = ctx.available_archs
                 ctx.mark_worker_dead(worker)
+                death_time[wid] = now
                 faults.worker_failures += 1
                 recovered: list[Task] = []
                 running = current[wid]
                 if running is not None:
-                    _, _, start, _ = running.sched["_record"]
-                    busy_by_worker[wid] += now - start
-                    exec_by_arch[worker.arch] += now - start
-                    faults.wasted_exec_us += now - start
+                    _, pop_time, start, _ = running.sched["_record"]
+                    # The attempt may still be stalled on data (start in
+                    # the future): it burned wait time, not exec time.
+                    burned = max(0.0, now - start)
+                    busy_by_worker[wid] += burned
+                    wait_by_worker[wid] += min(now, start) - pop_time
+                    exec_by_arch[worker.arch] += burned
+                    faults.wasted_exec_us += burned
                     rollback(running, worker)
                     current[wid] = None
                     recovered.append(running)
@@ -706,13 +752,24 @@ class Simulator:
                     if not ctx.is_alive(worker):
                         continue
                     task = scheduler.pop(worker) or scheduler.force_pop(worker)
-                    if task is not None and task.state is TaskState.READY:
-                        forced_pops += 1
-                        if emit is not None:
-                            emit(TaskPop(now, task.tid, worker.wid, forced=True))
-                        arrival, duration = acquire(worker, task, now)
-                        begin_exec(worker, task, now, arrival, duration)
-                        progressed = True
+                    if task is None:
+                        continue
+                    if task.state is not TaskState.READY:
+                        # The scheduler has already tombstoned this task
+                        # as taken; silently dropping it here would turn
+                        # a scheduler bug into a DeadlockError later.
+                        raise SchedulingError(
+                            f"scheduler {scheduler.name!r} returned "
+                            f"{task.name} in state {task.state.name} from "
+                            f"the liveness-rescue pop; it was already "
+                            f"handed out (popped twice?)"
+                        )
+                    forced_pops += 1
+                    if emit is not None:
+                        emit(TaskPop(now, task.tid, worker.wid, forced=True))
+                    arrival, duration = acquire(worker, task, now)
+                    begin_exec(worker, task, now, arrival, duration)
+                    progressed = True
                 if not progressed:
                     remaining = [
                         t.name for t in program.tasks if t.state is not TaskState.DONE
@@ -729,6 +786,8 @@ class Simulator:
                 f"event queue drained with {n_total - n_done} unfinished tasks; "
                 f"scheduler {scheduler.name!r} stats: {scheduler.stats()!r}"
             )
+        if checker is not None:
+            checker.validate(ctx.now, revealed, n_done)
 
         makespan = max(
             (task.sched["_record"][3] for task in program.tasks),
@@ -740,14 +799,17 @@ class Simulator:
             if not arch_workers or makespan <= 0:
                 idle_by_arch[arch] = 0.0
                 continue
-            fracs = [
-                max(
-                    0.0,
-                    1.0
-                    - (busy_by_worker[w.wid] + wait_by_worker[w.wid]) / makespan,
-                )
-                for w in arch_workers
-            ]
+            fracs = []
+            for w in arch_workers:
+                # A worker lost to a fail-stop failure only existed up to
+                # its death; judging it against the full makespan would
+                # read an early casualty as ~100% idle.
+                horizon = min(makespan, death_time.get(w.wid, makespan))
+                if horizon <= 0:
+                    fracs.append(0.0)
+                    continue
+                active = busy_by_worker[w.wid] + wait_by_worker[w.wid]
+                fracs.append(max(0.0, 1.0 - active / horizon))
             idle_by_arch[arch] = sum(fracs) / len(fracs)
 
         return SimResult(

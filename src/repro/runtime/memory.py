@@ -10,6 +10,7 @@ completion.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.obs.events import TransferEvent
@@ -64,10 +65,13 @@ class Link:
 
     Two traffic classes, mirroring StarPU's prioritized data requests:
     **demand** fetches (a worker needs the data to start a task) queue
-    only behind other demand fetches; **prefetch** traffic queues behind
-    everything. This keeps speculative push-time prefetches (the dm
-    family issues thousands) from head-of-line-blocking the fetch a
-    worker is actually stalled on.
+    behind other demand fetches and behind the prefetch currently *on
+    the wire*, but jump the queued prefetch backlog; **prefetch**
+    traffic queues behind everything. This keeps speculative push-time
+    prefetches (the dm family issues thousands) from
+    head-of-line-blocking the fetch a worker is actually stalled on,
+    without letting the two classes transmit simultaneously — a single
+    physical wire never serves 2x its bandwidth.
     """
 
     __slots__ = (
@@ -80,6 +84,7 @@ class Link:
         "bytes_moved",
         "n_transfers",
         "degradations",
+        "_prefetch_spans",
     )
 
     def __init__(self, src: int, dst: int, bandwidth: float, latency: float) -> None:
@@ -99,6 +104,10 @@ class Link:
         # wire time of transfers that start inside them (installed per
         # run by the engine from a FaultModel; cleared on reset).
         self.degradations: tuple[tuple[float, float, float], ...] = ()
+        # Reserved prefetch wire intervals ``(start, end)`` in start
+        # order, pruned as simulation time passes; a demand reservation
+        # consults them to wait out the prefetch already transmitting.
+        self._prefetch_spans: deque[tuple[float, float]] = deque()
 
     def cost_factor(self, now: float) -> float:
         """Degradation multiplier in effect at time ``now``."""
@@ -118,14 +127,44 @@ class Link:
             base *= self.cost_factor(now)
         return base
 
+    def prune_prefetch_spans(self, now: float) -> None:
+        """Forget prefetch wire intervals that finished before ``now``.
+
+        Called by the transfer engine with the *global* simulation time
+        (never a projected future time), so a span is only dropped once
+        no later query can fall inside it.
+        """
+        spans = self._prefetch_spans
+        while spans and spans[0][1] <= now:
+            spans.popleft()
+
+    def _demand_start(self, now: float) -> float:
+        """Earliest start of a demand transfer arriving at ``now``.
+
+        Waits behind earlier demand traffic, then behind the prefetch
+        currently occupying the wire (a transfer in flight cannot be
+        preempted) — but jumps prefetches that are merely queued.
+        """
+        start = max(now, self.demand_busy_until)
+        for span_start, span_end in self._prefetch_spans:
+            if span_start > now:
+                break  # queued, not yet transmitting: the demand jumps it
+            if now < span_end:
+                # On the wire at the demand's arrival: wait it out.
+                start = max(start, span_end)
+                break
+        return start
+
     def reserve(self, now: float, nbytes: int, prefetch: bool) -> float:
         """Queue one transfer; returns its completion time."""
-        clock = self.busy_until if prefetch else self.demand_busy_until
-        start = max(now, clock)
-        end = start + self.duration(nbytes, start)
         if prefetch:
+            start = max(now, self.busy_until)
+            end = start + self.duration(nbytes, start)
             self.busy_until = end
+            self._prefetch_spans.append((start, end))
         else:
+            start = self._demand_start(now)
+            end = start + self.duration(nbytes, start)
             self.demand_busy_until = end
             self.busy_until = max(self.busy_until, end)
         self.bytes_moved += nbytes
@@ -134,8 +173,7 @@ class Link:
 
     def queue_estimate(self, now: float, nbytes: int, prefetch: bool) -> float:
         """Completion estimate without reserving."""
-        clock = self.busy_until if prefetch else self.demand_busy_until
-        start = max(now, clock)
+        start = max(now, self.busy_until) if prefetch else self._demand_start(now)
         return start + self.duration(nbytes, start)
 
     def reset_runtime_state(self) -> None:
@@ -145,6 +183,7 @@ class Link:
         self.bytes_moved = 0
         self.n_transfers = 0
         self.degradations = ()
+        self._prefetch_spans.clear()
 
 
 class TransferEngine:
@@ -388,7 +427,11 @@ class TransferEngine:
         clock = now
         obs = self.observer
         for link in best_route:
-            begin = max(clock, link.busy_until if prefetch else link.demand_busy_until)
+            link.prune_prefetch_spans(now)
+            if prefetch:
+                begin = max(clock, link.busy_until)
+            else:
+                begin = link._demand_start(clock)
             clock = link.reserve(clock, handle.size, prefetch)
             if obs is not None:
                 obs.emit(
@@ -454,7 +497,8 @@ class TransferEngine:
         clock = now
         obs = self.observer
         for link in best_route:
-            begin = max(clock, link.demand_busy_until)
+            link.prune_prefetch_spans(now)
+            begin = link._demand_start(clock)
             clock = link.reserve(clock, handle.size, prefetch=False)
             if obs is not None:
                 obs.emit(

@@ -87,6 +87,20 @@ class Scheduler:
         """
         return []
 
+    def check(self) -> list[str]:
+        """Self-validate internal data structures; return violations.
+
+        Called by the opt-in invariant checker
+        (:mod:`repro.check.invariants`) after every simulation event when
+        ``check_invariants=True``. Policies with invariants worth
+        guarding (heap order, counter exactness, ...) override this and
+        return a human-readable description per violated invariant; an
+        empty list means consistent. Never called on the default
+        zero-overhead path, so implementations may be thorough rather
+        than fast.
+        """
+        return []
+
     # -- decision provenance ---------------------------------------------------
 
     @property

@@ -22,6 +22,12 @@ class DeadlockError(ReproError, RuntimeError):
     """The simulation stopped making progress with unfinished tasks."""
 
 
+class InvariantError(ReproError, RuntimeError):
+    """The opt-in invariant checker (:mod:`repro.check`) found the engine
+    or a scheduler violating one of its structural contracts (MSI
+    coherence, link-clock monotonicity, task conservation, ...)."""
+
+
 class FaultError(ReproError, RuntimeError):
     """Base class for unrecoverable injected-fault outcomes."""
 

@@ -1,0 +1,262 @@
+"""The runtime invariant validator: clean runs pass, corruption is caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dense import cholesky_program
+from repro.apps.fmm import fmm_program
+from repro.check.differential import fingerprint
+from repro.core.multiprio import MultiPrio
+from repro.obs.events import InvariantViolation
+from repro.platform.machines import small_hetero
+from repro.runtime.engine import SchedContext, Simulator
+from repro.runtime.faults import FaultModel
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.task import TaskState
+from repro.schedulers.eager import Eager
+from repro.schedulers.registry import make_scheduler
+from repro.utils.validation import InvariantError
+from tests.conftest import make_fork_join_program
+
+
+def build(scheduler="eager", *, machine=None, sched=None, **kw):
+    machine = machine or small_hetero(n_cpus=4, n_gpus=1)
+    return Simulator(
+        machine.platform(),
+        sched if sched is not None else make_scheduler(scheduler),
+        AnalyticalPerfModel(machine.calibration()),
+        seed=0,
+        record_trace=kw.pop("record_trace", False),
+        check_invariants=kw.pop("check_invariants", True),
+        **kw,
+    )
+
+
+class Saboteur(Eager):
+    """Delegates to Eager but corrupts runtime state after N pops."""
+
+    name = "saboteur"
+
+    def __init__(self, after: int, corrupt) -> None:
+        super().__init__()
+        self._after = after
+        self._corrupt = corrupt
+        self._pops = 0
+        self.fired = False
+
+    def pop(self, worker):
+        task = super().pop(worker)
+        if task is not None:
+            self._pops += 1
+            if self._pops == self._after and not self.fired:
+                self.fired = True
+                self._corrupt()
+        return task
+
+
+class TestCleanRunsPass:
+    @pytest.mark.parametrize("name", ["eager", "multiprio", "dmdas", "heteroprio"])
+    def test_schedulers_validate_clean(self, name):
+        res = build(name).run(cholesky_program(6, 384))
+        assert res.makespan > 0
+
+    def test_commute_heavy_fmm_validates(self):
+        res = build("multiprio").run(fmm_program(800, height=3, seed=0))
+        assert res.makespan > 0
+
+    def test_transient_faults_validate(self):
+        sim = build(
+            "multiprio",
+            fault_model=FaultModel(task_failure_rate=0.3, max_retries=100, seed=1),
+        )
+        res = sim.run(cholesky_program(5, 384))
+        assert res.faults is not None and res.faults.task_failures > 0
+
+    def test_worker_death_validates(self):
+        sim = build(
+            "multiprio",
+            fault_model=FaultModel(worker_kills=[(0, 200.0)], seed=0),
+        )
+        res = sim.run(cholesky_program(5, 384))
+        assert res.faults is not None and res.faults.worker_failures == 1
+
+    def test_submission_window_validates(self):
+        res = build("multiprio", submission_window=4).run(cholesky_program(5, 384))
+        assert res.makespan > 0
+
+    def test_checker_does_not_perturb_the_schedule(self):
+        program = cholesky_program(5, 384)
+        checked = build("multiprio", record_trace=True).run(program)
+        plain = build(
+            "multiprio", record_trace=True, check_invariants=False
+        ).run(program)
+        assert fingerprint(checked) == fingerprint(plain)
+
+
+class TestCorruptionCaught:
+    def run_sabotaged(self, program, after, corrupt, **kw):
+        machine = small_hetero(n_cpus=4, n_gpus=1)
+        sched = Saboteur(after, corrupt)
+        sim = build(machine=machine, sched=sched, **kw)
+        return sim, sim.run(program)
+
+    def test_msi_unknown_node(self):
+        program = make_fork_join_program(width=8)
+        with pytest.raises(InvariantError, match=r"\[msi\].*unknown nodes"):
+            self.run_sabotaged(
+                program, 3, lambda: program.handles[0].valid_nodes.add(999)
+            )
+
+    def test_msi_spurious_pin(self):
+        program = make_fork_join_program(width=8)
+        with pytest.raises(InvariantError, match=r"\[msi\].*pin count"):
+            self.run_sabotaged(
+                program, 3,
+                lambda: program.handles[0]._pins.__setitem__(0, 5),
+            )
+
+    def test_link_clock_moved_backward(self):
+        program = cholesky_program(4, 384)
+        machine = small_hetero(n_cpus=4, n_gpus=1)
+        platform = machine.platform()
+        link = platform.transfers.links()[0]
+
+        def corrupt():
+            link.busy_until -= 25.0
+
+        sched = Saboteur(5, corrupt)
+        sim = Simulator(
+            platform, sched, AnalyticalPerfModel(machine.calibration()),
+            seed=0, record_trace=False, check_invariants=True,
+        )
+        with pytest.raises(InvariantError, match=r"\[link\]"):
+            sim.run(program)
+        assert sched.fired
+
+    def test_conservation_phantom_running_task(self):
+        program = make_fork_join_program(width=8)
+
+        def corrupt():
+            # The sink still waits on predecessors, so no pop can reach
+            # it before the checker does: marking it RUNNING leaves a
+            # phantom running task no worker holds.
+            sink = program.tasks[-1]
+            assert sink.n_unfinished_preds > 0
+            sink.state = TaskState.RUNNING
+
+        with pytest.raises(InvariantError, match=r"\[conservation\].*no worker"):
+            self.run_sabotaged(program, 2, corrupt)
+
+    def test_task_state_resurrected_done_task(self):
+        program = make_fork_join_program(width=8)
+
+        def corrupt():
+            done = next(t for t in program.tasks if t.state is TaskState.DONE)
+            done.state = TaskState.READY
+
+        with pytest.raises(InvariantError, match=r"\[task_state\]"):
+            self.run_sabotaged(program, 4, corrupt)
+
+    def test_scheduler_self_check_feeds_in(self):
+        class Paranoid(Eager):
+            name = "paranoid"
+
+            def check(self):
+                return ["boom"]
+
+        machine = small_hetero(n_cpus=2, n_gpus=1)
+        sim = build(machine=machine, sched=Paranoid())
+        with pytest.raises(InvariantError, match=r"\[scheduler\] boom"):
+            sim.run(make_fork_join_program(width=4))
+
+    def test_violations_emitted_as_events(self):
+        program = make_fork_join_program(width=8)
+        machine = small_hetero(n_cpus=4, n_gpus=1)
+        sched = Saboteur(
+            3, lambda: program.handles[0].valid_nodes.add(999)
+        )
+        sim = Simulator(
+            machine.platform(), sched,
+            AnalyticalPerfModel(machine.calibration()),
+            seed=0, record_trace=False, record_level="tasks",
+            check_invariants=True,
+        )
+        with pytest.raises(InvariantError):
+            sim.run(program)
+        assert sim.obs is not None
+        violations = [
+            ev for ev in sim.obs.events if isinstance(ev, InvariantViolation)
+        ]
+        assert violations and violations[-1].check == "msi"
+
+
+class TestActivation:
+    def test_env_var_enables(self, monkeypatch, hetero_machine):
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        sim = Simulator(
+            hetero_machine.platform(), Eager(),
+            AnalyticalPerfModel(hetero_machine.calibration()),
+        )
+        assert sim.check_invariants is True
+
+    def test_env_var_zero_and_unset_disable(self, monkeypatch, hetero_machine):
+        def make():
+            return Simulator(
+                hetero_machine.platform(), Eager(),
+                AnalyticalPerfModel(hetero_machine.calibration()),
+            )
+
+        monkeypatch.delenv("REPRO_CHECK_INVARIANTS", raising=False)
+        assert make().check_invariants is False
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "0")
+        assert make().check_invariants is False
+
+    def test_explicit_flag_beats_env(self, monkeypatch, hetero_machine):
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+        sim = Simulator(
+            hetero_machine.platform(), Eager(),
+            AnalyticalPerfModel(hetero_machine.calibration()),
+            check_invariants=False,
+        )
+        assert sim.check_invariants is False
+
+    def test_simulate_facade_accepts_flag(self):
+        from repro.api import simulate
+
+        res = simulate(
+            cholesky_program(4, 384), "small-hetero", "multiprio",
+            check_invariants=True,
+        )
+        assert res.makespan > 0
+
+
+class TestMultiPrioSelfCheck:
+    def make_loaded(self):
+        machine = small_hetero(n_cpus=2, n_gpus=1)
+        ctx = SchedContext(
+            machine.platform(), AnalyticalPerfModel(machine.calibration())
+        )
+        sched = MultiPrio()
+        sched.setup(ctx)
+        program = make_fork_join_program(width=6)
+        for task in program.source_tasks():
+            task.state = TaskState.READY
+            sched.push(task)
+        return sched, program
+
+    def test_clean_state_reports_nothing(self):
+        sched, _ = self.make_loaded()
+        assert sched.check() == []
+
+    def test_counter_drift_detected(self):
+        sched, _ = self.make_loaded()
+        node = next(iter(sched.ready_tasks_count))
+        sched.ready_tasks_count[node] += 1
+        assert any("ready_tasks_count" in p for p in sched.check())
+
+    def test_brw_drift_detected(self):
+        sched, program = self.make_loaded()
+        task = next(iter(program.source_tasks()))
+        task.sched["mp_best_delta"] = task.sched.get("mp_best_delta", 0.0) + 1e6
+        assert any("best_remaining_work" in p for p in sched.check())

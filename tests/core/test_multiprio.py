@@ -213,3 +213,32 @@ class TestEndToEnd:
             MultiPrio(brw_safety=0.0)
         with pytest.raises(ValidationError):
             MultiPrio(slowdown_cap=-1.0)
+
+
+class TestRejectionStats:
+    """Rejections land in the counter matching the configured mechanism —
+    ``skips`` when entries stay in the heap, ``evictions`` when they are
+    removed — not all lumped under one mislabeled counter."""
+
+    def run_stats(self, hetero_machine, **mp_kw):
+        from repro.apps.dense import cholesky_program
+
+        program = cholesky_program(8, 512, with_priorities=False)
+        sim = Simulator(
+            hetero_machine.platform(),
+            MultiPrio(**mp_kw),
+            AnalyticalPerfModel(hetero_machine.calibration()),
+            seed=0,
+        )
+        sim.run(program)
+        return sim.scheduler.stats()
+
+    def test_skip_mode_counts_skips_only(self, hetero_machine):
+        stats = self.run_stats(hetero_machine, evict_on_reject=False)
+        assert stats["skips"] > 0
+        assert stats["evictions"] == 0
+
+    def test_evict_mode_counts_evictions_only(self, hetero_machine):
+        stats = self.run_stats(hetero_machine, evict_on_reject=True)
+        assert stats["evictions"] > 0
+        assert stats["skips"] == 0

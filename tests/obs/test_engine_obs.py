@@ -145,7 +145,8 @@ class TestDecisionProvenance:
         rejections = [ev for ev in res.events
                       if isinstance(ev, DecisionEvent)
                       and ev.action in ("skip", "evict")]
-        assert len(rejections) == sched.stats()["evictions"]
+        stats = sched.stats()
+        assert len(rejections) == stats["skips"] + stats["evictions"]
         for d in rejections:
             assert d.pop_condition is False
             assert d.delta is not None

@@ -254,3 +254,33 @@ class TestAccounting:
         _, res = simulate(hetero_machine, program, record_trace=False)
         assert res.trace is None
         assert res.makespan > 0
+
+
+class _DoubleHandoutScheduler(Scheduler):
+    """pop() never serves work, so every pop goes through the liveness
+    rescue; force_pop() always returns the first task it ever saw —
+    from the second rescue on, a task already handed out."""
+
+    name = "double-handout"
+
+    def __init__(self) -> None:
+        self._tasks: list[Task] = []
+
+    def push(self, task: Task) -> None:
+        self._tasks.append(task)
+
+    def pop(self, worker: Worker) -> Task | None:
+        return None
+
+    def force_pop(self, worker: Worker) -> Task | None:
+        return self._tasks[0] if self._tasks else None
+
+
+class TestLivenessRescue:
+    def test_rescued_task_handed_out_twice_is_an_error(self, hetero_machine):
+        # Silently dropping the non-READY task (the old behavior) would
+        # let the run limp on to an unrelated DeadlockError; the engine
+        # must instead name the scheduler contract violation.
+        program = make_fork_join_program(width=4)
+        with pytest.raises(SchedulingError, match="liveness-rescue"):
+            simulate(hetero_machine, program, scheduler=_DoubleHandoutScheduler())

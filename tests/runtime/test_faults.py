@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.platform.machines import small_hetero
+from repro.platform.machines import cpu_only, small_hetero
 from repro.runtime.engine import Simulator
 from repro.runtime.faults import (
     FaultModel,
@@ -246,3 +246,67 @@ class TestCliSpecs:
         for bad in ("1.5", "cuda=2", "cuda", "=0.1"):
             with pytest.raises(ValidationError):
                 parse_fault_rates(bad)
+
+
+class TestIdleAccounting:
+    """idle_frac_by_arch under faults: dead workers are judged over their
+    lifetime, and the data stall of a failed attempt counts as waiting."""
+
+    def test_dead_worker_judged_over_its_lifetime(self):
+        machine = cpu_only(n_cpus=2)
+        flow = TaskFlow("indep")
+        for i in range(4):
+            h = flow.data(4096, label=f"h{i}")
+            flow.submit(
+                "gemm", [(h, AccessMode.W)], flops=2e8, implementations=("cpu",)
+            )
+        program = flow.program()
+        d = AnalyticalPerfModel(machine.calibration()).estimate(
+            program.tasks[0], "cpu"
+        )
+        # Worker 1 dies mid-execution at 1.5d, busy every instant of its
+        # life; worker 0 then mops up and is never idle either. Judging
+        # the casualty against the full makespan (the bug) would read it
+        # as 50% idle and report 0.25 for the architecture.
+        model = FaultModel(worker_kills=[(1, 1.5 * d)], seed=0)
+        _, res = simulate(machine, program, fault_model=model)
+        assert res.faults is not None and res.faults.worker_failures == 1
+        assert res.makespan == pytest.approx(3 * d)
+        assert res.idle_frac_by_arch["cpu"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_failed_attempt_stall_counts_as_waiting(self):
+        machine = small_hetero(n_cpus=1, n_gpus=1)
+        flow = TaskFlow("stall")
+        h = flow.data(6 * 2**20, label="h")
+        out = flow.data(4096, label="out")
+        flow.submit("init", [(h, AccessMode.W)], flops=1e6, implementations=("cpu",))
+        flow.submit(
+            "gemm",
+            [(h, AccessMode.R), (out, AccessMode.W)],
+            flops=5e8,
+            implementations=("cuda",),
+        )
+        program = flow.program()
+        model = FaultModel(
+            task_failure_rate={"cuda": 0.7}, max_retries=100, seed=3
+        )
+        sim, res = simulate(machine, program, fault_model=model)
+        assert res.faults is not None and res.faults.task_failures >= 1
+        gpu = sim.platform.workers_of_arch("cuda")[0]
+        link = next(
+            ln
+            for ln in sim.platform.transfers.links()
+            if ln.src == 0 and ln.dst == gpu.memory_node
+        )
+        # The GPU stalls on h's transfer exactly once — the first attempt
+        # fetches it, and the replica survives the rollback — so its
+        # active time is the burned attempts, the final run, and one
+        # transfer stall. Dropping the stall of the *failed* first
+        # attempt (the bug) overstates idleness by tau/makespan.
+        tau = link.latency + h.size / link.bandwidth
+        d_gpu = sim.perfmodel.estimate(program.tasks[1], "cuda")
+        active = res.faults.wasted_exec_us + d_gpu + tau
+        expected_idle = 1.0 - active / res.makespan
+        assert res.idle_frac_by_arch["cuda"] == pytest.approx(
+            expected_idle, abs=1e-9
+        )

@@ -143,3 +143,50 @@ class TestCoherence:
         links = [Link(0, 1, 1.0, 0.0), Link(0, 1, 2.0, 0.0)]
         with pytest.raises(ValidationError, match="duplicate"):
             TransferEngine(nodes, links)
+
+
+class TestTwoClassContention:
+    """One wire, two traffic classes: demand transfers jump the queued
+    prefetch backlog but can never overlap the transfer already on the
+    wire (the double-booking bug served both at full bandwidth)."""
+
+    def link(self):
+        return Link(0, 1, bandwidth=1.0, latency=0.0)
+
+    def test_demand_waits_out_the_prefetch_on_the_wire(self):
+        link = self.link()
+        assert link.reserve(0.0, 100, prefetch=True) == pytest.approx(100.0)
+        # Arrives mid-prefetch: must wait for the wire, so it finishes
+        # strictly later (at 150) than a double-booked overlap (60) would.
+        end = link.reserve(10.0, 50, prefetch=False)
+        assert end == pytest.approx(150.0)
+        assert link.demand_busy_until == pytest.approx(150.0)
+
+    def test_demand_jumps_the_queued_prefetch_backlog(self):
+        link = self.link()
+        link.reserve(0.0, 100, prefetch=True)  # on the wire: [0, 100)
+        link.reserve(0.0, 100, prefetch=True)  # queued:      [100, 200)
+        # Only the transmitting prefetch blocks the demand; the queued
+        # one is jumped, so the demand still lands at 150, not 250.
+        assert link.reserve(10.0, 50, prefetch=False) == pytest.approx(150.0)
+        assert link.busy_until == pytest.approx(200.0)
+
+    def test_demand_after_the_prefetch_drained_is_unobstructed(self):
+        link = self.link()
+        link.reserve(0.0, 100, prefetch=True)
+        assert link.reserve(250.0, 50, prefetch=False) == pytest.approx(300.0)
+
+    def test_queue_estimate_agrees_with_reserve(self):
+        link = self.link()
+        link.reserve(0.0, 100, prefetch=True)
+        est = link.queue_estimate(10.0, 50, prefetch=False)
+        assert est == pytest.approx(link.reserve(10.0, 50, prefetch=False))
+
+    def test_prune_forgets_finished_spans_only(self):
+        link = self.link()
+        link.reserve(0.0, 100, prefetch=True)
+        link.reserve(0.0, 100, prefetch=True)
+        link.prune_prefetch_spans(150.0)
+        assert list(link._prefetch_spans) == [(100.0, 200.0)]
+        link.prune_prefetch_spans(200.0)
+        assert not link._prefetch_spans
