@@ -1,0 +1,132 @@
+"""Stream throughput bench: wall-clock cost of the online workload layer.
+
+No paper counterpart — this guards the machinery added around the
+engine, not a figure. It measures how fast the simulator chews through
+a merged multi-job stream (simulated tasks per wall-clock second, and
+the merge overhead itself), so a regression in the release-by-clock
+reveal loop or in :func:`repro.workload.merge.merge_stream` shows up as
+a throughput drop.
+
+Standalone (the CI perf-smoke entry, warn-only)::
+
+    python -m benchmarks.bench_stream --json bench_stream_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import bench_scale
+from repro.api import simulate_stream
+from repro.apps.dense import cholesky_program, lu_program
+from repro.experiments.stream_arrivals import (
+    format_stream_experiment,
+    run_stream_experiment,
+)
+from repro.workload.merge import merge_stream
+from repro.workload.stream import poisson_stream
+
+
+def _stream(n_jobs: int, rate: float = 120.0, seed: int = 0):
+    return poisson_stream(
+        [
+            ("cholesky", lambda: cholesky_program(6, 512)),
+            ("lu", lambda: lu_program(6, 512)),
+        ],
+        rate_jobs_per_s=rate,
+        n_jobs=n_jobs,
+        seed=seed,
+        tenants=("tenant0", "tenant1"),
+        name="bench",
+    )
+
+
+def measure_stream(n_jobs: int, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall times for merge and the full stream run."""
+    stream = _stream(n_jobs)
+    merge_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        merge_stream(stream)
+        merge_s = min(merge_s, time.perf_counter() - t0)
+    n_tasks = stream.n_tasks
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = simulate_stream(
+            stream, "small-hetero", "multiprio", isolated_baseline=False
+        )
+        best = min(best, time.perf_counter() - t0)
+        assert len(res.jobs) == n_jobs
+    return {
+        "n_jobs": n_jobs,
+        "n_tasks": n_tasks,
+        "merge_s": merge_s,
+        "wall_s": best,
+        "tasks_per_s": n_tasks / best,
+    }
+
+
+def main(argv=None) -> int:
+    """Measure and optionally write the JSON doc (always exit 0: CI
+    treats stream throughput as warn-only)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", help="write measurements to PATH")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    args = parser.parse_args(argv)
+    doc = {"workloads": {}}
+    for n_jobs in (4, 12):
+        m = measure_stream(n_jobs, repeats=args.repeats)
+        doc["workloads"][f"poisson{n_jobs}"] = m
+        print(
+            f"poisson{n_jobs}: {m['n_tasks']} tasks, merge "
+            f"{m['merge_s'] * 1e3:.1f} ms, run {m['wall_s'] * 1e3:.1f} ms "
+            f"({m['tasks_per_s']:.0f} tasks/s)"
+        )
+    if args.json:
+        Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"measurements written to {args.json}")
+    return 0
+
+
+# -- pytest-benchmark guards -------------------------------------------------
+
+
+def test_stream_throughput(benchmark):
+    """Simulated tasks per wall-clock second through the stream facade."""
+    n_jobs = max(4, int(8 * bench_scale()))
+    stream = _stream(n_jobs)
+
+    def run():
+        res = simulate_stream(
+            stream, "small-hetero", "multiprio", isolated_baseline=False
+        )
+        return len(res.jobs)
+
+    assert benchmark(run) == n_jobs
+
+
+def test_stream_arrival_sweep(benchmark, report):
+    """The arrival-rate experiment end to end (reduced grid)."""
+    result = benchmark.pedantic(
+        run_stream_experiment,
+        kwargs={
+            "rates": (40.0, 160.0),
+            "schedulers": ("multiprio", "dmdas"),
+            "n_jobs": max(4, int(6 * bench_scale())),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        assert row.makespan_us > 0.0
+        assert 0.0 < row.fairness <= 1.0
+        assert row.mean_slowdown >= 1.0 - 1e-9
+    report(format_stream_experiment(result), "stream_arrivals")
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -23,6 +23,8 @@ Subpackages:
 * :mod:`repro.schedulers` — baseline policies (dmdas, heteroprio, ...);
 * :mod:`repro.apps` — dense LA / FMM / sparse-QR task-graph generators;
 * :mod:`repro.platform` — the Intel-V100 and AMD-A100 machine models;
+* :mod:`repro.workload` — online multi-tenant job streams
+  (:func:`simulate_stream` is their facade);
 * :mod:`repro.experiments` — one harness per paper table/figure.
 """
 
@@ -42,7 +44,17 @@ from repro.runtime import (
 )
 from repro.core import MultiPrio
 from repro.schedulers import make_scheduler, scheduler_names, register_scheduler
-from repro.api import SimConfig, simulate
+from repro.api import SimConfig, simulate, simulate_stream
+from repro.workload import (
+    Job,
+    JobResult,
+    JobStream,
+    StreamResult,
+    closed_loop_stream,
+    merge_stream,
+    poisson_stream,
+    trace_stream,
+)
 
 __version__ = "1.1.0"
 
@@ -64,6 +76,15 @@ __all__ = [
     "scheduler_names",
     "register_scheduler",
     "simulate",
+    "simulate_stream",
     "SimConfig",
+    "Job",
+    "JobStream",
+    "JobResult",
+    "StreamResult",
+    "closed_loop_stream",
+    "merge_stream",
+    "poisson_stream",
+    "trace_stream",
     "__version__",
 ]

@@ -4,6 +4,7 @@ from repro.analysis.validation import check_schedule
 from repro.analysis.stats import (
     summarize_results,
     geometric_mean,
+    jain_fairness_index,
     load_balance_index,
 )
 from repro.analysis.export import to_chrome_trace, to_csv
@@ -14,6 +15,7 @@ __all__ = [
     "check_schedule",
     "summarize_results",
     "geometric_mean",
+    "jain_fairness_index",
     "load_balance_index",
     "to_chrome_trace",
     "to_csv",

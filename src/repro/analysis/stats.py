@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.experiments.harness import ExperimentResult
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle:
+    # harness -> api -> workload -> stats -> harness)
+    from repro.experiments.harness import ExperimentResult
 
 
 def geometric_mean(values: Sequence[float]) -> float:
@@ -27,8 +29,25 @@ def load_balance_index(busy_times: Sequence[float]) -> float:
     return sum(busy_times) / len(busy_times) / peak
 
 
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` over per-job metrics.
+
+    1.0 means every job got an identical share (e.g. equal slowdowns);
+    the index degrades toward ``1/n`` as one job monopolizes the
+    resource. Values must be non-negative; an all-zero (or empty)
+    population is perfectly fair by convention.
+    """
+    if any(v < 0 for v in values):
+        raise ValueError("jain_fairness_index requires non-negative values")
+    total_sq = sum(v * v for v in values)
+    if not values or total_sq <= 0:
+        return 1.0
+    total = sum(values)
+    return total * total / (len(values) * total_sq)
+
+
 def summarize_results(
-    rows: Iterable[ExperimentResult],
+    rows: "Iterable[ExperimentResult]",
 ) -> dict[str, dict[str, float]]:
     """Per-scheduler aggregates: mean makespan, mean gflops, run count."""
     grouped: dict[str, list[ExperimentResult]] = {}

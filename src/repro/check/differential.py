@@ -14,6 +14,10 @@ properties a correct simulator cannot violate regardless of policy:
 * **Fault-free equivalence** — a :class:`~repro.runtime.faults.FaultModel`
   whose rates are all zero produces the same run as ``fault_model=None``
   (the fault paths must not consume RNG draws or perturb event order).
+* **Window equivalence** — a submission window at least as large as the
+  program never binds, so ``submission_window=len(tasks)`` must be
+  bit-identical to ``None`` (the unified reveal loop may not perturb
+  push order, and the windowed bookkeeping may not leak).
 * **Pipeline bound** — disabling worker lookahead (``pipeline=False``)
   may only beat the pipelined run by what staging can explain: the
   runs' total wire time (foregone transfer overlap) plus one mis-bound
@@ -220,6 +224,31 @@ def check_fault_free_equivalence(
     )
 
 
+def check_window_equivalence(
+    name: str, program: Program, machine: MachineModel, scheduler: str
+) -> list[CheckOutcome]:
+    """A window that never binds must not move a single task.
+
+    ``submission_window >= len(tasks)`` can never block the reveal
+    (in-flight count ≤ total tasks), so both it and a comfortably larger
+    window must reproduce the unbounded run bit-for-bit.
+    """
+    out = []
+    base, _ = _run(program, machine, scheduler, record_trace=True)
+    for window in (len(program.tasks), 4 * len(program.tasks)):
+        windowed, _ = _run(
+            program, machine, scheduler, record_trace=True,
+            submission_window=window,
+        )
+        out.append(CheckOutcome(
+            f"window.equivalence[{name}/{scheduler}/w={window}]",
+            fingerprint(base) == fingerprint(windowed),
+            f"submission_window={window} (>= {len(program.tasks)} tasks) "
+            f"diverged from submission_window=None",
+        ))
+    return out
+
+
 def check_pipeline_bound(
     name: str, program: Program, machine: MachineModel, scheduler: str
 ) -> CheckOutcome:
@@ -328,5 +357,6 @@ def run_differential_suite(
         for scheduler in diff_scheds:
             emit(check_determinism(name, program, mach, scheduler))
             emit(check_fault_free_equivalence(name, program, mach, scheduler))
+            emit(check_window_equivalence(name, program, mach, scheduler))
             emit(check_pipeline_bound(name, program, mach, scheduler))
     return results

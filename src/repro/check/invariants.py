@@ -26,6 +26,12 @@ sweeps six invariant families over the *entire* runtime state:
     predecessors, scheduler-held (READY), running/staged, retry-pending
     (with a matching TASK_RETRY event in the queue), or done — and the
     dependency counters agree with the predecessors' states.
+``window``
+    Submission accounting: the in-flight count ``revealed - n_done``
+    never exceeds the submission window, and whenever submission is
+    stalled with tasks left, either the window is genuinely full or the
+    next task's release time is genuinely in the future — otherwise the
+    STF reveal loop leaked (e.g. a rollback path failed to re-advance).
 ``scheduler``
     Whatever the policy's own :meth:`~repro.schedulers.base.Scheduler.check`
     reports (heap order, counter exactness, ...).
@@ -93,6 +99,8 @@ class InvariantChecker:
         staged: dict[int, tuple[Task, float, float] | None],
         events: list,
         fault_active: bool,
+        window: int | None = None,
+        releases: "tuple[float, ...] | None" = None,
     ) -> None:
         """Bind one run's live state and snapshot the starting point."""
         self.program = program
@@ -103,6 +111,8 @@ class InvariantChecker:
         self.staged = staged
         self.events = events
         self.fault_active = fault_active
+        self.window = window
+        self.releases = releases
         self.n_checks = 0
         self._node_of_wid = {w.wid: w.memory_node for w in platform.workers}
         self._handle_by_hid = {h.hid: h for h in program.handles}
@@ -127,8 +137,14 @@ class InvariantChecker:
         """
         self.n_checks += 1
         violations: list[tuple[str, str]] = []
+        # The submission state under test was left behind by the
+        # *previous* event; judge release gating against its clock, not
+        # against the event about to be processed (a pending JOB_ARRIVAL
+        # at ``next_now`` legitimately has un-revealed tasks before it).
+        prev_now = self._last_now
         self._check_clock(next_now, violations)
         self._check_links(violations)
+        self._check_window(revealed, n_done, prev_now, violations)
         running = self._check_conservation(revealed, n_done, violations)
         self._check_task_states(violations)
         self._check_msi(running, violations)
@@ -205,6 +221,39 @@ class InvariantChecker:
                         f"{name} prefetch span ({span_start}, {span_end}) "
                         f"extends past the link clock {link.busy_until}",
                     ))
+
+    def _check_window(
+        self, revealed: int, n_done: int, prev_now: float, out: list
+    ) -> None:
+        """Submission-window accounting and reveal liveness.
+
+        The in-flight bound counts rolled-back (retry-pending) tasks as
+        submitted-but-unfinished — exactly StarPU's semantics, where a
+        failed attempt does not return its submission slot. The leak
+        check is the converse: a stalled reveal must always be
+        explainable by a full window or a future release time.
+        """
+        window = self.window
+        n_total = len(self.program.tasks)
+        in_flight = revealed - n_done
+        if window is not None and in_flight > window:
+            out.append((
+                "window",
+                f"{in_flight} tasks in flight (revealed={revealed}, "
+                f"done={n_done}) exceed the submission window {window}",
+            ))
+        if revealed < n_total:
+            window_full = window is not None and in_flight >= window
+            releases = self.releases
+            gated = releases is not None and releases[revealed] > prev_now
+            if not window_full and not gated:
+                out.append((
+                    "window",
+                    f"submission stalled at task {revealed}/{n_total} with "
+                    f"{in_flight} in flight although neither the window "
+                    f"({window}) nor a release time blocks it: the reveal "
+                    f"loop leaked",
+                ))
 
     def _check_task_states(self, out: list) -> None:
         prev = self._prev_state

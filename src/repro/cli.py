@@ -30,6 +30,13 @@ from repro.experiments.fig6_fmm import format_fig6, run_fig6
 from repro.experiments.fig7_matrices import format_fig7, run_fig7
 from repro.experiments.fig8_sparseqr import format_fig8, run_fig8
 from repro.experiments.reporting import format_table
+from repro.experiments.stream_arrivals import (
+    DEFAULT_RATES as STREAM_RATES,
+    DEFAULT_SCHEDULERS as STREAM_SCHEDULERS,
+    format_stream_experiment,
+    run_stream_experiment,
+    write_stream_report,
+)
 from repro.experiments.table2_gain import format_table2, run_table2
 from repro.obs.export import (
     events_to_chrome,
@@ -92,6 +99,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             AnalyticalPerfModel(machine.calibration(), noise_sigma=args.noise),
             seed=args.seed,
             record_trace=want_trace,
+            submission_window=args.window,
             fault_model=fault_model,
         )
         res = sim.run(program)
@@ -175,6 +183,20 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         )))
     elif args.name == "faults":
         print(format_faults_sweep(run_faults_sweep(jobs=args.jobs, progress=progress)))
+    elif args.name == "stream":
+        result = run_stream_experiment(
+            rates=tuple(args.rates) if args.rates else STREAM_RATES,
+            schedulers=tuple(args.stream_schedulers),
+            n_jobs=args.stream_jobs,
+            seed=args.stream_seed,
+            window=args.stream_window,
+            jobs=args.jobs,
+            progress=progress,
+        )
+        print(format_stream_experiment(result))
+        if args.json:
+            write_stream_report(result, args.json)
+            print(f"json report written to {args.json}")
     return 0
 
 
@@ -192,6 +214,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             seed=args.seed,
             record_trace=False,
             record_level=args.level,
+            submission_window=args.window,
             fault_model=fault_model,
         )
         res = sim.run(program)
@@ -271,6 +294,10 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                         "selected scheduler (repeatable), e.g. "
                         "--sched-opt locality_eps=0.2 --sched-opt eviction=false")
     p.add_argument("--streams", type=int, default=1, help="GPU streams")
+    p.add_argument("--window", type=int, default=None, metavar="N",
+                   help="submission window: max submitted-but-unfinished "
+                        "tasks (StarPU's STARPU_LIMIT_MAX_SUBMITTED_TASKS); "
+                        "default: unbounded")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--noise", type=float, default=0.0,
                    help="lognormal execution-noise sigma")
@@ -324,10 +351,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run a light paper experiment")
     exp.add_argument("name", choices=[
         "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "faults",
+        "stream",
     ])
     exp.add_argument("--jobs", type=int, default=1,
                      help="worker processes for sweep experiments "
-                          "(fig5/fig6/fig7/fig8/faults); results are "
+                          "(fig5/fig6/fig7/fig8/faults/stream); results are "
                           "identical for any value")
     exp.add_argument("--gantt", action="store_true")
     exp.add_argument("--scale", type=float, default=0.05,
@@ -342,6 +370,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fig8: explicit matrix subset")
     exp.add_argument("--n-matrices", type=int, default=4,
                      help="fig8: smallest-N matrix subset when --matrices unset")
+    exp.add_argument("--rates", type=float, nargs="+", metavar="JOBS_PER_S",
+                     help=f"stream: arrival rates (default: "
+                          f"{' '.join(f'{r:g}' for r in STREAM_RATES)})")
+    exp.add_argument("--stream-jobs", type=int, default=8,
+                     help="stream: jobs per Poisson stream")
+    exp.add_argument("--stream-schedulers", nargs="+",
+                     default=list(STREAM_SCHEDULERS), choices=scheduler_names(),
+                     help="stream: schedulers to sweep")
+    exp.add_argument("--stream-seed", type=int, default=0,
+                     help="stream: arrival-process seed")
+    exp.add_argument("--stream-window", type=int, default=None, metavar="N",
+                     help="stream: submission window forwarded to every run")
+    exp.add_argument("--json", metavar="PATH",
+                     help="stream: write the JSON report (per-job latency/"
+                          "slowdown/fairness) to PATH")
     exp.set_defaults(func=cmd_experiment)
 
     check = sub.add_parser(

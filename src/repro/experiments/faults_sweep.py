@@ -67,6 +67,7 @@ def _faults_cell(
     rate: float,
     max_retries: int,
     kill_spec: tuple[tuple[int, float], ...],
+    window: int | None = None,
 ) -> tuple[float, FaultStats]:
     """One (scheduler, fault scenario) run, executable in any process.
 
@@ -86,7 +87,10 @@ def _faults_cell(
         fault_model = FaultModel(
             task_failure_rate=rate, max_retries=max_retries, seed=seed
         )
-    res = simulate(program, machine, scheduler, seed=seed, faults=fault_model)
+    res = simulate(
+        program, machine, scheduler, seed=seed, faults=fault_model,
+        submission_window=window,
+    )
     return res.makespan, res.faults or FaultStats()
 
 
@@ -98,6 +102,7 @@ def run_faults_sweep(
     seed: int = 0,
     max_retries: int = 10,
     kill_spec: tuple[tuple[int, float], ...] = ((6, 10_000.0),),
+    window: int | None = None,
     jobs: int = 1,
     progress=None,
 ) -> FaultSweepResult:
@@ -106,8 +111,11 @@ def run_faults_sweep(
     The platform is the Fig. 4 shape (6 CPU workers + 1 GPU) but with
     two GPU streams; ``kill_spec`` defaults to killing stream 0 (worker
     6) at t = 10 ms — a recoverable failure, since the sibling stream
-    keeps the device memory alive. ``jobs`` fans the scenario grid out
-    over worker processes.
+    keeps the device memory alive. ``window`` forwards a submission
+    window to every run, exercising the fault × window-accounting
+    interaction (a rolled-back task keeps its submission slot until it
+    finally completes). ``jobs`` fans the scenario grid out over worker
+    processes.
     """
     scenarios: list[tuple[str, str, float]] = []
     for name in schedulers:
@@ -118,7 +126,8 @@ def run_faults_sweep(
     tasks = [
         CallSpec(
             _faults_cell,
-            (name, n_tiles, tile_size, seed, scenario, rate, max_retries, kill_spec),
+            (name, n_tiles, tile_size, seed, scenario, rate, max_retries,
+             kill_spec, window),
         )
         for name, scenario, rate in scenarios
     ]

@@ -85,6 +85,39 @@ class TaskSubmit(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class JobSubmit(Event):
+    """A merged stream's job started submitting (its first task was
+    revealed). ``t`` is the reveal time — equal to ``arrival`` unless the
+    submission window throttled the STF thread past the job's arrival."""
+
+    kind: ClassVar[str] = "job_submit"
+
+    jid: int
+    tenant: str
+    name: str
+    n_tasks: int
+    arrival: float
+
+
+@dataclass(frozen=True, slots=True)
+class JobDone(Event):
+    """The last task of a merged stream's job completed.
+
+    ``latency`` is ``t - arrival``: the job's end-to-end response time
+    including any queueing behind other tenants' work.
+    """
+
+    kind: ClassVar[str] = "job_done"
+
+    jid: int
+    tenant: str
+    name: str
+    n_tasks: int
+    arrival: float
+    latency: float
+
+
+@dataclass(frozen=True, slots=True)
 class TaskReady(Event):
     """A task's last dependency completed; it was pushed to the scheduler."""
 
@@ -251,6 +284,8 @@ EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
     for cls in (
         TaskSubmit,
+        JobSubmit,
+        JobDone,
         TaskReady,
         TaskPop,
         TaskStage,

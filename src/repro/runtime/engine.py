@@ -30,6 +30,8 @@ import numpy as np
 
 from repro.obs.bus import Observability
 from repro.obs.events import (
+    JobDone,
+    JobSubmit,
     RecordLevel,
     TaskEnd,
     TaskFault,
@@ -43,6 +45,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import MetricsSnapshot
 from repro.runtime.events import (
+    JOB_ARRIVAL,
     TASK_COMPLETION,
     TASK_FAILURE,
     TASK_RETRY,
@@ -402,27 +405,55 @@ class Simulator:
         # Progressive submission: a task only enters the scheduler's view
         # once the STF "main thread" has submitted it. Task ids are dense
         # submission indices, so `tid < revealed` is the submitted test.
+        # Two gates throttle the reveal: the submission window (StarPU's
+        # STARPU_LIMIT_MAX_SUBMITTED_TASKS back-pressure) and, for merged
+        # job streams, each task's release time — its job's arrival on
+        # the virtual clock. Both modes share one loop so TaskSubmit
+        # events carry comparable ``ctx.now`` stamps.
         window = self.submission_window
-        revealed = len(program.tasks) if window is None else 0
+        releases = program.release_times
+        revealed = 0
+
+        jobs = getattr(program, "jobs", None)
+        job_track: dict[int, list] | None = None
+        if emit is not None and jobs:
+            # tid -> [span, n_unfinished] shared per job, for JobSubmit
+            # (first reveal) and JobDone (last completion) provenance.
+            job_track = {}
+            for span in jobs:
+                entry = [span, span.n_tasks]
+                for tid in range(span.first_tid, span.first_tid + span.n_tasks):
+                    job_track[tid] = entry
 
         def advance_submission() -> None:
             nonlocal revealed
-            while revealed < n_total and revealed - n_done < window:  # type: ignore[operator]
+            while revealed < n_total:
+                if window is not None and revealed - n_done >= window:
+                    break
+                if releases is not None and releases[revealed] > ctx.now:
+                    break
                 task = program.tasks[revealed]
                 revealed += 1
                 if emit is not None:
+                    if job_track is not None:
+                        entry = job_track.get(task.tid)
+                        if entry is not None and task.tid == entry[0].first_tid:
+                            span = entry[0]
+                            emit(JobSubmit(
+                                ctx.now, span.jid, span.tenant, span.name,
+                                span.n_tasks, span.arrival_us,
+                            ))
                     emit(TaskSubmit(ctx.now, task.tid, task.type_name))
                 if task.n_unfinished_preds == 0 and task.state is TaskState.SUBMITTED:
                     push_ready(task)
 
-        if window is None:
-            if emit is not None:
-                for task in program.tasks:
-                    emit(TaskSubmit(0.0, task.tid, task.type_name))
-            for task in program.source_tasks():
-                push_ready(task)
-        else:
-            advance_submission()
+        if releases is not None:
+            # One wake-up per distinct future arrival time: the STF main
+            # thread resumes submitting exactly when the next job lands.
+            for arrival_time in sorted({t for t in releases if t > 0.0}):
+                heapq.heappush(events, (arrival_time, seq, JOB_ARRIVAL, None))
+                seq += 1
+        advance_submission()
 
         def schedule_request(worker: Worker, now: float) -> None:
             nonlocal seq
@@ -542,6 +573,8 @@ class Simulator:
                 staged=staged,
                 events=events,
                 fault_active=fault is not None,
+                window=window,
+                releases=releases,
             )
 
         while events:
@@ -575,6 +608,17 @@ class Simulator:
                             worker.memory_node, pop_time, start, end,
                         )
                     )
+                    if job_track is not None:
+                        entry = job_track.get(task.tid)
+                        if entry is not None:
+                            entry[1] -= 1
+                            if entry[1] == 0:
+                                span = entry[0]
+                                emit(JobDone(
+                                    now, span.jid, span.tenant, span.name,
+                                    span.n_tasks, span.arrival_us,
+                                    now - span.arrival_us,
+                                ))
                 # Writes invalidate every other replica (MSI).
                 node = worker.memory_node
                 for handle in task.sched.get("_pinned", ()):
@@ -719,6 +763,14 @@ class Simulator:
                 for t in recovered:
                     push_ready(t)
                 wake_workers(now)
+
+            elif kind == JOB_ARRIVAL:
+                # The clock reached a job's release time: resume the STF
+                # submission loop and wake workers if anything came out.
+                before = revealed
+                advance_submission()
+                if revealed != before:
+                    wake_workers(now)
 
             else:  # WORKER_REQUEST
                 worker = payload  # type: ignore[assignment]

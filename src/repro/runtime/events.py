@@ -14,6 +14,9 @@ tuple comparison away from payload objects. The kinds:
   payload ``wid``.
 * ``TASK_RETRY`` — a previously-failed task's virtual-time backoff
   expires and it re-enters the scheduler; payload ``task``.
+* ``JOB_ARRIVAL`` — a job of a merged stream reaches its release time
+  and the STF "main thread" resumes submitting; payload ``None`` (the
+  engine re-runs its submission loop against the clock).
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ WORKER_REQUEST = 1
 TASK_FAILURE = 2
 WORKER_FAILURE = 3
 TASK_RETRY = 4
+JOB_ARRIVAL = 5
 
 KIND_NAMES = {
     TASK_COMPLETION: "completion",
@@ -30,4 +34,5 @@ KIND_NAMES = {
     TASK_FAILURE: "task-failure",
     WORKER_FAILURE: "worker-failure",
     TASK_RETRY: "retry",
+    JOB_ARRIVAL: "job-arrival",
 }

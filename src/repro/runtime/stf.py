@@ -34,12 +34,47 @@ class _HandleFlowState:
 
 
 class Program:
-    """An immutable, fully-submitted task graph plus its data handles."""
+    """An immutable, fully-submitted task graph plus its data handles.
 
-    def __init__(self, tasks: list[Task], handles: list[DataHandle], name: str = "") -> None:
+    ``release_times`` (optional, one entry per task, in submission
+    order) gives the virtual time (µs) at which the STF main thread
+    submits each task — the engine reveals a task to the scheduler only
+    once the clock reaches its release. ``None`` (the default, and what
+    :class:`TaskFlow` produces) means everything is available at t=0.
+    Merged job streams (:func:`repro.workload.merge_stream`) use this to
+    make each job's tasks appear at its arrival time. Times must be
+    non-negative and non-decreasing in submission order, so the dense
+    ``tid < revealed`` prefix test stays valid.
+    """
+
+    def __init__(
+        self,
+        tasks: list[Task],
+        handles: list[DataHandle],
+        name: str = "",
+        release_times: "Sequence[float] | None" = None,
+    ) -> None:
         self.tasks = tasks
         self.handles = handles
         self.name = name or "program"
+        if release_times is not None:
+            release_times = tuple(float(t) for t in release_times)
+            if len(release_times) != len(tasks):
+                raise ValueError(
+                    f"release_times has {len(release_times)} entries for "
+                    f"{len(tasks)} tasks"
+                )
+            prev = 0.0
+            for i, t in enumerate(release_times):
+                if t < 0.0:
+                    raise ValueError(f"release_times[{i}] is negative: {t}")
+                if t < prev:
+                    raise ValueError(
+                        f"release_times must be non-decreasing in submission "
+                        f"order, but entry {i} ({t}) < entry {i - 1} ({prev})"
+                    )
+                prev = t
+        self.release_times = release_times
 
     def __len__(self) -> int:
         return len(self.tasks)

@@ -1,0 +1,132 @@
+"""Compile a :class:`~repro.workload.stream.JobStream` into one program.
+
+The engine schedules exactly one :class:`~repro.runtime.stf.Program`
+per run, with dense task ids in submission order. :func:`merge_stream`
+therefore *relinks* every job's graph into a composite program:
+
+* tasks are copied with fresh dense ids, ordered by (arrival, jid) —
+  the order the STF main thread would have submitted them in;
+* data handles are copied per job with fresh ids (tenants never share
+  application data, only the machine);
+* ``Job.after`` chains become sink→source dependency edges, so
+  closed-loop clients pace themselves structurally;
+* every task inherits its job's arrival as a *release time*, which the
+  engine's submission loop uses to reveal it only once the clock gets
+  there — schedulers see an online workload without any API change.
+
+The copies leave the original per-job programs untouched, so they stay
+independently simulable (that is what isolated-baseline slowdowns run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.data import DataHandle
+from repro.runtime.stf import Program
+from repro.runtime.task import Task
+from repro.workload.stream import JobStream
+
+
+@dataclass(frozen=True)
+class JobSpan:
+    """Where one job landed inside the merged program.
+
+    Task ids are dense per job: the job owns exactly
+    ``[first_tid, first_tid + n_tasks)``.
+    """
+
+    jid: int
+    name: str
+    tenant: str
+    arrival_us: float
+    first_tid: int
+    n_tasks: int
+
+
+class StreamProgram(Program):
+    """A merged stream: a normal program plus per-job provenance."""
+
+    def __init__(
+        self,
+        tasks: list[Task],
+        handles: list[DataHandle],
+        name: str,
+        release_times: list[float],
+        jobs: tuple[JobSpan, ...],
+    ) -> None:
+        super().__init__(tasks, handles, name=name, release_times=release_times)
+        self.jobs = jobs
+
+    def span_of_tid(self, tid: int) -> JobSpan:
+        """The job span owning task ``tid``."""
+        for span in self.jobs:
+            if span.first_tid <= tid < span.first_tid + span.n_tasks:
+                return span
+        raise KeyError(f"tid {tid} is outside every job span")
+
+
+def merge_stream(stream: JobStream) -> StreamProgram:
+    """Relink ``stream`` into one composite :class:`StreamProgram`."""
+    ordered = sorted(stream.jobs, key=lambda j: (j.arrival_us, j.jid))
+    tasks: list[Task] = []
+    handles: list[DataHandle] = []
+    releases: list[float] = []
+    spans: list[JobSpan] = []
+    sinks_of_jid: dict[int, list[Task]] = {}
+
+    for job in ordered:
+        prog = job.program
+        first_tid = len(tasks)
+        hmap: dict[int, DataHandle] = {}
+        for h in prog.handles:
+            clone = DataHandle(
+                len(handles), h.size, home_node=h.home_node,
+                label=f"j{job.jid}:{h.label}", key=h.key,
+            )
+            handles.append(clone)
+            hmap[h.hid] = clone
+        tmap: dict[int, Task] = {}
+        for t in prog.tasks:
+            clone_task = Task(
+                len(tasks), t.type_name,
+                [(hmap[h.hid], mode) for h, mode in t.accesses],
+                flops=t.flops,
+                implementations=t.implementations,
+                priority=t.priority,
+                tag=t.tag,
+            )
+            tasks.append(clone_task)
+            releases.append(job.arrival_us)
+            tmap[t.tid] = clone_task
+        for t in prog.tasks:
+            clone_task = tmap[t.tid]
+            clone_task.preds = [tmap[p.tid] for p in t.preds]
+            clone_task.succs = [tmap[s.tid] for s in t.succs]
+        sinks_of_jid[job.jid] = [tmap[t.tid] for t in prog.tasks if not t.succs]
+        if job.after is not None:
+            # Chain edges point backward in the merged order (JobStream
+            # validates `after` precedes), preserving the topological
+            # task-id order downstream analyses rely on.
+            pred_sinks = sinks_of_jid[job.after]
+            for clone_task in (tmap[t.tid] for t in prog.tasks if not t.preds):
+                for sink in pred_sinks:
+                    sink.succs.append(clone_task)
+                    clone_task.preds.append(sink)
+        spans.append(JobSpan(
+            jid=job.jid,
+            name=job.name or prog.name,
+            tenant=job.tenant,
+            arrival_us=job.arrival_us,
+            first_tid=first_tid,
+            n_tasks=len(prog.tasks),
+        ))
+
+    for t in tasks:
+        t.n_unfinished_preds = len(t.preds)
+    return StreamProgram(
+        tasks, handles,
+        name=f"stream:{stream.name}",
+        release_times=releases,
+        jobs=tuple(spans),
+    )

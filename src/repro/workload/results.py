@@ -1,0 +1,179 @@
+"""Per-job and per-tenant outcomes of a simulated stream.
+
+:class:`JobResult` is derived from the merged run's task records (no
+trace or observability needed): when the job's first task started, when
+its last task finished, and — when isolated baselines were run — the
+job's slowdown against having the machine to itself.
+
+:class:`StreamResult` aggregates: mean/p95 latency, slowdown spread,
+Jain's fairness index over per-job slowdowns (latencies when baselines
+are off), throughput, and per-tenant rollups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.stats import jain_fairness_index
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import SimResult
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """End-to-end outcome of one job inside a stream run.
+
+    All times are µs of virtual clock. ``start_us`` is the first task's
+    execution start; ``end_us`` the last task's completion.
+    ``isolated_us`` is the job's makespan when simulated alone on the
+    same machine/scheduler/seed (``None`` when baselines were skipped).
+    """
+
+    jid: int
+    name: str
+    tenant: str
+    arrival_us: float
+    start_us: float
+    end_us: float
+    n_tasks: int
+    isolated_us: float | None = None
+
+    @property
+    def latency_us(self) -> float:
+        """Response time: arrival to last completion."""
+        return self.end_us - self.arrival_us
+
+    @property
+    def queueing_us(self) -> float:
+        """Delay before any of the job's work executed."""
+        return self.start_us - self.arrival_us
+
+    @property
+    def slowdown(self) -> float | None:
+        """Latency over isolated makespan (1.0 = no interference)."""
+        if self.isolated_us is None or self.isolated_us <= 0:
+            return None
+        return self.latency_us / self.isolated_us
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat JSON-ready mapping, derived metrics included."""
+        return {
+            "jid": self.jid,
+            "name": self.name,
+            "tenant": self.tenant,
+            "arrival_us": self.arrival_us,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "n_tasks": self.n_tasks,
+            "isolated_us": self.isolated_us,
+            "latency_us": self.latency_us,
+            "queueing_us": self.queueing_us,
+            "slowdown": self.slowdown,
+        }
+
+
+def _p95(values: list[float]) -> float:
+    ordered = sorted(values)
+    idx = max(0, round(0.95 * len(ordered)) - 1)
+    return ordered[idx]
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one stream simulation: per-job results + the raw run."""
+
+    stream_name: str
+    machine: str
+    scheduler: str
+    jobs: list[JobResult]
+    sim: "SimResult" = field(repr=False)
+
+    @property
+    def makespan_us(self) -> float:
+        """Completion time of the whole merged run."""
+        return self.sim.makespan
+
+    @property
+    def throughput_jobs_per_s(self) -> float:
+        """Completed jobs per second of virtual time."""
+        if self.makespan_us <= 0:
+            return 0.0
+        return len(self.jobs) / (self.makespan_us * 1e-6)
+
+    @property
+    def mean_latency_us(self) -> float:
+        return sum(j.latency_us for j in self.jobs) / len(self.jobs)
+
+    @property
+    def p95_latency_us(self) -> float:
+        return _p95([j.latency_us for j in self.jobs])
+
+    @property
+    def mean_queueing_us(self) -> float:
+        return sum(j.queueing_us for j in self.jobs) / len(self.jobs)
+
+    @property
+    def slowdowns(self) -> list[float] | None:
+        """Per-job slowdowns, or ``None`` when baselines were skipped."""
+        vals = [j.slowdown for j in self.jobs]
+        if any(v is None for v in vals):
+            return None
+        return vals  # type: ignore[return-value]
+
+    @property
+    def mean_slowdown(self) -> float | None:
+        vals = self.slowdowns
+        return sum(vals) / len(vals) if vals else None
+
+    @property
+    def max_slowdown(self) -> float | None:
+        vals = self.slowdowns
+        return max(vals) if vals else None
+
+    @property
+    def fairness(self) -> float:
+        """Jain index over slowdowns (latencies without baselines)."""
+        vals = self.slowdowns
+        if vals is None:
+            vals = [j.latency_us for j in self.jobs]
+        return jain_fairness_index(vals)
+
+    def per_tenant(self) -> dict[str, dict[str, float]]:
+        """Per-tenant aggregates: job count, mean latency/queueing, and
+        mean slowdown when baselines were run."""
+        grouped: dict[str, list[JobResult]] = {}
+        for job in self.jobs:
+            grouped.setdefault(job.tenant, []).append(job)
+        out: dict[str, dict[str, float]] = {}
+        for tenant, mine in grouped.items():
+            entry = {
+                "jobs": float(len(mine)),
+                "mean_latency_us": sum(j.latency_us for j in mine) / len(mine),
+                "mean_queueing_us": sum(j.queueing_us for j in mine) / len(mine),
+            }
+            slows = [j.slowdown for j in mine]
+            if all(s is not None for s in slows):
+                entry["mean_slowdown"] = sum(slows) / len(slows)  # type: ignore[arg-type]
+            out[tenant] = entry
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready report: stream-level stats plus every job."""
+        return {
+            "stream": self.stream_name,
+            "machine": self.machine,
+            "scheduler": self.scheduler,
+            "n_jobs": len(self.jobs),
+            "makespan_us": self.makespan_us,
+            "throughput_jobs_per_s": self.throughput_jobs_per_s,
+            "mean_latency_us": self.mean_latency_us,
+            "p95_latency_us": self.p95_latency_us,
+            "mean_queueing_us": self.mean_queueing_us,
+            "mean_slowdown": self.mean_slowdown,
+            "max_slowdown": self.max_slowdown,
+            "fairness": self.fairness,
+            "per_tenant": self.per_tenant(),
+            "jobs": [j.as_dict() for j in self.jobs],
+        }

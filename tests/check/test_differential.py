@@ -6,6 +6,7 @@ from repro.apps.dense import cholesky_program
 from repro.check.differential import (
     CheckOutcome,
     builtin_apps,
+    check_window_equivalence,
     fingerprint,
     makespan_lower_bounds,
     run_differential_suite,
@@ -84,7 +85,7 @@ class TestSuite:
             "invariants", "invariants+faults", "determinism.repeat",
             "determinism.checker", "determinism.record_level",
             "determinism.record_trace", "bounds.makespan",
-            "faults.zero_rate", "pipeline.bound",
+            "faults.zero_rate", "window.equivalence", "pipeline.bound",
         }
 
     def test_progress_callback_sees_everything(self):
@@ -109,6 +110,27 @@ class TestSuite:
         bad = CheckOutcome("y", False, "went wrong")
         assert str(ok).startswith("[ok  ] x")
         assert "went wrong" in str(bad) and "FAIL" in str(bad)
+
+
+class TestWindowEquivalence:
+    def test_never_binding_window_passes(self, hetero_machine):
+        outcomes = check_window_equivalence(
+            "forkjoin", make_fork_join_program(width=8),
+            hetero_machine, "multiprio",
+        )
+        assert len(outcomes) == 2
+        failed = [o for o in outcomes if not o.passed]
+        assert not failed, "\n".join(str(o) for o in failed)
+
+    def test_names_carry_the_window(self, hetero_machine):
+        program = make_chain_program(n=4)
+        outcomes = check_window_equivalence(
+            "chain", program, hetero_machine, "eager"
+        )
+        assert {o.name for o in outcomes} == {
+            f"window.equivalence[chain/eager/w={len(program.tasks)}]",
+            f"window.equivalence[chain/eager/w={4 * len(program.tasks)}]",
+        }
 
 
 class TestCliWiring:

@@ -231,6 +231,60 @@ class TestActivation:
         assert res.makespan > 0
 
 
+class TestWindowFamily:
+    """Unit-drive _check_window: the engine only ever feeds it healthy
+    counters, so corruption has to be injected directly."""
+
+    def make_checker(self, n_tasks, *, window=None, releases=None):
+        from types import SimpleNamespace
+
+        from repro.check.invariants import InvariantChecker
+
+        checker = InvariantChecker()
+        checker.window = window
+        checker.releases = releases
+        checker.program = SimpleNamespace(tasks=[None] * n_tasks)
+        return checker
+
+    def test_in_flight_over_window_flagged(self):
+        checker = self.make_checker(10, window=2)
+        out: list = []
+        checker._check_window(revealed=5, n_done=1, prev_now=0.0, out=out)
+        assert any("exceed the submission window" in d for _, d in out)
+
+    def test_stalled_reveal_without_excuse_flagged(self):
+        checker = self.make_checker(10, window=4)
+        out: list = []
+        checker._check_window(revealed=3, n_done=2, prev_now=0.0, out=out)
+        assert any("reveal loop leaked" in d for _, d in out)
+
+    def test_full_window_excuses_the_stall(self):
+        checker = self.make_checker(10, window=2)
+        out: list = []
+        checker._check_window(revealed=4, n_done=2, prev_now=0.0, out=out)
+        assert out == []
+
+    def test_future_release_excuses_the_stall(self):
+        releases = tuple([0.0] * 3 + [500.0] * 7)
+        checker = self.make_checker(10, releases=releases)
+        out: list = []
+        checker._check_window(revealed=3, n_done=1, prev_now=100.0, out=out)
+        assert out == []
+
+    def test_past_release_does_not_excuse(self):
+        releases = tuple([0.0] * 3 + [500.0] * 7)
+        checker = self.make_checker(10, releases=releases)
+        out: list = []
+        checker._check_window(revealed=3, n_done=1, prev_now=600.0, out=out)
+        assert any("reveal loop leaked" in d for _, d in out)
+
+    def test_fully_revealed_is_always_clean(self):
+        checker = self.make_checker(4, window=1)
+        out: list = []
+        checker._check_window(revealed=4, n_done=3, prev_now=0.0, out=out)
+        assert out == []
+
+
 class TestMultiPrioSelfCheck:
     def make_loaded(self):
         machine = small_hetero(n_cpus=2, n_gpus=1)

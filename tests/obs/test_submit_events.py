@@ -1,0 +1,74 @@
+"""TaskSubmit emission is unified across window modes (regression).
+
+Before the fix, ``submission_window=None`` emitted every TaskSubmit in a
+pre-loop at t=0.0 while windowed runs emitted them at ``ctx.now`` inside
+the reveal loop — two code paths, two orderings. Both modes now go
+through the same loop, so an unbounded run and a never-binding window
+must produce identical event streams, and every task's Submit must
+precede its Ready.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import TaskReady, TaskSubmit
+from repro.platform.machines import small_hetero
+from repro.runtime.engine import Simulator
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.schedulers.registry import make_scheduler
+from tests.conftest import make_fork_join_program
+
+
+def run_events(program, window):
+    machine = small_hetero(n_cpus=4, n_gpus=1)
+    sim = Simulator(
+        machine.platform(),
+        make_scheduler("multiprio"),
+        AnalyticalPerfModel(machine.calibration()),
+        seed=0,
+        record_level="tasks",
+        submission_window=window,
+    )
+    res = sim.run(program)
+    return res.events
+
+
+def task_lifecycle(events):
+    return [
+        (type(e).__name__, e.t, e.tid)
+        for e in events
+        if isinstance(e, (TaskSubmit, TaskReady))
+    ]
+
+
+def test_unbounded_equals_never_binding_window():
+    program = make_fork_join_program(width=8)
+    unbounded = task_lifecycle(run_events(program, None))
+    wide = task_lifecycle(run_events(program, len(program.tasks)))
+    assert unbounded == wide
+
+
+def test_submit_precedes_ready_per_task():
+    program = make_fork_join_program(width=8)
+    for window in (None, 3):
+        events = run_events(program, window)
+        submit_at: dict[int, int] = {}
+        for i, ev in enumerate(events):
+            if isinstance(ev, TaskSubmit):
+                assert ev.tid not in submit_at, "duplicate submit"
+                submit_at[ev.tid] = i
+            elif isinstance(ev, TaskReady):
+                assert submit_at[ev.tid] < i, (
+                    f"task {ev.tid} became ready before it was submitted"
+                )
+        assert len(submit_at) == len(program.tasks)
+
+
+def test_windowed_submits_carry_the_reveal_clock():
+    # With window=1 a fork-join cannot reveal everything at t=0: later
+    # submits must carry the completion-driven clock, not 0.0.
+    program = make_fork_join_program(width=6)
+    events = run_events(program, 1)
+    submit_times = [e.t for e in events if isinstance(e, TaskSubmit)]
+    assert submit_times[0] == 0.0
+    assert max(submit_times) > 0.0
+    assert submit_times == sorted(submit_times)

@@ -1,0 +1,66 @@
+"""Fault rollbacks under a bounded submission window (regression).
+
+A rolled-back task keeps its submission slot until it eventually
+completes (StarPU semantics), so fault handling must neither exceed the
+window nor strand the reveal loop. The invariant checker's ``window``
+family turns either failure into a hard error, so these runs double as
+the regression net for the fault x window accounting audit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dense import cholesky_program
+from repro.experiments.faults_sweep import run_faults_sweep
+from repro.platform.machines import small_hetero
+from repro.runtime.engine import Simulator
+from repro.runtime.faults import FaultModel
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.schedulers.registry import make_scheduler
+
+
+def run(program, *, window, fault_model, scheduler="multiprio"):
+    machine = small_hetero(n_cpus=4, n_gpus=1, gpu_streams=2)
+    sim = Simulator(
+        machine.platform(),
+        make_scheduler(scheduler),
+        AnalyticalPerfModel(machine.calibration()),
+        seed=0,
+        submission_window=window,
+        fault_model=fault_model,
+        check_invariants=True,
+    )
+    return sim.run(program)
+
+
+@pytest.mark.parametrize("window", [1, 2, 5])
+def test_transient_faults_respect_window(window):
+    program = cholesky_program(5, 384)
+    res = run(
+        program, window=window,
+        fault_model=FaultModel(task_failure_rate=0.3, max_retries=100, seed=1),
+    )
+    assert res.n_tasks == len(program)
+    assert res.faults is not None and res.faults.task_failures > 0
+
+
+def test_worker_kill_recovery_respects_window():
+    program = cholesky_program(5, 384)
+    res = run(
+        program, window=2,
+        fault_model=FaultModel(worker_kills=[(4, 200.0)], seed=0),
+    )
+    assert res.n_tasks == len(program)
+    assert res.faults is not None and res.faults.worker_failures == 1
+
+
+def test_faults_sweep_runs_under_window_one():
+    result = run_faults_sweep(
+        n_tiles=4, tile_size=384, rates=(0.1,),
+        schedulers=("multiprio",), max_retries=100, window=1,
+    )
+    assert len(result.rows) == 1
+    row = result.rows[0]
+    assert row.makespan_us > 0 and row.stats.task_failures > 0
+    assert result.killed_rows and result.killed_rows[0].stats.tasks_recovered >= 0

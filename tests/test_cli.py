@@ -72,6 +72,42 @@ def test_light_experiments(name, capsys):
     assert capsys.readouterr().out.strip()
 
 
+def test_run_with_submission_window(capsys):
+    code = main(
+        ["run", "--app", "cholesky", "--size", "4", "--tile", "512",
+         "--scheduler", "eager", "--window", "2"]
+    )
+    assert code == 0
+    assert "makespan" in capsys.readouterr().out
+
+
+def test_window_defaults_to_unbounded():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["run", "--app", "cholesky", "--scheduler", "eager"]
+    )
+    assert args.window is None
+
+
+def test_stream_experiment(tmp_path, capsys):
+    report = tmp_path / "stream.json"
+    code = main(
+        ["experiment", "stream", "--stream-jobs", "2", "--rates", "60",
+         "--stream-schedulers", "multiprio", "--json", str(report)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fairness" in out and "multiprio" in out
+    doc = json.loads(report.read_text())
+    assert doc["experiment"] == "stream"
+    (row,) = doc["rows"]
+    assert row["scheduler"] == "multiprio"
+    assert 0.0 < row["fairness"] <= 1.0
+    assert len(row["jobs"]) == 2
+    assert all("slowdown" in j and "latency_us" in j for j in row["jobs"])
+
+
 def test_unknown_scheduler_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["run", "--scheduler", "bogus"])

@@ -1,0 +1,106 @@
+"""merge_stream: relinking jobs into one composite program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.merge import merge_stream
+from repro.workload.stream import Job, JobStream, closed_loop_stream, trace_stream
+from tests.conftest import make_chain_program, make_fork_join_program
+
+
+def two_job_stream():
+    return trace_stream(
+        [
+            (0.0, make_chain_program(n=3), "a"),
+            (50.0, make_fork_join_program(width=4), "b"),
+        ]
+    )
+
+
+class TestMerge:
+    def test_dense_tids_and_spans(self):
+        merged = merge_stream(two_job_stream())
+        assert [t.tid for t in merged.tasks] == list(range(len(merged.tasks)))
+        assert merged.jobs[0].first_tid == 0
+        assert merged.jobs[0].n_tasks == 3
+        assert merged.jobs[1].first_tid == 3
+        total = sum(s.n_tasks for s in merged.jobs)
+        assert total == len(merged.tasks)
+
+    def test_release_times_follow_arrivals(self):
+        merged = merge_stream(two_job_stream())
+        assert merged.release_times is not None
+        for span in merged.jobs:
+            for tid in range(span.first_tid, span.first_tid + span.n_tasks):
+                assert merged.release_times[tid] == span.arrival_us
+        assert list(merged.release_times) == sorted(merged.release_times)
+
+    def test_span_of_tid(self):
+        merged = merge_stream(two_job_stream())
+        assert merged.span_of_tid(0).jid == 0
+        assert merged.span_of_tid(3).jid == 1
+        with pytest.raises(KeyError):
+            merged.span_of_tid(len(merged.tasks))
+
+    def test_originals_untouched(self):
+        stream = two_job_stream()
+        before = [
+            [(t.tid, t.n_unfinished_preds, len(t.succs)) for t in j.program.tasks]
+            for j in stream.jobs
+        ]
+        merge_stream(stream)
+        after = [
+            [(t.tid, t.n_unfinished_preds, len(t.succs)) for t in j.program.tasks]
+            for j in stream.jobs
+        ]
+        assert before == after
+
+    def test_handles_cloned_per_job(self):
+        merged = merge_stream(two_job_stream())
+        assert [h.hid for h in merged.handles] == list(range(len(merged.handles)))
+        assert all(h.label.startswith("j") for h in merged.handles)
+        n_src = sum(len(j.program.handles) for j in two_job_stream().jobs)
+        assert len(merged.handles) == n_src
+
+    def test_task_attributes_preserved(self):
+        stream = two_job_stream()
+        merged = merge_stream(stream)
+        for span, job in zip(merged.jobs, stream.jobs):
+            for off, src in enumerate(job.program.tasks):
+                clone = merged.tasks[span.first_tid + off]
+                assert clone.type_name == src.type_name
+                assert clone.flops == src.flops
+                assert clone.implementations == src.implementations
+                assert clone.priority == src.priority
+
+    def test_edges_relinked_within_job(self):
+        stream = two_job_stream()
+        merged = merge_stream(stream)
+        for span, job in zip(merged.jobs, stream.jobs):
+            for off, src in enumerate(job.program.tasks):
+                clone = merged.tasks[span.first_tid + off]
+                assert sorted(p.tid - span.first_tid for p in clone.preds) == \
+                    sorted(p.tid for p in src.preds)
+                assert clone.n_unfinished_preds == len(clone.preds)
+
+    def test_after_becomes_sink_to_source_edges(self):
+        stream = closed_loop_stream(
+            [lambda: make_chain_program(n=3)], n_clients=1, jobs_per_client=2
+        )
+        merged = merge_stream(stream)
+        first, second = merged.jobs
+        sink = merged.tasks[first.first_tid + first.n_tasks - 1]
+        source = merged.tasks[second.first_tid]
+        assert source in sink.succs
+        assert sink in source.preds
+        assert source.n_unfinished_preds == len(source.preds) >= 1
+
+    def test_merge_order_is_arrival_then_jid(self):
+        jobs = (
+            Job(jid=0, arrival_us=5.0, program=make_chain_program(n=2)),
+            Job(jid=1, arrival_us=5.0, program=make_chain_program(n=2)),
+            Job(jid=2, arrival_us=9.0, program=make_chain_program(n=2)),
+        )
+        merged = merge_stream(JobStream(name="tie", jobs=jobs))
+        assert [s.jid for s in merged.jobs] == [0, 1, 2]

@@ -1,0 +1,135 @@
+"""Job stream construction: validation and the three arrival generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import ValidationError
+from repro.workload.stream import (
+    Job,
+    JobStream,
+    closed_loop_stream,
+    poisson_stream,
+    trace_stream,
+)
+from tests.conftest import make_chain_program
+
+
+def chain():
+    return make_chain_program(n=3)
+
+
+class TestValidation:
+    def test_job_label(self):
+        job = Job(jid=3, arrival_us=0.0, program=chain(), name="cholesky")
+        assert job.label == "j3:cholesky"
+
+    def test_jids_must_increase(self):
+        jobs = (
+            Job(jid=1, arrival_us=0.0, program=chain()),
+            Job(jid=0, arrival_us=5.0, program=chain()),
+        )
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            JobStream(name="s", jobs=jobs)
+
+    def test_negative_arrival_rejected(self):
+        jobs = (Job(jid=0, arrival_us=-1.0, program=chain()),)
+        with pytest.raises(ValidationError, match="negative arrival"):
+            JobStream(name="s", jobs=jobs)
+
+    def test_arrivals_must_be_ordered(self):
+        jobs = (
+            Job(jid=0, arrival_us=10.0, program=chain()),
+            Job(jid=1, arrival_us=5.0, program=chain()),
+        )
+        with pytest.raises(ValidationError, match="ordered by arrival"):
+            JobStream(name="s", jobs=jobs)
+
+    def test_empty_program_rejected(self):
+        from repro.runtime.stf import Program
+
+        jobs = (Job(jid=0, arrival_us=0.0, program=Program([], [])),)
+        with pytest.raises(ValidationError, match="empty program"):
+            JobStream(name="s", jobs=jobs)
+
+    def test_after_must_precede(self):
+        jobs = (
+            Job(jid=0, arrival_us=0.0, program=chain(), after=1),
+            Job(jid=1, arrival_us=0.0, program=chain()),
+        )
+        with pytest.raises(ValidationError, match="does not precede"):
+            JobStream(name="s", jobs=jobs)
+
+    def test_counts_and_tenants(self):
+        jobs = (
+            Job(jid=0, arrival_us=0.0, program=chain(), tenant="b"),
+            Job(jid=1, arrival_us=1.0, program=chain(), tenant="a"),
+            Job(jid=2, arrival_us=2.0, program=chain(), tenant="b"),
+        )
+        stream = JobStream(name="s", jobs=jobs)
+        assert len(stream) == 3
+        assert stream.n_tasks == 9
+        assert stream.tenants == ("b", "a")
+
+
+class TestPoisson:
+    def test_same_seed_same_stream(self):
+        a = poisson_stream([chain], rate_jobs_per_s=50.0, n_jobs=6, seed=3)
+        b = poisson_stream([chain], rate_jobs_per_s=50.0, n_jobs=6, seed=3)
+        assert [j.arrival_us for j in a.jobs] == [j.arrival_us for j in b.jobs]
+
+    def test_seed_changes_arrivals(self):
+        a = poisson_stream([chain], rate_jobs_per_s=50.0, n_jobs=6, seed=3)
+        b = poisson_stream([chain], rate_jobs_per_s=50.0, n_jobs=6, seed=4)
+        assert [j.arrival_us for j in a.jobs] != [j.arrival_us for j in b.jobs]
+
+    def test_first_job_at_zero_then_nondecreasing(self):
+        stream = poisson_stream([chain], rate_jobs_per_s=100.0, n_jobs=5)
+        arrivals = [j.arrival_us for j in stream.jobs]
+        assert arrivals[0] == 0.0
+        assert arrivals == sorted(arrivals)
+
+    def test_round_robin_builders_and_tenants(self):
+        stream = poisson_stream(
+            [("a", chain), ("b", chain)],
+            rate_jobs_per_s=10.0, n_jobs=4, tenants=("t0", "t1"),
+        )
+        assert [j.name for j in stream.jobs] == ["a", "b", "a", "b"]
+        assert [j.tenant for j in stream.jobs] == ["t0", "t1", "t0", "t1"]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            poisson_stream([chain], rate_jobs_per_s=0.0, n_jobs=2)
+        with pytest.raises(ValidationError):
+            poisson_stream([chain], rate_jobs_per_s=10.0, n_jobs=0)
+        with pytest.raises(ValidationError):
+            poisson_stream([], rate_jobs_per_s=10.0, n_jobs=2)
+
+
+class TestClosedLoop:
+    def test_clients_chain_their_own_jobs(self):
+        stream = closed_loop_stream([chain], n_clients=2, jobs_per_client=3)
+        assert len(stream) == 6
+        assert all(j.arrival_us == 0.0 for j in stream.jobs)
+        for client in (0, 1):
+            mine = [j for j in stream.jobs if j.tenant == f"client{client}"]
+            assert mine[0].after is None
+            for prev, cur in zip(mine, mine[1:]):
+                assert cur.after == prev.jid
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            closed_loop_stream([chain], n_clients=0, jobs_per_client=1)
+        with pytest.raises(ValidationError):
+            closed_loop_stream([chain], n_clients=1, jobs_per_client=0)
+
+
+class TestTrace:
+    def test_entries_sorted_by_arrival(self):
+        p = chain()
+        stream = trace_stream(
+            [(30.0, p, "b"), (10.0, p, "a"), (20.0, p, "a")]
+        )
+        assert [j.arrival_us for j in stream.jobs] == [10.0, 20.0, 30.0]
+        assert [j.tenant for j in stream.jobs] == ["a", "a", "b"]
+        assert [j.jid for j in stream.jobs] == [0, 1, 2]
