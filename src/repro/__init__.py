@@ -25,6 +25,8 @@ Subpackages:
 * :mod:`repro.platform` — the Intel-V100 and AMD-A100 machine models;
 * :mod:`repro.workload` — online multi-tenant job streams
   (:func:`simulate_stream` is their facade);
+* :mod:`repro.control` — the overload control plane: per-tenant
+  quotas, admission (accept / delay / shed), priority-class eviction;
 * :mod:`repro.experiments` — one harness per paper table/figure.
 """
 
@@ -46,6 +48,7 @@ from repro.core import MultiPrio
 from repro.schedulers import make_scheduler, scheduler_names, register_scheduler
 from repro.api import SimConfig, simulate, simulate_stream
 from repro.workload import (
+    QOS_CLASSES,
     Job,
     JobResult,
     JobStream,
@@ -54,6 +57,14 @@ from repro.workload import (
     merge_stream,
     poisson_stream,
     trace_stream,
+)
+from repro.control import (
+    ControlConfig,
+    ControlPlane,
+    ControlResult,
+    QuotaAccountant,
+    TenantQuota,
+    default_overload_config,
 )
 
 __version__ = "1.1.0"
@@ -82,9 +93,16 @@ __all__ = [
     "JobStream",
     "JobResult",
     "StreamResult",
+    "QOS_CLASSES",
     "closed_loop_stream",
     "merge_stream",
     "poisson_stream",
     "trace_stream",
+    "ControlConfig",
+    "ControlPlane",
+    "ControlResult",
+    "QuotaAccountant",
+    "TenantQuota",
+    "default_overload_config",
     "__version__",
 ]

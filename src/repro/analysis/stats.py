@@ -29,6 +29,23 @@ def load_balance_index(busy_times: Sequence[float]) -> float:
     return sum(busy_times) / len(busy_times) / peak
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile at fraction ``q`` in [0, 1], NaN-free.
+
+    An empty population returns 0.0 (not NaN, not an exception), so
+    degenerate groups — e.g. the completed-job set of an all-rejected
+    overload run — always report well-defined metrics. A singleton
+    returns its only element at any ``q``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    idx = min(len(ordered) - 1, max(0, round(q * len(ordered)) - 1))
+    return ordered[idx]
+
+
 def jain_fairness_index(values: Sequence[float]) -> float:
     """Jain's fairness index ``(Σx)² / (n·Σx²)`` over per-job metrics.
 

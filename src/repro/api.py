@@ -46,6 +46,7 @@ from repro.schedulers.registry import make_scheduler
 from repro.utils.validation import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.plane import ControlConfig, ControlPlane
     from repro.runtime.perfmodel import PerfModel
     from repro.workload.results import StreamResult
     from repro.workload.stream import JobStream
@@ -151,7 +152,10 @@ def simulate(
 
 
 def _build_simulator(
-    cfg: SimConfig, mach: MachineModel, scheduler: Scheduler | str
+    cfg: SimConfig,
+    mach: MachineModel,
+    scheduler: Scheduler | str,
+    control_plane: "ControlPlane | None" = None,
 ) -> Simulator:
     """One fully-wired :class:`Simulator` from a config bundle."""
     if isinstance(scheduler, str):
@@ -177,6 +181,7 @@ def _build_simulator(
         fault_model=cfg.faults,
         record_level=cfg.record_level,
         check_invariants=cfg.check_invariants,
+        control_plane=control_plane,
     )
 
 
@@ -197,6 +202,7 @@ def simulate_stream(
     submission_window: int | None = None,
     check_invariants: bool | None = None,
     sched_params: dict | None = None,
+    control: "ControlConfig | None" = None,
 ) -> "StreamResult":
     """Simulate an online job stream on ``machine`` under ``scheduler``.
 
@@ -217,6 +223,13 @@ def simulate_stream(
         Also simulate each job alone (same machine, scheduler and
         config) to report per-job slowdowns. Baselines are cached per
         distinct program object; pass ``False`` to skip the extra runs.
+    control:
+        Optional :class:`~repro.control.ControlConfig`: run the stream
+        through the admission control plane (accept / delay / shed /
+        evict). The result's ``jobs`` then holds completed jobs only and
+        ``result.control`` carries the per-tenant/per-class admission
+        outcome. ``ControlConfig.unlimited()`` is bit-identical to
+        ``control=None``.
 
     Returns a :class:`~repro.workload.results.StreamResult`.
     """
@@ -237,11 +250,24 @@ def simulate_stream(
     )
     mach = _resolve_machine(machine)
     merged = merge_stream(stream)
-    res = _build_simulator(cfg, mach, scheduler).run(merged)
+    plane = None
+    if control is not None:
+        from repro.control.plane import ControlPlane
+
+        plane = ControlPlane(control)
+    res = _build_simulator(cfg, mach, scheduler, control_plane=plane).run(merged)
+
+    # Under a control plane only completed jobs have execution records;
+    # shed/evicted jobs are reported through ControlResult instead.
+    completed: set[int] | None = None
+    if plane is not None:
+        completed = {r.jid for r in plane.records() if r.status == "done"}
 
     isolated: dict[int, float] = {}
     if isolated_baseline:
         for job in stream.jobs:
+            if completed is not None and job.jid not in completed:
+                continue
             key = id(job.program)
             if key not in isolated:
                 isolated[key] = _build_simulator(cfg, mach, scheduler).run(
@@ -250,6 +276,8 @@ def simulate_stream(
 
     jobs: list[JobResult] = []
     for span in merged.jobs:
+        if completed is not None and span.jid not in completed:
+            continue
         records = [
             merged.tasks[tid].sched["_record"]
             for tid in range(span.first_tid, span.first_tid + span.n_tasks)
@@ -266,10 +294,16 @@ def simulate_stream(
             isolated_us=isolated.get(id(job.program)),
         ))
     sched_name = scheduler if isinstance(scheduler, str) else scheduler.name
+    control_result = None
+    if plane is not None:
+        from repro.control.result import ControlResult
+
+        control_result = ControlResult.from_plane(plane, jobs)
     return StreamResult(
         stream_name=stream.name,
         machine=mach.name,
         scheduler=sched_name,
         jobs=jobs,
         sim=res,
+        control=control_result,
     )

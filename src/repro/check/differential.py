@@ -22,6 +22,12 @@ properties a correct simulator cannot violate regardless of policy:
   may only beat the pipelined run by what staging can explain: the
   runs' total wire time (foregone transfer overlap) plus one mis-bound
   task per worker (staging commits tasks to workers early).
+* **Control-plane no-op equivalence** — a control plane with infinite
+  credits, no global budget and eviction off
+  (:meth:`~repro.control.ControlConfig.unlimited`) admits everything
+  and must reproduce the uncontrolled ``simulate_stream`` run
+  bit-for-bit (the admission gate may not perturb reveal order, events
+  or accounting).
 
 :func:`run_differential_suite` bundles these with an invariant-checked
 sweep over the built-in applications × schedulers (with and without a
@@ -319,6 +325,59 @@ def check_invariant_sweep(
     return out
 
 
+def check_control_noop_equivalence(
+    machine: MachineModel,
+    schedulers: Iterable[str],
+) -> list[CheckOutcome]:
+    """``ControlConfig.unlimited()`` must not move a single task.
+
+    Runs one mixed-QoS Poisson stream per scheduler, controlled vs
+    uncontrolled, and compares full run fingerprints plus the control
+    ledger (everything admitted, nothing shed, delayed or evicted).
+    """
+    from repro.api import simulate_stream
+    from repro.control.plane import ControlConfig
+    from repro.workload.stream import poisson_stream
+
+    out = []
+    for scheduler in schedulers:
+        stream = poisson_stream(
+            [lambda: cholesky_program(4, 512), lambda: lu_program(4, 512)],
+            rate_jobs_per_s=50.0,
+            n_jobs=8,
+            seed=11,
+            tenants=("t0", "t1", "t2"),
+            qos=("guaranteed", "burstable", "best-effort"),
+        )
+        kwargs = dict(
+            machine=machine, scheduler=scheduler,
+            record_trace=True, isolated_baseline=False,
+        )
+        plain = simulate_stream(stream, **kwargs)
+        controlled = simulate_stream(
+            stream, control=ControlConfig.unlimited(), **kwargs
+        )
+        out.append(CheckOutcome(
+            f"control.noop[{scheduler}]",
+            fingerprint(plain.sim) == fingerprint(controlled.sim),
+            "an unlimited control plane perturbed the stream schedule",
+        ))
+        ctl = controlled.control
+        clean = (
+            ctl is not None
+            and ctl.n_arrived == ctl.n_completed == len(stream.jobs)
+            and ctl.n_rejected == ctl.n_evicted == ctl.n_delays == 0
+            and controlled.sim.n_cancelled == 0
+        )
+        out.append(CheckOutcome(
+            f"control.noop_ledger[{scheduler}]",
+            clean,
+            "an unlimited control plane rejected/delayed/evicted work "
+            f"(counters: {None if ctl is None else ctl.as_dict()['overall']})",
+        ))
+    return out
+
+
 # -- the suite -------------------------------------------------------------
 
 
@@ -359,4 +418,7 @@ def run_differential_suite(
             emit(check_fault_free_equivalence(name, program, mach, scheduler))
             emit(check_window_equivalence(name, program, mach, scheduler))
             emit(check_pipeline_bound(name, program, mach, scheduler))
+    emit(check_control_noop_equivalence(
+        mach, schedulers[:1] if quick else schedulers
+    ))
     return results

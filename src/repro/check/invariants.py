@@ -35,6 +35,12 @@ sweeps six invariant families over the *entire* runtime state:
 ``scheduler``
     Whatever the policy's own :meth:`~repro.schedulers.base.Scheduler.check`
     reports (heap order, counter exactness, ...).
+``control``
+    When a control plane is attached: credit conservation (every decided
+    job is admitted, shed, or pending another delay), the in-flight
+    gauge matches admitted jobs' remaining work, no guaranteed-class job
+    was ever shed, and no token bucket exceeds its burst
+    (:meth:`repro.control.ControlPlane.audit`).
 
 Violations are emitted as
 :class:`~repro.obs.events.InvariantViolation` events (when observability
@@ -62,6 +68,7 @@ _S = TaskState.SUBMITTED
 _READY = TaskState.READY
 _RUNNING = TaskState.RUNNING
 _DONE = TaskState.DONE
+_CXL = TaskState.CANCELLED
 
 #: Transitions observable between two consecutive checks (one event may
 #: compose several steps, e.g. push + rescue-pop gives SUBMITTED→RUNNING).
@@ -73,6 +80,9 @@ _LEGAL = {
 }
 #: Rollback transitions, legal only when a fault model is active.
 _FAULT_ONLY = {(_RUNNING, _S), (_READY, _S), (_RUNNING, _READY)}
+#: Cancellations, legal only when a control plane is attached (shed jobs
+#: cancel from SUBMITTED, evicted-and-retracted tasks from READY).
+_CONTROL_ONLY = {(_S, _CXL), (_READY, _CXL)}
 
 
 class InvariantChecker:
@@ -87,6 +97,7 @@ class InvariantChecker:
     def __init__(self, obs: "Observability | None" = None) -> None:
         self.obs = obs
         self.n_checks = 0
+        self.control = None
 
     def begin_run(
         self,
@@ -100,9 +111,16 @@ class InvariantChecker:
         events: list,
         fault_active: bool,
         window: int | None = None,
-        releases: "tuple[float, ...] | None" = None,
+        releases: "list[float] | tuple[float, ...] | None" = None,
+        control=None,
     ) -> None:
-        """Bind one run's live state and snapshot the starting point."""
+        """Bind one run's live state and snapshot the starting point.
+
+        ``releases`` must be the engine's own (possibly mutable) list so
+        control-plane delay decisions stay visible to the window check;
+        ``control`` is the bound :class:`~repro.control.ControlPlane`, or
+        ``None`` for uncontrolled runs.
+        """
         self.program = program
         self.platform = platform
         self.ctx = ctx
@@ -113,6 +131,7 @@ class InvariantChecker:
         self.fault_active = fault_active
         self.window = window
         self.releases = releases
+        self.control = control
         self.n_checks = 0
         self._node_of_wid = {w.wid: w.memory_node for w in platform.workers}
         self._handle_by_hid = {h.hid: h for h in program.handles}
@@ -150,6 +169,9 @@ class InvariantChecker:
         self._check_msi(running, violations)
         for detail in self.scheduler.check():
             violations.append(("scheduler", str(detail)))
+        if self.control is not None:
+            for detail in self.control.audit():
+                violations.append(("control", str(detail)))
         if violations:
             self._report(violations)
 
@@ -234,13 +256,23 @@ class InvariantChecker:
         explainable by a full window or a future release time.
         """
         window = self.window
-        n_total = len(self.program.tasks)
-        in_flight = revealed - n_done
+        tasks = self.program.tasks
+        n_total = len(tasks)
+        # Cancelled tasks the reveal pointer passed never consume a
+        # submission slot (mirrors the engine's n_cxl_rev counter);
+        # cancellation only exists under a control plane.
+        n_cxl_rev = (
+            sum(1 for t in tasks[:revealed] if t.state is _CXL)
+            if self.control is not None
+            else 0
+        )
+        in_flight = revealed - n_done - n_cxl_rev
         if window is not None and in_flight > window:
             out.append((
                 "window",
                 f"{in_flight} tasks in flight (revealed={revealed}, "
-                f"done={n_done}) exceed the submission window {window}",
+                f"done={n_done}, cancelled={n_cxl_rev}) exceed the "
+                f"submission window {window}",
             ))
         if revealed < n_total:
             window_full = window is not None and in_flight >= window
@@ -258,16 +290,22 @@ class InvariantChecker:
     def _check_task_states(self, out: list) -> None:
         prev = self._prev_state
         fault = self.fault_active
+        controlled = self.control is not None
         for task in self.program.tasks:
             before, after = prev[task.tid], task.state
             if before is after:
                 continue
             move = (before, after)
-            if move in _LEGAL or (fault and move in _FAULT_ONLY):
+            if (move in _LEGAL or (fault and move in _FAULT_ONLY)
+                    or (controlled and move in _CONTROL_ONLY)):
                 prev[task.tid] = after
                 continue
-            why = ("fault-only rollback without a fault model"
-                   if move in _FAULT_ONLY else "illegal lifecycle transition")
+            if move in _CONTROL_ONLY:
+                why = "control-only cancellation without a control plane"
+            elif move in _FAULT_ONLY:
+                why = "fault-only rollback without a fault model"
+            else:
+                why = "illegal lifecycle transition"
             out.append((
                 "task_state",
                 f"{task.name}: {before.name} -> {after.name} ({why})",
@@ -302,8 +340,20 @@ class InvariantChecker:
             state = task.state
             if state is _DONE:
                 done_count += 1
+            if state is _CXL:
+                # A cancelled task's own counter froze at cancellation
+                # (successor release happens through its preds' sweeps),
+                # but it must never be worker-held.
+                if task.tid in holders:
+                    out.append((
+                        "conservation",
+                        f"{task.name} is CANCELLED but held by worker(s) "
+                        f"{holders[task.tid]}",
+                    ))
+                continue
             want = sum(
-                1 for p in task.preds if p.state is not _DONE
+                1 for p in task.preds
+                if p.state is not _DONE and p.state is not _CXL
             )
             if task.n_unfinished_preds != want:
                 out.append((

@@ -29,6 +29,13 @@ from repro.experiments.fig5_dense import format_fig5, run_fig5
 from repro.experiments.fig6_fmm import format_fig6, run_fig6
 from repro.experiments.fig7_matrices import format_fig7, run_fig7
 from repro.experiments.fig8_sparseqr import format_fig8, run_fig8
+from repro.experiments.overload import (
+    DEFAULT_MULTIPLIERS,
+    QUICK_MULTIPLIERS,
+    format_overload_experiment,
+    run_overload_experiment,
+    write_overload_report,
+)
 from repro.experiments.reporting import format_table
 from repro.experiments.stream_arrivals import (
     DEFAULT_RATES as STREAM_RATES,
@@ -197,6 +204,33 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         if args.json:
             write_stream_report(result, args.json)
             print(f"json report written to {args.json}")
+    elif args.name == "overload":
+        quick = args.quick
+        result = run_overload_experiment(
+            multipliers=(
+                tuple(args.overload_multipliers)
+                if args.overload_multipliers
+                else (QUICK_MULTIPLIERS if quick else DEFAULT_MULTIPLIERS)
+            ),
+            n_tenants=(
+                args.overload_tenants
+                if args.overload_tenants is not None
+                else (6 if quick else 24)
+            ),
+            n_jobs=(
+                args.overload_jobs
+                if args.overload_jobs is not None
+                else (18 if quick else 72)
+            ),
+            seed=args.stream_seed,
+            check_invariants=args.check_invariants,
+            jobs=args.jobs,
+            progress=progress,
+        )
+        print(format_overload_experiment(result))
+        if args.json:
+            write_overload_report(result, args.json)
+            print(f"json report written to {args.json}")
     return 0
 
 
@@ -351,7 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run a light paper experiment")
     exp.add_argument("name", choices=[
         "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "faults",
-        "stream",
+        "stream", "overload",
     ])
     exp.add_argument("--jobs", type=int, default=1,
                      help="worker processes for sweep experiments "
@@ -382,9 +416,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stream: arrival-process seed")
     exp.add_argument("--stream-window", type=int, default=None, metavar="N",
                      help="stream: submission window forwarded to every run")
+    exp.add_argument("--quick", action="store_true",
+                     help="overload: trimmed grid (2 multipliers, 6 tenants)")
+    exp.add_argument("--overload-multipliers", type=float, nargs="+",
+                     metavar="X",
+                     help="overload: load multiples of the sustainable rate "
+                          f"(default: "
+                          f"{' '.join(f'{m:g}' for m in DEFAULT_MULTIPLIERS)})")
+    exp.add_argument("--overload-tenants", type=int, default=None,
+                     help="overload: tenant count (default 24, quick 6)")
+    exp.add_argument("--overload-jobs", type=int, default=None,
+                     help="overload: jobs per stream (default 72, quick 18)")
+    exp.add_argument("--check-invariants", action="store_true",
+                     help="overload: run every cell under the invariant "
+                          "checker (slower)")
     exp.add_argument("--json", metavar="PATH",
-                     help="stream: write the JSON report (per-job latency/"
-                          "slowdown/fairness) to PATH")
+                     help="stream/overload: write the JSON report to PATH")
     exp.set_defaults(func=cmd_experiment)
 
     check = sub.add_parser(

@@ -1,0 +1,466 @@
+"""The admission controller: accept / delay / shed / evict decisions.
+
+The :class:`ControlPlane` sits between a merged job stream and the
+engine's reveal loop. When the STF submission pointer reaches a job's
+first task, the engine asks :meth:`ControlPlane.decide`; the verdict is
+one of
+
+``accept``
+    The job is admitted: its estimated work is charged to the tenant's
+    token bucket (:mod:`repro.control.quota`) and added to the global
+    in-flight budget. Guaranteed-class jobs are *always* accepted —
+    under overload they may carry a list of best-effort jobs to evict
+    first (the engine cancels those jobs' unstarted tasks).
+``delay``
+    The job is pushed back: the engine bumps the job's release times to
+    ``retry_at`` (bounded exponential backoff) and re-decides when the
+    clock gets there. Only burstable jobs are delayed, at most
+    ``max_delays`` times. Because release times gate the reveal pointer,
+    a delayed job blocks later arrivals — deliberate head-of-line
+    backpressure mirroring a single STF submission thread.
+``shed``
+    The job is rejected outright: every task is cancelled before any
+    ran. Best-effort jobs are shed on the first refusal; burstable jobs
+    once their delay budget is spent. Guaranteed jobs are never shed.
+
+The plane never touches engine randomness or link state, and with
+:meth:`ControlConfig.unlimited` every decision is ``accept`` with no
+side effects — a controlled run is then bit-identical to an
+uncontrolled one (verified by ``repro check``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.control.quota import QuotaAccountant, TenantQuota
+from repro.utils.validation import ValidationError
+from repro.workload.stream import QOS_CLASSES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.perfmodel import PerfModel
+    from repro.workload.merge import StreamProgram
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Tuning knobs of the control plane.
+
+    ``max_inflight_us`` is the global budget: total estimated work-µs of
+    admitted-but-unfinished jobs the node will carry (``None`` =
+    unbounded). ``backoff_us * backoff_factor**k`` (capped at
+    ``max_backoff_us``) is the k-th delay of a burstable job, and
+    ``max_delays`` bounds k before the job is shed. ``slo_slowdown`` is
+    the deadline proxy: a completed job whose slowdown exceeds it counts
+    as an SLO miss in :class:`~repro.control.result.ControlResult`.
+    """
+
+    quotas: Mapping[str, TenantQuota] = field(default_factory=dict)
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    max_inflight_us: float | None = None
+    backoff_us: float = 1000.0
+    backoff_factor: float = 2.0
+    max_backoff_us: float = 16000.0
+    max_delays: int = 4
+    evict_on_overload: bool = True
+    slo_slowdown: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight_us is not None and self.max_inflight_us <= 0:
+            raise ValidationError(
+                f"max_inflight_us must be > 0 or None, got {self.max_inflight_us}"
+            )
+        if self.backoff_us <= 0 or self.backoff_factor < 1.0:
+            raise ValidationError(
+                "backoff_us must be > 0 and backoff_factor >= 1, got "
+                f"{self.backoff_us}/{self.backoff_factor}"
+            )
+        if self.max_backoff_us < self.backoff_us:
+            raise ValidationError(
+                f"max_backoff_us {self.max_backoff_us} below backoff_us "
+                f"{self.backoff_us}"
+            )
+        if self.max_delays < 0:
+            raise ValidationError(f"max_delays must be >= 0, got {self.max_delays}")
+        if self.slo_slowdown <= 0:
+            raise ValidationError(f"slo_slowdown must be > 0, got {self.slo_slowdown}")
+
+    @classmethod
+    def unlimited(cls) -> "ControlConfig":
+        """The structural no-op: infinite credits, no global budget, no
+        eviction. Guaranteed bit-identical to an uncontrolled run."""
+        return cls(
+            default_quota=TenantQuota(),
+            max_inflight_us=None,
+            evict_on_overload=False,
+        )
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict handed back to the engine."""
+
+    action: str  # "accept" | "delay" | "shed"
+    retry_at_us: float = 0.0
+    evict_jids: tuple[int, ...] = ()
+    reason: str = ""
+    #: How many delays the job has absorbed so far (event provenance).
+    attempt: int = 0
+    #: The job's estimated work in µs (event provenance).
+    cost_us: float = 0.0
+
+
+class JobRecord:
+    """Mutable per-job control state (internal to the plane)."""
+
+    __slots__ = (
+        "jid", "name", "tenant", "qos", "arrival_us", "n_tasks", "cost_us",
+        "status", "n_delays", "first_decided_us", "admitted_us", "settled_us",
+        "remaining_us", "n_left", "n_cancelled", "shed_reason", "admit_seq",
+    )
+
+    def __init__(self, jid, name, tenant, qos, arrival_us, n_tasks, cost_us):
+        self.jid = jid
+        self.name = name
+        self.tenant = tenant
+        self.qos = qos
+        self.arrival_us = arrival_us
+        self.n_tasks = n_tasks
+        self.cost_us = cost_us
+        #: pending -> admitted -> done, or pending -> shed,
+        #: or admitted -> evicted.
+        self.status = "pending"
+        self.n_delays = 0
+        self.first_decided_us: float | None = None
+        self.admitted_us: float | None = None
+        self.settled_us: float | None = None
+        self.remaining_us = 0.0
+        self.n_left = n_tasks
+        self.n_cancelled = 0
+        self.shed_reason = ""
+        self.admit_seq = -1
+
+
+class ControlPlane:
+    """Stateful admission controller bound to one engine run.
+
+    The engine calls :meth:`begin_run` once (costing every job from the
+    run's perf model), :meth:`decide` each time the reveal pointer hits
+    an undecided job, and :meth:`on_task_done` /
+    :meth:`on_task_cancelled` as tasks settle. :meth:`audit` re-derives
+    the credit-conservation invariants for :mod:`repro.check`.
+    """
+
+    def __init__(self, config: ControlConfig | None = None) -> None:
+        self.config = config if config is not None else ControlConfig()
+        self.accountant = QuotaAccountant(
+            self.config.quotas, self.config.default_quota
+        )
+        self._records: dict[int, JobRecord] = {}
+        self._rec_of_tid: dict[int, JobRecord] = {}
+        self._cost_of_tid: dict[int, float] = {}
+        self.inflight_us = 0.0
+        self._admit_seq = 0
+        self.n_arrived = 0
+        self.n_delays_total = 0
+        self._violations: list[str] = []
+
+    # -- run lifecycle -----------------------------------------------------
+
+    def begin_run(
+        self,
+        program: "StreamProgram",
+        perfmodel: "PerfModel",
+        archs: Sequence[str],
+    ) -> None:
+        """Bind one merged stream: cost every job as Σ min-arch δ(t)."""
+        self.accountant = QuotaAccountant(
+            self.config.quotas, self.config.default_quota
+        )
+        self._records.clear()
+        self._rec_of_tid.clear()
+        self._cost_of_tid.clear()
+        self.inflight_us = 0.0
+        self._admit_seq = 0
+        self.n_arrived = 0
+        self.n_delays_total = 0
+        self._violations = []
+        archs = tuple(archs)
+        for span in program.jobs:
+            cost = 0.0
+            rec = JobRecord(
+                span.jid, span.name, span.tenant,
+                getattr(span, "qos", "burstable"),
+                span.arrival_us, span.n_tasks, 0.0,
+            )
+            for tid in range(span.first_tid, span.first_tid + span.n_tasks):
+                task = program.tasks[tid]
+                dmin = min(
+                    perfmodel.estimate(task, a) for a in archs if task.can_exec(a)
+                )
+                cost += dmin
+                self._cost_of_tid[tid] = dmin
+                self._rec_of_tid[tid] = rec
+            rec.cost_us = cost
+            self._records[span.jid] = rec
+
+    # -- the decision ------------------------------------------------------
+
+    def decide(self, jid: int, now: float) -> Decision:
+        """Admission verdict for job ``jid`` at virtual time ``now``."""
+        cfg = self.config
+        rec = self._records[jid]
+        if rec.first_decided_us is None:
+            rec.first_decided_us = now
+            self.n_arrived += 1
+        cost = rec.cost_us
+        fits = (
+            cfg.max_inflight_us is None
+            or self.inflight_us + cost <= cfg.max_inflight_us + 1e-9
+        )
+        if rec.qos == "guaranteed":
+            evict: tuple[int, ...] = ()
+            if not fits and cfg.evict_on_overload:
+                evict = self._pick_evictions(cost, now)
+            self._admit(rec, now)
+            return Decision(
+                "accept", evict_jids=evict, attempt=rec.n_delays, cost_us=cost
+            )
+        affordable = self.accountant.can_afford(rec.tenant, cost, now)
+        if affordable and fits:
+            self._admit(rec, now)
+            return Decision("accept", attempt=rec.n_delays, cost_us=cost)
+        reason = "quota" if not affordable else "budget"
+        if rec.qos == "burstable" and rec.n_delays < cfg.max_delays:
+            backoff = min(
+                cfg.max_backoff_us,
+                cfg.backoff_us * cfg.backoff_factor ** rec.n_delays,
+            )
+            rec.n_delays += 1
+            self.n_delays_total += 1
+            return Decision(
+                "delay", retry_at_us=now + backoff, reason=reason,
+                attempt=rec.n_delays, cost_us=cost,
+            )
+        self._shed(rec, now, reason)
+        return Decision("shed", reason=rec.shed_reason)
+
+    def _admit(self, rec: JobRecord, now: float) -> None:
+        self.accountant.charge(rec.tenant, rec.cost_us, now)
+        rec.status = "admitted"
+        rec.admitted_us = now
+        rec.remaining_us = rec.cost_us
+        rec.admit_seq = self._admit_seq
+        self._admit_seq += 1
+        self.inflight_us += rec.cost_us
+
+    def _shed(self, rec: JobRecord, now: float, reason: str) -> None:
+        if rec.qos == "guaranteed":  # structurally unreachable; audited anyway
+            self._violations.append(
+                f"guaranteed job j{rec.jid} ({rec.tenant}) was shed ({reason})"
+            )
+        rec.status = "shed"
+        rec.settled_us = now
+        rec.shed_reason = (
+            f"{reason}-exhausted-after-{rec.n_delays}-delays"
+            if rec.n_delays else reason
+        )
+
+    def _pick_evictions(self, cost_needed: float, now: float) -> tuple[int, ...]:
+        """Evict best-effort jobs (newest admission first) until the
+        incoming guaranteed job fits the global budget."""
+        cfg = self.config
+        assert cfg.max_inflight_us is not None
+        headroom = cfg.max_inflight_us - self.inflight_us
+        victims = [
+            r for r in self._records.values()
+            if r.status == "admitted" and r.qos == "best-effort"
+            and r.remaining_us > 0.0
+        ]
+        victims.sort(key=lambda r: r.admit_seq, reverse=True)
+        chosen: list[int] = []
+        for rec in victims:
+            if headroom + 1e-9 >= cost_needed:
+                break
+            headroom += rec.remaining_us
+            self._evict(rec, now)
+            chosen.append(rec.jid)
+        return tuple(chosen)
+
+    def _evict(self, rec: JobRecord, now: float) -> None:
+        self.inflight_us -= rec.remaining_us
+        if self.inflight_us < 1e-9:
+            self.inflight_us = 0.0
+        rec.remaining_us = 0.0
+        rec.status = "evicted"
+        rec.settled_us = now
+
+    # -- task settlement ---------------------------------------------------
+
+    def on_task_done(self, tid: int, now: float) -> None:
+        """A task of a controlled job completed."""
+        rec = self._rec_of_tid.get(tid)
+        if rec is None:
+            return
+        rec.n_left -= 1
+        if rec.status == "admitted":
+            cost = self._cost_of_tid[tid]
+            rec.remaining_us = max(0.0, rec.remaining_us - cost)
+            self.inflight_us = max(0.0, self.inflight_us - cost)
+            if rec.n_left == 0:
+                rec.status = "done"
+                rec.settled_us = now
+        # Evicted jobs' already-running tasks drain without accounting:
+        # their remaining work was returned to the budget at eviction.
+
+    def on_task_cancelled(self, tid: int, now: float) -> None:
+        """A task of a controlled job was cancelled (shed or evicted)."""
+        rec = self._rec_of_tid.get(tid)
+        if rec is None:
+            return
+        rec.n_left -= 1
+        rec.n_cancelled += 1
+
+    # -- reporting & auditing ----------------------------------------------
+
+    def records(self) -> tuple[JobRecord, ...]:
+        """Every job's control record, in jid order."""
+        return tuple(self._records[j] for j in sorted(self._records))
+
+    def counters(self) -> dict[str, int]:
+        """Aggregate decision counters."""
+        by_status: dict[str, int] = {}
+        for rec in self._records.values():
+            by_status[rec.status] = by_status.get(rec.status, 0) + 1
+        return {
+            "arrived": self.n_arrived,
+            "admitted": (
+                by_status.get("admitted", 0) + by_status.get("done", 0)
+                + by_status.get("evicted", 0)
+            ),
+            "completed": by_status.get("done", 0),
+            "rejected": by_status.get("shed", 0),
+            "evicted": by_status.get("evicted", 0),
+            "delays": self.n_delays_total,
+            "pending": by_status.get("pending", 0),
+        }
+
+    def audit(self) -> list[str]:
+        """Credit-conservation invariants, re-derived from scratch.
+
+        * every decided job is admitted, shed, or pending another delay
+          (``arrived == admitted + rejected + delayed``);
+        * evicted/completed jobs were admitted first (status machine);
+        * the in-flight gauge equals the sum of admitted jobs' remaining
+          work;
+        * no guaranteed job was ever shed;
+        * no token bucket exceeds its burst capacity.
+        """
+        out = list(self._violations)
+        n_seen = n_admitted = n_shed = n_pending = 0
+        inflight = 0.0
+        for rec in self._records.values():
+            if rec.first_decided_us is None:
+                continue
+            n_seen += 1
+            if rec.status in ("admitted", "done", "evicted"):
+                n_admitted += 1
+            elif rec.status == "shed":
+                n_shed += 1
+                if rec.qos == "guaranteed":
+                    out.append(
+                        f"guaranteed job j{rec.jid} has status 'shed'"
+                    )
+            elif rec.status == "pending":
+                n_pending += 1
+                if rec.n_delays == 0:
+                    out.append(
+                        f"job j{rec.jid} was decided but is pending with "
+                        f"no delay recorded: the decision leaked"
+                    )
+            else:
+                out.append(f"job j{rec.jid} has unknown status {rec.status!r}")
+            if rec.status == "admitted":
+                inflight += rec.remaining_us
+            if rec.n_left < 0 or rec.n_cancelled > rec.n_tasks:
+                out.append(
+                    f"job j{rec.jid} task accounting corrupt: n_left="
+                    f"{rec.n_left}, n_cancelled={rec.n_cancelled}/{rec.n_tasks}"
+                )
+        if n_seen != n_admitted + n_shed + n_pending:
+            out.append(
+                f"credit conservation broken: {n_seen} decided jobs != "
+                f"{n_admitted} admitted + {n_shed} shed + {n_pending} delayed"
+            )
+        if n_seen != self.n_arrived:
+            out.append(
+                f"arrival counter {self.n_arrived} disagrees with "
+                f"{n_seen} first-decided records"
+            )
+        if not math.isinf(inflight) and abs(inflight - self.inflight_us) > max(
+            1e-6, 1e-9 * abs(inflight)
+        ):
+            out.append(
+                f"in-flight gauge {self.inflight_us:.3f}us diverges from the "
+                f"sum of admitted jobs' remaining work {inflight:.3f}us"
+            )
+        cfg = self.config
+        if cfg.max_inflight_us is not None and self.inflight_us > (
+            cfg.max_inflight_us + 1e-6
+        ):
+            # Only guaranteed overdraft may exceed the budget; verify the
+            # excess is attributable to guaranteed jobs.
+            g_work = sum(
+                r.remaining_us for r in self._records.values()
+                if r.status == "admitted" and r.qos == "guaranteed"
+            )
+            if self.inflight_us - g_work > cfg.max_inflight_us + 1e-6:
+                out.append(
+                    f"in-flight work {self.inflight_us:.1f}us exceeds the "
+                    f"budget {cfg.max_inflight_us:.1f}us beyond what "
+                    f"guaranteed-class overdraft ({g_work:.1f}us) explains"
+                )
+        out.extend(self.accountant.audit())
+        return out
+
+
+def default_overload_config(
+    *,
+    tenants: Sequence[str],
+    sustainable_work_per_s: float,
+    share: float = 1.0,
+    burst_jobs: float = 2.0,
+    job_cost_us: float = 1.0,
+    max_inflight_jobs: float = 8.0,
+    slo_slowdown: float = 4.0,
+) -> ControlConfig:
+    """A reasonable config for overload experiments.
+
+    Each tenant gets ``share / len(tenants)`` of the node's sustainable
+    service rate (``sustainable_work_per_s``, task-seconds of work per
+    second) and a burst of ``burst_jobs`` typical jobs; the global
+    budget carries ``max_inflight_jobs`` typical jobs of estimated work.
+    """
+    if not tenants:
+        raise ValidationError("default_overload_config needs >= 1 tenant")
+    per_tenant = TenantQuota(
+        rate=share * sustainable_work_per_s / len(tenants),
+        burst=max(1e-6, burst_jobs * job_cost_us / 1e6),
+    )
+    return ControlConfig(
+        default_quota=per_tenant,
+        max_inflight_us=max_inflight_jobs * job_cost_us,
+        slo_slowdown=slo_slowdown,
+    )
+
+
+__all__ = [
+    "QOS_CLASSES",
+    "ControlConfig",
+    "ControlPlane",
+    "Decision",
+    "JobRecord",
+    "default_overload_config",
+]

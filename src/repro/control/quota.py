@@ -1,0 +1,127 @@
+"""Per-tenant token-bucket credit accounting.
+
+Admitted work is charged in *work-µs*: the sum over a job's tasks of
+the best-architecture execution estimate δ_min(t) from the run's
+:class:`~repro.runtime.perfmodel.PerfModel`. A tenant's bucket refills
+at ``rate`` task-seconds of work per second of virtual time — i.e.
+``rate`` is directly "how many workers' worth of service this tenant
+may consume in steady state" — up to a capacity of ``burst``
+task-seconds. The default quota is infinite on both axes, which makes
+the accountant a structural no-op (every job affordable, balance never
+finite), the property the control plane's bit-identity guarantee rests
+on.
+
+Guaranteed-class jobs may drive a balance negative (overdraft): the
+admission policy in :mod:`repro.control.plane` always admits them and
+lets the debt throttle the tenant's burstable traffic instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.utils.validation import ValidationError
+
+#: Work-µs per task-second (quota rates/bursts are stated in task-seconds).
+_US_PER_TASK_S = 1e6
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's credit contract.
+
+    ``rate`` is in task-seconds of admitted work per second of virtual
+    time; ``burst`` is the bucket capacity in task-seconds. Infinity
+    (the default) on either axis means "unmetered".
+    """
+
+    rate: float = math.inf
+    burst: float = math.inf
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.rate) or self.rate < 0:
+            raise ValidationError(f"quota rate must be >= 0, got {self.rate}")
+        if math.isnan(self.burst) or self.burst <= 0:
+            raise ValidationError(f"quota burst must be > 0, got {self.burst}")
+
+    @property
+    def unmetered(self) -> bool:
+        """Whether this quota can never deny admission."""
+        return math.isinf(self.burst)
+
+    @property
+    def burst_us(self) -> float:
+        """Bucket capacity in work-µs."""
+        return self.burst * _US_PER_TASK_S
+
+
+class QuotaAccountant:
+    """Token buckets over virtual time, one per tenant.
+
+    Buckets are created lazily at a tenant's first sighting, full.
+    ``now`` arguments are the engine's virtual clock in µs; refills are
+    computed lazily from the elapsed gap, so the accountant costs one
+    dict lookup per admission decision regardless of tenant count.
+    """
+
+    def __init__(
+        self,
+        quotas: Mapping[str, TenantQuota] | None = None,
+        default: TenantQuota | None = None,
+    ) -> None:
+        self.quotas: dict[str, TenantQuota] = dict(quotas or {})
+        self.default = default if default is not None else TenantQuota()
+        self._balance_us: dict[str, float] = {}
+        self._last_refill_us: dict[str, float] = {}
+
+    def quota_of(self, tenant: str) -> TenantQuota:
+        """The tenant's contract (the default when none was configured)."""
+        return self.quotas.get(tenant, self.default)
+
+    def balance_us(self, tenant: str, now: float) -> float:
+        """Current credit in work-µs, after refilling up to ``now``."""
+        quota = self.quota_of(tenant)
+        bal = self._balance_us.get(tenant)
+        if bal is None:
+            bal = quota.burst_us
+            self._balance_us[tenant] = bal
+            self._last_refill_us[tenant] = now
+            return bal
+        dt = now - self._last_refill_us[tenant]
+        self._last_refill_us[tenant] = now
+        if dt > 0.0 and not math.isinf(bal):
+            # rate task-s/s == work-µs per elapsed µs.
+            bal = min(quota.burst_us, bal + quota.rate * dt)
+            self._balance_us[tenant] = bal
+        return bal
+
+    def can_afford(self, tenant: str, cost_us: float, now: float) -> bool:
+        """Whether ``tenant`` has credit for ``cost_us`` of work."""
+        return self.balance_us(tenant, now) + 1e-9 >= cost_us
+
+    def charge(self, tenant: str, cost_us: float, now: float) -> float:
+        """Deduct ``cost_us`` (may overdraft); returns the new balance."""
+        bal = self.balance_us(tenant, now)
+        if math.isinf(bal):
+            return bal
+        bal -= cost_us
+        self._balance_us[tenant] = bal
+        return bal
+
+    def tenants(self) -> tuple[str, ...]:
+        """Tenants with a live bucket, in first-sighting order."""
+        return tuple(self._balance_us)
+
+    def audit(self) -> list[str]:
+        """Internal-consistency check: no bucket above its capacity."""
+        out: list[str] = []
+        for tenant, bal in self._balance_us.items():
+            cap = self.quota_of(tenant).burst_us
+            if not math.isinf(bal) and bal > cap + 1e-6:
+                out.append(
+                    f"tenant {tenant!r} balance {bal:.1f}us exceeds its "
+                    f"burst capacity {cap:.1f}us"
+                )
+        return out

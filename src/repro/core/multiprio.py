@@ -108,6 +108,7 @@ class MultiPrio(Scheduler):
         self._n_rejections = 0
         self._n_stale_discards = 0
         self._n_task_failures = 0
+        self._n_retractions = 0
         # Drain-adjusted best-remaining-work per best arch, memoized
         # between BRW mutations (cleared in push/_take/on_worker_failed).
         self._brw_memo: dict[str, float] = {}
@@ -130,6 +131,7 @@ class MultiPrio(Scheduler):
         self._n_rejections = 0
         self._n_stale_discards = 0
         self._n_task_failures = 0
+        self._n_retractions = 0
         self._brw_memo = {}
         self._stable_deltas = bool(getattr(ctx.perfmodel, "stable_estimates", False))
         for node in ctx.platform.nodes:
@@ -397,6 +399,21 @@ class MultiPrio(Scheduler):
         (its duplicates were already invalidated when it was taken)."""
         self._n_task_failures += 1
 
+    def retract(self, task: Task) -> bool:
+        """Withdraw a READY task for a control-plane eviction.
+
+        Reuses the exact take path: the task's heap entries are
+        tombstoned (``HeapEntry.dead``) and its best-remaining-work
+        contribution is released, so every counter the self-check audits
+        stays consistent — a retraction is indistinguishable from a pop
+        that never executes.
+        """
+        if task.state is not TaskState.READY or task.sched.get("mp_taken", False):
+            return False
+        self._take(task)
+        self._n_retractions += 1
+        return True
+
     def on_worker_failed(self, worker: Worker) -> list[Task]:
         """Drop the dead worker's node heap once its last worker dies.
 
@@ -554,6 +571,7 @@ class MultiPrio(Scheduler):
             "pop_rejections": float(self._n_rejections),
             "stale_discards": float(self._n_stale_discards),
             "task_failures": float(self._n_task_failures),
+            "retractions": float(self._n_retractions),
         }
 
     # -- invariant self-check (repro.check) ---------------------------------

@@ -118,6 +118,61 @@ class JobDone(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class JobAdmitted(Event):
+    """The control plane accepted a job: its estimated work was charged
+    to the tenant's token bucket and the global in-flight budget."""
+
+    kind: ClassVar[str] = "job_admitted"
+
+    jid: int
+    tenant: str
+    qos: str
+    cost_us: float
+    n_delays: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class JobDelayed(Event):
+    """The control plane pushed a job back: its release times were bumped
+    to ``retry_at`` (bounded exponential backoff, attempt ``attempt``)."""
+
+    kind: ClassVar[str] = "job_delayed"
+
+    jid: int
+    tenant: str
+    qos: str
+    retry_at: float
+    attempt: int
+    reason: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class JobRejected(Event):
+    """The control plane shed a job: every task was cancelled before any
+    ran. ``reason`` names the exhausted resource (quota / budget)."""
+
+    kind: ClassVar[str] = "job_rejected"
+
+    jid: int
+    tenant: str
+    qos: str
+    reason: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class JobEvicted(Event):
+    """An admitted job was preempted under overload: its unstarted tasks
+    (``n_cancelled``) were cancelled; already-running work drains."""
+
+    kind: ClassVar[str] = "job_evicted"
+
+    jid: int
+    tenant: str
+    qos: str
+    n_cancelled: int
+
+
+@dataclass(frozen=True, slots=True)
 class TaskReady(Event):
     """A task's last dependency completed; it was pushed to the scheduler."""
 
@@ -286,6 +341,10 @@ EVENT_TYPES: dict[str, type[Event]] = {
         TaskSubmit,
         JobSubmit,
         JobDone,
+        JobAdmitted,
+        JobDelayed,
+        JobRejected,
+        JobEvicted,
         TaskReady,
         TaskPop,
         TaskStage,

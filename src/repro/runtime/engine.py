@@ -30,7 +30,11 @@ import numpy as np
 
 from repro.obs.bus import Observability
 from repro.obs.events import (
+    JobAdmitted,
+    JobDelayed,
     JobDone,
+    JobEvicted,
+    JobRejected,
     JobSubmit,
     RecordLevel,
     TaskEnd,
@@ -67,6 +71,7 @@ from repro.utils.validation import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.control.plane import ControlPlane
     from repro.runtime.perfmodel import PerfModel
     from repro.schedulers.base import Scheduler
 
@@ -246,6 +251,9 @@ class SimResult:
     events: tuple | None = None
     #: End-of-run metrics snapshot; ``None`` unless ``record_level`` enabled it.
     metrics: MetricsSnapshot | None = None
+    #: Tasks cancelled by the control plane (shed/evicted jobs); 0 when
+    #: no control plane was attached.
+    n_cancelled: int = 0
 
     @property
     def gflops(self) -> float:
@@ -303,6 +311,12 @@ class Simulator:
         ``None`` (default) defers to the ``REPRO_CHECK_INVARIANTS``
         environment variable; when off, the engine performs exactly one
         extra local-variable test per event and stays bit-identical.
+    control_plane:
+        Optional admission controller (:class:`repro.control.ControlPlane`).
+        Requires a merged job-stream program: the reveal loop asks it to
+        accept, delay, or shed each job at its release time, and evicts
+        admitted best-effort jobs' unstarted tasks when it says so.
+        ``None`` (default) keeps the uncontrolled fast path.
     """
 
     def __init__(
@@ -318,6 +332,7 @@ class Simulator:
         fault_model: FaultModel | None = None,
         record_level: RecordLevel | str | int = RecordLevel.OFF,
         check_invariants: bool | None = None,
+        control_plane: "ControlPlane | None" = None,
     ) -> None:
         if submission_window is not None and submission_window < 1:
             raise SchedulingError(
@@ -331,6 +346,7 @@ class Simulator:
         self.pipeline = pipeline
         self.submission_window = submission_window
         self.fault_model = fault_model
+        self.control_plane = control_plane
         if check_invariants is None:
             check_invariants = os.environ.get(
                 "REPRO_CHECK_INVARIANTS", ""
@@ -413,8 +429,30 @@ class Simulator:
         window = self.submission_window
         releases = program.release_times
         revealed = 0
+        n_cancelled = 0  # control-plane cancellations (shed/evicted tasks)
+        n_cxl_rev = 0  # cancelled tasks the reveal pointer has passed
 
         jobs = getattr(program, "jobs", None)
+        control = self.control_plane
+        span_at_tid: dict[int, object] = {}
+        span_by_jid: dict[int, object] = {}
+        if control is not None:
+            if not jobs:
+                raise SchedulingError(
+                    "a control plane needs a merged job-stream program "
+                    "(merge_stream output with job spans); got a plain Program"
+                )
+            # Delay decisions rewrite release times, so the engine works
+            # on a mutable copy; the program's own validated list stays
+            # untouched for the next run.
+            releases = (
+                list(releases) if releases is not None else [0.0] * n_total
+            )
+            for span in jobs:
+                span_at_tid[span.first_tid] = span
+                span_by_jid[span.jid] = span
+            control.begin_run(program, self.perfmodel, ctx.available_archs)
+
         job_track: dict[int, list] | None = None
         if emit is not None and jobs:
             # tid -> [span, n_unfinished] shared per job, for JobSubmit
@@ -425,14 +463,126 @@ class Simulator:
                 for tid in range(span.first_tid, span.first_tid + span.n_tasks):
                     job_track[tid] = entry
 
+        def schedule_request(worker: Worker, now: float) -> None:
+            nonlocal seq
+            if not ctx.is_alive(worker):
+                return
+            if not request_pending[worker.wid]:
+                request_pending[worker.wid] = True
+                heapq.heappush(events, (now, seq, WORKER_REQUEST, worker))
+                seq += 1
+
+        def wake_workers(now: float) -> None:
+            """Wake live workers that could use new work (idle or unstaged)."""
+            for worker in workers:
+                wid = worker.wid
+                if not ctx.is_alive(worker):
+                    continue
+                if current[wid] is None or (pipeline and staged[wid] is None):
+                    schedule_request(worker, now)
+
+        def cancel_job_tasks(span, *, retract_ready: bool) -> int:
+            """Cancel a controlled job's not-yet-started tasks.
+
+            SUBMITTED tasks always cancel; READY tasks only when the
+            scheduler agrees to retract them (eviction path) — RUNNING
+            and staged work is left to drain. Cancellation releases
+            successors exactly like completion does, so cross-job
+            ``after`` chains keep making progress past a shed job.
+            Returns the number of tasks cancelled.
+            """
+            nonlocal n_cancelled, n_cxl_rev
+            victims: list[Task] = []
+            for tid in range(span.first_tid, span.first_tid + span.n_tasks):
+                t = program.tasks[tid]
+                if t.state is TaskState.SUBMITTED:
+                    victims.append(t)
+                elif (
+                    retract_ready
+                    and t.state is TaskState.READY
+                    and scheduler.retract(t)
+                ):
+                    victims.append(t)
+            # Mark every victim first so the release sweep below skips
+            # intra-job edges instead of double-decrementing them.
+            for t in victims:
+                t.state = TaskState.CANCELLED
+            released = False
+            for t in victims:
+                if t.tid < revealed:
+                    n_cxl_rev += 1
+                control.on_task_cancelled(t.tid, ctx.now)
+                for succ in t.succs:
+                    if succ.state is TaskState.CANCELLED:
+                        continue
+                    succ.n_unfinished_preds -= 1
+                    if (
+                        succ.n_unfinished_preds == 0
+                        and succ.tid < revealed
+                        and succ.state is TaskState.SUBMITTED
+                    ):
+                        push_ready(succ)
+                        released = True
+            n_cancelled += len(victims)
+            if released:
+                wake_workers(ctx.now)
+            return len(victims)
+
         def advance_submission() -> None:
-            nonlocal revealed
+            nonlocal revealed, seq, n_cxl_rev
             while revealed < n_total:
-                if window is not None and revealed - n_done >= window:
+                if window is not None and revealed - n_done - n_cxl_rev >= window:
                     break
                 if releases is not None and releases[revealed] > ctx.now:
                     break
                 task = program.tasks[revealed]
+                if task.state is TaskState.CANCELLED:
+                    # Shed/evicted before the STF thread got here: skip
+                    # silently — the job never existed to the scheduler.
+                    revealed += 1
+                    n_cxl_rev += 1
+                    continue
+                if control is not None:
+                    span = span_at_tid.get(revealed)
+                    if span is not None:
+                        decision = control.decide(span.jid, ctx.now)
+                        if decision.action == "delay":
+                            retry_at = decision.retry_at_us
+                            for i in range(
+                                span.first_tid, span.first_tid + span.n_tasks
+                            ):
+                                releases[i] = retry_at
+                            heapq.heappush(
+                                events, (retry_at, seq, JOB_ARRIVAL, None)
+                            )
+                            seq += 1
+                            if emit is not None:
+                                emit(JobDelayed(
+                                    ctx.now, span.jid, span.tenant, span.qos,
+                                    retry_at, decision.attempt, decision.reason,
+                                ))
+                            break
+                        if decision.action == "shed":
+                            cancel_job_tasks(span, retract_ready=False)
+                            if emit is not None:
+                                emit(JobRejected(
+                                    ctx.now, span.jid, span.tenant, span.qos,
+                                    decision.reason,
+                                ))
+                            continue  # the skip branch advances past it
+                        for evict_jid in decision.evict_jids:
+                            espan = span_by_jid[evict_jid]
+                            n_gone = cancel_job_tasks(espan, retract_ready=True)
+                            if emit is not None:
+                                emit(JobEvicted(
+                                    ctx.now, espan.jid, espan.tenant,
+                                    espan.qos, n_gone,
+                                ))
+                        if emit is not None:
+                            emit(JobAdmitted(
+                                ctx.now, span.jid, span.tenant, span.qos,
+                                decision.cost_us, decision.attempt,
+                            ))
                 revealed += 1
                 if emit is not None:
                     if job_track is not None:
@@ -454,15 +604,6 @@ class Simulator:
                 heapq.heappush(events, (arrival_time, seq, JOB_ARRIVAL, None))
                 seq += 1
         advance_submission()
-
-        def schedule_request(worker: Worker, now: float) -> None:
-            nonlocal seq
-            if not ctx.is_alive(worker):
-                return
-            if not request_pending[worker.wid]:
-                request_pending[worker.wid] = True
-                heapq.heappush(events, (now, seq, WORKER_REQUEST, worker))
-                seq += 1
 
         for worker in workers:
             schedule_request(worker, 0.0)
@@ -549,15 +690,6 @@ class Simulator:
             if emit is not None:
                 emit(TaskStage(now, task.tid, worker.wid, arrival))
 
-        def wake_workers(now: float) -> None:
-            """Wake live workers that could use new work (idle or unstaged)."""
-            for worker in workers:
-                wid = worker.wid
-                if not ctx.is_alive(worker):
-                    continue
-                if current[wid] is None or (pipeline and staged[wid] is None):
-                    schedule_request(worker, now)
-
         checker = None
         if self.check_invariants:
             # Deferred import: the default path never loads repro.check.
@@ -575,6 +707,7 @@ class Simulator:
                 fault_active=fault is not None,
                 window=window,
                 releases=releases,
+                control=control,
             )
 
         while events:
@@ -628,10 +761,18 @@ class Simulator:
                         transfers.invalidate_others(handle, node, now)
                         handle._in_flight[node] = now
                 scheduler.on_task_done(task, worker)
+                if control is not None:
+                    control.on_task_done(task.tid, now)
                 released = 0
                 for succ in task.succs:
+                    if succ.state is TaskState.CANCELLED:
+                        continue
                     succ.n_unfinished_preds -= 1
-                    if succ.n_unfinished_preds == 0 and succ.tid < revealed:
+                    if (
+                        succ.n_unfinished_preds == 0
+                        and succ.tid < revealed
+                        and succ.state is TaskState.SUBMITTED
+                    ):
                         push_ready(succ)
                         released += 1
                 if window is not None:
@@ -731,6 +872,7 @@ class Simulator:
                         handle.hid
                         for t in program.tasks
                         if t.state is not TaskState.DONE
+                        and t.state is not TaskState.CANCELLED
                         for handle, mode in t.accesses
                         if mode.is_read
                     }
@@ -751,7 +893,7 @@ class Simulator:
                 # stale, and some tasks may have become unschedulable.
                 if ctx.available_archs != archs_before:
                     for t in program.tasks:
-                        if t.state is TaskState.DONE:
+                        if t.state is TaskState.DONE or t.state is TaskState.CANCELLED:
                             continue
                         t.sched.pop("_best_arch", None)
                         if not any(t.can_exec(a) for a in ctx.available_archs):
@@ -796,7 +938,7 @@ class Simulator:
                     try_stage(worker, now)
 
             # Liveness rescue: nothing in flight but tasks remain.
-            if not events and n_done < n_total:
+            if not events and n_done + n_cancelled < n_total:
                 if any(c is not None for c in current.values()):
                     continue
                 progressed = False
@@ -824,7 +966,10 @@ class Simulator:
                     progressed = True
                 if not progressed:
                     remaining = [
-                        t.name for t in program.tasks if t.state is not TaskState.DONE
+                        t.name
+                        for t in program.tasks
+                        if t.state is not TaskState.DONE
+                        and t.state is not TaskState.CANCELLED
                     ]
                     raise DeadlockError(
                         f"simulation stalled with {len(remaining)} unfinished tasks "
@@ -833,16 +978,21 @@ class Simulator:
                         f"scheduler stats: {scheduler.stats()!r}"
                     )
 
-        if n_done != n_total:
+        if n_done + n_cancelled != n_total:
             raise DeadlockError(
-                f"event queue drained with {n_total - n_done} unfinished tasks; "
-                f"scheduler {scheduler.name!r} stats: {scheduler.stats()!r}"
+                f"event queue drained with {n_total - n_done - n_cancelled} "
+                f"unfinished tasks; scheduler {scheduler.name!r} stats: "
+                f"{scheduler.stats()!r}"
             )
         if checker is not None:
             checker.validate(ctx.now, revealed, n_done)
 
         makespan = max(
-            (task.sched["_record"][3] for task in program.tasks),
+            (
+                task.sched["_record"][3]
+                for task in program.tasks
+                if "_record" in task.sched  # cancelled tasks never ran
+            ),
             default=0.0,
         )
         idle_by_arch: dict[str, float] = {}
@@ -877,6 +1027,7 @@ class Simulator:
             faults=faults,
             events=tuple(obs.events) if obs is not None else None,
             metrics=obs.snapshot(makespan) if obs is not None else None,
+            n_cancelled=n_cancelled,
         )
 
     # -- validation ----------------------------------------------------------

@@ -42,12 +42,20 @@ class AccessMode(enum.IntEnum):
 
 
 class TaskState(enum.IntEnum):
-    """Lifecycle of a task inside the simulator."""
+    """Lifecycle of a task inside the simulator.
+
+    ``CANCELLED`` is terminal like ``DONE`` but means the task never
+    executed: the control plane (:mod:`repro.control`) shed its job at
+    admission or evicted its job's unstarted work under overload. Only
+    controlled runs ever produce it — the classic engine path uses the
+    first four states exclusively.
+    """
 
     SUBMITTED = 0
     READY = 1
     RUNNING = 2
     DONE = 3
+    CANCELLED = 4
 
 
 class Task:

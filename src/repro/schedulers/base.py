@@ -66,6 +66,19 @@ class Scheduler:
     def on_task_done(self, task: Task, worker: Worker) -> None:
         """Called when a task completes (before successors are pushed)."""
 
+    def retract(self, task: Task) -> bool:
+        """Withdraw a READY task the policy holds (control-plane eviction).
+
+        The engine calls this when the control plane evicts a job whose
+        tasks were already pushed: a policy that can cleanly remove (or
+        tombstone) its queue entries returns ``True`` and the engine
+        cancels the task; returning ``False`` (the default) leaves the
+        task to run — only unrevealed work of the job is cancelled then.
+        A ``True`` return means the policy will never hand this task to
+        a worker again.
+        """
+        return False
+
     def on_task_failed(self, task: Task, worker: Worker) -> None:
         """A transient fault aborted ``task`` on ``worker``.
 

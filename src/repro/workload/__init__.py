@@ -10,6 +10,7 @@ release times, and run under any registered scheduler unmodified. See
 from repro.workload.merge import JobSpan, StreamProgram, merge_stream
 from repro.workload.results import JobResult, StreamResult
 from repro.workload.stream import (
+    QOS_CLASSES,
     Job,
     JobStream,
     closed_loop_stream,
@@ -18,6 +19,7 @@ from repro.workload.stream import (
 )
 
 __all__ = [
+    "QOS_CLASSES",
     "Job",
     "JobStream",
     "JobSpan",

@@ -42,6 +42,7 @@ class JobSpan:
     arrival_us: float
     first_tid: int
     n_tasks: int
+    qos: str = "burstable"
 
 
 class StreamProgram(Program):
@@ -120,6 +121,7 @@ def merge_stream(stream: JobStream) -> StreamProgram:
             arrival_us=job.arrival_us,
             first_tid=first_tid,
             n_tasks=len(prog.tasks),
+            qos=job.qos,
         ))
 
     for t in tasks:

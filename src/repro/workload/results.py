@@ -15,9 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.analysis.stats import jain_fairness_index
+from repro.analysis.stats import jain_fairness_index, percentile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.result import ControlResult
     from repro.runtime.engine import SimResult
 
 
@@ -75,20 +76,27 @@ class JobResult:
 
 
 def _p95(values: list[float]) -> float:
-    ordered = sorted(values)
-    idx = max(0, round(0.95 * len(ordered)) - 1)
-    return ordered[idx]
+    """Nearest-rank p95, safe on empty/singleton inputs (0.0 when empty)."""
+    return percentile(values, 0.95)
 
 
 @dataclass
 class StreamResult:
-    """Outcome of one stream simulation: per-job results + the raw run."""
+    """Outcome of one stream simulation: per-job results + the raw run.
+
+    ``jobs`` holds the *completed* jobs only — under a control plane
+    (``control`` is then set) rejected and evicted jobs never finish, so
+    an all-rejected run carries an empty list. Every aggregate below is
+    defined (and NaN-free) for any job count, including zero.
+    """
 
     stream_name: str
     machine: str
     scheduler: str
     jobs: list[JobResult]
     sim: "SimResult" = field(repr=False)
+    #: Admission/eviction outcome; ``None`` for uncontrolled runs.
+    control: "ControlResult | None" = None
 
     @property
     def makespan_us(self) -> float:
@@ -104,6 +112,8 @@ class StreamResult:
 
     @property
     def mean_latency_us(self) -> float:
+        if not self.jobs:
+            return 0.0
         return sum(j.latency_us for j in self.jobs) / len(self.jobs)
 
     @property
@@ -111,7 +121,13 @@ class StreamResult:
         return _p95([j.latency_us for j in self.jobs])
 
     @property
+    def p99_latency_us(self) -> float:
+        return percentile([j.latency_us for j in self.jobs], 0.99)
+
+    @property
     def mean_queueing_us(self) -> float:
+        if not self.jobs:
+            return 0.0
         return sum(j.queueing_us for j in self.jobs) / len(self.jobs)
 
     @property
@@ -139,6 +155,23 @@ class StreamResult:
         if vals is None:
             vals = [j.latency_us for j in self.jobs]
         return jain_fairness_index(vals)
+
+    @property
+    def tenant_fairness(self) -> float:
+        """Jain index over per-tenant mean slowdowns (mean latencies
+        when baselines were skipped): how evenly *tenants* — rather than
+        individual jobs — shared the node. 1.0 for zero or one tenant."""
+        grouped: dict[str, list[JobResult]] = {}
+        for job in self.jobs:
+            grouped.setdefault(job.tenant, []).append(job)
+        means: list[float] = []
+        for mine in grouped.values():
+            slows = [j.slowdown for j in mine]
+            if slows and all(s is not None for s in slows):
+                means.append(sum(slows) / len(slows))  # type: ignore[arg-type]
+            else:
+                means.append(sum(j.latency_us for j in mine) / len(mine))
+        return jain_fairness_index(means)
 
     def per_tenant(self) -> dict[str, dict[str, float]]:
         """Per-tenant aggregates: job count, mean latency/queueing, and
@@ -171,9 +204,12 @@ class StreamResult:
             "mean_latency_us": self.mean_latency_us,
             "p95_latency_us": self.p95_latency_us,
             "mean_queueing_us": self.mean_queueing_us,
+            "p99_latency_us": self.p99_latency_us,
             "mean_slowdown": self.mean_slowdown,
             "max_slowdown": self.max_slowdown,
             "fairness": self.fairness,
+            "tenant_fairness": self.tenant_fairness,
             "per_tenant": self.per_tenant(),
+            "control": self.control.as_dict() if self.control else None,
             "jobs": [j.as_dict() for j in self.jobs],
         }

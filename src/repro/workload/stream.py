@@ -21,6 +21,7 @@ Three generators cover the usual arrival regimes:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -33,6 +34,13 @@ from repro.utils.validation import ValidationError
 #: objects between jobs — the merge copies them, but isolated-baseline
 #: runs re-simulate the originals).
 ProgramFactory = Callable[[], Program]
+
+#: Priority classes the control plane (:mod:`repro.control`) honours:
+#: ``guaranteed`` jobs are always admitted (evicting best-effort work
+#: under overload if needed), ``burstable`` jobs may be delayed before
+#: being shed, ``best-effort`` jobs are shed on the first refusal and
+#: evicted first. Without a control plane the class is inert metadata.
+QOS_CLASSES: tuple[str, ...] = ("guaranteed", "burstable", "best-effort")
 
 
 @dataclass(frozen=True)
@@ -51,6 +59,7 @@ class Job:
     tenant: str = "default"
     name: str = ""
     after: int | None = None
+    qos: str = "burstable"
 
     @property
     def label(self) -> str:
@@ -66,19 +75,28 @@ class JobStream:
     jobs: tuple[Job, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValidationError(
+                f"stream {self.name!r} has no jobs; a JobStream must carry "
+                f"at least one"
+            )
         seen: set[int] = set()
         prev_arrival = 0.0
         prev_jid = -1
         for i, job in enumerate(self.jobs):
-            if job.jid <= prev_jid:
+            if job.jid in seen or job.jid <= prev_jid:
                 # Increasing jids + non-decreasing arrivals make stream
                 # order and the merge's (arrival, jid) order coincide,
                 # so `after` edges always point backward.
                 raise ValidationError(
-                    f"job ids must be strictly increasing: {job.jid} "
-                    f"follows {prev_jid}"
+                    f"job ids must be strictly increasing (and unique): "
+                    f"{job.jid} follows {prev_jid}"
                 )
             prev_jid = job.jid
+            if not math.isfinite(job.arrival_us):
+                raise ValidationError(
+                    f"{job.label} has a non-finite arrival time {job.arrival_us}"
+                )
             if job.arrival_us < 0:
                 raise ValidationError(
                     f"{job.label} has a negative arrival time {job.arrival_us}"
@@ -90,6 +108,11 @@ class JobStream:
                 )
             if not len(job.program):
                 raise ValidationError(f"{job.label} has an empty program")
+            if job.qos not in QOS_CLASSES:
+                raise ValidationError(
+                    f"{job.label} has unknown qos class {job.qos!r}; expected "
+                    f"one of {QOS_CLASSES}"
+                )
             if job.after is not None and job.after not in seen:
                 raise ValidationError(
                     f"{job.label} chains after job {job.after}, which does "
@@ -144,6 +167,7 @@ def poisson_stream(
     n_jobs: int,
     seed: int = 0,
     tenants: Sequence[str] = ("tenant0",),
+    qos: Sequence[str] | None = None,
     name: str = "poisson",
 ) -> JobStream:
     """Open-loop Poisson arrivals over round-robin program builders.
@@ -152,7 +176,10 @@ def poisson_stream(
     µs, drawn from a :class:`numpy.random.SeedSequence`-seeded generator
     so the stream is reproducible and independent of the engine's
     execution-noise RNG. Builders and tenants rotate round-robin, which
-    keeps the workload mix deterministic under any rate.
+    keeps the workload mix deterministic under any rate. ``qos`` (when
+    given) assigns priority classes *per tenant* — tenant ``k`` gets
+    ``qos[k % len(qos)]`` — so each tenant's class is stable across the
+    stream.
     """
     if rate_jobs_per_s <= 0:
         raise ValidationError(f"rate_jobs_per_s must be > 0, got {rate_jobs_per_s}")
@@ -168,12 +195,14 @@ def poisson_stream(
         # The first job lands at t=0 so every stream exercises a cold start.
         clock += float(gaps[i]) if i else 0.0
         job_name, factory = named[i % len(named)]
+        tenant_idx = i % len(tenants)
         jobs.append(Job(
             jid=i,
             arrival_us=clock,
             program=factory(),
-            tenant=tenants[i % len(tenants)],
+            tenant=tenants[tenant_idx],
             name=job_name,
+            qos=qos[tenant_idx % len(qos)] if qos else "burstable",
         ))
     return JobStream(name=name, jobs=tuple(jobs))
 
@@ -220,21 +249,37 @@ def closed_loop_stream(
 
 
 def trace_stream(
-    entries: Iterable[tuple[float, Program, str]],
+    entries: Iterable[tuple],
     *,
     name: str = "trace",
 ) -> JobStream:
     """A stream replayed from explicit ``(arrival_us, program, tenant)``
-    entries; entries are stably sorted by arrival time."""
-    ordered = sorted(enumerate(entries), key=lambda e: (e[1][0], e[0]))
+    or ``(arrival_us, program, tenant, qos)`` entries; entries are
+    stably sorted by arrival time.
+
+    Raises :class:`~repro.utils.validation.ValidationError` on an empty
+    trace, malformed entries, non-finite or negative arrivals — the
+    same typed errors :class:`JobStream` itself enforces.
+    """
+    materialized = list(entries)
+    if not materialized:
+        raise ValidationError(f"trace stream {name!r} has no entries")
+    for entry in materialized:
+        if not isinstance(entry, tuple) or len(entry) not in (3, 4):
+            raise ValidationError(
+                f"trace entries must be (arrival_us, program, tenant[, qos]) "
+                f"tuples, got {entry!r}"
+            )
+    ordered = sorted(enumerate(materialized), key=lambda e: (e[1][0], e[0]))
     jobs = tuple(
         Job(
             jid=i,
-            arrival_us=float(arrival),
-            program=program,
-            tenant=tenant,
-            name=program.name,
+            arrival_us=float(entry[0]),
+            program=entry[1],
+            tenant=entry[2],
+            name=entry[1].name,
+            qos=entry[3] if len(entry) == 4 else "burstable",
         )
-        for i, (_, (arrival, program, tenant)) in enumerate(ordered)
+        for i, (_, entry) in enumerate(ordered)
     )
     return JobStream(name=name, jobs=jobs)

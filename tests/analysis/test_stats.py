@@ -1,8 +1,17 @@
 """Statistics helper tests."""
 
-import pytest
+import math
 
-from repro.analysis.stats import geometric_mean, load_balance_index, summarize_results
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    geometric_mean,
+    jain_fairness_index,
+    load_balance_index,
+    percentile,
+    summarize_results,
+)
 from repro.experiments.harness import ExperimentResult
 
 
@@ -42,6 +51,69 @@ class TestLoadBalance:
     def test_degenerate(self):
         assert load_balance_index([]) == 1.0
         assert load_balance_index([0.0, 0.0]) == 1.0
+
+
+class TestPercentile:
+    def test_empty_population_is_zero_not_nan(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_singleton_returns_its_element_at_any_q(self):
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert percentile([7.0], q) == 7.0
+
+    def test_nearest_rank_on_known_population(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 0.5) == 50
+        assert percentile(values, 0.95) == 95
+        assert percentile(values, 1.0) == 100
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert percentile([30.0, 10.0, 20.0], 1.0) == 30.0
+
+    @pytest.mark.parametrize("q", [-0.1, 1.5, math.nan])
+    def test_fraction_out_of_range_rejected(self, q):
+        with pytest.raises(ValueError):
+            percentile([1.0], q)
+
+    @given(st.lists(st.floats(0.0, 1e9), min_size=1, max_size=50))
+    def test_result_is_always_a_member(self, values):
+        assert percentile(values, 0.99) in values
+
+
+class TestJainFairness:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_monopoly_degrades_to_one_over_n(self):
+        assert jain_fairness_index([9.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+
+    def test_all_zero_and_empty_are_fair_by_convention(self):
+        assert jain_fairness_index([]) == 1.0
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness_index([1.0, -1.0])
+
+    @given(st.lists(st.floats(1e-3, 1e6), min_size=1, max_size=40))
+    def test_bounded_between_one_over_n_and_one(self, values):
+        idx = jain_fairness_index(values)
+        assert 1.0 / len(values) - 1e-12 <= idx <= 1.0 + 1e-12
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=2, max_size=20))
+    def test_permutation_invariant(self, values):
+        assert jain_fairness_index(values) == pytest.approx(
+            jain_fairness_index(list(reversed(values)))
+        )
+
+    @given(
+        st.lists(st.floats(1e-3, 1e6), min_size=1, max_size=20),
+        st.floats(1e-3, 1e3),
+    )
+    def test_scale_invariant(self, values, k):
+        assert jain_fairness_index([k * v for v in values]) == pytest.approx(
+            jain_fairness_index(values)
+        )
 
 
 class TestSummarize:

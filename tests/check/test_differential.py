@@ -86,6 +86,7 @@ class TestSuite:
             "determinism.checker", "determinism.record_level",
             "determinism.record_trace", "bounds.makespan",
             "faults.zero_rate", "window.equivalence", "pipeline.bound",
+            "control.noop", "control.noop_ledger",
         }
 
     def test_progress_callback_sees_everything(self):

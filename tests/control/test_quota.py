@@ -1,0 +1,83 @@
+"""Unit tests of the token-bucket accountant (repro.control.quota)."""
+
+import math
+
+import pytest
+
+from repro.control.quota import QuotaAccountant, TenantQuota
+from repro.utils.validation import ValidationError
+
+
+class TestTenantQuota:
+    def test_default_is_unmetered(self):
+        q = TenantQuota()
+        assert q.unmetered
+        assert math.isinf(q.burst_us)
+
+    def test_burst_us_converts_task_seconds(self):
+        assert TenantQuota(rate=1.0, burst=0.5).burst_us == 0.5e6
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": -1.0},
+        {"rate": math.nan},
+        {"burst": 0.0},
+        {"burst": -2.0},
+        {"burst": math.nan},
+    ])
+    def test_invalid_contracts_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            TenantQuota(**kwargs)
+
+
+class TestQuotaAccountant:
+    def test_bucket_starts_full(self):
+        acc = QuotaAccountant(default=TenantQuota(rate=1.0, burst=2.0))
+        assert acc.balance_us("t", now=0.0) == 2.0e6
+
+    def test_refill_is_rate_times_dt_capped_at_burst(self):
+        acc = QuotaAccountant(default=TenantQuota(rate=0.5, burst=2.0))
+        acc.balance_us("t", now=0.0)
+        acc.charge("t", 1.5e6, now=0.0)
+        # 1e6 us later: 0.5e6 + 0.5 * 1e6 = 1.0e6 credits.
+        assert acc.balance_us("t", now=1e6) == pytest.approx(1.0e6)
+        # Far later the bucket caps at burst, never beyond.
+        assert acc.balance_us("t", now=1e9) == pytest.approx(2.0e6)
+
+    def test_can_afford_and_charge(self):
+        acc = QuotaAccountant(default=TenantQuota(rate=0.0, burst=1.0))
+        assert acc.can_afford("t", 1.0e6, now=0.0)
+        acc.charge("t", 1.0e6, now=0.0)
+        assert not acc.can_afford("t", 1.0, now=0.0)
+
+    def test_overdraft_allowed_and_recovers(self):
+        acc = QuotaAccountant(default=TenantQuota(rate=1.0, burst=1.0))
+        bal = acc.charge("t", 3.0e6, now=0.0)
+        assert bal == pytest.approx(-2.0e6)
+        # Refill applies to a negative balance too.
+        assert acc.balance_us("t", now=1e6) == pytest.approx(-1.0e6)
+
+    def test_unmetered_tenant_never_denied(self):
+        acc = QuotaAccountant()
+        assert acc.can_afford("t", 1e18, now=0.0)
+        assert math.isinf(acc.charge("t", 1e18, now=0.0))
+
+    def test_per_tenant_quotas_override_default(self):
+        acc = QuotaAccountant(
+            quotas={"vip": TenantQuota(rate=10.0, burst=10.0)},
+            default=TenantQuota(rate=0.0, burst=1.0),
+        )
+        assert acc.quota_of("vip").rate == 10.0
+        assert acc.quota_of("other").burst == 1.0
+
+    def test_buckets_are_independent(self):
+        acc = QuotaAccountant(default=TenantQuota(rate=0.0, burst=1.0))
+        acc.charge("a", 1.0e6, now=0.0)
+        assert acc.can_afford("b", 1.0e6, now=0.0)
+        assert acc.tenants() == ("a", "b")
+
+    def test_audit_flags_balance_above_burst(self):
+        acc = QuotaAccountant(default=TenantQuota(rate=1.0, burst=1.0))
+        acc.balance_us("t", now=0.0)
+        assert acc.audit() == []
+        acc._balance_us["t"] = 5.0e6  # corrupt on purpose
+        assert any("exceeds" in v for v in acc.audit())

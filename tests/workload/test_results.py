@@ -1,0 +1,75 @@
+"""StreamResult aggregate hardening: NaN-free on degenerate job sets,
+per-tenant fairness grouping."""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+from repro.workload.results import JobResult, StreamResult
+
+
+def job(jid, tenant, arrival, start, end, isolated=None):
+    return JobResult(
+        jid=jid, name=f"j{jid}", tenant=tenant, arrival_us=arrival,
+        start_us=start, end_us=end, n_tasks=1, isolated_us=isolated,
+    )
+
+
+def stream_result(jobs, makespan=100.0):
+    return StreamResult(
+        stream_name="s", machine="m", scheduler="sched",
+        jobs=jobs, sim=SimpleNamespace(makespan=makespan),
+    )
+
+
+class TestDegenerateAggregates:
+    def test_empty_job_set_is_nan_free(self):
+        res = stream_result([])
+        for value in (
+            res.mean_latency_us, res.p95_latency_us, res.p99_latency_us,
+            res.mean_queueing_us, res.fairness, res.tenant_fairness,
+            res.throughput_jobs_per_s,
+        ):
+            assert math.isfinite(value)
+        assert res.mean_slowdown is None
+        assert res.max_slowdown is None
+        assert res.per_tenant() == {}
+
+    def test_singleton_percentiles_equal_the_job(self):
+        res = stream_result([job(0, "t", 0.0, 1.0, 11.0)])
+        assert res.p95_latency_us == res.p99_latency_us == 11.0
+        assert res.mean_latency_us == 11.0
+        assert res.fairness == 1.0
+
+    def test_zero_makespan_throughput_is_zero(self):
+        assert stream_result([], makespan=0.0).throughput_jobs_per_s == 0.0
+
+
+class TestTenantFairness:
+    def test_groups_by_tenant_not_by_job(self):
+        # Tenant "a" runs two jobs with slowdowns 1.0 and 3.0 (mean 2.0);
+        # tenant "b" one job with slowdown 2.0: perfectly fair per
+        # tenant even though per-job slowdowns differ.
+        jobs = [
+            job(0, "a", 0.0, 0.0, 10.0, isolated=10.0),   # slowdown 1.0
+            job(1, "a", 0.0, 0.0, 30.0, isolated=10.0),   # slowdown 3.0
+            job(2, "b", 0.0, 0.0, 20.0, isolated=10.0),   # slowdown 2.0
+        ]
+        res = stream_result(jobs)
+        assert res.tenant_fairness == 1.0
+        assert res.fairness < 1.0
+
+    def test_falls_back_to_latency_without_baselines(self):
+        jobs = [
+            job(0, "a", 0.0, 0.0, 10.0),
+            job(1, "b", 0.0, 0.0, 30.0),
+        ]
+        res = stream_result(jobs)
+        # Jain over per-tenant mean latencies (10, 30).
+        assert res.tenant_fairness < 1.0
+        assert math.isfinite(res.tenant_fairness)
+
+    def test_single_tenant_is_trivially_fair(self):
+        jobs = [job(0, "a", 0.0, 0.0, 10.0), job(1, "a", 0.0, 0.0, 99.0)]
+        assert stream_result(jobs).tenant_fairness == 1.0

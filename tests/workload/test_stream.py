@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.utils.validation import ValidationError
@@ -58,6 +60,29 @@ class TestValidation:
             Job(jid=1, arrival_us=0.0, program=chain()),
         )
         with pytest.raises(ValidationError, match="does not precede"):
+            JobStream(name="s", jobs=jobs)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            JobStream(name="empty", jobs=())
+
+    def test_duplicate_jids_rejected(self):
+        jobs = (
+            Job(jid=0, arrival_us=0.0, program=chain()),
+            Job(jid=0, arrival_us=1.0, program=chain()),
+        )
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            JobStream(name="s", jobs=jobs)
+
+    @pytest.mark.parametrize("arrival", [math.nan, math.inf, -math.inf])
+    def test_nonfinite_arrival_rejected(self, arrival):
+        jobs = (Job(jid=0, arrival_us=arrival, program=chain()),)
+        with pytest.raises(ValidationError, match="finite|negative"):
+            JobStream(name="s", jobs=jobs)
+
+    def test_unknown_qos_rejected(self):
+        jobs = (Job(jid=0, arrival_us=0.0, program=chain(), qos="platinum"),)
+        with pytest.raises(ValidationError, match="unknown qos"):
             JobStream(name="s", jobs=jobs)
 
     def test_counts_and_tenants(self):
@@ -133,3 +158,31 @@ class TestTrace:
         assert [j.arrival_us for j in stream.jobs] == [10.0, 20.0, 30.0]
         assert [j.tenant for j in stream.jobs] == ["a", "a", "b"]
         assert [j.jid for j in stream.jobs] == [0, 1, 2]
+
+    def test_four_tuples_set_qos(self):
+        p = chain()
+        stream = trace_stream(
+            [(0.0, p, "a", "guaranteed"), (1.0, p, "b")]
+        )
+        assert [j.qos for j in stream.jobs] == ["guaranteed", "burstable"]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValidationError, match="no entries"):
+            trace_stream([])
+
+    @pytest.mark.parametrize("entry", [
+        (0.0,),
+        (0.0, None, "t", "burstable", "extra"),
+        "not-a-tuple",
+    ])
+    def test_malformed_entries_rejected(self, entry):
+        with pytest.raises(ValidationError, match="trace entries"):
+            trace_stream([entry])
+
+    def test_bad_qos_propagates_from_stream_validation(self):
+        with pytest.raises(ValidationError, match="unknown qos"):
+            trace_stream([(0.0, chain(), "t", "gold")])
+
+    def test_nonfinite_arrival_rejected(self):
+        with pytest.raises(ValidationError, match="finite|negative"):
+            trace_stream([(math.nan, chain(), "t")])
