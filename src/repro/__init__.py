@@ -27,6 +27,8 @@ Subpackages:
   (:func:`simulate_stream` is their facade);
 * :mod:`repro.control` — the overload control plane: per-tenant
   quotas, admission (accept / delay / shed), priority-class eviction;
+* :mod:`repro.cluster` — multi-node platforms and the two-level
+  hierarchical scheduler (:func:`simulate_cluster` is their facade);
 * :mod:`repro.experiments` — one harness per paper table/figure.
 """
 
@@ -66,6 +68,13 @@ from repro.control import (
     TenantQuota,
     default_overload_config,
 )
+from repro.cluster import (
+    ClusterResult,
+    ClusterSpec,
+    fat_tree_cluster,
+    simulate_cluster,
+    star_cluster,
+)
 
 __version__ = "1.1.0"
 
@@ -104,5 +113,10 @@ __all__ = [
     "QuotaAccountant",
     "TenantQuota",
     "default_overload_config",
+    "ClusterResult",
+    "ClusterSpec",
+    "fat_tree_cluster",
+    "simulate_cluster",
+    "star_cluster",
     "__version__",
 ]

@@ -13,12 +13,16 @@ Two halves:
   scheduler's own :meth:`~repro.schedulers.base.Scheduler.check` hook;
 * :mod:`repro.check.differential` — metamorphic/differential properties
   of whole runs (determinism, lower bounds, fault-free equivalence),
-  driven by the ``repro check`` CLI subcommand and ``tests/check/``.
+  driven by the ``repro check`` CLI subcommand and ``tests/check/``;
+* :mod:`repro.check.cluster` — global-tier audits of whole cluster runs
+  (placement totality, gauge conservation, fabric byte accounting),
+  applied by :func:`~repro.cluster.sim.simulate_cluster` when invariant
+  checking is on.
 """
 
 from typing import Any
 
-__all__ = ["InvariantChecker", "run_differential_suite"]
+__all__ = ["InvariantChecker", "check_cluster", "run_differential_suite"]
 
 
 def __getattr__(name: str) -> Any:
@@ -33,4 +37,8 @@ def __getattr__(name: str) -> Any:
         from repro.check.differential import run_differential_suite
 
         return run_differential_suite
+    if name == "check_cluster":
+        from repro.check.cluster import check_cluster
+
+        return check_cluster
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,181 @@
+"""The ``cluster`` invariant family: audits of a whole cluster run.
+
+Per-node engines already run under the engine-attached
+:class:`~repro.check.invariants.InvariantChecker` when checking is on;
+this module validates what only the *global* tier can see — the glue
+between placement, per-node execution and the fabric:
+
+* **placement** — every completed job ran on exactly the node its
+  placement record names, every placement names a real node, and no
+  job appears on two nodes;
+* **conservation** — per-node job and task gauges sum to the global
+  admitted counts (nothing lost or duplicated between tiers), and
+  admitted + rejected equals the arriving stream when the caller
+  provides the arrival count;
+* **fabric** — every cross-node ``after`` dependency charged its bytes
+  to inter-node links: Σ (transfer bytes × route hops) equals Σ link
+  ``bytes_moved``, and per-transfer arrival respects departure plus
+  the route's queue-free wire time;
+* **timing** — job start ≥ arrival, end ≥ start, node makespans within
+  the cluster makespan, utilizations in [0, 1], and (for converged
+  runs) no chained job started before its cross-node input arrived.
+
+:func:`check_cluster` returns human-readable violation strings (empty
+= clean); :func:`~repro.cluster.sim.simulate_cluster` raises
+:class:`~repro.utils.validation.InvariantError` on any of them when
+invariant checking is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.result import ClusterResult
+
+#: Absolute slack (µs / fraction) for floating-point comparisons.
+_EPS = 1e-6
+
+
+def check_cluster(result: "ClusterResult", n_arrived: int | None = None) -> list[str]:
+    """Audit one :class:`~repro.cluster.result.ClusterResult`.
+
+    ``n_arrived`` (when given) additionally checks that admitted +
+    rejected jobs account for the whole arriving stream. Returns one
+    message per violation; an empty list means the run is consistent.
+    """
+    out: list[str] = []
+    node_names = {n.name for n in result.nodes}
+    stats_by_name = {n.name: n for n in result.nodes}
+
+    # -- placement: totality, uniqueness, agreement ----------------------
+    seen_jids: set[int] = set()
+    for job in result.jobs:
+        if job.jid in seen_jids:
+            out.append(f"cluster.placement: job {job.jid} completed twice")
+        seen_jids.add(job.jid)
+        record = result.placements.get(job.jid)
+        if record is None:
+            out.append(
+                f"cluster.placement: job {job.jid} completed without a "
+                f"placement record"
+            )
+            continue
+        if record.node not in node_names:
+            out.append(
+                f"cluster.placement: job {job.jid} placed on unknown node "
+                f"{record.node!r}"
+            )
+        if job.node != record.node:
+            out.append(
+                f"cluster.placement: job {job.jid} executed on {job.node!r} "
+                f"but was placed on {record.node!r}"
+            )
+    rejected_jids = {jid for jid, _, _ in result.rejected}
+    overlap = seen_jids & rejected_jids
+    if overlap:
+        out.append(
+            f"cluster.placement: jobs {sorted(overlap)} both completed and "
+            f"were rejected"
+        )
+
+    # -- conservation: node gauges sum to the global count ---------------
+    n_jobs_nodes = sum(n.n_jobs for n in result.nodes)
+    if n_jobs_nodes != len(result.jobs):
+        out.append(
+            f"cluster.conservation: per-node job gauges sum to "
+            f"{n_jobs_nodes}, but {len(result.jobs)} jobs completed globally"
+        )
+    n_tasks_nodes = sum(n.n_tasks for n in result.nodes)
+    n_tasks_jobs = sum(j.n_tasks for j in result.jobs)
+    if n_tasks_nodes != n_tasks_jobs:
+        out.append(
+            f"cluster.conservation: per-node task counts sum to "
+            f"{n_tasks_nodes}, but completed jobs carry {n_tasks_jobs} tasks"
+        )
+    if n_arrived is not None:
+        accounted = len(result.jobs) + len(result.rejected)
+        if accounted != n_arrived:
+            out.append(
+                f"cluster.conservation: {n_arrived} jobs arrived but "
+                f"{len(result.jobs)} completed + {len(result.rejected)} "
+                f"rejected = {accounted}"
+            )
+    # Per-node job counts must also match the placement ledger.
+    placed_per_node: dict[str, int] = {}
+    for jid in seen_jids:
+        record = result.placements.get(jid)
+        if record is not None:
+            placed_per_node[record.node] = placed_per_node.get(record.node, 0) + 1
+    for name, stat in stats_by_name.items():
+        placed = placed_per_node.get(name, 0)
+        if placed != stat.n_jobs:
+            out.append(
+                f"cluster.conservation: node {name!r} gauge reports "
+                f"{stat.n_jobs} jobs but the placement ledger assigns {placed}"
+            )
+
+    # -- fabric: cross-node bytes all charged to inter-node links --------
+    expected_bytes = sum(t.nbytes * t.hops for t in result.transfers)
+    charged_bytes = sum(int(s["bytes_moved"]) for s in result.link_stats)
+    if expected_bytes != charged_bytes:
+        out.append(
+            f"cluster.fabric: cross-node transfers carry "
+            f"{expected_bytes} link-bytes (bytes x hops) but the fabric "
+            f"links recorded {charged_bytes}"
+        )
+    for t in result.transfers:
+        if t.hops < 1:
+            out.append(
+                f"cluster.fabric: transfer {t.pred_jid}->{t.succ_jid} "
+                f"crosses nodes with a {t.hops}-hop route"
+            )
+        if t.arrive_us < t.depart_us - _EPS:
+            out.append(
+                f"cluster.fabric: transfer {t.pred_jid}->{t.succ_jid} "
+                f"arrived at {t.arrive_us} before departing at {t.depart_us}"
+            )
+
+    # -- timing ----------------------------------------------------------
+    cluster_makespan = result.makespan_us
+    jobs_by_jid = {j.jid: j for j in result.jobs}
+    for job in result.jobs:
+        if job.start_us < job.arrival_us - _EPS:
+            out.append(
+                f"cluster.timing: job {job.jid} started at {job.start_us} "
+                f"before its arrival {job.arrival_us}"
+            )
+        if job.end_us < job.start_us - _EPS:
+            out.append(
+                f"cluster.timing: job {job.jid} ended at {job.end_us} "
+                f"before it started at {job.start_us}"
+            )
+    for stat in result.nodes:
+        if stat.makespan_us > cluster_makespan + _EPS:
+            out.append(
+                f"cluster.timing: node {stat.name!r} makespan "
+                f"{stat.makespan_us} exceeds the cluster makespan "
+                f"{cluster_makespan}"
+            )
+        if not (0.0 <= stat.utilization <= 1.0 + _EPS):
+            out.append(
+                f"cluster.timing: node {stat.name!r} utilization "
+                f"{stat.utilization} outside [0, 1]"
+            )
+    if result.converged:
+        for t in result.transfers:
+            succ = jobs_by_jid.get(t.succ_jid)
+            pred = jobs_by_jid.get(t.pred_jid)
+            if succ is not None and succ.start_us < t.arrive_us - _EPS:
+                out.append(
+                    f"cluster.timing: job {t.succ_jid} started at "
+                    f"{succ.start_us} before its cross-node input arrived "
+                    f"at {t.arrive_us}"
+                )
+            if pred is not None and t.depart_us < pred.end_us - _EPS:
+                out.append(
+                    f"cluster.fabric: transfer {t.pred_jid}->{t.succ_jid} "
+                    f"departed at {t.depart_us} before the predecessor "
+                    f"finished at {pred.end_us}"
+                )
+    return out

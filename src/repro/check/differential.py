@@ -378,6 +378,68 @@ def check_control_noop_equivalence(
     return out
 
 
+def check_cluster_single_node_equivalence(
+    machine: MachineModel,
+    schedulers: Iterable[str],
+) -> list[CheckOutcome]:
+    """A single-node cluster must be :func:`simulate_stream`, bit for bit.
+
+    The cluster tier degenerates when there is one node: placement has
+    one choice, no ``after`` edge can cross nodes, and the node's
+    sub-stream is the whole stream. The per-node engine must therefore
+    reproduce the plain stream run exactly — same task placements and
+    timings, same makespan, same intra-node traffic, same per-job
+    latencies and isolated baselines. Any divergence means the cluster
+    path perturbed the engine configuration or the merged program.
+    """
+    from repro.api import simulate_stream
+    from repro.cluster.sim import simulate_cluster
+    from repro.cluster.spec import star_cluster
+    from repro.workload.stream import poisson_stream
+
+    out = []
+    for scheduler in schedulers:
+        stream = poisson_stream(
+            [lambda: cholesky_program(4, 512), lambda: lu_program(4, 512)],
+            rate_jobs_per_s=80.0,
+            n_jobs=6,
+            seed=5,
+            tenants=("t0", "t1"),
+        )
+        plain = simulate_stream(
+            stream, machine, scheduler, record_trace=True
+        )
+        assert plain.sim.trace is not None
+        plain_records = tuple(sorted(
+            (r.tid, r.worker, r.start, r.end)
+            for r in plain.sim.trace.task_records
+        ))
+        clustered = simulate_cluster(
+            stream, star_cluster(1, machine), scheduler
+        )
+        node_sim = clustered.node_sims["node0"]
+        cluster_records = clustered._task_records["node0"]  # type: ignore[attr-defined]
+        out.append(CheckOutcome(
+            f"cluster.single_node[{scheduler}]",
+            (plain_records, plain.sim.makespan, plain.sim.bytes_transferred)
+            == (cluster_records, node_sim.makespan, node_sim.bytes_transferred),
+            "a 1-node cluster diverged from simulate_stream at task level",
+        ))
+        plain_jobs = [
+            (j.jid, j.start_us, j.end_us, j.isolated_us) for j in plain.jobs
+        ]
+        cluster_jobs = [
+            (j.jid, j.start_us, j.end_us, j.isolated_us) for j in clustered.jobs
+        ]
+        out.append(CheckOutcome(
+            f"cluster.single_node_jobs[{scheduler}]",
+            plain_jobs == cluster_jobs,
+            "a 1-node cluster reported different per-job results than "
+            "simulate_stream",
+        ))
+    return out
+
+
 # -- the suite -------------------------------------------------------------
 
 
@@ -419,6 +481,9 @@ def run_differential_suite(
             emit(check_window_equivalence(name, program, mach, scheduler))
             emit(check_pipeline_bound(name, program, mach, scheduler))
     emit(check_control_noop_equivalence(
+        mach, schedulers[:1] if quick else schedulers
+    ))
+    emit(check_cluster_single_node_equivalence(
         mach, schedulers[:1] if quick else schedulers
     ))
     return results

@@ -22,6 +22,14 @@ from repro.apps.dense import cholesky_program, lu_program, qr_program
 from repro.check.differential import DEFAULT_SCHEDULERS, run_differential_suite
 from repro.apps.fmm import fmm_program
 from repro.apps.sparseqr import MATRICES, matrix_by_name, matrix_tree, sparse_qr_program
+from repro.cluster.placement import placement_names
+from repro.experiments.cluster_scale import (
+    DEFAULT_NODE_COUNTS as CLUSTER_NODES,
+    DEFAULT_POLICIES as CLUSTER_POLICIES,
+    format_cluster_experiment,
+    run_cluster_experiment,
+    write_cluster_report,
+)
 from repro.experiments.faults_sweep import format_faults_sweep, run_faults_sweep
 from repro.experiments.fig3_nod import format_fig3, run_fig3
 from repro.experiments.fig4_eviction import format_fig4, run_fig4
@@ -231,6 +239,27 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         if args.json:
             write_overload_report(result, args.json)
             print(f"json report written to {args.json}")
+    elif args.name == "cluster":
+        result = run_cluster_experiment(
+            policies=tuple(args.placements),
+            node_counts=(
+                tuple(args.nodes) if args.nodes
+                else ((8,) if args.quick else CLUSTER_NODES)
+            ),
+            scheduler=args.cluster_scheduler,
+            topology=args.topology,
+            chains_per_node=args.chains_per_node,
+            chain_len=args.chain_len,
+            rate_per_node=args.rate_per_node,
+            seed=args.stream_seed,
+            check_invariants=args.check_invariants,
+            jobs=args.jobs,
+            progress=progress,
+        )
+        print(format_cluster_experiment(result))
+        if args.json:
+            write_cluster_report(result, args.json)
+            print(f"json report written to {args.json}")
     return 0
 
 
@@ -313,6 +342,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
     print("schedulers:", ", ".join(scheduler_names()))
     print("machines:  ", ", ".join(sorted(MACHINES)))
     print("apps:       cholesky, lu, qr, fmm, sparseqr")
+    print("placements:", ", ".join(placement_names()))
     return 0
 
 
@@ -385,12 +415,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run a light paper experiment")
     exp.add_argument("name", choices=[
         "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "faults",
-        "stream", "overload",
+        "stream", "overload", "cluster",
     ])
     exp.add_argument("--jobs", type=int, default=1,
                      help="worker processes for sweep experiments "
-                          "(fig5/fig6/fig7/fig8/faults/stream); results are "
-                          "identical for any value")
+                          "(fig5/fig6/fig7/fig8/faults/stream/cluster); "
+                          "results are identical for any value")
     exp.add_argument("--gantt", action="store_true")
     exp.add_argument("--scale", type=float, default=0.05,
                      help="sparseqr op-count scale (fig7/fig8)")
@@ -417,7 +447,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--stream-window", type=int, default=None, metavar="N",
                      help="stream: submission window forwarded to every run")
     exp.add_argument("--quick", action="store_true",
-                     help="overload: trimmed grid (2 multipliers, 6 tenants)")
+                     help="overload: trimmed grid (2 multipliers, 6 tenants); "
+                          "cluster: 8-node column only")
     exp.add_argument("--overload-multipliers", type=float, nargs="+",
                      metavar="X",
                      help="overload: load multiples of the sustainable rate "
@@ -428,10 +459,28 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--overload-jobs", type=int, default=None,
                      help="overload: jobs per stream (default 72, quick 18)")
     exp.add_argument("--check-invariants", action="store_true",
-                     help="overload: run every cell under the invariant "
-                          "checker (slower)")
+                     help="overload/cluster: run every cell under the "
+                          "invariant checker (slower)")
+    exp.add_argument("--placements", nargs="+", default=list(CLUSTER_POLICIES),
+                     choices=placement_names(),
+                     help="cluster: global placement policies to sweep")
+    exp.add_argument("--nodes", type=int, nargs="+", metavar="N",
+                     help="cluster: node counts (default: "
+                          f"{' '.join(str(n) for n in CLUSTER_NODES)})")
+    exp.add_argument("--topology", default="star", choices=["star", "fat-tree"],
+                     help="cluster: fabric preset joining the nodes")
+    exp.add_argument("--cluster-scheduler", default="multiprio",
+                     choices=scheduler_names(),
+                     help="cluster: per-node scheduler (unchanged engine)")
+    exp.add_argument("--chains-per-node", type=int, default=2,
+                     help="cluster: workflow chains per node in the stream")
+    exp.add_argument("--chain-len", type=int, default=3,
+                     help="cluster: jobs per dependent workflow chain")
+    exp.add_argument("--rate-per-node", type=float, default=50.0,
+                     help="cluster: chain arrivals per second per node")
     exp.add_argument("--json", metavar="PATH",
-                     help="stream/overload: write the JSON report to PATH")
+                     help="stream/overload/cluster: write the JSON report "
+                          "to PATH")
     exp.set_defaults(func=cmd_experiment)
 
     check = sub.add_parser(

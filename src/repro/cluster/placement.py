@@ -1,0 +1,299 @@
+"""The global scheduler tier: which node does an arriving job run on?
+
+The two-level architecture keeps the per-node scheduler (MultiPrio by
+default) completely unmodified — the cluster's contribution is the
+*placement* decision above it. A :class:`GlobalScheduler` processes
+jobs in arrival order, asks its :class:`PlacementPolicy` for a node,
+and maintains per-node :class:`NodeView` load bookkeeping (projected
+queue drain times from the per-node perf model's work estimates).
+
+Policies, all registered in :data:`PLACEMENTS`:
+
+* ``pack`` — consolidate: the busiest feasible node wins (lowest index
+  on ties), maximizing idle nodes, the bin-packing baseline;
+* ``round-robin`` — rotate over feasible nodes, ignoring load;
+* ``random`` — a seeded uniform choice over feasible nodes (the
+  control arm experiments compare against);
+* ``load-aware`` — minimize the job's projected finish time
+  ``max(avail_until, t) + work/width`` on each node;
+* ``locality-aware`` — ``load-aware`` plus an inter-node transfer
+  penalty: a job chained ``after`` a predecessor placed elsewhere pays
+  the projected fabric arrival delay of the predecessor's output bytes,
+  so chains gravitate to one node unless it is badly overloaded —
+  XKaapi-style data-locality-driven placement.
+
+Every decision carries provenance: the winning reason string and the
+full per-node score vector, surfaced as
+:class:`~repro.obs.events.JobPlaced` / :class:`~repro.obs.events.NodeLoad`
+events and :class:`~repro.cluster.result.PlacementRecord` rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.result import PlacementRecord
+from repro.cluster.topology import Cluster
+from repro.obs.events import Event, JobPlaced, NodeLoad
+from repro.utils.validation import ValidationError
+from repro.workload.stream import Job
+
+#: Score for a node that cannot execute the job at all (some task has
+#: no implementation for any of the node's architectures).
+_INFEASIBLE = math.inf
+
+
+@dataclass
+class NodeView:
+    """The global tier's running load picture of one node.
+
+    ``avail_until`` is the projected time the node's queue drains,
+    advanced optimistically at each placement by the job's work spread
+    over the node's workers — a deliberately cheap model (the real
+    drain time comes from the per-node simulation afterwards).
+    """
+
+    name: str
+    index: int
+    n_workers: int
+    n_jobs: int = 0
+    est_work_us: float = 0.0
+    avail_until: float = 0.0
+
+    def backlog_us(self, t: float) -> float:
+        """Projected queued work (µs) still ahead of a job arriving at ``t``."""
+        return max(0.0, self.avail_until - t)
+
+
+@dataclass(frozen=True)
+class PlacementContext:
+    """Everything a policy may consult for one decision.
+
+    ``work_us[i]`` is the job's total work on node ``i`` under that
+    node's own perf model (inf = infeasible); ``pred`` is
+    ``(node_index, nbytes)`` of a cross-job ``after`` predecessor's
+    placement and output size, or ``None``.
+    """
+
+    job: Job
+    t: float
+    views: tuple[NodeView, ...]
+    work_us: tuple[float, ...]
+    pred: tuple[int, int] | None
+    cluster: Cluster
+
+    def feasible(self) -> list[int]:
+        """Indices of nodes that can execute the job, in node order."""
+        out = [i for i, w in enumerate(self.work_us) if math.isfinite(w)]
+        if not out:
+            raise ValidationError(
+                f"{self.job.label} cannot execute on any cluster node: no "
+                f"node offers an architecture for every task"
+            )
+        return out
+
+
+class PlacementPolicy:
+    """Base policy: subclasses override :meth:`choose`."""
+
+    name = "base"
+
+    def choose(self, ctx: PlacementContext) -> tuple[int, str, tuple[float, ...]]:
+        """(winning node index, reason, per-node score vector)."""
+        raise NotImplementedError
+
+
+class PackPolicy(PlacementPolicy):
+    """Consolidate onto the busiest feasible node (ties: lowest index)."""
+
+    name = "pack"
+
+    def choose(self, ctx: PlacementContext) -> tuple[int, str, tuple[float, ...]]:
+        scores = tuple(v.backlog_us(ctx.t) for v in ctx.views)
+        best = max(ctx.feasible(), key=lambda i: (scores[i], -i))
+        return best, f"most-loaded feasible node ({scores[best]:.0f}us backlog)", scores
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Rotate placements over feasible nodes, ignoring load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, ctx: PlacementContext) -> tuple[int, str, tuple[float, ...]]:
+        feasible = ctx.feasible()
+        best = feasible[self._next % len(feasible)]
+        self._next += 1
+        return best, f"round-robin slot {self._next - 1}", ()
+
+
+class RandomPolicy(PlacementPolicy):
+    """Seeded uniform choice over feasible nodes (the control arm)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(np.random.SeedSequence(seed))
+
+    def choose(self, ctx: PlacementContext) -> tuple[int, str, tuple[float, ...]]:
+        feasible = ctx.feasible()
+        best = feasible[int(self._rng.integers(len(feasible)))]
+        return best, "uniform random over feasible nodes", ()
+
+
+class LoadAwarePolicy(PlacementPolicy):
+    """Minimize the job's projected finish time across nodes."""
+
+    name = "load-aware"
+
+    def _finish(self, ctx: PlacementContext, i: int) -> float:
+        view = ctx.views[i]
+        if not math.isfinite(ctx.work_us[i]):
+            return _INFEASIBLE
+        start = max(view.avail_until, ctx.t)
+        return start + ctx.work_us[i] / max(1, view.n_workers)
+
+    def choose(self, ctx: PlacementContext) -> tuple[int, str, tuple[float, ...]]:
+        scores = tuple(self._finish(ctx, i) for i in range(len(ctx.views)))
+        best = min(ctx.feasible(), key=lambda i: (scores[i], i))
+        return best, f"earliest projected finish ({scores[best]:.0f}us)", scores
+
+
+class LocalityAwarePolicy(LoadAwarePolicy):
+    """Load-aware plus the fabric cost of cross-node ``after`` inputs.
+
+    A node other than the predecessor's pays the projected arrival
+    delay of the predecessor's output bytes over the current fabric
+    queues — placement therefore follows the data unless the owning
+    node's queue outweighs the transfer.
+    """
+
+    name = "locality-aware"
+
+    def _finish(self, ctx: PlacementContext, i: int) -> float:
+        score = super()._finish(ctx, i)
+        if not math.isfinite(score) or ctx.pred is None:
+            return score
+        pred_node, nbytes = ctx.pred
+        if pred_node == i or nbytes <= 0:
+            return score
+        src = ctx.cluster.node_names[pred_node]
+        dst = ctx.cluster.node_names[i]
+        penalty = ctx.cluster.transfer_estimate(src, dst, nbytes, ctx.t) - ctx.t
+        return score + penalty
+
+    def choose(self, ctx: PlacementContext) -> tuple[int, str, tuple[float, ...]]:
+        scores = tuple(self._finish(ctx, i) for i in range(len(ctx.views)))
+        best = min(ctx.feasible(), key=lambda i: (scores[i], i))
+        why = "earliest projected finish incl. input transfer"
+        if ctx.pred is not None and ctx.pred[0] == best:
+            why = "co-located with after-predecessor's data"
+        return best, f"{why} ({scores[best]:.0f}us)", scores
+
+
+#: Placement policy registry, mirroring the scheduler registry's shape.
+PLACEMENTS: dict[str, Callable[..., PlacementPolicy]] = {
+    "pack": PackPolicy,
+    "round-robin": RoundRobinPolicy,
+    "random": RandomPolicy,
+    "load-aware": LoadAwarePolicy,
+    "locality-aware": LocalityAwarePolicy,
+}
+
+
+def make_placement(name: str, **params) -> PlacementPolicy:
+    """Instantiate a registered placement policy by name."""
+    factory = PLACEMENTS.get(name)
+    if factory is None:
+        raise ValidationError(
+            f"unknown placement policy {name!r}; known: "
+            f"{', '.join(placement_names())}"
+        )
+    return factory(**params)
+
+
+def placement_names() -> tuple[str, ...]:
+    """Registered placement policy names, sorted."""
+    return tuple(sorted(PLACEMENTS))
+
+
+@dataclass
+class GlobalScheduler:
+    """The cluster's top scheduling tier: places jobs onto nodes.
+
+    Stateful across one stream: per-node :class:`NodeView` bookkeeping,
+    the placement ledger, and the provenance event log. Per-node
+    schedulers below it never see any of this — they receive ordinary
+    job sub-streams.
+    """
+
+    cluster: Cluster
+    policy: PlacementPolicy
+    views: tuple[NodeView, ...] = field(init=False)
+    placements: dict[int, PlacementRecord] = field(init=False, default_factory=dict)
+    events: list[Event] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.views = tuple(
+            NodeView(
+                name=name,
+                index=i,
+                n_workers=self.cluster.n_workers_of(name),
+            )
+            for i, name in enumerate(self.cluster.node_names)
+        )
+
+    def place(
+        self,
+        job: Job,
+        work_us: tuple[float, ...],
+        pred: tuple[int, int] | None,
+    ) -> PlacementRecord:
+        """Decide ``job``'s node, update views, log provenance events."""
+        ctx = PlacementContext(
+            job=job,
+            t=job.arrival_us,
+            views=self.views,
+            work_us=work_us,
+            pred=pred,
+            cluster=self.cluster,
+        )
+        index, reason, scores = self.policy.choose(ctx)
+        view = self.views[index]
+        est = work_us[index] / max(1, view.n_workers)
+        view.n_jobs += 1
+        view.est_work_us += work_us[index]
+        view.avail_until = max(view.avail_until, job.arrival_us) + est
+        record = PlacementRecord(
+            jid=job.jid,
+            node=view.name,
+            policy=self.policy.name,
+            est_work_us=work_us[index],
+            reason=reason,
+            scores=scores,
+        )
+        self.placements[job.jid] = record
+        self.events.append(JobPlaced(
+            t=job.arrival_us,
+            jid=job.jid,
+            tenant=job.tenant,
+            node=view.name,
+            policy=self.policy.name,
+            est_work_us=work_us[index],
+            reason=reason,
+            scores=scores,
+        ))
+        self.events.append(NodeLoad(
+            t=job.arrival_us,
+            node=view.name,
+            n_jobs=view.n_jobs,
+            backlog_us=view.backlog_us(job.arrival_us),
+            avail_until=view.avail_until,
+        ))
+        return record

@@ -1,0 +1,255 @@
+"""Declarative cluster topologies: nodes, switches and inter-node links.
+
+A :class:`ClusterSpec` composes N existing single-node
+:class:`~repro.platform.machines.MachineModel` machines into one
+cluster joined by a network fabric. Links reuse the semantics of the
+intra-node PCIe :class:`~repro.runtime.memory.Link` model — directed
+FIFO pipes with bandwidth and latency — but connect *cluster vertices*
+(compute nodes and pure-forwarding switches) instead of memory nodes.
+
+Validation mirrors the strict :class:`~repro.workload.stream.JobStream`
+contract: every malformed topology (empty cluster, duplicate node
+names, non-finite or non-positive link bandwidth, negative or
+non-finite latency, dangling link endpoints, duplicate directed links)
+raises a typed :class:`~repro.utils.validation.ValidationError` at
+construction, never at simulation time.
+
+Two presets cover the usual fabrics:
+
+* :func:`star_cluster` — every node hangs off one central switch
+  (2-hop any-to-any routes), the classic single-rack picture;
+* :func:`fat_tree_cluster` — a simplified two-level fat tree: nodes in
+  pods under edge switches, edge switches under one core switch, so
+  intra-pod traffic stays 2 hops while cross-pod traffic pays 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.platform.machines import MACHINES, MachineModel
+from repro.utils.validation import ValidationError
+
+
+def _resolve_node_machine(machine: MachineModel | str) -> MachineModel:
+    """A :class:`MachineModel` from an instance or a registry name."""
+    if isinstance(machine, str):
+        factory = MACHINES.get(machine)
+        if factory is None:
+            raise ValidationError(
+                f"unknown machine {machine!r}; known: {', '.join(sorted(MACHINES))}"
+            )
+        return factory()
+    return machine
+
+
+@dataclass(frozen=True)
+class ClusterNodeSpec:
+    """One compute node of the cluster: a name plus its machine model.
+
+    The :class:`MachineModel` is a frozen *description* — every node
+    built from it instantiates its own independent
+    :class:`~repro.runtime.platform_config.Platform` and
+    :class:`~repro.runtime.perfmodel.CalibrationTable`, so many nodes
+    may share one model without sharing any mutable state.
+    """
+
+    name: str
+    machine: MachineModel
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("cluster node name must be non-empty")
+
+
+@dataclass(frozen=True)
+class InterLinkSpec:
+    """Declarative directed inter-node link between two cluster vertices.
+
+    ``bandwidth_gbps`` is in GB/s (decimal), ``latency_us`` in
+    microseconds — the same units as the intra-node
+    :class:`~repro.runtime.platform_config.LinkSpec`, just with
+    network-scale defaults.
+    """
+
+    src: str
+    dst: str
+    bandwidth_gbps: float
+    latency_us: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValidationError(
+                f"inter-node link endpoints must differ, got {self.src!r} twice"
+            )
+        if not math.isfinite(self.bandwidth_gbps) or self.bandwidth_gbps <= 0:
+            raise ValidationError(
+                f"link {self.src!r}->{self.dst!r} bandwidth must be finite and "
+                f"> 0 GB/s, got {self.bandwidth_gbps}"
+            )
+        if not math.isfinite(self.latency_us) or self.latency_us < 0:
+            raise ValidationError(
+                f"link {self.src!r}->{self.dst!r} latency must be finite and "
+                f">= 0 us, got {self.latency_us}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A validated multi-node platform description.
+
+    ``nodes`` are the compute nodes (each with a machine model);
+    ``switches`` are pure-forwarding fabric vertices links may route
+    through; ``links`` is the directed link set over both.
+    """
+
+    name: str
+    nodes: tuple[ClusterNodeSpec, ...]
+    links: tuple[InterLinkSpec, ...] = field(default_factory=tuple)
+    switches: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValidationError(
+                f"cluster {self.name!r} has no nodes; a ClusterSpec must "
+                f"carry at least one compute node"
+            )
+        seen: set[str] = set()
+        for node in self.nodes:
+            if node.name in seen:
+                raise ValidationError(
+                    f"cluster {self.name!r} has duplicate node name "
+                    f"{node.name!r}"
+                )
+            seen.add(node.name)
+        for switch in self.switches:
+            if not switch:
+                raise ValidationError("cluster switch name must be non-empty")
+            if switch in seen:
+                raise ValidationError(
+                    f"cluster {self.name!r} vertex name {switch!r} is used "
+                    f"by both a node and a switch (or twice as a switch)"
+                )
+            seen.add(switch)
+        link_keys: set[tuple[str, str]] = set()
+        for link in self.links:
+            for endpoint in (link.src, link.dst):
+                if endpoint not in seen:
+                    raise ValidationError(
+                        f"cluster {self.name!r} link {link.src!r}->"
+                        f"{link.dst!r} references unknown vertex {endpoint!r}"
+                    )
+            key = (link.src, link.dst)
+            if key in link_keys:
+                raise ValidationError(
+                    f"cluster {self.name!r} has duplicate link "
+                    f"{link.src!r}->{link.dst!r}"
+                )
+            link_keys.add(key)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        """Compute-node names in declaration order."""
+        return tuple(n.name for n in self.nodes)
+
+    def node_index(self, name: str) -> int:
+        """Index of the named compute node within ``nodes``."""
+        for i, node in enumerate(self.nodes):
+            if node.name == name:
+                return i
+        raise ValidationError(f"unknown cluster node {name!r} in {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ClusterSpec {self.name!r}: {len(self.nodes)} nodes, "
+            f"{len(self.switches)} switches, {len(self.links)} links>"
+        )
+
+
+def _both_ways(
+    a: str, b: str, bandwidth_gbps: float, latency_us: float
+) -> list[InterLinkSpec]:
+    return [
+        InterLinkSpec(a, b, bandwidth_gbps, latency_us),
+        InterLinkSpec(b, a, bandwidth_gbps, latency_us),
+    ]
+
+
+def star_cluster(
+    n_nodes: int,
+    machine: MachineModel | str = "small-hetero",
+    *,
+    bandwidth_gbps: float = 12.5,
+    latency_us: float = 50.0,
+    name: str | None = None,
+) -> ClusterSpec:
+    """``n_nodes`` identical machines around one central switch.
+
+    Every node pair is 2 hops apart through ``sw0`` — all traffic
+    shares the switch's per-link pipes, the classic top-of-rack
+    contention picture. ``bandwidth_gbps`` defaults to ~100 GbE.
+    """
+    if n_nodes < 1:
+        raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+    mach = _resolve_node_machine(machine)
+    nodes = tuple(
+        ClusterNodeSpec(f"node{i}", mach) for i in range(n_nodes)
+    )
+    links: list[InterLinkSpec] = []
+    for node in nodes:
+        links.extend(_both_ways(node.name, "sw0", bandwidth_gbps, latency_us))
+    return ClusterSpec(
+        name=name or f"star-{n_nodes}x{mach.name}",
+        nodes=nodes,
+        links=tuple(links),
+        switches=("sw0",),
+    )
+
+
+def fat_tree_cluster(
+    n_nodes: int,
+    machine: MachineModel | str = "small-hetero",
+    *,
+    pod_size: int = 4,
+    edge_gbps: float = 12.5,
+    core_gbps: float = 50.0,
+    latency_us: float = 50.0,
+    name: str | None = None,
+) -> ClusterSpec:
+    """A simplified two-level fat tree: pods of ``pod_size`` nodes under
+    edge switches, edge switches under one core switch.
+
+    Intra-pod routes are 2 hops (node → edge → node); cross-pod routes
+    are 4 (node → edge → core → edge → node) over the fatter
+    ``core_gbps`` uplinks — the locality gradient locality-aware
+    placement exploits.
+    """
+    if n_nodes < 1:
+        raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+    if pod_size < 1:
+        raise ValidationError(f"pod_size must be >= 1, got {pod_size}")
+    mach = _resolve_node_machine(machine)
+    nodes = tuple(
+        ClusterNodeSpec(f"node{i}", mach) for i in range(n_nodes)
+    )
+    n_pods = math.ceil(n_nodes / pod_size)
+    switches = [f"edge{p}" for p in range(n_pods)]
+    links: list[InterLinkSpec] = []
+    for i, node in enumerate(nodes):
+        links.extend(
+            _both_ways(node.name, f"edge{i // pod_size}", edge_gbps, latency_us)
+        )
+    if n_pods > 1:
+        switches.append("core")
+        for p in range(n_pods):
+            links.extend(_both_ways(f"edge{p}", "core", core_gbps, latency_us))
+    return ClusterSpec(
+        name=name or f"fat-tree-{n_nodes}x{mach.name}",
+        nodes=nodes,
+        links=tuple(links),
+        switches=tuple(switches),
+    )

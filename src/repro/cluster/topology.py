@@ -1,0 +1,211 @@
+"""The instantiated cluster fabric: vertices, links, routes, transfers.
+
+:class:`Cluster` turns a :class:`~repro.cluster.spec.ClusterSpec` into
+runnable state: one :class:`~repro.runtime.memory.Link` per declared
+inter-node link (the same FIFO-pipe model PCIe uses inside a node,
+with GB/s converted to bytes/µs identically to
+:class:`~repro.runtime.platform_config.Platform`), shortest routes
+between every compute-node pair (BFS with deterministic tie-breaking),
+and per-node lazily-built perf models over *independent* calibration
+tables.
+
+Transfers chain hop by hop: each link is entered only once the previous
+hop delivered, so a congested core link delays exactly the bytes routed
+through it. :meth:`Cluster.transfer_estimate` projects an arrival time
+without touching link state (what placement policies cost with);
+:meth:`Cluster.transfer_charge` actually reserves the wire (what the
+cluster simulation charges cross-node dependency bytes to).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.spec import ClusterSpec
+from repro.platform.machines import MachineModel
+from repro.runtime.memory import Link
+from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.utils.units import US_PER_S
+from repro.utils.validation import ValidationError
+
+
+class Cluster:
+    """A :class:`ClusterSpec` instantiated into mutable fabric state.
+
+    Vertex ids number compute nodes first (spec order), then switches;
+    links carry those ids in their ``src``/``dst`` fields. The cluster
+    owns per-run mutable state (link clocks) exactly like a
+    :class:`~repro.runtime.platform_config.Platform` does — call
+    :meth:`reset_runtime_state` between runs.
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.node_names: tuple[str, ...] = spec.node_names
+        vertices = list(self.node_names) + list(spec.switches)
+        self._vid: dict[str, int] = {v: i for i, v in enumerate(vertices)}
+        self._vertex_names: tuple[str, ...] = tuple(vertices)
+
+        self._links: dict[tuple[int, int], Link] = {}
+        adjacency: dict[int, list[int]] = {i: [] for i in range(len(vertices))}
+        for lspec in spec.links:
+            src, dst = self._vid[lspec.src], self._vid[lspec.dst]
+            self._links[(src, dst)] = Link(
+                src,
+                dst,
+                bandwidth=lspec.bandwidth_gbps * 1e9 / US_PER_S,  # bytes per us
+                latency=lspec.latency_us,
+            )
+            adjacency[src].append(dst)
+        for neighbors in adjacency.values():
+            neighbors.sort()  # deterministic BFS visit order
+
+        # All-pairs shortest routes between compute nodes, as link
+        # chains. BFS per source with sorted neighbor expansion makes
+        # equal-length route choice deterministic.
+        self._routes: dict[tuple[int, int], tuple[Link, ...]] = {}
+        n_nodes = len(self.node_names)
+        for src in range(n_nodes):
+            parent = self._bfs(src, adjacency)
+            for dst in range(n_nodes):
+                if dst == src:
+                    self._routes[(src, dst)] = ()
+                    continue
+                if parent[dst] < 0:
+                    raise ValidationError(
+                        f"cluster {self.name!r} has no route from node "
+                        f"{self.node_names[src]!r} to {self.node_names[dst]!r}"
+                    )
+                hops: list[Link] = []
+                v = dst
+                while v != src:
+                    p = parent[v]
+                    hops.append(self._links[(p, v)])
+                    v = p
+                self._routes[(src, dst)] = tuple(reversed(hops))
+
+        # Per-node perf models, built lazily over *fresh* calibration
+        # tables (MachineModel.calibration() constructs a new table per
+        # call) so no two nodes share mutable calibration state.
+        self._perfmodels: dict[str, AnalyticalPerfModel] = {}
+
+    @staticmethod
+    def _bfs(src: int, adjacency: dict[int, list[int]]) -> list[int]:
+        """Parent array of the BFS tree rooted at ``src`` (-1 = unreached)."""
+        parent = [-1] * len(adjacency)
+        parent[src] = src
+        frontier = [src]
+        while frontier:
+            nxt: list[int] = []
+            for v in frontier:
+                for w in adjacency[v]:
+                    if parent[w] < 0:
+                        parent[w] = v
+                        nxt.append(w)
+            frontier = nxt
+        parent[src] = -1
+        return parent
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of compute nodes."""
+        return len(self.node_names)
+
+    def node_index(self, name: str) -> int:
+        """Index of a compute node by name."""
+        return self.spec.node_index(name)
+
+    def machine_of(self, name: str) -> MachineModel:
+        """The machine model of the named compute node."""
+        return self.spec.nodes[self.node_index(name)].machine
+
+    def perfmodel_of(self, name: str) -> AnalyticalPerfModel:
+        """The node's own (noise-free) analytical perf model.
+
+        Built on first use from a fresh calibration table; cached per
+        node so placement costing reuses one model per node.
+        """
+        pm = self._perfmodels.get(name)
+        if pm is None:
+            pm = AnalyticalPerfModel(self.machine_of(name).calibration())
+            self._perfmodels[name] = pm
+        return pm
+
+    def archs_of(self, name: str) -> tuple[str, ...]:
+        """Architectures with at least one worker on the named node."""
+        spec = self.machine_of(name).spec
+        out: list[str] = []
+        for node in spec.nodes:
+            if node.n_workers > 0 and node.arch not in out:
+                out.append(node.arch)
+        return tuple(sorted(out))
+
+    def n_workers_of(self, name: str) -> int:
+        """Total worker count of the named node."""
+        return sum(n.n_workers for n in self.machine_of(name).spec.nodes)
+
+    def route(self, src: str, dst: str) -> tuple[Link, ...]:
+        """The link chain from node ``src`` to node ``dst`` (empty if same)."""
+        return self._routes[(self.node_index(src), self.node_index(dst))]
+
+    def hops(self, src: str, dst: str) -> int:
+        """Route length in links."""
+        return len(self.route(src, dst))
+
+    def inter_links(self) -> list[Link]:
+        """Every fabric link, in spec declaration order."""
+        return [self._links[(self._vid[l.src], self._vid[l.dst])]
+                for l in self.spec.links]
+
+    def vertex_name(self, vid: int) -> str:
+        """Vertex name (node or switch) for a link endpoint id."""
+        return self._vertex_names[vid]
+
+    # -- transfers -------------------------------------------------------
+
+    def wire_duration(self, src: str, dst: str, nbytes: int) -> float:
+        """Queue-free end-to-end wire time for ``nbytes`` (0 if same node)."""
+        return sum(link.duration(nbytes) for link in self.route(src, dst))
+
+    def transfer_estimate(
+        self, src: str, dst: str, nbytes: int, now: float
+    ) -> float:
+        """Projected arrival time of ``nbytes`` sent at ``now``, given the
+        current link queues, *without* reserving any wire."""
+        t = now
+        for link in self.route(src, dst):
+            t = link.queue_estimate(t, nbytes, prefetch=False)
+        return t
+
+    def transfer_charge(self, src: str, dst: str, nbytes: int, now: float) -> float:
+        """Reserve the route for ``nbytes`` departing at ``now``; returns
+        the arrival time. Each hop queues behind earlier traffic on its
+        link and starts only after the previous hop delivered."""
+        t = now
+        for link in self.route(src, dst):
+            t = link.reserve(t, nbytes, prefetch=False)
+        return t
+
+    def link_stats(self) -> tuple[dict, ...]:
+        """Per-link traffic counters as JSON-ready mappings."""
+        return tuple(
+            {
+                "src": self.vertex_name(link.src),
+                "dst": self.vertex_name(link.dst),
+                "bytes_moved": link.bytes_moved,
+                "n_transfers": link.n_transfers,
+            }
+            for link in self.inter_links()
+        )
+
+    def reset_runtime_state(self) -> None:
+        """Reset every fabric link's clocks and counters."""
+        for link in self._links.values():
+            link.reset_runtime_state()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cluster {self.name!r}: {self.n_nodes} nodes, "
+            f"{len(self._links)} links>"
+        )

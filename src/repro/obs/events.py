@@ -334,6 +334,42 @@ class InvariantViolation(Event):
     detail: str
 
 
+@dataclass(frozen=True, slots=True)
+class JobPlaced(Event):
+    """The cluster's global scheduler placed a job onto a node.
+
+    Placement provenance: ``policy`` names the placement policy,
+    ``reason`` a human-readable account of why this node won, and
+    ``scores`` the policy's per-node cost vector (aligned with the
+    cluster's node order; empty for policies that do not score).
+    """
+
+    kind: ClassVar[str] = "job_placed"
+
+    jid: int
+    tenant: str
+    node: str
+    policy: str
+    est_work_us: float = 0.0
+    reason: str = ""
+    scores: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class NodeLoad(Event):
+    """Snapshot of one cluster node's projected load at a placement
+    decision: jobs placed so far, estimated backlog (µs of queued work
+    per worker) and the placement-time estimate of when the node's
+    queue drains."""
+
+    kind: ClassVar[str] = "node_load"
+
+    node: str
+    n_jobs: int
+    backlog_us: float
+    avail_until: float
+
+
 #: Registry used by the JSONL importer; every concrete event kind.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
@@ -345,6 +381,8 @@ EVENT_TYPES: dict[str, type[Event]] = {
         JobDelayed,
         JobRejected,
         JobEvicted,
+        JobPlaced,
+        NodeLoad,
         TaskReady,
         TaskPop,
         TaskStage,

@@ -16,6 +16,7 @@ measured execution times. We mirror that split:
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
 from typing import Protocol
@@ -130,17 +131,25 @@ class AnalyticalPerfModel:
     #: δ(t, a) never changes during a run, so schedulers may cache it.
     stable_estimates = True
 
+    #: Distinguishes per-model cache entries in ``Task._est_cache``:
+    #: several models with *different* calibration tables may estimate
+    #: the same task objects (e.g. one perf model per cluster node), so
+    #: the cache key must carry the model identity, not just the arch.
+    _cache_tokens = itertools.count()
+
     def __init__(self, table: CalibrationTable, noise_sigma: float = 0.0) -> None:
         if noise_sigma < 0:
             raise ValidationError(f"noise_sigma must be >= 0, got {noise_sigma}")
         self.table = table
         self.noise_sigma = noise_sigma
+        self._cache_token = next(AnalyticalPerfModel._cache_tokens)
 
     def estimate(self, task: Task, arch: str) -> float:
-        cached = task._est_cache.get(arch)
+        key = (self._cache_token, arch)
+        cached = task._est_cache.get(key)
         if cached is None:
             cached = self.table.lookup(task.type_name, arch).time_us(task.flops)
-            task._est_cache[arch] = cached
+            task._est_cache[key] = cached
         return cached
 
     def sample(self, task: Task, arch: str, rng: np.random.Generator) -> float:

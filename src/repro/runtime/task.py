@@ -124,8 +124,9 @@ class Task:
         # Scratch area for schedulers (per-run, reset by the engine).
         self.sched: dict[str, Any] = {}
         # Lazy per-architecture execution-time estimates, filled by the
-        # engine's SchedContext; keyed by architecture name.
-        self._est_cache: dict[str, float] = {}
+        # perf model; keyed by (model cache token, architecture name) so
+        # distinct models estimating the same task never share entries.
+        self._est_cache: dict[tuple[int, str], float] = {}
 
     # -- convenience -----------------------------------------------------
 

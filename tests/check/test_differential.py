@@ -87,6 +87,7 @@ class TestSuite:
             "determinism.record_trace", "bounds.makespan",
             "faults.zero_rate", "window.equivalence", "pipeline.bound",
             "control.noop", "control.noop_ledger",
+            "cluster.single_node", "cluster.single_node_jobs",
         }
 
     def test_progress_callback_sees_everything(self):

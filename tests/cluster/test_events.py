@@ -1,0 +1,40 @@
+"""Cluster provenance events: registration, round-trip and emission."""
+
+from repro.apps.dense import cholesky_program
+from repro.cluster import simulate_cluster, star_cluster
+from repro.obs.events import EVENT_TYPES, JobPlaced, NodeLoad, event_from_dict
+from repro.workload.stream import poisson_stream
+
+
+def test_cluster_events_registered():
+    assert EVENT_TYPES["job_placed"] is JobPlaced
+    assert EVENT_TYPES["node_load"] is NodeLoad
+
+
+def test_round_trip():
+    placed = JobPlaced(
+        t=3.0, jid=4, tenant="t0", node="node2", policy="locality-aware",
+        est_work_us=1200.0, reason="co-located", scores=(5.0, 6.0, 1.0),
+    )
+    load = NodeLoad(t=3.0, node="node2", n_jobs=2, backlog_us=40.0,
+                    avail_until=43.0)
+    for ev in (placed, load):
+        back = event_from_dict(ev.to_dict())
+        assert type(back) is type(ev)
+        assert back.to_dict() == ev.to_dict()
+
+
+def test_simulation_emits_placement_provenance():
+    stream = poisson_stream(
+        [lambda: cholesky_program(3, 512)],
+        rate_jobs_per_s=100.0, n_jobs=5, seed=1,
+    )
+    res = simulate_cluster(stream, star_cluster(3))
+    placed = [e for e in res.events if isinstance(e, JobPlaced)]
+    loads = [e for e in res.events if isinstance(e, NodeLoad)]
+    assert len(placed) == 5 and len(loads) == 5
+    assert [e.jid for e in placed] == [0, 1, 2, 3, 4]
+    for ev in placed:
+        assert ev.node == res.placements[ev.jid].node
+        assert ev.policy == "load-aware"
+        assert len(ev.scores) == 3

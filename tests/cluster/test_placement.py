@@ -1,0 +1,137 @@
+"""Global placement policies and the GlobalScheduler's bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.apps.dense import cholesky_program
+from repro.cluster.placement import (
+    GlobalScheduler,
+    NodeView,
+    PlacementContext,
+    make_placement,
+    placement_names,
+)
+from repro.cluster.spec import star_cluster
+from repro.cluster.topology import Cluster
+from repro.obs.events import JobPlaced, NodeLoad
+from repro.utils.validation import ValidationError
+from repro.workload.stream import Job
+
+
+def _job(jid=0, arrival=0.0, after=None):
+    return Job(
+        jid=jid, arrival_us=arrival, program=cholesky_program(2, 512),
+        after=after,
+    )
+
+
+def _ctx(cluster, work, *, t=0.0, avail=None, pred=None):
+    views = tuple(
+        NodeView(
+            name=name, index=i, n_workers=cluster.n_workers_of(name),
+            avail_until=(avail or [0.0] * cluster.n_nodes)[i],
+        )
+        for i, name in enumerate(cluster.node_names)
+    )
+    return PlacementContext(
+        job=_job(), t=t, views=views, work_us=tuple(work), pred=pred,
+        cluster=cluster,
+    )
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(star_cluster(3))
+
+
+def test_registry_names():
+    assert placement_names() == (
+        "load-aware", "locality-aware", "pack", "random", "round-robin",
+    )
+    with pytest.raises(ValidationError, match="unknown placement"):
+        make_placement("bogus")
+
+
+def test_pack_prefers_busiest_then_lowest_index(cluster):
+    policy = make_placement("pack")
+    idx, reason, scores = policy.choose(
+        _ctx(cluster, [100.0] * 3, avail=[50.0, 400.0, 400.0])
+    )
+    assert idx == 1  # busiest, tie broken toward the lower index
+    assert "backlog" in reason
+    assert len(scores) == 3
+
+
+def test_round_robin_rotates_over_feasible(cluster):
+    policy = make_placement("round-robin")
+    work = [100.0, math.inf, 100.0]  # node1 infeasible
+    picks = [policy.choose(_ctx(cluster, work))[0] for _ in range(4)]
+    assert picks == [0, 2, 0, 2]
+
+
+def test_random_is_seed_deterministic(cluster):
+    picks_a = [
+        make_placement("random", seed=7).choose(_ctx(cluster, [1.0] * 3))[0]
+        for _ in range(5)
+    ]
+    picks_b = [
+        make_placement("random", seed=7).choose(_ctx(cluster, [1.0] * 3))[0]
+        for _ in range(5)
+    ]
+    assert picks_a == picks_b
+
+
+def test_load_aware_minimizes_projected_finish(cluster):
+    policy = make_placement("load-aware")
+    idx, _, scores = policy.choose(
+        _ctx(cluster, [1000.0] * 3, avail=[5000.0, 100.0, 5000.0])
+    )
+    assert idx == 1
+    assert scores[1] == min(scores)
+
+
+def test_locality_aware_follows_the_data(cluster):
+    policy = make_placement("locality-aware")
+    # Equal load: the predecessor's node wins because any other node
+    # pays the transfer of its 100 MB output.
+    idx, reason, _ = policy.choose(
+        _ctx(cluster, [1000.0] * 3, pred=(2, 100_000_000))
+    )
+    assert idx == 2
+    assert "co-located" in reason
+
+
+def test_locality_aware_abandons_an_overloaded_owner(cluster):
+    policy = make_placement("locality-aware")
+    # Tiny output, predecessor's node drowning in backlog: move.
+    idx, _, _ = policy.choose(
+        _ctx(
+            cluster, [1000.0] * 3,
+            avail=[0.0, 0.0, 10_000_000.0], pred=(2, 1_000),
+        )
+    )
+    assert idx != 2
+
+
+def test_no_feasible_node_raises(cluster):
+    policy = make_placement("load-aware")
+    with pytest.raises(ValidationError, match="cannot execute on any"):
+        policy.choose(_ctx(cluster, [math.inf] * 3))
+
+
+def test_global_scheduler_updates_views_and_events(cluster):
+    sched = GlobalScheduler(cluster, make_placement("load-aware"))
+    rec0 = sched.place(_job(jid=0), (300.0, 300.0, 300.0), None)
+    rec1 = sched.place(_job(jid=1, arrival=1.0), (300.0, 300.0, 300.0), None)
+    assert rec0.node != rec1.node  # second placement sees the first's load
+    assert sched.placements == {0: rec0, 1: rec1}
+    view = next(v for v in sched.views if v.name == rec0.node)
+    assert view.n_jobs == 1
+    assert view.avail_until > 0.0
+    kinds = [type(e) for e in sched.events]
+    assert kinds == [JobPlaced, NodeLoad, JobPlaced, NodeLoad]
+    placed = sched.events[0]
+    assert placed.kind == "job_placed"
+    assert placed.node == rec0.node
+    assert placed.policy == "load-aware"

@@ -1,0 +1,124 @@
+"""Cluster topology specs: typed validation and the fabric presets."""
+
+import math
+
+import pytest
+
+from repro.cluster.spec import (
+    ClusterNodeSpec,
+    ClusterSpec,
+    InterLinkSpec,
+    fat_tree_cluster,
+    star_cluster,
+)
+from repro.platform.machines import MACHINES
+from repro.utils.validation import ValidationError
+
+
+def _machine():
+    return MACHINES["small-hetero"]()
+
+
+def _nodes(n):
+    mach = _machine()
+    return tuple(ClusterNodeSpec(f"node{i}", mach) for i in range(n))
+
+
+class TestValidation:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValidationError, match="no nodes"):
+            ClusterSpec(name="empty", nodes=())
+
+    def test_empty_node_name_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            ClusterNodeSpec("", _machine())
+
+    def test_duplicate_node_names_rejected(self):
+        mach = _machine()
+        with pytest.raises(ValidationError, match="duplicate node name"):
+            ClusterSpec(
+                name="dup",
+                nodes=(ClusterNodeSpec("a", mach), ClusterNodeSpec("a", mach)),
+            )
+
+    def test_switch_colliding_with_node_rejected(self):
+        with pytest.raises(ValidationError, match="both a node and a switch"):
+            ClusterSpec(name="c", nodes=_nodes(2), switches=("node0",))
+
+    @pytest.mark.parametrize("bandwidth", [0.0, -1.0, math.inf, math.nan])
+    def test_bad_bandwidth_rejected(self, bandwidth):
+        with pytest.raises(ValidationError, match="bandwidth"):
+            InterLinkSpec("a", "b", bandwidth_gbps=bandwidth)
+
+    @pytest.mark.parametrize("latency", [-1.0, math.inf, math.nan])
+    def test_bad_latency_rejected(self, latency):
+        with pytest.raises(ValidationError, match="latency"):
+            InterLinkSpec("a", "b", bandwidth_gbps=10.0, latency_us=latency)
+
+    def test_self_loop_link_rejected(self):
+        with pytest.raises(ValidationError, match="must differ"):
+            InterLinkSpec("a", "a", bandwidth_gbps=10.0)
+
+    def test_dangling_link_endpoint_rejected(self):
+        with pytest.raises(ValidationError, match="unknown vertex"):
+            ClusterSpec(
+                name="c",
+                nodes=_nodes(2),
+                links=(InterLinkSpec("node0", "ghost", 10.0),),
+            )
+
+    def test_duplicate_directed_link_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate link"):
+            ClusterSpec(
+                name="c",
+                nodes=_nodes(2),
+                links=(
+                    InterLinkSpec("node0", "node1", 10.0),
+                    InterLinkSpec("node0", "node1", 25.0),
+                ),
+            )
+
+    def test_unknown_machine_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown machine"):
+            star_cluster(2, "no-such-machine")
+
+    def test_unknown_node_lookup_rejected(self):
+        spec = star_cluster(2)
+        with pytest.raises(ValidationError, match="unknown cluster node"):
+            spec.node_index("node9")
+
+    @pytest.mark.parametrize("preset", [star_cluster, fat_tree_cluster])
+    def test_presets_reject_zero_nodes(self, preset):
+        with pytest.raises(ValidationError, match="n_nodes"):
+            preset(0)
+
+
+class TestPresets:
+    def test_star_shape(self):
+        spec = star_cluster(4)
+        assert len(spec) == 4
+        assert spec.node_names == ("node0", "node1", "node2", "node3")
+        assert spec.switches == ("sw0",)
+        # one bidirectional pair per node
+        assert len(spec.links) == 8
+        assert spec.node_index("node2") == 2
+
+    def test_star_accepts_machine_instance(self):
+        spec = star_cluster(2, _machine())
+        assert spec.nodes[0].machine.name == "small-hetero"
+
+    def test_fat_tree_single_pod_has_no_core(self):
+        spec = fat_tree_cluster(3, pod_size=4)
+        assert spec.switches == ("edge0",)
+
+    def test_fat_tree_pods_and_core(self):
+        spec = fat_tree_cluster(8, pod_size=4)
+        assert spec.switches == ("edge0", "edge1", "core")
+        # 8 node<->edge pairs + 2 edge<->core pairs
+        assert len(spec.links) == 20
+
+    def test_link_defaults_are_network_scale(self):
+        spec = star_cluster(2, bandwidth_gbps=12.5, latency_us=50.0)
+        for link in spec.links:
+            assert link.bandwidth_gbps == 12.5
+            assert link.latency_us == 50.0

@@ -1,0 +1,118 @@
+"""The instantiated fabric: routing, transfers and node independence."""
+
+import pytest
+
+from repro.cluster.spec import (
+    ClusterNodeSpec,
+    ClusterSpec,
+    InterLinkSpec,
+    fat_tree_cluster,
+    star_cluster,
+)
+from repro.cluster.topology import Cluster
+from repro.platform.machines import MACHINES
+from repro.utils.validation import ValidationError
+
+
+def test_star_routes_are_two_hops():
+    clus = Cluster(star_cluster(4))
+    assert clus.hops("node0", "node3") == 2
+    assert clus.hops("node0", "node0") == 0
+    route = clus.route("node1", "node2")
+    assert [clus.vertex_name(link.dst) for link in route] == ["sw0", "node2"]
+
+
+def test_fat_tree_locality_gradient():
+    clus = Cluster(fat_tree_cluster(8, pod_size=4))
+    assert clus.hops("node0", "node1") == 2  # intra-pod via edge0
+    assert clus.hops("node0", "node5") == 4  # cross-pod via core
+
+
+def test_unreachable_pair_rejected():
+    mach = MACHINES["small-hetero"]()
+    spec = ClusterSpec(
+        name="split",
+        nodes=(ClusterNodeSpec("a", mach), ClusterNodeSpec("b", mach)),
+        links=(InterLinkSpec("a", "b", 10.0),),  # no way back
+    )
+    with pytest.raises(ValidationError, match="no route"):
+        Cluster(spec)
+
+
+def test_wire_duration_accumulates_hops():
+    clus = Cluster(star_cluster(2, bandwidth_gbps=10.0, latency_us=50.0))
+    one_hop = next(iter(clus.inter_links())).duration(10_000_000)
+    assert clus.wire_duration("node0", "node1", 10_000_000) == pytest.approx(
+        2 * one_hop
+    )
+
+
+def test_transfer_charge_records_traffic_and_estimate_does_not():
+    clus = Cluster(star_cluster(2))
+    t0 = clus.transfer_estimate("node0", "node1", 1_000_000, now=0.0)
+    assert t0 > 0.0
+    assert all(s["bytes_moved"] == 0 for s in clus.link_stats())
+    arrive = clus.transfer_charge("node0", "node1", 1_000_000, now=0.0)
+    assert arrive == pytest.approx(t0)  # first transfer sees empty queues
+    moved = {(s["src"], s["dst"]): s["bytes_moved"] for s in clus.link_stats()}
+    assert moved[("node0", "sw0")] == 1_000_000
+    assert moved[("sw0", "node1")] == 1_000_000
+    clus.reset_runtime_state()
+    assert all(s["bytes_moved"] == 0 for s in clus.link_stats())
+
+
+def test_queued_fabric_delays_next_transfer():
+    clus = Cluster(star_cluster(2))
+    first = clus.transfer_charge("node0", "node1", 50_000_000, now=0.0)
+    second = clus.transfer_charge("node0", "node1", 50_000_000, now=0.0)
+    assert second > first
+
+
+def test_node_lookups():
+    clus = Cluster(star_cluster(3))
+    assert clus.n_nodes == 3
+    assert clus.node_index("node1") == 1
+    assert clus.n_workers_of("node0") > 0
+    assert "cpu" in clus.archs_of("node0")
+
+
+class TestNodeIndependence:
+    """Satellite: per-node platforms/calibrations share no mutable state."""
+
+    def test_perfmodels_are_per_node(self):
+        clus = Cluster(star_cluster(2))
+        pm0 = clus.perfmodel_of("node0")
+        pm1 = clus.perfmodel_of("node1")
+        assert pm0 is not pm1
+        assert pm0.table is not pm1.table
+        assert clus.perfmodel_of("node0") is pm0  # cached per node
+
+    def test_machine_model_builds_fresh_platform_per_call(self):
+        mach = MACHINES["small-hetero"]()
+        assert mach.platform() is not mach.platform()
+        assert mach.calibration() is not mach.calibration()
+
+    def test_heterogeneous_nodes_do_not_cross_poison_estimates(self):
+        """Shared task objects estimated by two nodes' models must not
+        poison each other through the per-task estimate cache: a
+        cluster mixing machine models sees each node's own numbers."""
+        from repro.apps.dense import cholesky_program
+
+        mach_a = MACHINES["small-hetero"]()
+        mach_b = MACHINES["amd-a100"]()  # distinct CPU calibration
+        spec = ClusterSpec(
+            name="mixed",
+            nodes=(ClusterNodeSpec("a", mach_a), ClusterNodeSpec("b", mach_b)),
+            links=(
+                InterLinkSpec("a", "b", 10.0),
+                InterLinkSpec("b", "a", 10.0),
+            ),
+        )
+        clus = Cluster(spec)
+        task = cholesky_program(2, 512).tasks[0]
+        est_a = clus.perfmodel_of("a").estimate(task, "cpu")
+        est_b = clus.perfmodel_of("b").estimate(task, "cpu")
+        assert est_a != est_b
+        # Re-querying in either order returns each node's own estimate.
+        assert clus.perfmodel_of("a").estimate(task, "cpu") == est_a
+        assert clus.perfmodel_of("b").estimate(task, "cpu") == est_b

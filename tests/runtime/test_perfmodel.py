@@ -88,7 +88,22 @@ class TestAnalyticalModel:
         model = AnalyticalPerfModel(table())
         t = task()
         first = model.estimate(t, "cpu")
-        assert t._est_cache["cpu"] == first
+        assert t._est_cache[(model._cache_token, "cpu")] == first
+
+    def test_models_with_different_tables_do_not_share_cache(self):
+        # Two models over the *same* task objects (one perf model per
+        # cluster node) must not poison each other's cached estimates.
+        fast = AnalyticalPerfModel(table())
+        slow = AnalyticalPerfModel(
+            table().with_entry("gemm", "cpu", KernelCalibration(1.0, 1.0))
+        )
+        t = task()
+        first_fast = fast.estimate(t, "cpu")
+        first_slow = slow.estimate(t, "cpu")
+        assert first_slow > first_fast
+        # Re-querying in either order returns each model's own value.
+        assert fast.estimate(t, "cpu") == first_fast
+        assert slow.estimate(t, "cpu") == first_slow
 
     def test_deterministic_without_noise(self):
         model = AnalyticalPerfModel(table())

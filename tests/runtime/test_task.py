@@ -52,7 +52,7 @@ class TestTask:
         t.preds.append(pred)
         t.state = TaskState.DONE
         t.sched["x"] = 1
-        t._est_cache["cpu"] = 5.0
+        t._est_cache[(0, "cpu")] = 5.0
         t.reset_runtime_state()
         assert t.state is TaskState.SUBMITTED
         assert t.n_unfinished_preds == 1

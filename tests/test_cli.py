@@ -108,6 +108,28 @@ def test_stream_experiment(tmp_path, capsys):
     assert all("slowdown" in j and "latency_us" in j for j in row["jobs"])
 
 
+def test_cluster_experiment(tmp_path, capsys):
+    report = tmp_path / "cluster.json"
+    code = main(
+        ["experiment", "cluster", "--nodes", "2",
+         "--placements", "random", "locality-aware",
+         "--chains-per-node", "1", "--chain-len", "2",
+         "--json", str(report)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "locality-aware" in out and "imbal" in out
+    doc = json.loads(report.read_text())
+    assert doc["experiment"] == "cluster"
+    assert len(doc["rows"]) == 2
+    for row in doc["rows"]:
+        assert row["n_nodes"] == 2
+        assert row["converged"]
+        assert len(row["nodes"]) == 2
+        assert row["n_jobs"] == 4  # 1 chain/node x 2 nodes x 2 stages
+    assert {r["policy"] for r in doc["rows"]} == {"random", "locality-aware"}
+
+
 def test_unknown_scheduler_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["run", "--scheduler", "bogus"])

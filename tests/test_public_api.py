@@ -31,6 +31,7 @@ def test_top_level_exports_resolve():
         "repro.extensions",
         "repro.utils",
         "repro.obs",
+        "repro.cluster",
         "repro.cli",
     ],
 )
@@ -48,6 +49,7 @@ def test_all_exports_resolve_in_subpackages():
         "repro.extensions",
         "repro.utils",
         "repro.obs",
+        "repro.cluster",
     ):
         mod = importlib.import_module(module)
         for name in getattr(mod, "__all__", []):
