@@ -38,11 +38,17 @@ from repro.schedulers.registry import make_scheduler
 from repro.utils.rng import make_rng
 
 #: Reference workloads of the recorded baseline: name -> (scheduler,
-#: n_tiles, tile_size).  The headline acceptance workload is the paper's
-#: Fig. 4/5 shape at n_tiles=16 under MultiPrio.
-BASELINE_WORKLOADS: dict[str, tuple[str, int, int]] = {
-    "cholesky16-multiprio": ("multiprio", 16, 960),
-    "cholesky16-dmdas": ("dmdas", 16, 960),
+#: n_tiles, tile_size, batch_step).  The headline acceptance workload is
+#: the paper's Fig. 4/5 shape at n_tiles=16 under MultiPrio; the
+#: ``-batch500`` variants exercise the coalesced hot path (drain-on-idle
+#: enabled, so decisions still land the moment a worker would starve)
+#: and record batch-size provenance alongside the timings.
+BASELINE_WORKLOADS: dict[str, tuple[str, int, int, float | None]] = {
+    "cholesky16-multiprio": ("multiprio", 16, 960, None),
+    "cholesky16-dmdas": ("dmdas", 16, 960, None),
+    "cholesky16-multiqueue": ("multiqueue", 16, 960, None),
+    "cholesky16-multiprio-batch500": ("multiprio", 16, 960, 500.0),
+    "cholesky16-multiqueue-batch500": ("multiqueue", 16, 960, 500.0),
 }
 
 
@@ -69,7 +75,12 @@ def instrument_scheduler(scheduler) -> dict[str, float]:
 
 
 def measure_workload(
-    scheduler_name: str, n_tiles: int, tile_size: int, *, repeats: int = 3
+    scheduler_name: str,
+    n_tiles: int,
+    tile_size: int,
+    *,
+    repeats: int = 3,
+    batch_step: float | None = None,
 ) -> dict[str, float]:
     """Best-of-``repeats`` timing of one reference workload.
 
@@ -85,7 +96,10 @@ def measure_workload(
     for _ in range(max(1, repeats)):
         sched = make_scheduler(scheduler_name)
         totals = instrument_scheduler(sched)
-        sim = Simulator(platform, sched, pm, seed=0, record_trace=False)
+        sim = Simulator(
+            platform, sched, pm, seed=0, record_trace=False,
+            batch_step=batch_step,
+        )
         t0 = time.perf_counter()
         res = sim.run(program)
         wall = time.perf_counter() - t0
@@ -97,6 +111,10 @@ def measure_workload(
             "tasks_per_s": res.n_tasks / wall if wall > 0 else 0.0,
             "makespan_us": res.makespan,
         }
+        if res.batch_stats is not None:
+            sample["batch_step"] = float(batch_step or 0.0)
+            sample["mean_batch"] = res.batch_stats["mean_batch"]
+            sample["n_flushes"] = res.batch_stats["n_flushes"]
         if best is None or sample["sched_core_s"] < best["sched_core_s"]:
             best = sample
     assert best is not None
@@ -106,10 +124,12 @@ def measure_workload(
 def run_baseline(repeats: int = 3) -> dict:
     """Measure every reference workload; returns the JSON document."""
     workloads = {}
-    for name, (sched, n_tiles, tile) in BASELINE_WORKLOADS.items():
-        workloads[name] = measure_workload(sched, n_tiles, tile, repeats=repeats)
+    for name, (sched, n_tiles, tile, batch_step) in BASELINE_WORKLOADS.items():
+        workloads[name] = measure_workload(
+            sched, n_tiles, tile, repeats=repeats, batch_step=batch_step
+        )
     return {
-        "schema": 1,
+        "schema": 2,
         "python": sys.version.split()[0],
         "workloads": workloads,
     }

@@ -46,9 +46,9 @@ from repro.runtime import (
     KernelCalibration,
     Platform,
 )
-from repro.core import MultiPrio
+from repro.schedulers import MultiPrio
 from repro.schedulers import make_scheduler, scheduler_names, register_scheduler
-from repro.api import SimConfig, simulate, simulate_stream
+from repro.api import SimConfig, SimSpec, simulate, simulate_stream
 from repro.workload import (
     QOS_CLASSES,
     Job,
@@ -98,6 +98,7 @@ __all__ = [
     "simulate",
     "simulate_stream",
     "SimConfig",
+    "SimSpec",
     "Job",
     "JobStream",
     "JobResult",

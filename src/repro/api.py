@@ -1,39 +1,39 @@
-"""Top-level facade: one call from (program, machine, scheduler) to a result.
+"""Top-level facade: one spec from (machine, scheduler, knobs) to results.
 
-:func:`simulate` hides the wiring between the machine models, the
-scheduler registry, the performance models and the discrete-event
-engine behind a single entry point::
+:class:`SimSpec` is the single entry point: it bundles the machine, the
+scheduler and every engine knob once, then runs any workload shape —
+a task graph, an online job stream, or a multi-node cluster::
 
-    from repro import simulate
+    from repro import SimSpec
     from repro.apps.dense import cholesky_program
 
-    res = simulate(cholesky_program(10, 960), "intel-v100", "multiprio")
+    spec = SimSpec("intel-v100", "multiprio")
+    res = spec.run(cholesky_program(10, 960))
     print(res.makespan, res.gflops)
 
-Every knob the engine exposes is available as a keyword, or bundled in
-a reusable :class:`SimConfig`::
+The same spec drives the online path (and the cluster tier via
+:meth:`SimSpec.run_cluster`)::
 
-    cfg = SimConfig(seed=3, noise_sigma=0.05, record_level="decisions")
-    res = simulate(program, machine, "multiprio", config=cfg)
-
-:func:`simulate_stream` is the online counterpart: it merges a
-:class:`~repro.workload.stream.JobStream` (programs arriving over
-virtual time) into one composite run and reports per-job latency,
-queueing delay, slowdown-vs-isolated and fairness::
-
-    from repro import simulate_stream
     from repro.workload import poisson_stream
 
-    stream = poisson_stream([lambda: cholesky_program(6, 512)],
-                            rate_jobs_per_s=20.0, n_jobs=8)
-    sres = simulate_stream(stream, "small-hetero", "multiprio")
+    spec = SimSpec("small-hetero", "multiprio", batch_step=50.0)
+    sres = spec.run_stream(poisson_stream([lambda: cholesky_program(6, 512)],
+                                          rate_jobs_per_s=20.0, n_jobs=8))
     print(sres.mean_latency_us, sres.fairness)
+
+The historical entry points — :func:`simulate`, :func:`simulate_stream`
+and :func:`repro.cluster.simulate_cluster` — remain as thin wrappers
+over ``SimSpec`` and produce bit-identical results; passing engine
+options to them as loose keywords is deprecated (build a ``SimSpec``
+instead). :class:`SimConfig` is the per-run knob bundle ``SimSpec``
+embeds; it stays fully supported.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.obs.events import RecordLevel
 from repro.platform.machines import MACHINES, MachineModel
@@ -46,21 +46,30 @@ from repro.schedulers.registry import make_scheduler
 from repro.utils.validation import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.result import ClusterResult
+    from repro.cluster.spec import ClusterSpec
+    from repro.cluster.topology import Cluster
     from repro.control.plane import ControlConfig, ControlPlane
     from repro.runtime.perfmodel import PerfModel
     from repro.workload.results import StreamResult
     from repro.workload.stream import JobStream
 
+#: Sentinel distinguishing "keyword not passed" from an explicit default
+#: in the deprecated loose-keyword wrappers.
+_UNSET: Any = object()
+
 
 @dataclass
 class SimConfig:
-    """Bundled simulation options for :func:`simulate`.
+    """Bundled per-run engine options (embedded by :class:`SimSpec`).
 
     Attributes mirror :class:`~repro.runtime.engine.Simulator` keywords;
     ``sched_params`` are forwarded to the scheduler factory when the
     scheduler is given by registry name, and ``perfmodel`` (when set)
     replaces the default :class:`AnalyticalPerfModel` built from the
-    machine's calibration with ``noise_sigma``.
+    machine's calibration with ``noise_sigma``. ``batch_step`` /
+    ``batch_drain_on_idle`` select the engine's batched hot path (see
+    :class:`~repro.runtime.engine.Simulator`).
     """
 
     seed: int = 0
@@ -72,6 +81,8 @@ class SimConfig:
     pipeline: bool = True
     submission_window: int | None = None
     check_invariants: bool | None = None
+    batch_step: float | None = None
+    batch_drain_on_idle: bool = True
     sched_params: dict = field(default_factory=dict)
 
 
@@ -85,70 +96,6 @@ def _resolve_machine(machine: MachineModel | str) -> MachineModel:
             )
         return factory()
     return machine
-
-
-def simulate(
-    program: Program,
-    machine: MachineModel | str,
-    scheduler: Scheduler | str = "multiprio",
-    *,
-    config: SimConfig | None = None,
-    seed: int = 0,
-    noise_sigma: float = 0.0,
-    perfmodel: "PerfModel | None" = None,
-    faults: FaultModel | None = None,
-    record_trace: bool = False,
-    record_level: RecordLevel | str | int = RecordLevel.OFF,
-    pipeline: bool = True,
-    submission_window: int | None = None,
-    check_invariants: bool | None = None,
-    sched_params: dict | None = None,
-) -> SimResult:
-    """Simulate ``program`` on ``machine`` under ``scheduler``.
-
-    Parameters
-    ----------
-    program:
-        The task graph (from :class:`~repro.runtime.stf.TaskFlow` or an
-        application generator).
-    machine:
-        A :class:`~repro.platform.machines.MachineModel` or its registry
-        name (``"intel-v100"``, ``"amd-a100"``, ...).
-    scheduler:
-        A :class:`~repro.schedulers.base.Scheduler` instance or a
-        registry name; names are instantiated with ``sched_params``.
-    config:
-        A :class:`SimConfig` bundling all remaining options. When given
-        it takes precedence over the individual keywords.
-    perfmodel:
-        Explicit performance model (e.g.
-        :class:`~repro.runtime.perfmodel.HistoryPerfModel`); ``None``
-        builds an :class:`AnalyticalPerfModel` from the machine's
-        calibration with ``noise_sigma`` execution noise.
-    faults:
-        Optional :class:`~repro.runtime.faults.FaultModel`.
-    check_invariants:
-        Attach the :mod:`repro.check` runtime validator (``None`` defers
-        to the ``REPRO_CHECK_INVARIANTS`` environment variable).
-    record_trace / record_level / pipeline / submission_window / seed:
-        Forwarded to :class:`~repro.runtime.engine.Simulator`.
-
-    Returns the engine's :class:`~repro.runtime.engine.SimResult`.
-    """
-    cfg = config if config is not None else SimConfig(
-        seed=seed,
-        noise_sigma=noise_sigma,
-        perfmodel=perfmodel,
-        faults=faults,
-        record_trace=record_trace,
-        record_level=record_level,
-        pipeline=pipeline,
-        submission_window=submission_window,
-        check_invariants=check_invariants,
-        sched_params=dict(sched_params) if sched_params else {},
-    )
-    mach = _resolve_machine(machine)
-    return _build_simulator(cfg, mach, scheduler).run(program)
 
 
 def _build_simulator(
@@ -182,7 +129,282 @@ def _build_simulator(
         record_level=cfg.record_level,
         check_invariants=cfg.check_invariants,
         control_plane=control_plane,
+        batch_step=cfg.batch_step,
+        batch_drain_on_idle=cfg.batch_drain_on_idle,
     )
+
+
+@dataclass
+class SimSpec:
+    """One declarative simulation spec: where, how, and with which knobs.
+
+    Build it once, run any workload shape against it:
+
+    * :meth:`run` — one task graph → :class:`SimResult`;
+    * :meth:`run_stream` — an online job stream →
+      :class:`~repro.workload.results.StreamResult`;
+    * :meth:`run_cluster` — a stream on a multi-node cluster →
+      :class:`~repro.cluster.result.ClusterResult`.
+
+    Parameters
+    ----------
+    machine:
+        A :class:`~repro.platform.machines.MachineModel` or its registry
+        name (``"intel-v100"``, ``"small-hetero"``, ...). Ignored by
+        :meth:`run_cluster`, which takes its topology from the cluster.
+    scheduler:
+        A :class:`~repro.schedulers.base.Scheduler` instance or a
+        registry name; names are instantiated with ``sched_params``.
+    config:
+        The embedded :class:`SimConfig`. The remaining keywords are
+        conveniences that override single fields of it: ``SimSpec(m, s,
+        seed=3)`` equals ``SimSpec(m, s, config=SimConfig(seed=3))``.
+    control:
+        Optional :class:`~repro.control.ControlConfig` admission control
+        plane, applied by the stream and cluster paths.
+    isolated_baseline:
+        Whether stream/cluster runs also simulate each job alone to
+        report per-job slowdowns.
+    """
+
+    machine: MachineModel | str = "intel-v100"
+    scheduler: Scheduler | str = "multiprio"
+    config: SimConfig = field(default_factory=SimConfig)
+    control: "ControlConfig | None" = None
+    isolated_baseline: bool = True
+    # Single-field conveniences folded into `config` after init.
+    seed: "int | None" = None
+    noise_sigma: "float | None" = None
+    perfmodel: "PerfModel | None" = None
+    faults: FaultModel | None = None
+    record_trace: "bool | None" = None
+    record_level: "RecordLevel | str | int | None" = None
+    pipeline: "bool | None" = None
+    submission_window: "int | None" = None
+    check_invariants: "bool | None" = None
+    batch_step: "float | None" = None
+    batch_drain_on_idle: "bool | None" = None
+    sched_params: "dict | None" = None
+
+    def __post_init__(self) -> None:
+        overrides = {
+            name: value
+            for name in (
+                "seed", "noise_sigma", "perfmodel", "faults", "record_trace",
+                "record_level", "pipeline", "submission_window",
+                "check_invariants", "batch_step", "batch_drain_on_idle",
+            )
+            if (value := getattr(self, name)) is not None
+        }
+        if self.sched_params is not None:
+            overrides["sched_params"] = dict(self.sched_params)
+        if overrides:
+            from dataclasses import replace
+
+            self.config = replace(self.config, **overrides)
+        # The conveniences have been folded in; mirror the config back so
+        # `spec.seed` etc. always read the effective values.
+        for f in (
+            "seed", "noise_sigma", "perfmodel", "faults", "record_trace",
+            "record_level", "pipeline", "submission_window",
+            "check_invariants", "batch_step", "batch_drain_on_idle",
+            "sched_params",
+        ):
+            setattr(self, f, getattr(self.config, f))
+
+    # -- internals -------------------------------------------------------
+
+    def _machine(self) -> MachineModel:
+        return _resolve_machine(self.machine)
+
+    def simulator(
+        self, control_plane: "ControlPlane | None" = None
+    ) -> Simulator:
+        """A fully-wired engine for this spec (fresh every call)."""
+        return _build_simulator(
+            self.config, self._machine(), self.scheduler, control_plane
+        )
+
+    @property
+    def scheduler_name(self) -> str:
+        return (
+            self.scheduler
+            if isinstance(self.scheduler, str)
+            else self.scheduler.name
+        )
+
+    # -- entry points ----------------------------------------------------
+
+    def run(self, program: Program) -> SimResult:
+        """Simulate one task graph; returns the engine's result."""
+        if self.control is not None:
+            raise ValidationError(
+                "control planes act on job streams; use run_stream() (or "
+                "run_cluster()), or clear SimSpec.control for a plain run"
+            )
+        return self.simulator().run(program)
+
+    def run_stream(self, stream: "JobStream") -> "StreamResult":
+        """Simulate an online job stream.
+
+        The stream is compiled with
+        :func:`~repro.workload.merge.merge_stream` into one composite
+        program whose tasks are released at their job's arrival time,
+        then run through the normal engine — a stream with a single job
+        arriving at t=0 is bit-identical to :meth:`run` on that job's
+        program. With :attr:`control` set, the stream passes through the
+        admission control plane (accept / delay / shed / evict); the
+        result's ``jobs`` then holds completed jobs only and
+        ``result.control`` carries the admission outcome.
+        """
+        from repro.workload.merge import merge_stream
+        from repro.workload.results import JobResult, StreamResult
+
+        cfg = self.config
+        mach = self._machine()
+        merged = merge_stream(stream)
+        plane = None
+        if self.control is not None:
+            from repro.control.plane import ControlPlane
+
+            plane = ControlPlane(self.control)
+        res = _build_simulator(cfg, mach, self.scheduler, plane).run(merged)
+
+        # Under a control plane only completed jobs have execution
+        # records; shed/evicted jobs are reported through ControlResult.
+        completed: set[int] | None = None
+        if plane is not None:
+            completed = {r.jid for r in plane.records() if r.status == "done"}
+
+        isolated: dict[int, float] = {}
+        if self.isolated_baseline:
+            for job in stream.jobs:
+                if completed is not None and job.jid not in completed:
+                    continue
+                key = id(job.program)
+                if key not in isolated:
+                    isolated[key] = _build_simulator(
+                        cfg, mach, self.scheduler
+                    ).run(job.program).makespan
+
+        jobs: list[JobResult] = []
+        for span in merged.jobs:
+            if completed is not None and span.jid not in completed:
+                continue
+            records = [
+                merged.tasks[tid].sched["_record"]
+                for tid in range(span.first_tid, span.first_tid + span.n_tasks)
+            ]
+            job = next(j for j in stream.jobs if j.jid == span.jid)
+            jobs.append(JobResult(
+                jid=span.jid,
+                name=span.name,
+                tenant=span.tenant,
+                arrival_us=span.arrival_us,
+                start_us=min(r[2] for r in records),
+                end_us=max(r[3] for r in records),
+                n_tasks=span.n_tasks,
+                isolated_us=isolated.get(id(job.program)),
+            ))
+        control_result = None
+        if plane is not None:
+            from repro.control.result import ControlResult
+
+            control_result = ControlResult.from_plane(plane, jobs)
+        return StreamResult(
+            stream_name=stream.name,
+            machine=mach.name,
+            scheduler=self.scheduler_name,
+            jobs=jobs,
+            sim=res,
+            control=control_result,
+        )
+
+    def run_cluster(
+        self,
+        stream: "JobStream",
+        cluster: "Cluster | ClusterSpec",
+        **cluster_options,
+    ) -> "ClusterResult":
+        """Simulate a job stream on a multi-node cluster.
+
+        ``cluster_options`` are the cluster-tier knobs of
+        :func:`repro.cluster.simulate_cluster` (``placement``,
+        ``placement_params``, ``jobs``, ``max_rounds``, ``progress``);
+        everything else — scheduler, control plane, per-node engine
+        options — comes from this spec. The per-node scheduler must be a
+        registry name (each node instantiates its own).
+        """
+        from repro.cluster.sim import simulate_cluster
+
+        return simulate_cluster(
+            stream,
+            cluster,
+            self.scheduler,  # name-check happens in simulate_cluster
+            config=self.config,
+            control=self.control,
+            isolated_baseline=self.isolated_baseline,
+            **cluster_options,
+        )
+
+
+def _legacy_config(
+    where: str, config: SimConfig | None, passed: dict
+) -> SimConfig:
+    """Fold deprecated loose keywords into a :class:`SimConfig`."""
+    explicit = {k: v for k, v in passed.items() if v is not _UNSET}
+    if explicit:
+        warnings.warn(
+            f"passing engine options to {where} as loose keywords "
+            f"({', '.join(sorted(explicit))}) is deprecated; build a "
+            "SimSpec (or a SimConfig) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if config is not None:
+        return config  # the config bundle takes precedence, as documented
+    if "sched_params" in explicit:
+        explicit["sched_params"] = dict(explicit["sched_params"] or {})
+    return SimConfig(**explicit)
+
+
+def simulate(
+    program: Program,
+    machine: MachineModel | str,
+    scheduler: Scheduler | str = "multiprio",
+    *,
+    config: SimConfig | None = None,
+    seed: int = _UNSET,
+    noise_sigma: float = _UNSET,
+    perfmodel: "PerfModel | None" = _UNSET,
+    faults: FaultModel | None = _UNSET,
+    record_trace: bool = _UNSET,
+    record_level: RecordLevel | str | int = _UNSET,
+    pipeline: bool = _UNSET,
+    submission_window: int | None = _UNSET,
+    check_invariants: bool | None = _UNSET,
+    batch_step: float | None = _UNSET,
+    batch_drain_on_idle: bool = _UNSET,
+    sched_params: dict | None = _UNSET,
+) -> SimResult:
+    """Simulate ``program`` on ``machine`` under ``scheduler``.
+
+    A thin wrapper over ``SimSpec(machine, scheduler, config).run(program)``
+    — bit-identical to it. Passing the engine options as loose keywords
+    is **deprecated**; bundle them in a :class:`SimSpec` or
+    :class:`SimConfig` instead. ``simulate(program, machine, scheduler)``
+    and the ``config=`` form stay warning-free.
+
+    Returns the engine's :class:`~repro.runtime.engine.SimResult`.
+    """
+    cfg = _legacy_config("simulate()", config, dict(
+        seed=seed, noise_sigma=noise_sigma, perfmodel=perfmodel,
+        faults=faults, record_trace=record_trace, record_level=record_level,
+        pipeline=pipeline, submission_window=submission_window,
+        check_invariants=check_invariants, batch_step=batch_step,
+        batch_drain_on_idle=batch_drain_on_idle, sched_params=sched_params,
+    ))
+    return SimSpec(machine, scheduler, config=cfg).run(program)
 
 
 def simulate_stream(
@@ -192,118 +414,40 @@ def simulate_stream(
     *,
     config: SimConfig | None = None,
     isolated_baseline: bool = True,
-    seed: int = 0,
-    noise_sigma: float = 0.0,
-    perfmodel: "PerfModel | None" = None,
-    faults: FaultModel | None = None,
-    record_trace: bool = False,
-    record_level: RecordLevel | str | int = RecordLevel.OFF,
-    pipeline: bool = True,
-    submission_window: int | None = None,
-    check_invariants: bool | None = None,
-    sched_params: dict | None = None,
     control: "ControlConfig | None" = None,
+    seed: int = _UNSET,
+    noise_sigma: float = _UNSET,
+    perfmodel: "PerfModel | None" = _UNSET,
+    faults: FaultModel | None = _UNSET,
+    record_trace: bool = _UNSET,
+    record_level: RecordLevel | str | int = _UNSET,
+    pipeline: bool = _UNSET,
+    submission_window: int | None = _UNSET,
+    check_invariants: bool | None = _UNSET,
+    batch_step: float | None = _UNSET,
+    batch_drain_on_idle: bool = _UNSET,
+    sched_params: dict | None = _UNSET,
 ) -> "StreamResult":
     """Simulate an online job stream on ``machine`` under ``scheduler``.
 
-    The stream is compiled with
-    :func:`~repro.workload.merge.merge_stream` into one composite
-    program whose tasks are released at their job's arrival time, then
-    run through the normal engine — a stream with a single job arriving
-    at t=0 is bit-identical to :func:`simulate` on that job's program.
-
-    Parameters beyond :func:`simulate`'s:
-
-    stream:
-        A :class:`~repro.workload.stream.JobStream` (from
-        :func:`~repro.workload.stream.poisson_stream`,
-        :func:`~repro.workload.stream.closed_loop_stream`,
-        :func:`~repro.workload.stream.trace_stream`, or hand-built).
-    isolated_baseline:
-        Also simulate each job alone (same machine, scheduler and
-        config) to report per-job slowdowns. Baselines are cached per
-        distinct program object; pass ``False`` to skip the extra runs.
-    control:
-        Optional :class:`~repro.control.ControlConfig`: run the stream
-        through the admission control plane (accept / delay / shed /
-        evict). The result's ``jobs`` then holds completed jobs only and
-        ``result.control`` carries the per-tenant/per-class admission
-        outcome. ``ControlConfig.unlimited()`` is bit-identical to
-        ``control=None``.
+    A thin wrapper over :meth:`SimSpec.run_stream` — bit-identical to
+    it. Passing engine options as loose keywords is **deprecated**
+    (build a :class:`SimSpec`); ``config=``, ``isolated_baseline=`` and
+    ``control=`` stay warning-free.
 
     Returns a :class:`~repro.workload.results.StreamResult`.
     """
-    from repro.workload.merge import merge_stream
-    from repro.workload.results import JobResult, StreamResult
-
-    cfg = config if config is not None else SimConfig(
-        seed=seed,
-        noise_sigma=noise_sigma,
-        perfmodel=perfmodel,
-        faults=faults,
-        record_trace=record_trace,
-        record_level=record_level,
-        pipeline=pipeline,
-        submission_window=submission_window,
-        check_invariants=check_invariants,
-        sched_params=dict(sched_params) if sched_params else {},
-    )
-    mach = _resolve_machine(machine)
-    merged = merge_stream(stream)
-    plane = None
-    if control is not None:
-        from repro.control.plane import ControlPlane
-
-        plane = ControlPlane(control)
-    res = _build_simulator(cfg, mach, scheduler, control_plane=plane).run(merged)
-
-    # Under a control plane only completed jobs have execution records;
-    # shed/evicted jobs are reported through ControlResult instead.
-    completed: set[int] | None = None
-    if plane is not None:
-        completed = {r.jid for r in plane.records() if r.status == "done"}
-
-    isolated: dict[int, float] = {}
-    if isolated_baseline:
-        for job in stream.jobs:
-            if completed is not None and job.jid not in completed:
-                continue
-            key = id(job.program)
-            if key not in isolated:
-                isolated[key] = _build_simulator(cfg, mach, scheduler).run(
-                    job.program
-                ).makespan
-
-    jobs: list[JobResult] = []
-    for span in merged.jobs:
-        if completed is not None and span.jid not in completed:
-            continue
-        records = [
-            merged.tasks[tid].sched["_record"]
-            for tid in range(span.first_tid, span.first_tid + span.n_tasks)
-        ]
-        job = next(j for j in stream.jobs if j.jid == span.jid)
-        jobs.append(JobResult(
-            jid=span.jid,
-            name=span.name,
-            tenant=span.tenant,
-            arrival_us=span.arrival_us,
-            start_us=min(r[2] for r in records),
-            end_us=max(r[3] for r in records),
-            n_tasks=span.n_tasks,
-            isolated_us=isolated.get(id(job.program)),
-        ))
-    sched_name = scheduler if isinstance(scheduler, str) else scheduler.name
-    control_result = None
-    if plane is not None:
-        from repro.control.result import ControlResult
-
-        control_result = ControlResult.from_plane(plane, jobs)
-    return StreamResult(
-        stream_name=stream.name,
-        machine=mach.name,
-        scheduler=sched_name,
-        jobs=jobs,
-        sim=res,
-        control=control_result,
-    )
+    cfg = _legacy_config("simulate_stream()", config, dict(
+        seed=seed, noise_sigma=noise_sigma, perfmodel=perfmodel,
+        faults=faults, record_trace=record_trace, record_level=record_level,
+        pipeline=pipeline, submission_window=submission_window,
+        check_invariants=check_invariants, batch_step=batch_step,
+        batch_drain_on_idle=batch_drain_on_idle, sched_params=sched_params,
+    ))
+    return SimSpec(
+        machine,
+        scheduler,
+        config=cfg,
+        control=control,
+        isolated_baseline=isolated_baseline,
+    ).run_stream(stream)

@@ -255,6 +255,59 @@ def check_window_equivalence(
     return out
 
 
+#: Policies whose PUSH is interleaving-invariant: delaying a ready-task
+#: reveal to the next flush (same virtual time ordering, same push order)
+#: provably cannot change any decision, so the batched hot path must be
+#: bit-identical to per-event scheduling at ANY batch_step once
+#: drain-on-idle flushes the buffer before every pop. The work-stealing
+#: pair is excluded by design: its push routes through push-time context
+#: (the worker that released the task), which batching legitimately
+#: shifts.
+_BATCH_INVARIANT_EXCLUDED = frozenset({"ws", "lws"})
+
+
+def check_batch_equivalence(
+    name: str, program: Program, machine: MachineModel, scheduler: str
+) -> list[CheckOutcome]:
+    """The batched reveal path must be bit-identical to per-event.
+
+    With ``batch_drain_on_idle=True`` the engine flushes its reveal
+    buffer before every pop, so the scheduler observes exactly the
+    per-event queue contents at every decision point — for any
+    ``batch_step``, not just steps too small to bin two reveals
+    together. The sweep covers a step below the smallest kernel time
+    (every batch is a singleton), a mid-range step that genuinely bins
+    reveals, and a step beyond the makespan (one giant bin, drain-fed).
+    The no-drain variant only promises liveness and checker-clean
+    gating, which the batch invariant family validates.
+    """
+    out = []
+    if scheduler in _BATCH_INVARIANT_EXCLUDED:
+        return out
+    base, _ = _run(program, machine, scheduler, record_trace=True)
+    for step in (1.0, 250.0, 1e9):
+        batched, _ = _run(
+            program, machine, scheduler, record_trace=True,
+            batch_step=step, check_invariants=True,
+        )
+        out.append(CheckOutcome(
+            f"batch.equivalence[{name}/{scheduler}/step={step:g}]",
+            fingerprint(base) == fingerprint(batched),
+            f"batch_step={step:g} with drain-on-idle diverged from the "
+            "per-event path",
+        ))
+    nodrain, _ = _run(
+        program, machine, scheduler, record_trace=True,
+        batch_step=200.0, batch_drain_on_idle=False, check_invariants=True,
+    )
+    out.append(CheckOutcome(
+        f"batch.nodrain_complete[{name}/{scheduler}]",
+        len(nodrain.trace.task_records) == len(program.tasks),
+        "fixed-step batching (no drain) failed to run every task",
+    ))
+    return out
+
+
 def check_pipeline_bound(
     name: str, program: Program, machine: MachineModel, scheduler: str
 ) -> CheckOutcome:
@@ -335,7 +388,7 @@ def check_control_noop_equivalence(
     uncontrolled, and compares full run fingerprints plus the control
     ledger (everything admitted, nothing shed, delayed or evicted).
     """
-    from repro.api import simulate_stream
+    from repro.api import SimConfig, SimSpec
     from repro.control.plane import ControlConfig
     from repro.workload.stream import poisson_stream
 
@@ -349,14 +402,14 @@ def check_control_noop_equivalence(
             tenants=("t0", "t1", "t2"),
             qos=("guaranteed", "burstable", "best-effort"),
         )
-        kwargs = dict(
-            machine=machine, scheduler=scheduler,
-            record_trace=True, isolated_baseline=False,
-        )
-        plain = simulate_stream(stream, **kwargs)
-        controlled = simulate_stream(
-            stream, control=ControlConfig.unlimited(), **kwargs
-        )
+        cfg = SimConfig(record_trace=True)
+        plain = SimSpec(
+            machine, scheduler, config=cfg, isolated_baseline=False
+        ).run_stream(stream)
+        controlled = SimSpec(
+            machine, scheduler, config=cfg, isolated_baseline=False,
+            control=ControlConfig.unlimited(),
+        ).run_stream(stream)
         out.append(CheckOutcome(
             f"control.noop[{scheduler}]",
             fingerprint(plain.sim) == fingerprint(controlled.sim),
@@ -392,7 +445,7 @@ def check_cluster_single_node_equivalence(
     latencies and isolated baselines. Any divergence means the cluster
     path perturbed the engine configuration or the merged program.
     """
-    from repro.api import simulate_stream
+    from repro.api import SimConfig, SimSpec
     from repro.cluster.sim import simulate_cluster
     from repro.cluster.spec import star_cluster
     from repro.workload.stream import poisson_stream
@@ -406,9 +459,9 @@ def check_cluster_single_node_equivalence(
             seed=5,
             tenants=("t0", "t1"),
         )
-        plain = simulate_stream(
-            stream, machine, scheduler, record_trace=True
-        )
+        plain = SimSpec(
+            machine, scheduler, config=SimConfig(record_trace=True)
+        ).run_stream(stream)
         assert plain.sim.trace is not None
         plain_records = tuple(sorted(
             (r.tid, r.worker, r.start, r.end)
@@ -479,6 +532,7 @@ def run_differential_suite(
             emit(check_determinism(name, program, mach, scheduler))
             emit(check_fault_free_equivalence(name, program, mach, scheduler))
             emit(check_window_equivalence(name, program, mach, scheduler))
+            emit(check_batch_equivalence(name, program, mach, scheduler))
             emit(check_pipeline_bound(name, program, mach, scheduler))
     emit(check_control_noop_equivalence(
         mach, schedulers[:1] if quick else schedulers

@@ -35,6 +35,12 @@ sweeps six invariant families over the *entire* runtime state:
 ``scheduler``
     Whatever the policy's own :meth:`~repro.schedulers.base.Scheduler.check`
     reports (heap order, counter exactness, ...).
+``batch``
+    Batch-mode scheduling only: every buffered task is READY (or
+    cancelled awaiting its flush skip), revealed, release-gated and
+    dependency-free — i.e. the batch never outran the submission window
+    or a release time — and a ``BATCH_FLUSH`` event is queued whenever
+    the buffer is non-empty (no batch can be forgotten).
 ``control``
     When a control plane is attached: credit conservation (every decided
     job is admitted, shed, or pending another delay), the in-flight
@@ -55,7 +61,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.obs.events import InvariantViolation
-from repro.runtime.events import TASK_RETRY
+from repro.runtime.events import BATCH_FLUSH, TASK_RETRY
 from repro.runtime.task import AccessMode, Task, TaskState
 from repro.utils.validation import InvariantError
 
@@ -106,13 +112,15 @@ class InvariantChecker:
         platform: "Platform",
         ctx,
         scheduler,
-        current: dict[int, Task | None],
-        staged: dict[int, tuple[Task, float, float] | None],
+        current: "list[Task | None]",
+        staged: "list[tuple[Task, float, float] | None]",
         events: list,
         fault_active: bool,
         window: int | None = None,
         releases: "list[float] | tuple[float, ...] | None" = None,
         control=None,
+        batch_pending: list[Task] | None = None,
+        batch_drain: bool = True,
     ) -> None:
         """Bind one run's live state and snapshot the starting point.
 
@@ -132,6 +140,8 @@ class InvariantChecker:
         self.window = window
         self.releases = releases
         self.control = control
+        self.batch_pending = batch_pending
+        self.batch_drain = batch_drain
         self.n_checks = 0
         self._node_of_wid = {w.wid: w.memory_node for w in platform.workers}
         self._handle_by_hid = {h.hid: h for h in program.handles}
@@ -167,6 +177,8 @@ class InvariantChecker:
         running = self._check_conservation(revealed, n_done, violations)
         self._check_task_states(violations)
         self._check_msi(running, violations)
+        if self.batch_pending is not None:
+            self._check_batch(revealed, prev_now, violations)
         for detail in self.scheduler.check():
             violations.append(("scheduler", str(detail)))
         if self.control is not None:
@@ -287,6 +299,73 @@ class InvariantChecker:
                     f"loop leaked",
                 ))
 
+    def _check_batch(self, revealed: int, prev_now: float, out: list) -> None:
+        """Batch-mode buffer discipline.
+
+        Buffered tasks went through the full reveal pipeline — release
+        gate, submission window, control admission — before entering the
+        buffer, so each must be a revealed, dependency-free READY task
+        whose release time has passed (or a cancelled task waiting for
+        its flush skip). A non-empty buffer must always have a
+        ``BATCH_FLUSH`` event queued, else the batch would be forgotten.
+        """
+        pending = self.batch_pending
+        if not pending:
+            return
+        releases = self.releases
+        seen: set[int] = set()
+        for task in pending:
+            if task.tid in seen:
+                out.append(("batch", f"{task.name} buffered twice"))
+            seen.add(task.tid)
+            state = task.state
+            if state is _CXL:
+                if "_batched" in task.sched:
+                    out.append((
+                        "batch",
+                        f"{task.name} cancelled while buffered but still "
+                        f"carries the _batched marker",
+                    ))
+                continue
+            if state is not _READY:
+                out.append((
+                    "batch",
+                    f"{task.name} buffered in state {state.name} (only READY "
+                    f"tasks may wait in a batch)",
+                ))
+                continue
+            if "_batched" not in task.sched:
+                out.append((
+                    "batch",
+                    f"{task.name} buffered without the _batched marker",
+                ))
+            if task.tid >= revealed:
+                out.append((
+                    "batch",
+                    f"{task.name} buffered but never revealed "
+                    f"(revealed={revealed}): the batch outran the "
+                    f"submission window",
+                ))
+            if releases is not None and releases[task.tid] > prev_now:
+                out.append((
+                    "batch",
+                    f"{task.name} buffered at t={prev_now} before its "
+                    f"release {releases[task.tid]}: the batch outran the "
+                    f"release gate",
+                ))
+            if task.n_unfinished_preds != 0:
+                out.append((
+                    "batch",
+                    f"{task.name} buffered with {task.n_unfinished_preds} "
+                    f"unfinished predecessors",
+                ))
+        if not any(kind == BATCH_FLUSH for _, _, kind, _ in self.events):
+            out.append((
+                "batch",
+                f"{len(pending)} task(s) buffered but no BATCH_FLUSH event "
+                f"is queued: the batch leaked",
+            ))
+
     def _check_task_states(self, out: list) -> None:
         prev = self._prev_state
         fault = self.fault_active
@@ -324,11 +403,11 @@ class InvariantChecker:
         node_of = self._node_of_wid
         holders: dict[int, list[int]] = {}
         running: dict[int, list[tuple[Task, int]]] = {}
-        for wid, task in self.current.items():
+        for wid, task in enumerate(self.current):
             if task is not None:
                 holders.setdefault(task.tid, []).append(wid)
                 running.setdefault(task.tid, []).append((task, node_of[wid]))
-        for wid, entry in self.staged.items():
+        for wid, entry in enumerate(self.staged):
             if entry is not None:
                 task = entry[0]
                 holders.setdefault(task.tid, []).append(wid)

@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.api import SimConfig, SimSpec
 from repro.analysis.export import to_chrome_trace, to_csv
 from repro.apps.dense import cholesky_program, lu_program, qr_program
 from repro.check.differential import DEFAULT_SCHEDULERS, run_differential_suite
@@ -60,10 +61,9 @@ from repro.obs.export import (
     trace_from_events,
 )
 from repro.platform.machines import MACHINES
-from repro.runtime.engine import Simulator
 from repro.runtime.faults import FaultModel, parse_fault_rates, parse_kill_spec
-from repro.runtime.perfmodel import AnalyticalPerfModel
-from repro.schedulers.registry import make_scheduler, parse_sched_opts, scheduler_names
+
+from repro.schedulers.registry import parse_sched_opts, scheduler_names
 from repro.utils.units import time_human
 
 
@@ -108,16 +108,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     want_trace = bool(args.gantt or args.chrome_trace or args.csv_trace)
     sched_opts = parse_sched_opts(args.sched_opt)
     for name in args.scheduler:
-        sim = Simulator(
-            machine.platform(),
-            make_scheduler(name, **sched_opts),
-            AnalyticalPerfModel(machine.calibration(), noise_sigma=args.noise),
-            seed=args.seed,
-            record_trace=want_trace,
-            submission_window=args.window,
-            fault_model=fault_model,
+        spec = SimSpec(
+            machine,
+            name,
+            config=SimConfig(
+                seed=args.seed,
+                noise_sigma=args.noise,
+                record_trace=want_trace,
+                submission_window=args.window,
+                faults=fault_model,
+                batch_step=args.batch_step,
+                batch_drain_on_idle=not args.no_batch_drain,
+                sched_params=dict(sched_opts),
+            ),
         )
-        res = sim.run(program)
+        res = spec.run(program)
         if res.faults is not None:
             print(f"{name} faults: " + ", ".join(
                 f"{k}={v:g}" for k, v in res.faults.as_dict().items()
@@ -270,16 +275,21 @@ def cmd_trace(args: argparse.Namespace) -> int:
     fault_model = _build_fault_model(args)
     sched_opts = parse_sched_opts(args.sched_opt)
     for name in args.scheduler:
-        sim = Simulator(
-            machine.platform(),
-            make_scheduler(name, **sched_opts),
-            AnalyticalPerfModel(machine.calibration(), noise_sigma=args.noise),
-            seed=args.seed,
-            record_trace=False,
-            record_level=args.level,
-            submission_window=args.window,
-            fault_model=fault_model,
-        )
+        sim = SimSpec(
+            machine,
+            name,
+            config=SimConfig(
+                seed=args.seed,
+                noise_sigma=args.noise,
+                record_trace=False,
+                record_level=args.level,
+                submission_window=args.window,
+                faults=fault_model,
+                batch_step=args.batch_step,
+                batch_drain_on_idle=not args.no_batch_drain,
+                sched_params=dict(sched_opts),
+            ),
+        ).simulator()
         res = sim.run(program)
         events = res.events or ()
         workers = sim.platform.workers
@@ -365,6 +375,13 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--noise", type=float, default=0.0,
                    help="lognormal execution-noise sigma")
+    p.add_argument("--batch-step", type=float, default=None, metavar="US",
+                   help="batched hot path: coalesce ready-task reveals and "
+                        "invoke the scheduler at this virtual-time step (µs); "
+                        "default: per-event scheduling")
+    p.add_argument("--no-batch-drain", action="store_true",
+                   help="with --batch-step: do not flush the batch buffer "
+                        "early when a worker idles (pure fixed-step batching)")
     p.add_argument("--size", type=int, default=16, help="dense: tile count")
     p.add_argument("--tile", type=int, default=960, help="dense: tile size")
     p.add_argument("--particles", type=int, default=20000, help="fmm")

@@ -43,7 +43,7 @@ import math
 from dataclasses import replace
 from typing import TYPE_CHECKING, Callable
 
-from repro.api import SimConfig, _build_simulator
+from repro.api import SimConfig, _UNSET, _build_simulator, _legacy_config
 from repro.cluster.result import (
     ClusterJobResult,
     ClusterResult,
@@ -186,13 +186,13 @@ def simulate_cluster(
     isolated_baseline: bool = True,
     jobs: int = 1,
     max_rounds: int = 16,
-    seed: int = 0,
-    noise_sigma: float = 0.0,
-    record_level: RecordLevel | str | int = RecordLevel.OFF,
-    pipeline: bool = True,
-    submission_window: int | None = None,
-    check_invariants: bool | None = None,
-    sched_params: dict | None = None,
+    seed: int = _UNSET,
+    noise_sigma: float = _UNSET,
+    record_level: RecordLevel | str | int = _UNSET,
+    pipeline: bool = _UNSET,
+    submission_window: int | None = _UNSET,
+    check_invariants: bool | None = _UNSET,
+    sched_params: dict | None = _UNSET,
     progress: Callable[[int, int], None] | None = None,
 ) -> ClusterResult:
     """Simulate ``stream`` on a multi-node cluster.
@@ -244,15 +244,15 @@ def simulate_cluster(
             "simulate_cluster needs the scheduler by registry name (each "
             f"node instantiates its own); got {type(scheduler).__name__}"
         )
-    cfg = config if config is not None else SimConfig(
+    cfg = _legacy_config("simulate_cluster()", config, dict(
         seed=seed,
         noise_sigma=noise_sigma,
         record_level=record_level,
         pipeline=pipeline,
         submission_window=submission_window,
         check_invariants=check_invariants,
-        sched_params=dict(sched_params) if sched_params else {},
-    )
+        sched_params=sched_params,
+    ))
     if cfg.perfmodel is not None:
         raise ValidationError(
             "simulate_cluster builds one perf model per node from its own "

@@ -6,19 +6,22 @@
 * :mod:`repro.core.gain` — the gain (affinity) heuristic, Eq. (1).
 * :mod:`repro.core.criticality` — Normalized Out-Degree, Eq. (2).
 * :mod:`repro.core.locality` — the LS_SDH² locality score, Eq. (3).
-* :mod:`repro.core.multiprio` — the scheduler itself: Alg. 1 (PUSH),
-  Alg. 2 (POP), the pop condition and the eviction mechanism.
+The scheduler itself — Alg. 1 (PUSH), Alg. 2 (POP), the pop condition
+and the eviction mechanism — lives with the other policies in
+:mod:`repro.schedulers.multiprio`; ``repro.core.MultiPrio`` and the
+:mod:`repro.core.multiprio` module remain as import shims (resolved
+lazily to avoid a cycle through :mod:`repro.schedulers`).
 """
 
-from repro.core.heap import TaskHeap, HeapEntry
+from repro.core.heap import TaskHeap, HeapEntry, RelaxedTaskHeap
 from repro.core.gain import GainTracker, gain_scores, pairwise_gain
 from repro.core.criticality import nod, NODTracker
 from repro.core.locality import ls_sdh2
-from repro.core.multiprio import MultiPrio
 
 __all__ = [
     "TaskHeap",
     "HeapEntry",
+    "RelaxedTaskHeap",
     "GainTracker",
     "gain_scores",
     "pairwise_gain",
@@ -27,3 +30,12 @@ __all__ = [
     "ls_sdh2",
     "MultiPrio",
 ]
+
+
+def __getattr__(name: str):
+    """Back-compat: ``repro.core.MultiPrio`` after the move (lazy)."""
+    if name == "MultiPrio":
+        from repro.schedulers.multiprio import MultiPrio
+
+        return MultiPrio
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

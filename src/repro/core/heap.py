@@ -49,7 +49,7 @@ class HeapEntry:
     encounters it.
     """
 
-    __slots__ = ("task", "gain", "prio", "seq", "pos", "dead", "sort_key")
+    __slots__ = ("task", "gain", "prio", "seq", "pos", "dead", "sort_key", "owner")
 
     def __init__(self, task: Task, gain: float, prio: float, seq: int) -> None:
         self.task = task
@@ -59,6 +59,9 @@ class HeapEntry:
         self.pos = -1  # maintained by the heap
         self.dead = False  # tombstone; set by the scheduler at take time
         self.sort_key = (gain, prio, -seq)
+        # Sub-heap that physically holds this entry; only set (and used)
+        # by RelaxedTaskHeap, whose remove() must route to the right sub.
+        self.owner: "TaskHeap | None" = None
 
     def key(self) -> tuple[float, float, int]:
         """Ordering key; larger means more prioritized."""
@@ -228,4 +231,173 @@ class TaskHeap:
             if i > 0:
                 assert self._a[parent].key() >= entry.key(), (
                     f"heap order violated at {i}"
+                )
+
+
+_M64 = (1 << 64) - 1
+
+
+class RelaxedTaskHeap:
+    """MultiQueue-style relaxed priority heap: ``k`` sloppy sub-heaps.
+
+    Postnikova et al. ("Multi-Queues Can Be State-of-the-Art Priority
+    Schedulers") relax exact top-1 delete-min into *two-choice* queries
+    over ``k`` independent heaps: inserts go to the shorter of two
+    sampled sub-heaps, queries return the better root of two sampled
+    sub-heaps. In the concurrent original this trades rank exactness for
+    contention-freedom; here (single-threaded simulation) it trades
+    exactness for O(log(n/k)) operations on smaller heaps and models the
+    relaxed semantics a parallel runtime would exhibit.
+
+    **Hard rank-error invariant**: a query compares the roots of the two
+    sampled sub-heaps A and B and returns their max — which is the exact
+    max of A ∪ B. Only elements outside both sub-heaps can beat it, so
+    the returned entry's rank error is at most ``n - |A| - |B|``. The
+    sizes of the last sampled pair are exposed as :attr:`last_sample`
+    for property tests to assert exactly that bound.
+
+    The class mirrors the :class:`TaskHeap` surface MultiPrio drives
+    (``insert`` / ``remove`` / ``best`` / ``top_candidates`` /
+    ``purge_stale`` / iteration / ``check_invariants``), so it is a
+    drop-in replacement behind MultiPrio's ``relaxed=k`` knob. Queries
+    that cover the whole structure (``top_candidates(n)`` with
+    ``n >= len(self)``, as the engine's liveness rescue issues) fall
+    back to an exact multi-heap scan, so relaxation never causes a
+    spurious deadlock.
+
+    The sampling RNG is a self-seeded xorshift64*, deterministic per
+    (seed, node) and independent of the engine's RNG stream.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        node: int = -1,
+        is_stale: Callable[[Task], bool] | None = None,
+        on_discard: Callable[[HeapEntry], None] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"RelaxedTaskHeap needs k >= 1, got {k}")
+        self.node = node
+        self.k = k
+        self._subs = [
+            TaskHeap(node=node, is_stale=is_stale, on_discard=on_discard)
+            for _ in range(k)
+        ]
+        # xorshift64* state; any odd non-zero seed mix works.
+        self._rng = ((seed * 0x9E3779B97F4A7C15) ^ ((node + 7) * 0xBF58476D1CE4E5B9)
+                     | 1) & _M64
+        #: Sizes (|A|, |B|) of the two sub-heaps the last two-choice
+        #: query sampled (after stale discards); (0, 0) before any query.
+        self.last_sample: tuple[int, int] = (0, 0)
+
+    # -- basics ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._subs)
+
+    def __iter__(self) -> Iterator[HeapEntry]:
+        for sub in self._subs:
+            yield from sub
+
+    def clear(self) -> None:
+        """Drop all entries from every sub-heap."""
+        for sub in self._subs:
+            sub.clear()
+
+    def _pair(self) -> tuple[int, int]:
+        """Two-choice sample: two (possibly equal) sub-heap indices."""
+        s = self._rng
+        s ^= (s << 13) & _M64
+        s ^= s >> 7
+        s ^= (s << 17) & _M64
+        self._rng = s
+        return s % self.k, (s >> 32) % self.k
+
+    # -- TaskHeap surface ------------------------------------------------
+
+    def insert(self, task: Task, gain: float, prio: float) -> HeapEntry:
+        """Two-choice insert: the shorter of two sampled sub-heaps wins."""
+        i, j = self._pair()
+        sub = self._subs[i] if len(self._subs[i]) <= len(self._subs[j]) else self._subs[j]
+        entry = sub.insert(task, gain, prio)
+        entry.owner = sub
+        return entry
+
+    def remove(self, entry: HeapEntry) -> None:
+        """Remove an arbitrary entry from whichever sub-heap holds it."""
+        owner = entry.owner
+        if owner is None:
+            raise ValueError(f"entry {entry!r} has no owning sub-heap")
+        owner.remove(entry)
+
+    def best(self) -> HeapEntry | None:
+        """Two-choice query: the better live root of two sampled sub-heaps.
+
+        The result is the exact max of the sampled pair's union, hence
+        rank error <= n - |A| - |B|. When both samples come up empty the
+        query degrades to an exact scan over every sub-heap (liveness).
+        """
+        i, j = self._pair()
+        a, b = self._subs[i], self._subs[j]
+        root_a, root_b = a.best(), b.best()
+        self.last_sample = (len(a), len(b) if b is not a else 0)
+        if root_a is None and root_b is None:
+            return self._exact_best()
+        if root_a is None:
+            return root_b
+        if root_b is None or root_a.sort_key >= root_b.sort_key:
+            return root_a
+        return root_b
+
+    def _exact_best(self) -> HeapEntry | None:
+        best: HeapEntry | None = None
+        for sub in self._subs:
+            root = sub.best()
+            if root is not None and (best is None or root.sort_key > best.sort_key):
+                best = root
+        return best
+
+    def top_candidates(self, n: int) -> list[HeapEntry]:
+        """Candidate window from the better of two sampled sub-heaps.
+
+        ``n >= len(self)`` requests the whole structure (the engine's
+        rescue path and MultiPrio's force-pop): that case is answered
+        exactly by concatenating every sub-heap's live entries.
+        """
+        if n >= sum(len(s) for s in self._subs):
+            out: list[HeapEntry] = []
+            for sub in self._subs:
+                out.extend(sub.top_candidates(len(sub)))
+            return out
+        i, j = self._pair()
+        a, b = self._subs[i], self._subs[j]
+        root_a, root_b = a.best(), b.best()
+        self.last_sample = (len(a), len(b) if b is not a else 0)
+        if root_a is None and root_b is None:
+            for sub in self._subs:
+                if sub.best() is not None:
+                    return sub.top_candidates(n)
+            return []
+        if root_a is None:
+            chosen = b
+        elif root_b is None or root_a.sort_key >= root_b.sort_key:
+            chosen = a
+        else:
+            chosen = b
+        return chosen.top_candidates(n)
+
+    def purge_stale(self) -> int:
+        """Discard every stale entry in every sub-heap."""
+        return sum(sub.purge_stale() for sub in self._subs)
+
+    def check_invariants(self) -> None:
+        """Assert order/position consistency of every sub-heap and that
+        each entry's owner pointer matches the sub-heap holding it."""
+        for sub in self._subs:
+            sub.check_invariants()
+            for entry in sub:
+                assert entry.owner is sub, (
+                    f"{entry!r} owned by the wrong sub-heap"
                 )

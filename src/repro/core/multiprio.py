@@ -1,617 +1,13 @@
-"""The MultiPrio scheduler (the paper's contribution).
+"""Import shim — MultiPrio moved to :mod:`repro.schedulers.multiprio`.
 
-Data structure: one binary max-heap per memory node; every ready task is
-inserted into the heap of each node whose processing units can execute
-it, scored by (gain, criticality) — Alg. 1. An idle worker selects the
-most *local* task among the top-priority window of its node's heap, then
-passes the **pop condition**: the best-architecture workers always take
-their tasks; a slower worker is admitted only when the best workers have
-enough work queued (``best_remaining_work``) to cover the slower
-execution — otherwise the task is **evicted** from the slower node's
-heap — Alg. 2, Section V-D.
-
-Hyper-parameters: locality window ``n = 10`` (the paper's value) and the
-score threshold ``ε``. The paper reports ``ε = 0.8``; on our
-[0, 1]-normalized scores (whose spread is compressed by the running
-``hd`` maximum) that admits nearly the whole window, and the data-hosted
-metric then systematically routes the *largest* tasks to the slow
-workers. The default here is ``ε = 0`` — locality breaks score *ties*
-(which are plentiful: all same-type, same-size tasks score equally) —
-and the ε sensitivity is covered by the ablation bench.
-
-Ablation knobs used by the benchmark suite:
-
-* ``eviction=False`` — disable the pop condition entirely (Fig. 4 top);
-* ``use_locality=False`` — always take the heap root;
-* ``use_criticality=False`` — drop the NOD secondary key;
-* ``drain_aware=True`` (default) — the pop condition compares the best
-  workers' remaining work *divided by their worker count* (a drain-time
-  reading of "the best worker is sufficiently busy") against the
-  candidate's δ; ``False`` compares the raw sum, a literal reading of
-  Alg. 2's pseudocode. The drain-time variant dominates empirically and
-  matches the paper's reported behaviour (slow workers only help when
-  the fast ones are genuinely backlogged); the raw variant is kept as an
-  ablation (`multiprio-rawbrw`).
+The scheduler now lives with its peers in :mod:`repro.schedulers` (it
+implements the same :class:`~repro.schedulers.base.Scheduler` contract
+the baselines do); the heuristics it composes — gain, criticality,
+locality, the per-node heaps — remain here in :mod:`repro.core`. This
+module keeps the historical ``repro.core.multiprio`` import path
+working.
 """
 
-from __future__ import annotations
+from repro.schedulers.multiprio import MultiPrio
 
-from functools import partial
-
-from repro.core.criticality import NODTracker, nod
-from repro.core.gain import GainTracker
-from repro.core.heap import HeapEntry, TaskHeap
-from repro.core.locality import ls_sdh2
-from repro.runtime.task import Task, TaskState
-from repro.runtime.worker import Worker
-from repro.schedulers.base import Scheduler
-from repro.utils.validation import check_in_range, check_positive
-
-
-class MultiPrio(Scheduler):
-    """Dynamic multi-priority scheduler for heterogeneous nodes."""
-
-    name = "multiprio"
-
-    def __init__(
-        self,
-        *,
-        locality_n: int = 10,
-        locality_eps: float = 0.0,
-        max_tries: int = 10,
-        eviction: bool = True,
-        use_locality: bool = True,
-        use_criticality: bool = True,
-        arch_filtered_nod: bool = False,
-        drain_aware: bool = True,
-        brw_safety: float = 1.0,
-        slowdown_cap: float | None = 60.0,
-        evict_on_reject: bool = False,
-    ) -> None:
-        super().__init__()
-        self.locality_n = int(check_positive("locality_n", locality_n))
-        self.locality_eps = check_in_range("locality_eps", locality_eps, 0.0, 1.0)
-        self.max_tries = int(check_positive("max_tries", max_tries))
-        self.eviction = eviction
-        self.use_locality = use_locality
-        self.use_criticality = use_criticality
-        self.arch_filtered_nod = arch_filtered_nod
-        self.drain_aware = drain_aware
-        # Safety factor on the pop condition: a slow worker is admitted
-        # only when the best workers' drain time exceeds `brw_safety x`
-        # its own execution time. >1 biases borderline decisions toward
-        # the fast units (the remaining-work refinement of Section VII).
-        self.brw_safety = check_positive("brw_safety", brw_safety)
-        # Comparative-advantage guard: a non-best worker never takes a
-        # task on which it is more than `slowdown_cap` times slower than
-        # the best architecture, however large the backlog. Encodes the
-        # Section VII observation that letting a CPU run a kernel "20x
-        # slower" can wreck the makespan. None disables the guard.
-        if slowdown_cap is not None:
-            check_positive("slowdown_cap", slowdown_cap)
-        self.slowdown_cap = slowdown_cap
-        # Rejection handling: True removes the task from the requesting
-        # node's heap (the literal Alg. 2 eviction — the task can never
-        # run on this node again); False skips it, leaving it available
-        # for when the best workers' backlog grows. Skipping preserves
-        # the eviction mechanism's end-of-run benefit (Fig. 4) without
-        # bleeding the slow-architecture heaps dry in steady state.
-        self.evict_on_reject = evict_on_reject
-
-        self.heaps: dict[int, TaskHeap] = {}
-        self.best_remaining_work: dict[int, float] = {}
-        self.ready_tasks_count: dict[int, int] = {}
-        self._gain = GainTracker()
-        self._nod: dict[str, NODTracker] = {}
-        self._n_evictions = 0
-        self._n_skips = 0
-        self._n_rejections = 0
-        self._n_stale_discards = 0
-        self._n_task_failures = 0
-        self._n_retractions = 0
-        # Drain-adjusted best-remaining-work per best arch, memoized
-        # between BRW mutations (cleared in push/_take/on_worker_failed).
-        self._brw_memo: dict[str, float] = {}
-        # Whether push-time δ values may be reused at pop time (set from
-        # the perf model's `stable_estimates` promise in setup()).
-        self._stable_deltas = False
-
-    # -- lifecycle -------------------------------------------------------
-
-    def setup(self, ctx) -> None:
-        """Reset all per-run state and build one heap per memory node."""
-        super().setup(ctx)
-        self.heaps = {}
-        self.best_remaining_work = {}
-        self.ready_tasks_count = {}
-        self._gain.reset()
-        self._nod = {arch: NODTracker() for arch in ctx.available_archs}
-        self._n_evictions = 0
-        self._n_skips = 0
-        self._n_rejections = 0
-        self._n_stale_discards = 0
-        self._n_task_failures = 0
-        self._n_retractions = 0
-        self._brw_memo = {}
-        self._stable_deltas = bool(getattr(ctx.perfmodel, "stable_estimates", False))
-        for node in ctx.platform.nodes:
-            if ctx.platform.workers_of_node(node.mid):
-                # Staleness is tracked with entry tombstones (marked in
-                # `_take`), so the heaps need no task-level predicate.
-                # The discard callback carries the node id so counters
-                # stay exact even when the task's scratch (and with it
-                # the entry map) was wiped by a fault rollback.
-                self.heaps[node.mid] = TaskHeap(
-                    node=node.mid,
-                    on_discard=partial(self._on_discard, node.mid),
-                )
-                self.best_remaining_work[node.mid] = 0.0
-                self.ready_tasks_count[node.mid] = 0
-
-    @staticmethod
-    def _is_stale(task: Task) -> bool:
-        """Duplicate entries of a task already taken elsewhere are stale."""
-        return task.state is not TaskState.READY or task.sched.get("mp_taken", False)
-
-    def _on_discard(self, node: int, entry: HeapEntry) -> None:
-        """A stale duplicate was dropped: fix counters and the entry map."""
-        if node in self.ready_tasks_count:
-            self.ready_tasks_count[node] -= 1
-            if self.obs is not None:
-                self.record_queue_depth(
-                    f"heap_depth.node{node}", self.ready_tasks_count[node]
-                )
-        entry_map = entry.task.sched.get("mp_entries")
-        if entry_map is not None and entry_map.get(node) is entry:
-            del entry_map[node]
-        self._n_stale_discards += 1
-
-    # -- PUSH (Alg. 1) ------------------------------------------------------
-
-    def push(self, task: Task) -> None:
-        """Alg. 1: score the ready task and insert it into every heap
-        whose processing units can execute it."""
-        ctx = self.ctx
-        archs = ctx.exec_archs(task)
-        deltas = {a: ctx.estimate(task, a) for a in archs}
-        gains = self._gain.observe_and_score(deltas)
-        best_arch = ctx.best_arch(task)
-        # The raw NOD is arch-independent unless filtering is on; the
-        # per-arch trackers below still observe it in node order.
-        raw_nod = 0.0
-        if self.use_criticality and not self.arch_filtered_nod:
-            raw_nod = nod(task)
-
-        brw_nodes: list[int] = []
-        entries: dict[int, HeapEntry] = {}
-        enabled_nodes: list[int] = []
-        for node in ctx.platform.nodes:
-            mid = node.mid
-            heap = self.heaps.get(mid)
-            if heap is None or not task.can_exec(node.arch):
-                continue
-            gain = gains[node.arch]
-            if self.use_criticality:
-                if self.arch_filtered_nod:
-                    arch = node.arch
-                    raw = nod(task, lambda t, _a=arch: t.can_exec(_a))
-                else:
-                    raw = raw_nod
-                prio = self._nod[node.arch].observe_and_score(raw)
-            else:
-                prio = 0.0
-            entries[mid] = heap.insert(task, gain, prio)
-            enabled_nodes.append(mid)
-            self.ready_tasks_count[mid] += 1
-            if node.arch == best_arch:
-                self.best_remaining_work[mid] += deltas[best_arch]
-                brw_nodes.append(mid)
-
-        task.sched["mp_nodes"] = enabled_nodes
-        task.sched["mp_entries"] = entries
-        task.sched["mp_brw_nodes"] = brw_nodes
-        task.sched["mp_best_delta"] = deltas[best_arch]
-        task.sched["mp_deltas"] = deltas
-        self._brw_memo.clear()
-        if self.obs is not None:
-            for mid in enabled_nodes:
-                self.record_queue_depth(
-                    f"heap_depth.node{mid}", self.ready_tasks_count[mid]
-                )
-
-    # -- POP (Alg. 2) ----------------------------------------------------------
-
-    def pop(self, worker: Worker) -> Task | None:
-        """Alg. 2: locality-refined selection gated by the pop condition."""
-        heap = self.heaps.get(worker.memory_node)
-        if heap is None:
-            return None
-        if self.evict_on_reject:
-            return self._pop_evicting(heap, worker)
-        # Skip-on-reject (the default): rejections leave the heap
-        # untouched and staleness cannot change mid-pop, so one candidate
-        # window per pop suffices. Walking it in decreasing key order
-        # replays exactly the rejection sequence the per-try re-scanning
-        # loop would produce, at a fraction of the cost.
-        window = heap.top_candidates(max(self.locality_n, self.max_tries + 1))
-        if not window:
-            return None
-        dec = self.decisions_enabled
-        tries = 0
-        rejected: set[int] = set()
-        for top in sorted(window, key=HeapEntry.key, reverse=True):
-            if tries >= self.max_tries:
-                break
-            # Cheap first pass: the admission test; the (costlier)
-            # locality refinement only runs for a candidate that will
-            # actually be taken.
-            admitted, brw, delta = self._admission(top.task, worker)
-            if not admitted:
-                # Skip: leave the entry for when the best workers'
-                # backlog grows; try the next prioritized candidate.
-                rejected.add(id(top))
-                self._n_skips += 1
-                tries += 1
-                if dec:
-                    self.record_decision(
-                        "skip",
-                        task=top.task,
-                        worker=worker,
-                        gain=top.gain,
-                        nod=top.prio,
-                        pop_condition=False,
-                        brw=brw,
-                        delta=delta,
-                    )
-                continue
-            live = [e for e in window if id(e) not in rejected]
-            entry = self._locality_refine(top, live, worker)
-            # Candidate provenance must be derived before _take mutates
-            # best_remaining_work (the admission tests would differ).
-            cands = self._considered_candidates(top, live, worker) if dec else ()
-            self._remove_entry(heap, entry, worker.memory_node)
-            self._take(entry.task)
-            if dec:
-                self._record_pop(entry, worker, brw, cands)
-            return entry.task
-        if tries:
-            self._n_rejections += 1
-        return None
-
-    def _pop_evicting(self, heap: TaskHeap, worker: Worker) -> Task | None:
-        """The ``evict_on_reject=True`` variant of :meth:`pop`.
-
-        Every rejection physically removes the candidate from this
-        node's heap (the literal Alg. 2 eviction; duplicates elsewhere
-        keep the task alive), so the candidate window must be rebuilt
-        after each mutation.
-        """
-        dec = self.decisions_enabled
-        tries = 0
-        while tries < self.max_tries:
-            window = heap.top_candidates(max(self.locality_n, self.max_tries + 1))
-            if not window:
-                break
-            top = max(window, key=HeapEntry.key)
-            admitted, brw, delta = self._admission(top.task, worker)
-            if not admitted:
-                self._remove_entry(heap, top, worker.memory_node)
-                self._n_evictions += 1
-                tries += 1
-                if dec:
-                    self.record_decision(
-                        "evict",
-                        task=top.task,
-                        worker=worker,
-                        gain=top.gain,
-                        nod=top.prio,
-                        pop_condition=False,
-                        brw=brw,
-                        delta=delta,
-                    )
-                continue
-            entry = self._locality_refine(top, window, worker)
-            cands = self._considered_candidates(top, window, worker) if dec else ()
-            self._remove_entry(heap, entry, worker.memory_node)
-            self._take(entry.task)
-            if dec:
-                self._record_pop(entry, worker, brw, cands)
-            return entry.task
-        if tries:
-            self._n_rejections += 1
-        return None
-
-    def _considered_candidates(
-        self, top: HeapEntry, live: list[HeapEntry], worker: Worker
-    ) -> tuple[int, ...]:
-        """The candidate set :meth:`_locality_refine` actually weighed.
-
-        ``top`` is always a candidate; every other entry must sit in the
-        top-``n`` window, score within ε of ``top``, *and* pass the pop
-        condition — entries rejected by the admission test were never
-        considered and must not appear in the provenance record. Called
-        before :meth:`_take` so the admission tests see the same
-        ``best_remaining_work`` the refinement saw.
-        """
-        if not self.use_locality or len(live) == 1:
-            return (top.task.tid,)
-        threshold = top.gain - self.locality_eps
-        cands = [top.task.tid]
-        for e in live[: self.locality_n]:
-            if e is top or e.gain < threshold:
-                continue
-            if not self._pop_condition(e.task, worker):
-                continue
-            cands.append(e.task.tid)
-        return tuple(cands)
-
-    def _record_pop(
-        self,
-        entry: HeapEntry,
-        worker: Worker,
-        brw: float | None,
-        cands: tuple[int, ...],
-    ) -> None:
-        """Publish the decision-provenance record of a successful pop."""
-        self.record_decision(
-            "pop",
-            task=entry.task,
-            worker=worker,
-            gain=entry.gain,
-            nod=entry.prio,
-            ls_sdh2=ls_sdh2(entry.task, worker.memory_node),
-            pop_condition=True,
-            brw=brw,
-            delta=self.ctx.estimate(entry.task, worker.arch),
-            candidates=cands,
-        )
-
-    def force_pop(self, worker: Worker) -> Task | None:
-        """Liveness escape hatch: take the best live entry executable by
-        ``worker`` from any heap, ignoring the pop condition. O(n) scan —
-        the engine only calls this when the whole machine would stall."""
-        for mid, heap in sorted(self.heaps.items()):
-            live = [
-                e
-                for e in heap.top_candidates(len(heap))
-                if e.task.can_exec(worker.arch)
-            ]
-            if live:
-                entry = max(live, key=lambda e: e.key())
-                self._remove_entry(heap, entry, mid)
-                self._take(entry.task)
-                self.record_decision(
-                    "force-pop",
-                    task=entry.task,
-                    worker=worker,
-                    gain=entry.gain,
-                    nod=entry.prio,
-                    pop_condition=True,
-                    reason=f"stall rescue from node {mid}",
-                )
-                return entry.task
-        return None
-
-    # -- fault hooks -------------------------------------------------------------
-
-    def on_task_failed(self, task: Task, worker: Worker) -> None:
-        """Count the transient failure; the engine re-pushes the task
-        (its duplicates were already invalidated when it was taken)."""
-        self._n_task_failures += 1
-
-    def retract(self, task: Task) -> bool:
-        """Withdraw a READY task for a control-plane eviction.
-
-        Reuses the exact take path: the task's heap entries are
-        tombstoned (``HeapEntry.dead``) and its best-remaining-work
-        contribution is released, so every counter the self-check audits
-        stays consistent — a retraction is indistinguishable from a pop
-        that never executes.
-        """
-        if task.state is not TaskState.READY or task.sched.get("mp_taken", False):
-            return False
-        self._take(task)
-        self._n_retractions += 1
-        return True
-
-    def on_worker_failed(self, worker: Worker) -> list[Task]:
-        """Drop the dead worker's node heap once its last worker dies.
-
-        Entries of the dropped heap usually survive as duplicates in
-        other nodes' heaps; tasks whose *only* live entry was on the dead
-        node are returned for the engine to re-push.
-        """
-        self._brw_memo.clear()  # worker counts (drain divisor) changed
-        mid = worker.memory_node
-        if self.ctx.workers_of_node(mid):
-            return []  # surviving streams keep serving this heap
-        heap = self.heaps.pop(mid, None)
-        if heap is None:
-            return []
-        orphans: list[Task] = []
-        for entry in list(heap):
-            task = entry.task
-            entry_map = task.sched.get("mp_entries", {})
-            entry_map.pop(mid, None)
-            if not self._is_stale(task) and not entry_map:
-                orphans.append(task)
-        heap.clear()
-        self.ready_tasks_count.pop(mid, None)
-        self.best_remaining_work.pop(mid, None)
-        return orphans
-
-    # -- internals ---------------------------------------------------------------
-
-    def _remove_entry(self, heap: TaskHeap, entry: HeapEntry, mid: int) -> None:
-        heap.remove(entry)
-        self.ready_tasks_count[mid] -= 1
-        entry.task.sched.get("mp_entries", {}).pop(mid, None)
-        if self.obs is not None:
-            self.record_queue_depth(
-                f"heap_depth.node{mid}", self.ready_tasks_count[mid]
-            )
-
-    def _take(self, task: Task) -> None:
-        """Commit a task to execution: tombstone its duplicates and
-        release its contribution to every best-architecture work counter.
-
-        The tombstones are entry-level (``HeapEntry.dead``), so they
-        survive a fault rollback: a task re-pushed after a transient
-        failure gets fresh entries while its pre-failure duplicates stay
-        dead instead of resurrecting.
-        """
-        task.sched["mp_taken"] = True
-        for dup in task.sched.get("mp_entries", {}).values():
-            dup.dead = True
-        delta = task.sched.get("mp_best_delta", 0.0)
-        for mid in task.sched.get("mp_brw_nodes", ()):  # eager, exact BRW
-            if mid not in self.best_remaining_work:
-                continue  # node lost to a worker failure
-            self.best_remaining_work[mid] -= delta
-            if self.best_remaining_work[mid] < 1e-9:
-                self.best_remaining_work[mid] = 0.0
-        task.sched["mp_brw_nodes"] = []
-        self._brw_memo.clear()
-
-    def _locality_refine(
-        self, top: HeapEntry, live: list[HeapEntry], worker: Worker
-    ) -> HeapEntry:
-        """The locality-aware selection of Section V-C.
-
-        Take the most prioritized admissible task unless another task in
-        the window — within ε of its score, restricted to the top-``n``
-        candidates, and itself admissible — is more local to the
-        worker's memory node (LS_SDH², Eq. 3).
-        """
-        if not self.use_locality or len(live) == 1:
-            return top
-        threshold = top.gain - self.locality_eps
-        best_entry = top
-        best_score = ls_sdh2(top.task, worker.memory_node)
-        for entry in live[: self.locality_n]:
-            if entry is top or entry.gain < threshold:
-                continue
-            if not self._pop_condition(entry.task, worker):
-                continue
-            score = ls_sdh2(entry.task, worker.memory_node)
-            if score > best_score or (
-                score == best_score and entry.sort_key > best_entry.sort_key
-            ):
-                best_entry = entry
-                best_score = score
-        return best_entry
-
-    def _pop_condition(self, task: Task, worker: Worker) -> bool:
-        """Alg. 2's admission test (Section V-D).
-
-        The best worker always takes the task. A slower worker is
-        admitted only when the best workers' queued best-work exceeds the
-        task's execution time on the slower worker — i.e. the fast units
-        are busy enough that letting a slow unit help maintains DAG
-        progress instead of stretching the makespan.
-        """
-        return self._admission(task, worker)[0]
-
-    def _admission(self, task: Task, worker: Worker) -> tuple[bool, float | None, float]:
-        """One admission test with its provenance.
-
-        Returns ``(admitted, brw, delta)``: the verdict, the (drain-
-        adjusted) best-remaining-work the test compared against (``None``
-        on the branches that never read it — best-arch workers, eviction
-        disabled, slowdown-cap rejections), and δ(t, worker.arch). The
-        decision events published at ``record_level="decisions"`` carry
-        exactly these values.
-        """
-        ctx = self.ctx
-        best_arch = ctx.best_arch(task)
-        # δ values were computed at push time; with a stable perf model
-        # they are reused here, otherwise queried live (history models
-        # legitimately drift between push and pop).
-        deltas = task.sched["mp_deltas"] if self._stable_deltas else None
-        delta = deltas[worker.arch] if deltas is not None else ctx.estimate(task, worker.arch)
-        if worker.arch == best_arch:
-            return True, None, delta
-        if not self.eviction:
-            return True, None, delta
-        best_delta = (
-            deltas[best_arch] if deltas is not None else ctx.estimate(task, best_arch)
-        )
-        if self.slowdown_cap is not None and delta > self.slowdown_cap * best_delta:
-            return False, None, delta
-        brw = self._brw_memo.get(best_arch)
-        if brw is None:
-            brw = max(
-                (
-                    self.best_remaining_work[node.mid]
-                    for node in ctx.platform.nodes_of_arch(best_arch)
-                    if node.mid in self.best_remaining_work
-                ),
-                default=0.0,
-            )
-            if self.drain_aware:
-                n_best = max(1, ctx.n_workers(best_arch))
-                brw /= n_best
-            self._brw_memo[best_arch] = brw
-        return brw > self.brw_safety * delta, brw, delta
-
-    # -- reporting -------------------------------------------------------------------
-
-    def stats(self) -> dict[str, float]:
-        """Per-run counters: skips, evictions, rejected pops, stale drops.
-
-        ``skips`` counts pop-condition rejections that left the entry in
-        the heap (the default skip-on-reject mode); ``evictions`` counts
-        real Alg. 2 evictions that removed the entry
-        (``evict_on_reject=True``); ``pop_rejections`` counts pops that
-        ended empty-handed after at least one rejection.
-        """
-        return {
-            "skips": float(self._n_skips),
-            "evictions": float(self._n_evictions),
-            "pop_rejections": float(self._n_rejections),
-            "stale_discards": float(self._n_stale_discards),
-            "task_failures": float(self._n_task_failures),
-            "retractions": float(self._n_retractions),
-        }
-
-    # -- invariant self-check (repro.check) ---------------------------------
-
-    def check(self) -> list[str]:
-        """Structural self-validation for the invariant checker.
-
-        Verifies heap order/positions, the per-node ready-entry counters
-        against the physical heap sizes, and ``best_remaining_work``
-        against the exact sum of best-arch δ over untaken pushed tasks.
-        """
-        problems: list[str] = []
-        for mid, heap in self.heaps.items():
-            try:
-                heap.check_invariants()
-            except AssertionError as exc:
-                problems.append(f"heap[{mid}] structure: {exc}")
-            counted = self.ready_tasks_count.get(mid)
-            if counted != len(heap):
-                problems.append(
-                    f"ready_tasks_count[{mid}]={counted} but heap holds "
-                    f"{len(heap)} entries"
-                )
-        expect: dict[int, float] = {mid: 0.0 for mid in self.best_remaining_work}
-        seen: set[int] = set()
-        for heap in self.heaps.values():
-            for entry in heap:
-                task = entry.task
-                if entry.dead or self._is_stale(task) or task.tid in seen:
-                    continue
-                seen.add(task.tid)
-                delta = task.sched.get("mp_best_delta", 0.0)
-                for mid in task.sched.get("mp_brw_nodes", ()):
-                    if mid in expect:
-                        expect[mid] += delta
-        for mid, want in expect.items():
-            got = self.best_remaining_work[mid]
-            if abs(got - want) > 1e-6 * max(1.0, abs(want)):
-                problems.append(
-                    f"best_remaining_work[{mid}]={got!r} but the live "
-                    f"entries sum to {want!r}"
-                )
-        return problems
+__all__ = ["MultiPrio"]

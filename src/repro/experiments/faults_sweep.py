@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.api import simulate
+from repro.api import SimConfig, SimSpec
 from repro.apps.dense.cholesky import cholesky_program
 from repro.experiments.reporting import format_table
 from repro.platform.machines import small_hetero
@@ -87,10 +87,11 @@ def _faults_cell(
         fault_model = FaultModel(
             task_failure_rate=rate, max_retries=max_retries, seed=seed
         )
-    res = simulate(
-        program, machine, scheduler, seed=seed, faults=fault_model,
-        submission_window=window,
-    )
+    res = SimSpec(
+        machine, scheduler,
+        config=SimConfig(seed=seed, faults=fault_model,
+                         submission_window=window),
+    ).run(program)
     return res.makespan, res.faults or FaultStats()
 
 

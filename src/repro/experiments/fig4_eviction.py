@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.dense.cholesky import cholesky_program
-from repro.core.multiprio import MultiPrio
+from repro.schedulers.multiprio import MultiPrio
 from repro.obs.export import (
     decision_counts,
     idle_fractions_from_events,

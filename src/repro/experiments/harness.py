@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable
 
-from repro.api import simulate
+from repro.api import SimConfig, SimSpec
 from repro.obs.events import RecordLevel
 from repro.platform.machines import MachineModel
 from repro.runtime.engine import SimResult
@@ -45,7 +45,7 @@ def run_one(
 ) -> tuple[ExperimentResult, SimResult]:
     """Simulate one (program, machine, scheduler) combination.
 
-    A thin wrapper over :func:`repro.api.simulate` that additionally
+    A thin wrapper over :meth:`repro.api.SimSpec.run` that additionally
     shapes the outcome into an :class:`ExperimentResult` row.
     ``perfmodel`` overrides the default analytical model (making e.g.
     :class:`~repro.runtime.perfmodel.HistoryPerfModel` runs reachable
@@ -54,17 +54,18 @@ def run_one(
     carries the event stream and a metrics snapshot (see
     :mod:`repro.obs`).
     """
-    res = simulate(
-        program,
+    res = SimSpec(
         machine,
         scheduler_name,
-        seed=seed,
-        noise_sigma=noise_sigma,
-        perfmodel=perfmodel,
-        record_trace=record_trace,
-        record_level=record_level,
-        sched_params=sched_params,
-    )
+        config=SimConfig(
+            seed=seed,
+            noise_sigma=noise_sigma,
+            perfmodel=perfmodel,
+            record_trace=record_trace,
+            record_level=record_level,
+            sched_params=dict(sched_params) if sched_params else {},
+        ),
+    ).run(program)
     row = ExperimentResult(
         experiment=experiment,
         machine=machine.name,

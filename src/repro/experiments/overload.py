@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.analysis.stats import percentile
-from repro.api import simulate_stream
+from repro.api import SimConfig, SimSpec
 from repro.apps.dense import cholesky_program
 from repro.control.plane import default_overload_config
 from repro.experiments.reporting import format_table
@@ -166,10 +166,10 @@ def _overload_cell(
             job_cost_us=job_cost,
             max_inflight_jobs=2.0 * n_workers,
         )
-    res = simulate_stream(
-        stream, machine, scheduler,
-        control=control, check_invariants=check_invariants,
-    )
+    res = SimSpec(
+        machine, scheduler, control=control,
+        config=SimConfig(check_invariants=check_invariants),
+    ).run_stream(stream)
     qos_of_jid = {job.jid: job.qos for job in stream.jobs}
     if res.control is not None:
         overall = res.control.overall()

@@ -22,7 +22,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.api import simulate_stream
+from repro.api import SimConfig, SimSpec
 from repro.apps.dense import cholesky_program, lu_program
 from repro.experiments.reporting import format_table
 from repro.sweep import CallSpec, run_tasks
@@ -104,9 +104,9 @@ def _stream_cell(
         rate_jobs_per_s=rate, n_jobs=n_jobs,
         n_tiles=n_tiles, tile_size=tile_size, seed=seed,
     )
-    res = simulate_stream(
-        stream, machine, scheduler, submission_window=window,
-    )
+    res = SimSpec(
+        machine, scheduler, config=SimConfig(submission_window=window),
+    ).run_stream(stream)
     return StreamRow(
         scheduler=scheduler,
         rate_jobs_per_s=rate,

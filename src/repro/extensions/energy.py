@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.multiprio import MultiPrio
+from repro.schedulers.multiprio import MultiPrio
 from repro.runtime.engine import SimResult
 from repro.runtime.platform_config import Platform
 from repro.runtime.task import Task

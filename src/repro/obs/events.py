@@ -183,6 +183,23 @@ class TaskReady(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class BatchScheduled(Event):
+    """Batch-mode scheduling handed a coalesced batch to the scheduler.
+
+    ``n`` is the batch size (ready tasks pushed in one scheduler
+    invocation); ``trigger`` records what fired the flush: ``"step"``
+    (the ``batch_step`` boundary), ``"drain"`` (the adaptive
+    drain-on-idle trigger: a worker went hungry), or ``"rescue"`` (the
+    liveness rescue flushed before force-popping).
+    """
+
+    kind: ClassVar[str] = "batch_scheduled"
+
+    n: int
+    trigger: str = "step"
+
+
+@dataclass(frozen=True, slots=True)
 class TaskPop(Event):
     """The scheduler handed a task to a worker (``staged`` = lookahead pop)."""
 
@@ -384,6 +401,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         JobPlaced,
         NodeLoad,
         TaskReady,
+        BatchScheduled,
         TaskPop,
         TaskStage,
         TaskStart,

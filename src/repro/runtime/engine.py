@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.obs.bus import Observability
 from repro.obs.events import (
+    BatchScheduled,
     JobAdmitted,
     JobDelayed,
     JobDone,
@@ -49,6 +50,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import MetricsSnapshot
 from repro.runtime.events import (
+    BATCH_FLUSH,
     JOB_ARRIVAL,
     TASK_COMPLETION,
     TASK_FAILURE,
@@ -57,6 +59,7 @@ from repro.runtime.events import (
     WORKER_REQUEST,
 )
 from repro.runtime.faults import FaultModel, FaultStats
+from repro.runtime.perfmodel import AnalyticalPerfModel
 from repro.runtime.platform_config import Platform
 from repro.runtime.stf import Program
 from repro.runtime.task import Task, TaskState
@@ -254,6 +257,9 @@ class SimResult:
     #: Tasks cancelled by the control plane (shed/evicted jobs); 0 when
     #: no control plane was attached.
     n_cancelled: int = 0
+    #: Batch-mode provenance (flush count, batched tasks, max/mean batch
+    #: size); ``None`` on the per-event path.
+    batch_stats: dict[str, float] | None = None
 
     @property
     def gflops(self) -> float:
@@ -317,6 +323,24 @@ class Simulator:
         accept, delay, or shed each job at its release time, and evicts
         admitted best-effort jobs' unstarted tasks when it says so.
         ``None`` (default) keeps the uncontrolled fast path.
+    batch_step:
+        Batch-mode scheduling (Firmament-style): instead of one
+        ``scheduler.push()`` per ready task, reveals buffer and are
+        handed to the scheduler as one ``push_batch()`` at most
+        ``batch_step`` microseconds after the first buffered reveal.
+        ``None`` (default) keeps the exact per-event path. With
+        ``batch_drain_on_idle`` (the default) the batch also drains the
+        moment any worker asks for work, which keeps the run
+        bit-identical to the per-event path for schedulers whose
+        ``push`` is time-invariant (MultiPrio with stable estimates,
+        eager, ws, multiqueue — not the dm family, which prefetches and
+        snapshots ETAs at push time).
+    batch_drain_on_idle:
+        Adaptive drain trigger for batch mode: flush the pending batch
+        before any worker pop, so no worker ever idles on buffered
+        work. ``False`` gives pure step-boundary batching (workers may
+        idle up to ``batch_step`` — the classic batch-scheduler
+        trade-off).
     """
 
     def __init__(
@@ -333,10 +357,16 @@ class Simulator:
         record_level: RecordLevel | str | int = RecordLevel.OFF,
         check_invariants: bool | None = None,
         control_plane: "ControlPlane | None" = None,
+        batch_step: float | None = None,
+        batch_drain_on_idle: bool = True,
     ) -> None:
         if submission_window is not None and submission_window < 1:
             raise SchedulingError(
                 f"submission_window must be >= 1 or None, got {submission_window}"
+            )
+        if batch_step is not None and not batch_step > 0.0:
+            raise SchedulingError(
+                f"batch_step must be > 0 or None, got {batch_step}"
             )
         self.platform = platform
         self.scheduler = scheduler
@@ -347,6 +377,8 @@ class Simulator:
         self.submission_window = submission_window
         self.fault_model = fault_model
         self.control_plane = control_plane
+        self.batch_step = batch_step
+        self.batch_drain_on_idle = batch_drain_on_idle
         if check_invariants is None:
             check_invariants = os.environ.get(
                 "REPRO_CHECK_INVARIANTS", ""
@@ -387,6 +419,14 @@ class Simulator:
         forced_pops = 0
         pipeline = self.pipeline
         transfers = self.platform.transfers
+        # Noise-free analytical models make sample() == estimate(); the
+        # hot path then reads the estimate memo without threading the RNG
+        # through a second call level.
+        pm_noisefree = (
+            type(self.perfmodel) is AnalyticalPerfModel
+            and self.perfmodel.noise_sigma == 0.0
+        )
+        pm_estimate = self.perfmodel.estimate
 
         fault = self.fault_model
         faults = FaultStats() if fault is not None else None
@@ -401,22 +441,81 @@ class Simulator:
                 seq += 1
 
         workers = self.platform.workers
-        # Per-worker pipeline state.
-        current: dict[int, Task | None] = {w.wid: None for w in workers}
-        staged: dict[int, tuple[Task, float, float] | None] = {w.wid: None for w in workers}
-        request_pending: dict[int, bool] = {w.wid: False for w in workers}
+        n_workers = len(workers)
+        # Per-worker pipeline state, indexed by the dense worker id (a
+        # list beats a dict on the per-event hot path).
+        current: list[Task | None] = [None] * n_workers
+        staged: list[tuple[Task, float, float] | None] = [None] * n_workers
+        request_pending: list[bool] = [False] * n_workers
         exec_by_arch: dict[str, float] = {a: 0.0 for a in self.platform.archs}
-        busy_by_worker: dict[int, float] = {w.wid: 0.0 for w in workers}
-        wait_by_worker: dict[int, float] = {w.wid: 0.0 for w in workers}
+        busy_by_worker: list[float] = [0.0] * n_workers
+        wait_by_worker: list[float] = [0.0] * n_workers
         # Fail-stop death times; a dead worker's idle fraction is taken
         # over its lifetime, not the whole makespan.
         death_time: dict[int, float] = {}
 
+        # Batch-mode scheduling state (Firmament-style): ready tasks
+        # buffer in `pending` and reach the scheduler as one
+        # `push_batch()` — at the step boundary (`BATCH_FLUSH`), when a
+        # worker asks for work (drain-on-idle), or before the liveness
+        # rescue. Buffered tasks are READY with a `_batched` scratch
+        # marker: the scheduler does not hold them, the engine does.
+        batch_step = self.batch_step
+        batching = batch_step is not None
+        batch_drain = self.batch_drain_on_idle
+        pending: list[Task] = []
+        flush_queued = False  # at most one BATCH_FLUSH event outstanding
+        n_flushes = 0
+        n_batched = 0
+        max_batch = 0
+
         def push_ready(task: Task) -> None:
+            nonlocal flush_queued, seq
             task.state = TaskState.READY
             if emit is not None:
                 emit(TaskReady(ctx.now, task.tid, task.type_name))
-            scheduler.push(task)
+            if not batching:
+                scheduler.push(task)
+                return
+            task.sched["_batched"] = True
+            pending.append(task)
+            if not flush_queued:
+                flush_queued = True
+                heapq.heappush(
+                    events, (ctx.now + batch_step, seq, BATCH_FLUSH, None)
+                )
+                seq += 1
+
+        def flush_batch(now: float, trigger: str) -> int:
+            """Hand the buffered batch to the scheduler (reveal order).
+
+            Tasks cancelled while buffered (control-plane shed/evict)
+            are skipped — the scheduler never sees them. Returns the
+            number of tasks pushed.
+            """
+            nonlocal n_flushes, n_batched, max_batch
+            if len(pending) == 1 and pending[0].state is TaskState.READY:
+                # Degenerate batch: one scheduler.push, no list rebuild.
+                task = pending.pop()
+                del task.sched["_batched"]
+                scheduler.push(task)
+                n = 1
+            else:
+                batch = [t for t in pending if t.state is TaskState.READY]
+                pending.clear()
+                if not batch:
+                    return 0
+                for t in batch:
+                    del t.sched["_batched"]
+                scheduler.push_batch(batch)
+                n = len(batch)
+            n_flushes += 1
+            n_batched += n
+            if n > max_batch:
+                max_batch = n
+            if emit is not None:
+                emit(BatchScheduled(now, n, trigger))
+            return n
 
         # Progressive submission: a task only enters the scheduler's view
         # once the STF "main thread" has submitted it. Task ids are dense
@@ -463,9 +562,16 @@ class Simulator:
                 for tid in range(span.first_tid, span.first_tid + span.n_tasks):
                     job_track[tid] = entry
 
+        # Fail-stop deaths are rare (and impossible without a fault
+        # model), so the hot path iterates a live-worker list that is
+        # rebuilt only on WORKER_FAILURE instead of filtering through
+        # ctx.is_alive() on every wake.
+        live_workers: list[Worker] = list(workers)
+        dead_wids = ctx._dead_wids
+
         def schedule_request(worker: Worker, now: float) -> None:
             nonlocal seq
-            if not ctx.is_alive(worker):
+            if worker.wid in dead_wids:
                 return
             if not request_pending[worker.wid]:
                 request_pending[worker.wid] = True
@@ -474,12 +580,16 @@ class Simulator:
 
         def wake_workers(now: float) -> None:
             """Wake live workers that could use new work (idle or unstaged)."""
-            for worker in workers:
+            nonlocal seq
+            for worker in live_workers:
                 wid = worker.wid
-                if not ctx.is_alive(worker):
-                    continue
-                if current[wid] is None or (pipeline and staged[wid] is None):
-                    schedule_request(worker, now)
+                if (
+                    not request_pending[wid]
+                    and (current[wid] is None or (pipeline and staged[wid] is None))
+                ):
+                    request_pending[wid] = True
+                    heapq.heappush(events, (now, seq, WORKER_REQUEST, worker))
+                    seq += 1
 
         def cancel_job_tasks(span, *, retract_ready: bool) -> int:
             """Cancel a controlled job's not-yet-started tasks.
@@ -497,12 +607,15 @@ class Simulator:
                 t = program.tasks[tid]
                 if t.state is TaskState.SUBMITTED:
                     victims.append(t)
-                elif (
-                    retract_ready
-                    and t.state is TaskState.READY
-                    and scheduler.retract(t)
-                ):
-                    victims.append(t)
+                elif retract_ready and t.state is TaskState.READY:
+                    # A batch-buffered task is the engine's to retract:
+                    # the scheduler never saw it. Otherwise ask the
+                    # policy to withdraw its queue entries.
+                    if "_batched" in t.sched:
+                        del t.sched["_batched"]
+                        victims.append(t)
+                    elif scheduler.retract(t):
+                        victims.append(t)
             # Mark every victim first so the release sweep below skips
             # intra-job edges instead of double-decrementing them.
             for t in victims:
@@ -614,10 +727,11 @@ class Simulator:
             Returns (data arrival time, execution duration). The task is
             marked RUNNING — it is irrevocably bound to this worker.
             """
-            if not ctx.can_exec(task, worker.arch):
+            arch = worker.arch
+            if arch not in task.implementations or arch not in ctx.available_archs:
                 raise SchedulingError(
                     f"scheduler assigned {task.name} to {worker.name} "
-                    f"({worker.arch}) but it has no {worker.arch} implementation"
+                    f"({arch}) but it has no {arch} implementation"
                 )
             if task.state is not TaskState.READY:
                 raise SchedulingError(
@@ -625,20 +739,31 @@ class Simulator:
                 )
             task.state = TaskState.RUNNING
             node = worker.memory_node
-            transfers = self.platform.transfers
             arrival = now
-            pinned: list = []
-            for handle, mode in task.accesses:
-                if mode.is_read and handle.size > 0:
+            for handle in task._reads:
+                # Settled resident replica: skip the fetch call entirely
+                # (route search, in-flight merge) — only recency changes.
+                if node in handle.valid_nodes and not handle._in_flight:
+                    transfers.touch(handle, node, now)
+                else:
                     done = transfers.fetch(handle, node, now)
                     if trace is not None and done > now:
                         src = transfers.fetch_source(handle.hid, node)
-                        trace.record_transfer(handle.hid, src, node, handle.size, now, done)
-                    arrival = max(arrival, done)
-                    transfers.pin(handle, node)
-                    pinned.append(handle)
-            task.sched["_pinned"] = pinned
-            duration = self.perfmodel.sample(task, worker.arch, self.rng)
+                        trace.record_transfer(
+                            handle.hid, src, node, handle.size, now, done
+                        )
+                    if done > arrival:
+                        arrival = done
+                pins = handle._pins  # transfers.pin() inlined (hot path)
+                pins[node] = pins.get(node, 0) + 1
+            # Every transferable read is pinned, so the pinned set IS the
+            # precomputed read tuple — no per-task list build.
+            task.sched["_pinned"] = task._reads
+            duration = (
+                pm_estimate(task, arch)
+                if pm_noisefree
+                else self.perfmodel.sample(task, arch, self.rng)
+            )
             return arrival, duration
 
         def begin_exec(
@@ -708,6 +833,8 @@ class Simulator:
                 window=window,
                 releases=releases,
                 control=control,
+                batch_pending=pending if batching else None,
+                batch_drain=batch_drain,
             )
 
         while events:
@@ -719,7 +846,35 @@ class Simulator:
             now, _, kind, payload = heapq.heappop(events)
             ctx.now = now
 
-            if kind == TASK_COMPLETION:
+            if kind == WORKER_REQUEST:
+                worker = payload  # type: ignore[assignment]
+                wid = worker.wid
+                request_pending[wid] = False
+                if wid in dead_wids:
+                    continue
+                if pending and batch_drain:
+                    # Drain-on-idle: a worker is about to pop, so the
+                    # scheduler must see everything the per-event path
+                    # would have pushed by now.
+                    flush_batch(now, "drain")
+                if current[wid] is None:
+                    if staged[wid] is not None:
+                        task, arrival, duration = staged[wid]  # type: ignore[misc]
+                        staged[wid] = None
+                        begin_exec(worker, task, now, arrival, duration)
+                    else:
+                        task = scheduler.pop(worker)
+                        if task is not None:
+                            if emit is not None:
+                                emit(TaskPop(now, task.tid, worker.wid))
+                            arrival, duration = acquire(worker, task, now)
+                            begin_exec(worker, task, now, arrival, duration)
+                    if current[wid] is not None:
+                        try_stage(worker, now)
+                else:
+                    try_stage(worker, now)
+
+            elif kind == TASK_COMPLETION:
                 worker, task = payload  # type: ignore[misc]
                 if current[worker.wid] is not task:
                     # Stale completion of an attempt aborted by a worker
@@ -755,11 +910,15 @@ class Simulator:
                 # Writes invalidate every other replica (MSI).
                 node = worker.memory_node
                 for handle in task.sched.get("_pinned", ()):
-                    transfers.unpin(handle, node)
-                for handle, mode in task.accesses:
-                    if mode.is_write:
-                        transfers.invalidate_others(handle, node, now)
-                        handle._in_flight[node] = now
+                    pins = handle._pins  # transfers.unpin() inlined (hot path)
+                    count = pins.get(node, 0)
+                    if count <= 1:
+                        pins.pop(node, None)
+                    else:
+                        pins[node] = count - 1
+                for handle in task._writes:
+                    transfers.invalidate_others(handle, node, now)
+                    handle._in_flight[node] = now
                 scheduler.on_task_done(task, worker)
                 if control is not None:
                     control.on_task_done(task.tid, now)
@@ -833,6 +992,7 @@ class Simulator:
                 assert faults is not None
                 archs_before = ctx.available_archs
                 ctx.mark_worker_dead(worker)
+                live_workers = [w for w in workers if w.wid not in dead_wids]
                 death_time[wid] = now
                 faults.worker_failures += 1
                 recovered: list[Task] = []
@@ -914,33 +1074,19 @@ class Simulator:
                 if revealed != before:
                     wake_workers(now)
 
-            else:  # WORKER_REQUEST
-                worker = payload  # type: ignore[assignment]
-                wid = worker.wid
-                request_pending[wid] = False
-                if not ctx.is_alive(worker):
-                    continue
-                if current[wid] is None:
-                    if staged[wid] is not None:
-                        task, arrival, duration = staged[wid]  # type: ignore[misc]
-                        staged[wid] = None
-                        begin_exec(worker, task, now, arrival, duration)
-                    else:
-                        task = scheduler.pop(worker)
-                        if task is not None:
-                            if emit is not None:
-                                emit(TaskPop(now, task.tid, worker.wid))
-                            arrival, duration = acquire(worker, task, now)
-                            begin_exec(worker, task, now, arrival, duration)
-                    if current[wid] is not None:
-                        try_stage(worker, now)
-                else:
-                    try_stage(worker, now)
+            else:  # BATCH_FLUSH
+                flush_queued = False
+                if pending and flush_batch(now, "step"):
+                    wake_workers(now)
 
             # Liveness rescue: nothing in flight but tasks remain.
             if not events and n_done + n_cancelled < n_total:
-                if any(c is not None for c in current.values()):
+                if any(c is not None for c in current):
                     continue
+                if pending:
+                    # Unreachable while a BATCH_FLUSH is queued, but a
+                    # rescue pop must never miss buffered work.
+                    flush_batch(now, "rescue")
                 progressed = False
                 for worker in workers:
                     if not ctx.is_alive(worker):
@@ -1028,6 +1174,16 @@ class Simulator:
             events=tuple(obs.events) if obs is not None else None,
             metrics=obs.snapshot(makespan) if obs is not None else None,
             n_cancelled=n_cancelled,
+            batch_stats=(
+                {
+                    "n_flushes": float(n_flushes),
+                    "n_batched": float(n_batched),
+                    "max_batch": float(max_batch),
+                    "mean_batch": n_batched / n_flushes if n_flushes else 0.0,
+                }
+                if batching
+                else None
+            ),
         )
 
     # -- validation ----------------------------------------------------------

@@ -17,6 +17,9 @@ tuple comparison away from payload objects. The kinds:
 * ``JOB_ARRIVAL`` — a job of a merged stream reaches its release time
   and the STF "main thread" resumes submitting; payload ``None`` (the
   engine re-runs its submission loop against the clock).
+* ``BATCH_FLUSH`` — batch-mode scheduling only: the configured
+  ``batch_step`` elapsed since ready tasks started buffering, so the
+  engine hands the whole batch to the scheduler; payload ``None``.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ TASK_FAILURE = 2
 WORKER_FAILURE = 3
 TASK_RETRY = 4
 JOB_ARRIVAL = 5
+BATCH_FLUSH = 6
 
 KIND_NAMES = {
     TASK_COMPLETION: "completion",
@@ -35,4 +39,5 @@ KIND_NAMES = {
     WORKER_FAILURE: "worker-failure",
     TASK_RETRY: "retry",
     JOB_ARRIVAL: "job-arrival",
+    BATCH_FLUSH: "batch-flush",
 }

@@ -388,7 +388,15 @@ class TransferEngine:
         if handle.size == 0:
             handle.valid_nodes.add(dst)
             return now
-        if handle.is_valid_on(dst):
+        if dst in handle.valid_nodes:
+            if not handle._in_flight:
+                # Settled resident replica — the overwhelmingly common
+                # case on reread-heavy streams: recency touch, no route
+                # search, no traffic.
+                last_use = self._last_use.get(dst)
+                if last_use is not None and handle.hid in self._resident[dst]:
+                    last_use[handle.hid] = now
+                return now
             self.touch(handle, dst, now)
             # The replica may still be in flight (registered eagerly by an
             # earlier fetch); a second consumer shares that transfer.
@@ -539,7 +547,13 @@ class TransferEngine:
 
     def invalidate_others(self, handle: DataHandle, keep: int, now: float = 0.0) -> None:
         """After a write on ``keep``, drop every other replica."""
-        for node in handle.valid_nodes:
+        valid = handle.valid_nodes
+        if len(valid) == 1 and keep in valid and not handle._in_flight:
+            # Sole settled replica already on the writer's node: nothing
+            # to drop, just refresh residency/recency accounting.
+            self._account_insert(handle, keep, now)
+            return
+        for node in valid:
             if node != keep:
                 self._account_drop(handle, node)
         handle.valid_nodes = {keep}

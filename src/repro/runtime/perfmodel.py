@@ -16,7 +16,6 @@ measured execution times. We mirror that split:
 
 from __future__ import annotations
 
-import itertools
 import math
 from dataclasses import dataclass
 from typing import Protocol
@@ -131,25 +130,23 @@ class AnalyticalPerfModel:
     #: δ(t, a) never changes during a run, so schedulers may cache it.
     stable_estimates = True
 
-    #: Distinguishes per-model cache entries in ``Task._est_cache``:
-    #: several models with *different* calibration tables may estimate
-    #: the same task objects (e.g. one perf model per cluster node), so
-    #: the cache key must carry the model identity, not just the arch.
-    _cache_tokens = itertools.count()
-
     def __init__(self, table: CalibrationTable, noise_sigma: float = 0.0) -> None:
         if noise_sigma < 0:
             raise ValidationError(f"noise_sigma must be >= 0, got {noise_sigma}")
         self.table = table
         self.noise_sigma = noise_sigma
-        self._cache_token = next(AnalyticalPerfModel._cache_tokens)
+        # δ is a pure function of (kernel type, arch, flops), so the
+        # memo lives on the model and is shared by every task: a stream
+        # of a million structurally-identical tasks costs one table
+        # lookup per (type, arch) instead of one per task.
+        self._memo: dict[tuple[str, str, float], float] = {}
 
     def estimate(self, task: Task, arch: str) -> float:
-        key = (self._cache_token, arch)
-        cached = task._est_cache.get(key)
+        key = (task.type_name, arch, task.flops)
+        cached = self._memo.get(key)
         if cached is None:
             cached = self.table.lookup(task.type_name, arch).time_us(task.flops)
-            task._est_cache[key] = cached
+            self._memo[key] = cached
         return cached
 
     def sample(self, task: Task, arch: str, rng: np.random.Generator) -> float:

@@ -95,7 +95,8 @@ class Task:
         "n_unfinished_preds",
         "state",
         "sched",
-        "_est_cache",
+        "_reads",
+        "_writes",
     )
 
     def __init__(
@@ -123,10 +124,15 @@ class Task:
         self.state = TaskState.SUBMITTED
         # Scratch area for schedulers (per-run, reset by the engine).
         self.sched: dict[str, Any] = {}
-        # Lazy per-architecture execution-time estimates, filled by the
-        # perf model; keyed by (model cache token, architecture name) so
-        # distinct models estimating the same task never share entries.
-        self._est_cache: dict[tuple[int, str], float] = {}
+        # Access lists split once for the engine's hot path: transferable
+        # read handles (size > 0) and written handles. Derived from
+        # `accesses`, which is immutable after program construction.
+        self._reads: tuple[DataHandle, ...] = tuple(
+            h for h, m in self.accesses if m.is_read and h.size > 0
+        )
+        self._writes: tuple[DataHandle, ...] = tuple(
+            h for h, m in self.accesses if m.is_write
+        )
 
     # -- convenience -----------------------------------------------------
 
@@ -171,7 +177,6 @@ class Task:
         self.n_unfinished_preds = len(self.preds)
         self.state = TaskState.SUBMITTED
         self.sched.clear()
-        self._est_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Task {self.name} {self.state.name} prio={self.priority}>"

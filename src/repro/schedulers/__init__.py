@@ -1,11 +1,11 @@
-"""Scheduling policies: the StarPU baselines MultiPrio is compared to.
+"""Scheduling policies: MultiPrio and the StarPU baselines it is
+compared to.
 
 All policies implement :class:`repro.schedulers.base.Scheduler` and are
-interchangeable in the simulator. MultiPrio itself lives in
-:mod:`repro.core.multiprio` (it is the paper's contribution) but is
-re-exported here and registered under ``"multiprio"``; it is resolved
-lazily to avoid a package-import cycle (multiprio derives from
-:class:`repro.schedulers.base.Scheduler`).
+interchangeable in the simulator. MultiPrio (the paper's contribution)
+lives in :mod:`repro.schedulers.multiprio` and is registered under
+``"multiprio"``; the historical ``repro.core.multiprio`` import path is
+kept as a shim.
 """
 
 from repro.schedulers.base import Scheduler
@@ -17,6 +17,8 @@ from repro.schedulers.dmda import Dmda
 from repro.schedulers.dmdas import Dmdas
 from repro.schedulers.heteroprio import HeteroPrio
 from repro.schedulers.auto_heteroprio import AutoHeteroPrio
+from repro.schedulers.multiqueue import MultiQueue
+from repro.schedulers.multiprio import MultiPrio
 
 __all__ = [
     "Scheduler",
@@ -29,6 +31,7 @@ __all__ = [
     "Dmdas",
     "HeteroPrio",
     "AutoHeteroPrio",
+    "MultiQueue",
     "MultiPrio",
     "make_scheduler",
     "register_scheduler",
@@ -37,7 +40,6 @@ __all__ = [
 ]
 
 _LAZY = {
-    "MultiPrio",
     "make_scheduler",
     "register_scheduler",
     "scheduler_names",
@@ -46,11 +48,7 @@ _LAZY = {
 
 
 def __getattr__(name: str):
-    """Resolve MultiPrio and the registry lazily (import-cycle guard)."""
-    if name == "MultiPrio":
-        from repro.core.multiprio import MultiPrio
-
-        return MultiPrio
+    """Resolve the registry lazily (import-cycle guard)."""
     if name in _LAZY:
         from repro.schedulers import registry
 

@@ -53,6 +53,19 @@ class Scheduler:
         """A task just became ready."""
         raise NotImplementedError
 
+    def push_batch(self, tasks: list[Task]) -> None:
+        """A coalesced batch of tasks became ready (batch-mode engine).
+
+        The default preserves per-event semantics exactly: one
+        ``push()`` per task, in buffer (reveal) order. Policies with a
+        cheaper bulk insert (heapify instead of n pushes, amortized
+        score computation) override this; the override must leave the
+        policy in a state equivalent to n individual pushes.
+        """
+        push = self.push
+        for task in tasks:
+            push(task)
+
     def pop(self, worker: Worker) -> Task | None:
         """``worker`` is idle; return a ready task for it, or ``None``."""
         raise NotImplementedError

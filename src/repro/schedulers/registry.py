@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.core.multiprio import MultiPrio
 from repro.schedulers.auto_heteroprio import AutoHeteroPrio
 from repro.schedulers.base import Scheduler
 from repro.schedulers.cats import CATS
@@ -20,6 +19,8 @@ from repro.schedulers.dmda import Dmda
 from repro.schedulers.dmdas import Dmdas
 from repro.schedulers.eager import Eager
 from repro.schedulers.heteroprio import HeteroPrio
+from repro.schedulers.multiprio import MultiPrio
+from repro.schedulers.multiqueue import MultiQueue
 from repro.schedulers.random_sched import RandomScheduler
 from repro.schedulers.static_heft import StaticHEFT
 from repro.schedulers.ws import LocalityWorkStealing, WorkStealing
@@ -38,6 +39,10 @@ _FACTORIES: dict[str, Callable[..., Scheduler]] = {
     "heteroprio-manual": HeteroPrio,
     "static-heft": StaticHEFT,
     "multiprio": MultiPrio,
+    "multiqueue": MultiQueue,
+    # Relaxed-priority variant: per-node RelaxedTaskHeaps with k=4
+    # sub-heaps (pass `relaxed=` explicitly to pick another width).
+    "multiprio-relaxed": lambda **kw: MultiPrio(**{"relaxed": 4, **kw}),
     # Ablation aliases: back-compat wrappers over MultiPrio parameters.
     "multiprio-noevict": lambda **kw: MultiPrio(eviction=False, **kw),
     "multiprio-nolocality": lambda **kw: MultiPrio(use_locality=False, **kw),

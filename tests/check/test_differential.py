@@ -88,6 +88,7 @@ class TestSuite:
             "faults.zero_rate", "window.equivalence", "pipeline.bound",
             "control.noop", "control.noop_ledger",
             "cluster.single_node", "cluster.single_node_jobs",
+            "batch.equivalence", "batch.nodrain_complete",
         }
 
     def test_progress_callback_sees_everything(self):

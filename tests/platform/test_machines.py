@@ -88,7 +88,6 @@ class TestCalibrations:
         for flops in (1e4, 1e6, 1e7):
             t = Task(0, "m2m", flops=flops, implementations=("cpu", "cuda"))
             assert pm.estimate(t, "cpu") < pm.estimate(t, "cuda")
-            t._est_cache.clear()
 
     def test_p2p_is_gpu_best_at_scale(self):
         pm = AnalyticalPerfModel(fmm_calibration())

@@ -84,11 +84,14 @@ class TestAnalyticalModel:
         t = task(flops=1e9)
         assert model.estimate(t, "cpu") == pytest.approx(1.0 + 1e9 / 1e4)
 
-    def test_estimate_cached_per_task(self):
+    def test_estimate_memoized_per_model(self):
         model = AnalyticalPerfModel(table())
         t = task()
         first = model.estimate(t, "cpu")
-        assert t._est_cache[(model._cache_token, "cpu")] == first
+        assert model._memo[(t.type_name, "cpu", t.flops)] == first
+        # A structurally identical task hits the shared memo entry.
+        model.estimate(task(), "cpu")
+        assert len(model._memo) == 1
 
     def test_models_with_different_tables_do_not_share_cache(self):
         # Two models over the *same* task objects (one perf model per

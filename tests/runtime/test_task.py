@@ -52,12 +52,10 @@ class TestTask:
         t.preds.append(pred)
         t.state = TaskState.DONE
         t.sched["x"] = 1
-        t._est_cache[(0, "cpu")] = 5.0
         t.reset_runtime_state()
         assert t.state is TaskState.SUBMITTED
         assert t.n_unfinished_preds == 1
         assert t.sched == {}
-        assert t._est_cache == {}
 
     def test_negative_handle_size_rejected(self):
         with pytest.raises(ValueError):
