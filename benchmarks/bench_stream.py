@@ -29,6 +29,9 @@ from repro.experiments.stream_arrivals import (
 )
 from repro.runtime.stf import TaskFlow
 from repro.runtime.task import AccessMode
+from repro.schedulers.base import Scheduler
+from repro.schedulers.multiprio import MultiPrio
+from repro.schedulers.registry import register_scheduler
 from repro.workload.merge import merge_stream
 from repro.workload.stream import poisson_stream
 
@@ -39,10 +42,35 @@ from repro.workload.stream import poisson_stream
 #: after ``BENCH_engine.json`` is re-recorded.
 COMMITTED_PER_EVENT_TASKS_PER_S = 7758.2
 
+#: Committed 1M-task setup rates this PR started from (measured at
+#: e7b427b on the 50000-job light stream: 27.6 s to build the Poisson
+#: stream, 32.8 s to merge it — the "~70 s before the first task runs"
+#: the million-task target exposed). The light-stream entry reports its
+#: setup speedups against these pins as tasks/s ratios, so the
+#: comparison holds at CI scale too.
+COMMITTED_BUILD_TASKS_PER_S = 36_200.0
+COMMITTED_MERGE_TASKS_PER_S = 30_500.0
+
+class _SeqPushMultiPrio(MultiPrio):
+    """MultiPrio with the bulk ``push_batch`` override disabled (the
+    base class's sequential per-task pushes) — the baseline the bulk
+    insert path is measured against. Schedules bit-identically."""
+
+    push_batch = Scheduler.push_batch
+
+
+register_scheduler("multiprio-seqpush", _SeqPushMultiPrio, override=True)
+
 #: Scheduler/engine variants measured by the light-stream entry:
 #: name -> (scheduler, batch_step, batch_drain_on_idle).
+#: ``multiprio-batch500`` exercises MultiPrio's bulk ``push_batch``
+#: override (one hoisted scoring/insert pass over the whole buffer);
+#: ``multiprio-batch500-seqpush`` is the same engine configuration with
+#: sequential pushes, isolating the override's sched-core saving.
 LIGHT_VARIANTS: dict[str, tuple[str, float | None, bool]] = {
     "multiprio-per-event": ("multiprio", None, True),
+    "multiprio-batch500": ("multiprio", 500.0, False),
+    "multiprio-batch500-seqpush": ("multiprio-seqpush", 500.0, False),
     "multiqueue-per-event": ("multiqueue", None, True),
     "multiqueue-batch500": ("multiqueue", 500.0, False),
 }
@@ -128,13 +156,22 @@ def measure_light_stream(n_jobs: int, repeats: int = 2) -> dict:
     timed runs: a merged million-task graph otherwise triggers gen-2
     collections that get billed to whatever allocates during them.
     """
+    t0 = time.perf_counter()
     stream = _light_stream(n_jobs)
+    build_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     merged = merge_stream(stream)
     merge_s = time.perf_counter() - t0
     n_tasks = len(merged.tasks)
-    doc: dict = {"n_jobs": n_jobs, "n_tasks": n_tasks, "merge_s": merge_s,
-                 "variants": {}}
+    doc: dict = {
+        "n_jobs": n_jobs, "n_tasks": n_tasks,
+        "build_s": build_s, "merge_s": merge_s,
+        "build_speedup_vs_committed":
+            (n_tasks / build_s) / COMMITTED_BUILD_TASKS_PER_S,
+        "merge_speedup_vs_committed":
+            (n_tasks / merge_s) / COMMITTED_MERGE_TASKS_PER_S,
+        "variants": {},
+    }
     gc.collect()
     gc.freeze()
     gc.disable()
@@ -170,7 +207,10 @@ def measure_light_stream(n_jobs: int, repeats: int = 2) -> dict:
 def format_light_stream(doc: dict) -> str:
     lines = [
         f"light stream: {doc['n_tasks']} tasks "
-        f"({doc['n_jobs']} jobs x 20), merge {doc['merge_s']:.2f} s"
+        f"({doc['n_jobs']} jobs x 20), build {doc['build_s']:.2f} s "
+        f"({doc['build_speedup_vs_committed']:.1f}x committed), merge "
+        f"{doc['merge_s']:.2f} s "
+        f"({doc['merge_speedup_vs_committed']:.1f}x committed)"
     ]
     for name, s in doc["variants"].items():
         batch = s.get("batch")

@@ -45,6 +45,8 @@ from repro.runtime import (
     CalibrationTable,
     KernelCalibration,
     Platform,
+    SchedOverheadModel,
+    ResourceProtocol,
 )
 from repro.schedulers import MultiPrio
 from repro.schedulers import make_scheduler, scheduler_names, register_scheduler
@@ -91,6 +93,8 @@ __all__ = [
     "CalibrationTable",
     "KernelCalibration",
     "Platform",
+    "SchedOverheadModel",
+    "ResourceProtocol",
     "MultiPrio",
     "make_scheduler",
     "scheduler_names",

@@ -39,7 +39,9 @@ from repro.obs.events import RecordLevel
 from repro.platform.machines import MACHINES, MachineModel
 from repro.runtime.engine import SimResult, Simulator
 from repro.runtime.faults import FaultModel
+from repro.runtime.overhead import SchedOverheadModel
 from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.resources import ResourceProtocol
 from repro.runtime.stf import Program
 from repro.schedulers.base import Scheduler
 from repro.schedulers.registry import make_scheduler
@@ -83,6 +85,8 @@ class SimConfig:
     check_invariants: bool | None = None
     batch_step: float | None = None
     batch_drain_on_idle: bool = True
+    overhead: SchedOverheadModel | None = None
+    resources: ResourceProtocol | None = None
     sched_params: dict = field(default_factory=dict)
 
 
@@ -131,6 +135,8 @@ def _build_simulator(
         control_plane=control_plane,
         batch_step=cfg.batch_step,
         batch_drain_on_idle=cfg.batch_drain_on_idle,
+        overhead=cfg.overhead,
+        resources=cfg.resources,
     )
 
 
@@ -184,6 +190,8 @@ class SimSpec:
     check_invariants: "bool | None" = None
     batch_step: "float | None" = None
     batch_drain_on_idle: "bool | None" = None
+    overhead: "SchedOverheadModel | None" = None
+    resources: "ResourceProtocol | None" = None
     sched_params: "dict | None" = None
 
     def __post_init__(self) -> None:
@@ -193,6 +201,7 @@ class SimSpec:
                 "seed", "noise_sigma", "perfmodel", "faults", "record_trace",
                 "record_level", "pipeline", "submission_window",
                 "check_invariants", "batch_step", "batch_drain_on_idle",
+                "overhead", "resources",
             )
             if (value := getattr(self, name)) is not None
         }
@@ -208,7 +217,7 @@ class SimSpec:
             "seed", "noise_sigma", "perfmodel", "faults", "record_trace",
             "record_level", "pipeline", "submission_window",
             "check_invariants", "batch_step", "batch_drain_on_idle",
-            "sched_params",
+            "overhead", "resources", "sched_params",
         ):
             setattr(self, f, getattr(self.config, f))
 
@@ -305,6 +314,11 @@ class SimSpec:
                 end_us=max(r[3] for r in records),
                 n_tasks=span.n_tasks,
                 isolated_us=isolated.get(id(job.program)),
+                deadline_us=(
+                    span.deadline_us
+                    if span.deadline_us != float("inf")
+                    else None
+                ),
             ))
         control_result = None
         if plane is not None:

@@ -28,6 +28,13 @@ properties a correct simulator cannot violate regardless of policy:
   and must reproduce the uncontrolled ``simulate_stream`` run
   bit-for-bit (the admission gate may not perturb reveal order, events
   or accounting).
+* **Real-time no-op equivalence** — an all-zero
+  :class:`~repro.runtime.overhead.SchedOverheadModel` must equal
+  ``overhead=None``, a :class:`~repro.runtime.resources.ResourceProtocol`
+  on a program naming no resources must equal ``resources=None``, and
+  tagging a stream's jobs with deadlines must not move a single task
+  under a deadline-oblivious scheduler — the rt subsystems may only
+  change a schedule when they are genuinely engaged.
 
 :func:`run_differential_suite` bundles these with an invariant-checked
 sweep over the built-in applications × schedulers (with and without a
@@ -431,6 +438,77 @@ def check_control_noop_equivalence(
     return out
 
 
+def check_rt_noop_equivalence(
+    machine: MachineModel,
+    schedulers: Iterable[str],
+) -> list[CheckOutcome]:
+    """Disengaged rt subsystems must not move a single task.
+
+    Three bit-identity properties per scheduler, all on the same Poisson
+    stream:
+
+    * ``SchedOverheadModel()`` (all costs zero) vs ``overhead=None`` —
+      the charging hooks may not perturb arrival times or event order
+      when every charge is free;
+    * ``ResourceProtocol()`` vs ``resources=None`` on a stream whose
+      tasks name no resources — an idle ledger may not gate any start;
+    * the deadline-tagged stream vs the same stream undecorated — a
+      deadline-oblivious policy must schedule identically whether or
+      not ``Task.deadline_us`` is set (deadlines are data, not control,
+      until a policy opts in).
+    """
+    from repro.api import SimConfig, SimSpec
+    from repro.runtime.overhead import SchedOverheadModel
+    from repro.runtime.resources import ResourceProtocol
+    from repro.workload.stream import poisson_stream
+
+    def _stream(deadline: float | None):
+        return poisson_stream(
+            [lambda: cholesky_program(4, 512), lambda: lu_program(4, 512)],
+            rate_jobs_per_s=60.0,
+            n_jobs=8,
+            seed=13,
+            tenants=("t0", "t1"),
+            deadline=deadline,
+        )
+
+    out = []
+    for scheduler in schedulers:
+        cfg = SimConfig(record_trace=True)
+        plain = SimSpec(
+            machine, scheduler, config=cfg, isolated_baseline=False
+        ).run_stream(_stream(None))
+        zero_ov = SimSpec(
+            machine, scheduler, config=cfg, isolated_baseline=False,
+            overhead=SchedOverheadModel(),
+        ).run_stream(_stream(None))
+        out.append(CheckOutcome(
+            f"rt.overhead_noop[{scheduler}]",
+            fingerprint(plain.sim) == fingerprint(zero_ov.sim),
+            "an all-zero SchedOverheadModel perturbed the stream schedule",
+        ))
+        idle_res = SimSpec(
+            machine, scheduler, config=cfg, isolated_baseline=False,
+            resources=ResourceProtocol(),
+        ).run_stream(_stream(None))
+        out.append(CheckOutcome(
+            f"rt.resources_noop[{scheduler}]",
+            fingerprint(plain.sim) == fingerprint(idle_res.sim),
+            "a ResourceProtocol over resource-free tasks perturbed the "
+            "stream schedule",
+        ))
+        tagged = SimSpec(
+            machine, scheduler, config=cfg, isolated_baseline=False
+        ).run_stream(_stream(50_000.0))
+        out.append(CheckOutcome(
+            f"rt.deadline_noop[{scheduler}]",
+            fingerprint(plain.sim) == fingerprint(tagged.sim),
+            "tagging jobs with deadlines perturbed a deadline-oblivious "
+            "scheduler",
+        ))
+    return out
+
+
 def check_cluster_single_node_equivalence(
     machine: MachineModel,
     schedulers: Iterable[str],
@@ -535,6 +613,9 @@ def run_differential_suite(
             emit(check_batch_equivalence(name, program, mach, scheduler))
             emit(check_pipeline_bound(name, program, mach, scheduler))
     emit(check_control_noop_equivalence(
+        mach, schedulers[:1] if quick else schedulers
+    ))
+    emit(check_rt_noop_equivalence(
         mach, schedulers[:1] if quick else schedulers
     ))
     emit(check_cluster_single_node_equivalence(

@@ -47,6 +47,15 @@ sweeps six invariant families over the *entire* runtime state:
     gauge matches admitted jobs' remaining work, no guaranteed-class job
     was ever shed, and no token bucket exceeds its burst
     (:meth:`repro.control.ControlPlane.audit`).
+``rt``
+    Real-time extensions only. Slack bookkeeping: every merged task's
+    absolute deadline lies inside its job's ``(arrival, deadline]``
+    window (checked once at run start). Overhead conservation: the
+    ledger's ``charged_us`` equals the counter-weighted sum of the
+    model's per-decision costs and the virtual scheduler-core clock
+    never retreats. Resource exclusion: per resource, the granted
+    intervals in the ledger never overlap — no two simultaneous
+    holders.
 
 Violations are emitted as
 :class:`~repro.obs.events.InvariantViolation` events (when observability
@@ -121,6 +130,8 @@ class InvariantChecker:
         control=None,
         batch_pending: list[Task] | None = None,
         batch_drain: bool = True,
+        overhead_ledger=None,
+        resource_ledger=None,
     ) -> None:
         """Bind one run's live state and snapshot the starting point.
 
@@ -142,6 +153,13 @@ class InvariantChecker:
         self.control = control
         self.batch_pending = batch_pending
         self.batch_drain = batch_drain
+        self.overhead_ledger = overhead_ledger
+        self.resource_ledger = resource_ledger
+        # rt family incremental state: consumed grant-ledger prefix,
+        # per-resource latest granted end, sched-core clock floor.
+        self._rt_grant_idx = 0
+        self._rt_res_end: dict[str, float] = {}
+        self._rt_sched_floor = 0.0
         self.n_checks = 0
         self._node_of_wid = {w.wid: w.memory_node for w in platform.workers}
         self._handle_by_hid = {h.hid: h for h in program.handles}
@@ -154,6 +172,25 @@ class InvariantChecker:
                        link.bytes_moved, link.n_transfers)
             for link in platform.transfers.links()
         }
+        # Slack bookkeeping (rt family), once per run: every merged
+        # task's absolute deadline must lie inside its job's
+        # (arrival, deadline] window — the merge's min(job, own) rule.
+        violations: list[tuple[str, str]] = []
+        spans = getattr(program, "jobs", None)
+        if spans:
+            tasks = program.tasks
+            for span in spans:
+                lo, hi = span.arrival_us, span.deadline_us
+                for tid in range(span.first_tid, span.first_tid + span.n_tasks):
+                    dl = tasks[tid].deadline_us
+                    if dl > hi or dl <= lo:
+                        violations.append((
+                            "rt",
+                            f"task {tid} deadline {dl}us outside job "
+                            f"{span.jid}'s ({lo}us, {hi}us] window",
+                        ))
+        if violations:
+            self._report(violations)
 
     # -- entry point -------------------------------------------------------
 
@@ -179,6 +216,8 @@ class InvariantChecker:
         self._check_msi(running, violations)
         if self.batch_pending is not None:
             self._check_batch(revealed, prev_now, violations)
+        if self.overhead_ledger is not None or self.resource_ledger is not None:
+            self._check_rt(violations)
         for detail in self.scheduler.check():
             violations.append(("scheduler", str(detail)))
         if self.control is not None:
@@ -365,6 +404,65 @@ class InvariantChecker:
                 f"{len(pending)} task(s) buffered but no BATCH_FLUSH event "
                 f"is queued: the batch leaked",
             ))
+
+    def _check_rt(self, out: list) -> None:
+        """Real-time bookkeeping: overhead conservation and resource
+        mutual exclusion.
+
+        The overhead ledger's total charge must always equal the
+        counter-weighted sum of the model's per-decision costs, and the
+        virtual scheduler core's clock may never retreat. The resource
+        ledger's grant log is audited incrementally: per resource,
+        granted intervals must never overlap — two holders of one
+        resource at once would break the protocol's core promise.
+        """
+        ov = self.overhead_ledger
+        if ov is not None:
+            m = ov.model
+            expected = (
+                m.push_us * ov.n_push
+                + m.pop_us * ov.n_pop
+                + m.flush_us * ov.n_flush
+                + m.batch_task_us * ov.n_flush_tasks
+            )
+            if abs(expected - ov.charged_us) > 1e-6 + 1e-9 * abs(expected):
+                out.append((
+                    "rt",
+                    f"overhead charge leaked: ledger says {ov.charged_us}us "
+                    f"but counters ({ov.n_push} push, {ov.n_pop} pop, "
+                    f"{ov.n_flush} flush over {ov.n_flush_tasks} tasks) "
+                    f"account for {expected}us",
+                ))
+            if ov.sched_free < self._rt_sched_floor:
+                out.append((
+                    "rt",
+                    f"scheduler-core clock moved backward: "
+                    f"{self._rt_sched_floor} -> {ov.sched_free}",
+                ))
+            else:
+                self._rt_sched_floor = ov.sched_free
+        res = self.resource_ledger
+        if res is not None:
+            grants = res.grants
+            ends = self._rt_res_end
+            for resource, tid, start, end in grants[self._rt_grant_idx:]:
+                if end < start:
+                    out.append((
+                        "rt",
+                        f"resource {resource!r} grant to task {tid} ends "
+                        f"before it starts: ({start}, {end})",
+                    ))
+                prev_end = ends.get(resource, 0.0)
+                if start < prev_end:
+                    out.append((
+                        "rt",
+                        f"resource {resource!r} double-held: task {tid}'s "
+                        f"grant starts at {start}us before the previous "
+                        f"grant ends at {prev_end}us",
+                    ))
+                if end > prev_end:
+                    ends[resource] = end
+            self._rt_grant_idx = len(grants)
 
     def _check_task_states(self, out: list) -> None:
         prev = self._prev_state

@@ -46,6 +46,15 @@ from repro.experiments.overload import (
     write_overload_report,
 )
 from repro.experiments.reporting import format_table
+from repro.experiments.rt_sweep import (
+    DEFAULT_DEADLINE_FACTOR,
+    DEFAULT_MULTIPLIERS as RT_MULTIPLIERS,
+    DEFAULT_SCHEDULERS as RT_SCHEDULERS,
+    QUICK_MULTIPLIERS as RT_QUICK_MULTIPLIERS,
+    format_rt_experiment,
+    run_rt_experiment,
+    write_rt_report,
+)
 from repro.experiments.stream_arrivals import (
     DEFAULT_RATES as STREAM_RATES,
     DEFAULT_SCHEDULERS as STREAM_SCHEDULERS,
@@ -244,6 +253,35 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         if args.json:
             write_overload_report(result, args.json)
             print(f"json report written to {args.json}")
+    elif args.name == "rt":
+        quick = args.quick
+        result = run_rt_experiment(
+            multipliers=(
+                tuple(args.rt_multipliers)
+                if args.rt_multipliers
+                else (RT_QUICK_MULTIPLIERS if quick else RT_MULTIPLIERS)
+            ),
+            schedulers=tuple(args.rt_schedulers),
+            n_tenants=(
+                args.rt_tenants
+                if args.rt_tenants is not None
+                else (4 if quick else 8)
+            ),
+            n_jobs=(
+                args.rt_jobs
+                if args.rt_jobs is not None
+                else (16 if quick else 48)
+            ),
+            deadline_factor=args.rt_deadline_factor,
+            seed=args.stream_seed,
+            check_invariants=args.check_invariants,
+            jobs=args.jobs,
+            progress=progress,
+        )
+        print(format_rt_experiment(result))
+        if args.json:
+            write_rt_report(result, args.json)
+            print(f"json report written to {args.json}")
     elif args.name == "cluster":
         result = run_cluster_experiment(
             policies=tuple(args.placements),
@@ -432,7 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run a light paper experiment")
     exp.add_argument("name", choices=[
         "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "faults",
-        "stream", "overload", "cluster",
+        "stream", "overload", "cluster", "rt",
     ])
     exp.add_argument("--jobs", type=int, default=1,
                      help="worker processes for sweep experiments "
@@ -465,7 +503,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stream: submission window forwarded to every run")
     exp.add_argument("--quick", action="store_true",
                      help="overload: trimmed grid (2 multipliers, 6 tenants); "
-                          "cluster: 8-node column only")
+                          "cluster: 8-node column only; "
+                          "rt: 2 multipliers, 4 tenants, 16 jobs")
     exp.add_argument("--overload-multipliers", type=float, nargs="+",
                      metavar="X",
                      help="overload: load multiples of the sustainable rate "
@@ -475,8 +514,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="overload: tenant count (default 24, quick 6)")
     exp.add_argument("--overload-jobs", type=int, default=None,
                      help="overload: jobs per stream (default 72, quick 18)")
+    exp.add_argument("--rt-multipliers", type=float, nargs="+", metavar="X",
+                     help="rt: load multiples of the sustainable rate "
+                          f"(default: "
+                          f"{' '.join(f'{m:g}' for m in RT_MULTIPLIERS)})")
+    exp.add_argument("--rt-schedulers", nargs="+",
+                     default=list(RT_SCHEDULERS), choices=scheduler_names(),
+                     help="rt: schedulers to sweep")
+    exp.add_argument("--rt-tenants", type=int, default=None,
+                     help="rt: tenant count (default 8, quick 4)")
+    exp.add_argument("--rt-jobs", type=int, default=None,
+                     help="rt: jobs per stream (default 48, quick 16)")
+    exp.add_argument("--rt-deadline-factor", type=float,
+                     default=DEFAULT_DEADLINE_FACTOR,
+                     help="rt: relative deadline as a multiple of the "
+                          "isolated job makespan")
     exp.add_argument("--check-invariants", action="store_true",
-                     help="overload/cluster: run every cell under the "
+                     help="overload/cluster/rt: run every cell under the "
                           "invariant checker (slower)")
     exp.add_argument("--placements", nargs="+", default=list(CLUSTER_POLICIES),
                      choices=placement_names(),
@@ -496,7 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--rate-per-node", type=float, default=50.0,
                      help="cluster: chain arrivals per second per node")
     exp.add_argument("--json", metavar="PATH",
-                     help="stream/overload/cluster: write the JSON report "
+                     help="stream/overload/cluster/rt: write the JSON report "
                           "to PATH")
     exp.set_defaults(func=cmd_experiment)
 

@@ -200,6 +200,28 @@ class BatchScheduled(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class PriorityInversion(Event):
+    """A task waited on a resource held by a lower-priority task.
+
+    Emitted by the engine's resource protocol
+    (:mod:`repro.runtime.resources`) when task ``tid`` (priority
+    ``blocked_prio``) had its start delayed by ``wait_us`` behind
+    ``holder_tid`` (priority ``holder_prio`` < ``blocked_prio``) holding
+    ``resource``. Under ``mode="ceiling"`` the wait may come from the
+    ceiling's avoidance blocking rather than direct contention.
+    """
+
+    kind: ClassVar[str] = "priority_inversion"
+
+    tid: int
+    resource: str
+    holder_tid: int
+    blocked_prio: int
+    holder_prio: int
+    wait_us: float
+
+
+@dataclass(frozen=True, slots=True)
 class TaskPop(Event):
     """The scheduler handed a task to a worker (``staged`` = lookahead pop)."""
 
@@ -402,6 +424,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         NodeLoad,
         TaskReady,
         BatchScheduled,
+        PriorityInversion,
         TaskPop,
         TaskStage,
         TaskStart,

@@ -44,6 +44,8 @@ from repro.runtime.perfmodel import (
     PerfModel,
 )
 from repro.runtime.engine import Simulator, SimResult, SchedContext
+from repro.runtime.overhead import OverheadLedger, SchedOverheadModel
+from repro.runtime.resources import ResourceLedger, ResourceProtocol
 from repro.runtime.trace import Trace, TaskRecord, TransferRecord
 
 __all__ = [
@@ -74,6 +76,10 @@ __all__ = [
     "Simulator",
     "SimResult",
     "SchedContext",
+    "SchedOverheadModel",
+    "OverheadLedger",
+    "ResourceProtocol",
+    "ResourceLedger",
     "Trace",
     "TaskRecord",
     "TransferRecord",

@@ -37,6 +37,7 @@ from repro.obs.events import (
     JobEvicted,
     JobRejected,
     JobSubmit,
+    PriorityInversion,
     RecordLevel,
     TaskEnd,
     TaskFault,
@@ -59,8 +60,10 @@ from repro.runtime.events import (
     WORKER_REQUEST,
 )
 from repro.runtime.faults import FaultModel, FaultStats
+from repro.runtime.overhead import OverheadLedger, SchedOverheadModel
 from repro.runtime.perfmodel import AnalyticalPerfModel
 from repro.runtime.platform_config import Platform
+from repro.runtime.resources import ResourceLedger, ResourceProtocol
 from repro.runtime.stf import Program
 from repro.runtime.task import Task, TaskState
 from repro.runtime.trace import Trace
@@ -260,6 +263,10 @@ class SimResult:
     #: Batch-mode provenance (flush count, batched tasks, max/mean batch
     #: size); ``None`` on the per-event path.
     batch_stats: dict[str, float] | None = None
+    #: Real-time bookkeeping (charged scheduler overhead counters,
+    #: resource-grant/blocking/inversion counters); ``None`` unless an
+    #: overhead model or resource protocol was attached.
+    rt_stats: dict[str, float] | None = None
 
     @property
     def gflops(self) -> float:
@@ -341,6 +348,20 @@ class Simulator:
         work. ``False`` gives pure step-boundary batching (workers may
         idle up to ``batch_step`` — the classic batch-scheduler
         trade-off).
+    overhead:
+        Optional :class:`~repro.runtime.overhead.SchedOverheadModel`
+        charging every scheduling decision (push / pop / batch flush)
+        to a virtual scheduler core in *simulated* time: pops delay the
+        popped task until the decision is paid for, and decisions
+        serialize on the core. ``None`` (default) keeps decisions free;
+        an all-zero model is bit-identical to ``None``.
+    resources:
+        Optional :class:`~repro.runtime.resources.ResourceProtocol`
+        arbitrating ``Task.resources`` locks: tasks sharing a resource
+        never overlap, waits behind lower-priority holders emit
+        :class:`~repro.obs.events.PriorityInversion` events, and
+        ``mode="ceiling"`` adds priority-ceiling avoidance blocking.
+        ``None`` (default) ignores resource names entirely.
     """
 
     def __init__(
@@ -359,6 +380,8 @@ class Simulator:
         control_plane: "ControlPlane | None" = None,
         batch_step: float | None = None,
         batch_drain_on_idle: bool = True,
+        overhead: SchedOverheadModel | None = None,
+        resources: ResourceProtocol | None = None,
     ) -> None:
         if submission_window is not None and submission_window < 1:
             raise SchedulingError(
@@ -379,6 +402,8 @@ class Simulator:
         self.control_plane = control_plane
         self.batch_step = batch_step
         self.batch_drain_on_idle = batch_drain_on_idle
+        self.overhead = overhead
+        self.resources = resources
         if check_invariants is None:
             check_invariants = os.environ.get(
                 "REPRO_CHECK_INVARIANTS", ""
@@ -469,12 +494,24 @@ class Simulator:
         n_batched = 0
         max_batch = 0
 
+        # Real-time extensions, both None on the classic (bit-identical)
+        # path: the overhead ledger charges decisions to a virtual
+        # scheduler core, the resource ledger arbitrates Task.resources.
+        ov = OverheadLedger(self.overhead) if self.overhead is not None else None
+        res_ledger = (
+            ResourceLedger(self.resources, program.tasks)
+            if self.resources is not None
+            else None
+        )
+
         def push_ready(task: Task) -> None:
             nonlocal flush_queued, seq
             task.state = TaskState.READY
             if emit is not None:
                 emit(TaskReady(ctx.now, task.tid, task.type_name))
             if not batching:
+                if ov is not None:
+                    ov.push(ctx.now)
                 scheduler.push(task)
                 return
             task.sched["_batched"] = True
@@ -509,6 +546,8 @@ class Simulator:
                     del t.sched["_batched"]
                 scheduler.push_batch(batch)
                 n = len(batch)
+            if ov is not None:
+                ov.flush(now, n)
             n_flushes += 1
             n_batched += n
             if n > max_batch:
@@ -771,7 +810,19 @@ class Simulator:
         ) -> None:
             nonlocal seq
             start = max(now, arrival)
+            if res_ledger is not None and task.resources:
+                # Resource arbitration commits here — begin_exec runs in
+                # event order, so grants serialize and can never overlap.
+                start, inversions = res_ledger.gate(task, start)
+                if emit is not None:
+                    for r, holder_tid, holder_prio, wait_us in inversions:
+                        emit(PriorityInversion(
+                            now, task.tid, r, holder_tid,
+                            task.priority, holder_prio, wait_us,
+                        ))
             end = start + duration
+            if res_ledger is not None and task.resources:
+                res_ledger.book(task, start, end)
             # pop_time is the moment the worker became free for this task;
             # (start - pop_time) is the residual (unoverlapped) data stall.
             task.sched["_record"] = (worker.wid, now, start, end)
@@ -811,6 +862,10 @@ class Simulator:
             if emit is not None:
                 emit(TaskPop(now, task.tid, worker.wid, staged=True))
             arrival, duration = acquire(worker, task, now)
+            if ov is not None:
+                decision_end = ov.pop(now)
+                if decision_end > arrival:
+                    arrival = decision_end
             staged[worker.wid] = (task, arrival, duration)
             if emit is not None:
                 emit(TaskStage(now, task.tid, worker.wid, arrival))
@@ -835,6 +890,8 @@ class Simulator:
                 control=control,
                 batch_pending=pending if batching else None,
                 batch_drain=batch_drain,
+                overhead_ledger=ov,
+                resource_ledger=res_ledger,
             )
 
         while events:
@@ -868,6 +925,10 @@ class Simulator:
                             if emit is not None:
                                 emit(TaskPop(now, task.tid, worker.wid))
                             arrival, duration = acquire(worker, task, now)
+                            if ov is not None:
+                                decision_end = ov.pop(now)
+                                if decision_end > arrival:
+                                    arrival = decision_end
                             begin_exec(worker, task, now, arrival, duration)
                     if current[wid] is not None:
                         try_stage(worker, now)
@@ -1108,6 +1169,10 @@ class Simulator:
                     if emit is not None:
                         emit(TaskPop(now, task.tid, worker.wid, forced=True))
                     arrival, duration = acquire(worker, task, now)
+                    if ov is not None:
+                        decision_end = ov.pop(now)
+                        if decision_end > arrival:
+                            arrival = decision_end
                     begin_exec(worker, task, now, arrival, duration)
                     progressed = True
                 if not progressed:
@@ -1182,6 +1247,14 @@ class Simulator:
                     "mean_batch": n_batched / n_flushes if n_flushes else 0.0,
                 }
                 if batching
+                else None
+            ),
+            rt_stats=(
+                {
+                    **(ov.stats() if ov is not None else {}),
+                    **(res_ledger.stats() if res_ledger is not None else {}),
+                }
+                if ov is not None or res_ledger is not None
                 else None
             ),
         )

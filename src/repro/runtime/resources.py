@@ -1,0 +1,152 @@
+"""Shared non-processor resources: locks and the priority ceiling.
+
+Tasks may name shared resources (``Task.resources`` — a DMA channel, a
+host-side staging buffer, a device lock). The engine enforces mutual
+exclusion over them: two tasks naming the same resource never execute
+concurrently, whatever workers they landed on. Because the engine
+commits a task's start time exactly once (in ``begin_exec``, serialized
+in event order) and tasks hold their resources for their whole
+execution, the protocol is simple and deadlock-free by construction:
+
+* a task acquires **all** its resources atomically at its (possibly
+  delayed) start and releases them at its end — there is no incremental
+  lock acquisition, so no hold-and-wait cycles can form;
+* under ``mode="lock"`` a task waits only for its own resources to
+  free; a high-priority task can therefore be delayed by an arbitrary
+  chain of unrelated lower-priority holders (classic priority
+  inversion, observable as :class:`~repro.obs.events.PriorityInversion`
+  provenance events);
+* under ``mode="ceiling"`` each resource gets a *priority ceiling* (the
+  highest priority of any task naming it, computed at run start), and a
+  task additionally waits until no *other* busy resource has a ceiling
+  ≥ its own priority — the immediate priority ceiling protocol's
+  avoidance blocking, which bounds inversion to at most one
+  lower-priority critical section.
+
+The invariant checker's ``rt`` family audits the grant ledger: per
+resource, granted intervals must never overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.task import Task
+
+#: Supported protocol modes.
+RESOURCE_MODES: tuple[str, ...] = ("lock", "ceiling")
+
+
+@dataclass(frozen=True)
+class ResourceProtocol:
+    """Configuration of the engine's resource arbitration."""
+
+    mode: str = "lock"
+
+    def __post_init__(self) -> None:
+        if self.mode not in RESOURCE_MODES:
+            raise ValidationError(
+                f"ResourceProtocol.mode must be one of {RESOURCE_MODES}, "
+                f"got {self.mode!r}"
+            )
+
+
+class ResourceLedger:
+    """Per-run arbitration state for one :class:`ResourceProtocol`.
+
+    ``gate`` computes how long a task must additionally wait before its
+    start; ``book`` commits the grant. Both are called from the engine's
+    ``begin_exec`` only, which event order serializes — so grants are
+    committed in nondecreasing decision order and per-resource intervals
+    cannot overlap (the checker re-verifies this from ``grants``).
+
+    A failed attempt keeps its booking until the *projected* completion:
+    the model is pessimistic about crashed critical sections (the
+    runtime would have to clean up the resource anyway).
+    """
+
+    __slots__ = (
+        "protocol", "busy_until", "holder", "ceilings", "grants",
+        "n_blocked", "blocked_us", "n_inversions",
+    )
+
+    def __init__(
+        self, protocol: ResourceProtocol, tasks: "Iterable[Task]"
+    ) -> None:
+        self.protocol = protocol
+        #: resource -> time its current grant ends.
+        self.busy_until: dict[str, float] = {}
+        #: resource -> (holder tid, holder priority) of the current grant.
+        self.holder: dict[str, tuple[int, int]] = {}
+        #: grant ledger for the checker: (resource, tid, start, end).
+        self.grants: list[tuple[str, int, float, float]] = []
+        self.n_blocked = 0
+        self.blocked_us = 0.0
+        self.n_inversions = 0
+        self.ceilings: dict[str, int] = {}
+        if protocol.mode == "ceiling":
+            for task in tasks:
+                for r in task.resources:
+                    prev = self.ceilings.get(r)
+                    if prev is None or task.priority > prev:
+                        self.ceilings[r] = task.priority
+
+    def gate(
+        self, task: "Task", start: float
+    ) -> tuple[float, list[tuple[str, int, int, float]]]:
+        """Earliest start ≥ ``start`` at which ``task`` may hold all its
+        resources, plus the priority inversions that delay explains.
+
+        Returns ``(new_start, inversions)`` where each inversion is
+        ``(resource, holder_tid, holder_prio, wait_us)`` — a wait behind
+        a strictly lower-priority holder.
+        """
+        gated = start
+        blockers: list[tuple[str, float]] = []
+        for r in task.resources:
+            until = self.busy_until.get(r, 0.0)
+            if until > gated:
+                gated = until
+            if until > start:
+                blockers.append((r, until))
+        if self.protocol.mode == "ceiling":
+            # Avoidance blocking: wait for any *other* held resource
+            # whose ceiling could be contended by this task's level.
+            own = set(task.resources)
+            prio = task.priority
+            for r, until in self.busy_until.items():
+                if until > start and r not in own and self.ceilings.get(r, 0) >= prio:
+                    if until > gated:
+                        gated = until
+                    blockers.append((r, until))
+        inversions: list[tuple[str, int, int, float]] = []
+        if gated > start:
+            self.n_blocked += 1
+            self.blocked_us += gated - start
+            for r, until in blockers:
+                held = self.holder.get(r)
+                if held is not None and held[1] < task.priority:
+                    self.n_inversions += 1
+                    inversions.append((r, held[0], held[1], until - start))
+        return gated, inversions
+
+    def book(self, task: "Task", start: float, end: float) -> None:
+        """Commit the grant of every resource of ``task`` over [start, end)."""
+        entry = (task.tid, task.priority)
+        for r in task.resources:
+            self.busy_until[r] = end
+            self.holder[r] = entry
+            self.grants.append((r, task.tid, start, end))
+
+    def stats(self) -> dict[str, float]:
+        """Counters for :class:`~repro.runtime.engine.SimResult.rt_stats`."""
+        return {
+            "resource_n_grants": float(len(self.grants)),
+            "resource_n_blocked": float(self.n_blocked),
+            "resource_blocked_us": self.blocked_us,
+            "resource_n_inversions": float(self.n_inversions),
+        }

@@ -159,6 +159,8 @@ class TaskFlow:
         implementations: Iterable[str] = ("cpu",),
         priority: int = 0,
         tag: Any = None,
+        resources: Iterable[str] = (),
+        deadline_us: float = float("inf"),
     ) -> Task:
         """Submit a task; dependencies are inferred from ``accesses``."""
         self._check_open()
@@ -170,6 +172,8 @@ class TaskFlow:
             implementations=implementations,
             priority=priority,
             tag=tag,
+            resources=resources,
+            deadline_us=deadline_us,
         )
         dep_tids: set[int] = set()
         deps: list[Task] = []

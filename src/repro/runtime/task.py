@@ -33,12 +33,21 @@ class AccessMode(enum.IntEnum):
     @property
     def is_read(self) -> bool:
         """True when the access observes the current contents."""
-        return self in (AccessMode.R, AccessMode.RW, AccessMode.COMMUTE)
+        return self in _READ_MODES
 
     @property
     def is_write(self) -> bool:
         """True when the access produces new contents."""
-        return self in (AccessMode.W, AccessMode.RW, AccessMode.COMMUTE)
+        return self in _WRITE_MODES
+
+
+_READ_MODES = frozenset((AccessMode.R, AccessMode.RW, AccessMode.COMMUTE))
+_WRITE_MODES = frozenset((AccessMode.W, AccessMode.RW, AccessMode.COMMUTE))
+
+#: ``frozenset`` memo for implementation tuples: programs submit the same
+#: handful of architecture combinations millions of times, and building a
+#: fresh frozenset per task was a measurable slice of large-stream setup.
+_IMPL_MEMO: dict[tuple[str, ...], frozenset[str]] = {}
 
 
 class TaskState(enum.IntEnum):
@@ -80,6 +89,15 @@ class Task:
         Defaults to 0, i.e. "the user provided no priorities".
     tag:
         Free-form coordinates for debugging/reporting (e.g. tile indices).
+    resources:
+        Names of shared non-processor resources (locks) this task holds for
+        its whole execution. The engine serializes tasks sharing a resource
+        (see :mod:`repro.runtime.resources`); empty means no contention.
+    deadline_us:
+        Absolute deadline (µs on the simulated clock). ``inf`` (the
+        default) means "no deadline"; deadline-aware schedulers (``edf``,
+        MultiPrio ``deadline_boost=``) and the stream miss-rate report read
+        it, everything else ignores it.
     """
 
     __slots__ = (
@@ -90,6 +108,8 @@ class Task:
         "implementations",
         "priority",
         "tag",
+        "resources",
+        "deadline_us",
         "preds",
         "succs",
         "n_unfinished_preds",
@@ -108,16 +128,36 @@ class Task:
         implementations: Iterable[str] = ("cpu",),
         priority: int = 0,
         tag: Any = None,
+        resources: Iterable[str] = (),
+        deadline_us: float = float("inf"),
     ) -> None:
         self.tid = tid
         self.type_name = type_name
-        self.accesses: list[tuple[DataHandle, AccessMode]] = list(accesses)
+        acc: list[tuple[DataHandle, AccessMode]] = list(accesses)
+        self.accesses = acc
         self.flops = float(flops)
-        self.implementations: frozenset[str] = frozenset(implementations)
+        if type(implementations) is not frozenset:
+            key = (
+                implementations
+                if type(implementations) is tuple
+                else tuple(implementations)
+            )
+            cached = _IMPL_MEMO.get(key)
+            if cached is None:
+                cached = _IMPL_MEMO[key] = frozenset(key)
+            implementations = cached
+        self.implementations: frozenset[str] = implementations
         if not self.implementations:
             raise ValueError(f"task {type_name}#{tid} has no implementation")
         self.priority = int(priority)
         self.tag = tag
+        self.resources: tuple[str, ...] = tuple(resources)
+        self.deadline_us = float(deadline_us)
+        if self.deadline_us <= 0.0:
+            raise ValueError(
+                f"task {type_name}#{tid} deadline_us must be positive, "
+                f"got {deadline_us}"
+            )
         self.preds: list[Task] = []
         self.succs: list[Task] = []
         self.n_unfinished_preds = 0
@@ -128,10 +168,10 @@ class Task:
         # read handles (size > 0) and written handles. Derived from
         # `accesses`, which is immutable after program construction.
         self._reads: tuple[DataHandle, ...] = tuple(
-            h for h, m in self.accesses if m.is_read and h.size > 0
+            h for h, m in acc if m in _READ_MODES and h.size > 0
         )
         self._writes: tuple[DataHandle, ...] = tuple(
-            h for h, m in self.accesses if m.is_write
+            h for h, m in acc if m in _WRITE_MODES
         )
 
     # -- convenience -----------------------------------------------------

@@ -1,0 +1,56 @@
+"""EDF: earliest-deadline-first, the classic real-time baseline.
+
+Workers take the ready task with the smallest absolute deadline they can
+execute (ties broken by submission order). Tasks without a deadline
+(``deadline_us = inf``) sort last, so a mixed workload runs its
+deadline-tagged jobs first and degrades to FIFO-by-tid for the rest.
+
+EDF is optimal on a single processor under preemption; here it is
+neither (non-preemptive, heterogeneous workers, no data awareness), so
+it serves as the deadline-aware floor the deadline-boosted MultiPrio
+variant should beat on miss rate *and* makespan — the ``rt`` experiment
+measures exactly that.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.runtime.task import Task
+from repro.runtime.worker import Worker
+from repro.schedulers.base import Scheduler
+
+
+class EDF(Scheduler):
+    """Central deadline-ordered queue shared by all workers."""
+
+    name = "edf"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[float, int, Task]] = []
+
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        self._heap = []
+
+    def push(self, task: Task) -> None:
+        heapq.heappush(self._heap, (task.deadline_us, task.tid, task))
+
+    def pop(self, worker: Worker) -> Task | None:
+        # Usually the most urgent task matches; otherwise scan in
+        # deadline order for the first task this worker can execute
+        # (e.g. a GPU-only task facing a CPU worker), putting the
+        # skipped prefix back.
+        heap = self._heap
+        skipped: list[tuple[float, int, Task]] = []
+        found: Task | None = None
+        while heap:
+            item = heapq.heappop(heap)
+            if item[2].can_exec(worker.arch):
+                found = item[2]
+                break
+            skipped.append(item)
+        for item in skipped:
+            heapq.heappush(heap, item)
+        return found

@@ -68,6 +68,7 @@ class MultiPrio(Scheduler):
         slowdown_cap: float | None = 60.0,
         evict_on_reject: bool = False,
         relaxed: int = 0,
+        deadline_boost: float | None = None,
     ) -> None:
         super().__init__()
         self.locality_n = int(check_positive("locality_n", locality_n))
@@ -110,6 +111,16 @@ class MultiPrio(Scheduler):
                 f"relaxed must be 0 (exact) or >= 2 sub-heaps, got {relaxed}"
             )
         self.relaxed = relaxed
+        # Deadline awareness: a ready task whose slack (deadline - now,
+        # measured at push time) falls below `deadline_boost` µs is
+        # promoted above every regular task — its gain score is replaced
+        # by 2 + urgency (urgency in [0, 1], higher the tighter the
+        # slack), strictly dominating the [0, 1] range of normal scores
+        # while keeping criticality as the secondary key. Tasks without
+        # a deadline (inf) are never boosted; None disables the knob.
+        if deadline_boost is not None:
+            check_positive("deadline_boost", deadline_boost)
+        self.deadline_boost = deadline_boost
 
         self.heaps: dict[int, TaskHeap] = {}
         self.best_remaining_work: dict[int, float] = {}
@@ -196,6 +207,7 @@ class MultiPrio(Scheduler):
         deltas = {a: ctx.estimate(task, a) for a in archs}
         gains = self._gain.observe_and_score(deltas)
         best_arch = ctx.best_arch(task)
+        boost_gain = self._boost_gain(task)
         # The raw NOD is arch-independent unless filtering is on; the
         # per-arch trackers below still observe it in node order.
         raw_nod = 0.0
@@ -210,7 +222,7 @@ class MultiPrio(Scheduler):
             heap = self.heaps.get(mid)
             if heap is None or not task.can_exec(node.arch):
                 continue
-            gain = gains[node.arch]
+            gain = gains[node.arch] if boost_gain is None else boost_gain
             if self.use_criticality:
                 if self.arch_filtered_nod:
                     arch = node.arch
@@ -238,6 +250,118 @@ class MultiPrio(Scheduler):
                 self.record_queue_depth(
                     f"heap_depth.node{mid}", self.ready_tasks_count[mid]
                 )
+
+    def _boost_gain(self, task: Task) -> float | None:
+        """The promoted gain of a slack-critical task (None = no boost).
+
+        Slack is measured once, at push time — consistent with the
+        paper's push-time scoring: a task's priority is fixed when it
+        becomes ready, not re-evaluated while it queues.
+        """
+        boost = self.deadline_boost
+        if boost is None:
+            return None
+        slack = task.deadline_us - self.ctx.now
+        if slack > boost:
+            return None
+        urgency = 1.0 - slack / boost
+        if urgency > 1.0:  # already past the deadline: maximally urgent
+            urgency = 1.0
+        return 2.0 + urgency
+
+    def push_batch(self, tasks: list[Task]) -> None:
+        """Bulk Alg. 1 for the batch-mode engine.
+
+        Bit-identical to ``len(tasks)`` sequential :meth:`push` calls:
+        the score trackers observe every task in buffer order and each
+        node heap receives its entries in exactly the sequential
+        insertion order. A per-heap heapify would be asymptotically
+        nicer but changes the physical slot layout, and
+        ``top_candidates`` exposes the first-n slots — the candidate
+        windows (and with them the schedule) would differ. The savings
+        are amortization instead: loop-invariant context/tracker/heap
+        lookups are hoisted out of the per-task loop, the BRW memo is
+        cleared once instead of per task, and queue-depth gauges are
+        sampled once per touched node instead of once per (task, node).
+        """
+        if len(tasks) < 2:
+            for task in tasks:
+                self.push(task)
+            return
+        ctx = self.ctx
+        available = ctx.available_archs
+        # `ctx.estimate` / `ctx.exec_archs` / `ctx.best_arch` are pure
+        # forwarders over the perf model and the availability list; the
+        # loop below inlines them (same values, same tie-breaking order)
+        # to shed one call frame per (task, arch).
+        estimate = ctx.perfmodel.estimate
+        best_arch_of = ctx.best_arch
+        observe_gain = self._gain.observe_and_score
+        boost_gain_of = self._boost_gain if self.deadline_boost is not None else None
+        use_crit = self.use_criticality
+        arch_filtered = self.arch_filtered_nod
+        counts = self.ready_tasks_count
+        brw = self.best_remaining_work
+        # (mid, arch, bound heap insert, bound NOD observe) per node.
+        lanes = [
+            (
+                n.mid,
+                n.arch,
+                self.heaps[n.mid].insert,
+                self._nod[n.arch].observe_and_score if use_crit else None,
+            )
+            for n in ctx.platform.nodes
+            if n.mid in self.heaps
+        ]
+        touched: set[int] = set()
+        for task in tasks:
+            can_exec = task.can_exec
+            sched = task.sched
+            archs = [a for a in available if can_exec(a)]
+            deltas = {a: estimate(task, a) for a in archs}
+            gains = observe_gain(deltas)
+            best_arch = sched.get("_best_arch")
+            if best_arch is None:
+                if archs:
+                    best_arch = min(archs, key=deltas.__getitem__)
+                    sched["_best_arch"] = best_arch
+                else:
+                    best_arch = best_arch_of(task)  # raises SchedulingError
+            boost_gain = None if boost_gain_of is None else boost_gain_of(task)
+            raw_nod = 0.0
+            if use_crit and not arch_filtered:
+                raw_nod = nod(task)
+            brw_nodes: list[int] = []
+            enabled_nodes: list[int] = []
+            entries: dict[int, HeapEntry] = {}
+            for mid, arch, insert, observe_nod in lanes:
+                if not can_exec(arch):
+                    continue
+                gain = gains[arch] if boost_gain is None else boost_gain
+                if observe_nod is not None:
+                    if arch_filtered:
+                        raw = nod(task, lambda t, _a=arch: t.can_exec(_a))
+                    else:
+                        raw = raw_nod
+                    prio = observe_nod(raw)
+                else:
+                    prio = 0.0
+                entries[mid] = insert(task, gain, prio)
+                enabled_nodes.append(mid)
+                counts[mid] += 1
+                if arch == best_arch:
+                    brw[mid] += deltas[best_arch]
+                    brw_nodes.append(mid)
+            sched["mp_nodes"] = enabled_nodes
+            sched["mp_entries"] = entries
+            sched["mp_brw_nodes"] = brw_nodes
+            sched["mp_best_delta"] = deltas[best_arch]
+            sched["mp_deltas"] = deltas
+            touched.update(enabled_nodes)
+        self._brw_memo.clear()
+        if self.obs is not None:
+            for mid in sorted(touched):
+                self.record_queue_depth(f"heap_depth.node{mid}", counts[mid])
 
     # -- POP (Alg. 2) ----------------------------------------------------------
 

@@ -17,6 +17,7 @@ from repro.schedulers.cats import CATS
 from repro.schedulers.dm import Dm
 from repro.schedulers.dmda import Dmda
 from repro.schedulers.dmdas import Dmdas
+from repro.schedulers.edf import EDF
 from repro.schedulers.eager import Eager
 from repro.schedulers.heteroprio import HeteroPrio
 from repro.schedulers.multiprio import MultiPrio
@@ -28,6 +29,7 @@ from repro.utils.validation import ValidationError
 
 _FACTORIES: dict[str, Callable[..., Scheduler]] = {
     "eager": Eager,
+    "edf": EDF,
     "random": RandomScheduler,
     "ws": WorkStealing,
     "lws": LocalityWorkStealing,
@@ -43,6 +45,11 @@ _FACTORIES: dict[str, Callable[..., Scheduler]] = {
     # Relaxed-priority variant: per-node RelaxedTaskHeaps with k=4
     # sub-heaps (pass `relaxed=` explicitly to pick another width).
     "multiprio-relaxed": lambda **kw: MultiPrio(**{"relaxed": 4, **kw}),
+    # Deadline-aware variant: promote tasks whose slack at push time
+    # drops under 1 ms (pass `deadline_boost=` to pick another window).
+    "multiprio-deadline": lambda **kw: MultiPrio(
+        **{"deadline_boost": 1000.0, **kw}
+    ),
     # Ablation aliases: back-compat wrappers over MultiPrio parameters.
     "multiprio-noevict": lambda **kw: MultiPrio(eviction=False, **kw),
     "multiprio-nolocality": lambda **kw: MultiPrio(use_locality=False, **kw),

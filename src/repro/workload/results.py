@@ -40,6 +40,9 @@ class JobResult:
     end_us: float
     n_tasks: int
     isolated_us: float | None = None
+    #: Absolute deadline (arrival + the job's relative deadline);
+    #: ``None`` for jobs submitted without one.
+    deadline_us: float | None = None
 
     @property
     def latency_us(self) -> float:
@@ -58,6 +61,24 @@ class JobResult:
             return None
         return self.latency_us / self.isolated_us
 
+    @property
+    def lateness_us(self) -> float | None:
+        """Signed lateness: completion minus deadline (negative = early).
+
+        ``None`` for jobs without a deadline. The job misses exactly
+        when its lateness is positive (finishing *at* the deadline
+        meets it), so ``missed == (lateness_us > 0)`` always.
+        """
+        if self.deadline_us is None:
+            return None
+        return self.end_us - self.deadline_us
+
+    @property
+    def missed(self) -> bool | None:
+        """Whether the job missed its deadline (``None`` = no deadline)."""
+        lateness = self.lateness_us
+        return None if lateness is None else lateness > 0.0
+
     def as_dict(self) -> dict[str, Any]:
         """Flat JSON-ready mapping, derived metrics included."""
         return {
@@ -72,6 +93,9 @@ class JobResult:
             "latency_us": self.latency_us,
             "queueing_us": self.queueing_us,
             "slowdown": self.slowdown,
+            "deadline_us": self.deadline_us,
+            "lateness_us": self.lateness_us,
+            "missed": self.missed,
         }
 
 
@@ -129,6 +153,36 @@ class StreamResult:
         if not self.jobs:
             return 0.0
         return sum(j.queueing_us for j in self.jobs) / len(self.jobs)
+
+    @property
+    def deadline_jobs(self) -> list[JobResult]:
+        """The completed jobs that carried a deadline."""
+        return [j for j in self.jobs if j.deadline_us is not None]
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-tagged jobs that missed (0.0 when none)."""
+        tagged = self.deadline_jobs
+        if not tagged:
+            return 0.0
+        return sum(1 for j in tagged if j.missed) / len(tagged)
+
+    @property
+    def latenesses_us(self) -> list[float]:
+        """Signed lateness of every deadline-tagged job (job order)."""
+        return [j.lateness_us for j in self.deadline_jobs]
+
+    @property
+    def p50_lateness_us(self) -> float:
+        return percentile(self.latenesses_us, 0.50)
+
+    @property
+    def p95_lateness_us(self) -> float:
+        return percentile(self.latenesses_us, 0.95)
+
+    @property
+    def p99_lateness_us(self) -> float:
+        return percentile(self.latenesses_us, 0.99)
 
     @property
     def slowdowns(self) -> list[float] | None:
@@ -189,6 +243,12 @@ class StreamResult:
             slows = [j.slowdown for j in mine]
             if all(s is not None for s in slows):
                 entry["mean_slowdown"] = sum(slows) / len(slows)  # type: ignore[arg-type]
+            tagged = [j for j in mine if j.deadline_us is not None]
+            if tagged:
+                entry["n_deadline_jobs"] = float(len(tagged))
+                entry["deadline_miss_rate"] = (
+                    sum(1 for j in tagged if j.missed) / len(tagged)
+                )
             out[tenant] = entry
         return out
 
@@ -207,6 +267,11 @@ class StreamResult:
             "p99_latency_us": self.p99_latency_us,
             "mean_slowdown": self.mean_slowdown,
             "max_slowdown": self.max_slowdown,
+            "n_deadline_jobs": len(self.deadline_jobs),
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "p50_lateness_us": self.p50_lateness_us,
+            "p95_lateness_us": self.p95_lateness_us,
+            "p99_lateness_us": self.p99_lateness_us,
             "fairness": self.fairness,
             "tenant_fairness": self.tenant_fairness,
             "per_tenant": self.per_tenant(),

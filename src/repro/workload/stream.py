@@ -51,6 +51,13 @@ class Job:
     fully complete before this one may start — the closed-loop "think
     then resubmit" pattern. The merge turns it into dependency edges
     from every sink of the predecessor to every source of this job.
+
+    ``deadline_us`` is the job's *relative* deadline: the job should
+    fully complete within that many µs of its arrival. The merge stamps
+    the absolute deadline (``arrival_us + deadline_us``) onto every
+    cloned task, deadline-aware schedulers read it, and
+    :class:`~repro.workload.results.StreamResult` reports miss rates and
+    lateness. ``None`` (default) means best-effort: no deadline.
     """
 
     jid: int
@@ -60,6 +67,7 @@ class Job:
     name: str = ""
     after: int | None = None
     qos: str = "burstable"
+    deadline_us: float | None = None
 
     @property
     def label(self) -> str:
@@ -112,6 +120,16 @@ class JobStream:
                 raise ValidationError(
                     f"{job.label} has unknown qos class {job.qos!r}; expected "
                     f"one of {QOS_CLASSES}"
+                )
+            if job.deadline_us is not None and (
+                not isinstance(job.deadline_us, (int, float))
+                or not math.isfinite(job.deadline_us)
+                or job.deadline_us <= 0
+            ):
+                raise ValidationError(
+                    f"{job.label} has an invalid relative deadline "
+                    f"{job.deadline_us}; expected a finite positive µs value "
+                    f"(or None for no deadline)"
                 )
             if job.after is not None and job.after not in seen:
                 raise ValidationError(
@@ -168,6 +186,7 @@ def poisson_stream(
     seed: int = 0,
     tenants: Sequence[str] = ("tenant0",),
     qos: Sequence[str] | None = None,
+    deadline: float | Sequence[float] | None = None,
     name: str = "poisson",
 ) -> JobStream:
     """Open-loop Poisson arrivals over round-robin program builders.
@@ -179,13 +198,25 @@ def poisson_stream(
     keeps the workload mix deterministic under any rate. ``qos`` (when
     given) assigns priority classes *per tenant* — tenant ``k`` gets
     ``qos[k % len(qos)]`` — so each tenant's class is stable across the
-    stream.
+    stream. ``deadline`` (when given) assigns relative deadlines *per
+    builder* — a scalar applies to every job, a sequence pairs with the
+    builder rotation (``deadline[i % len(builders)]``), so each program
+    shape keeps a stable deadline across the stream.
     """
     if rate_jobs_per_s <= 0:
         raise ValidationError(f"rate_jobs_per_s must be > 0, got {rate_jobs_per_s}")
     if n_jobs < 1:
         raise ValidationError(f"n_jobs must be >= 1, got {n_jobs}")
     named = _named_builders(builders)
+    deadlines: tuple[float, ...] | None
+    if deadline is None:
+        deadlines = None
+    elif isinstance(deadline, (int, float)):
+        deadlines = (float(deadline),)
+    else:
+        deadlines = tuple(float(d) for d in deadline)
+        if not deadlines:
+            raise ValidationError("deadline sequence must not be empty")
     rng = np.random.default_rng(np.random.SeedSequence(seed))
     mean_gap_us = 1e6 / rate_jobs_per_s
     gaps = rng.exponential(mean_gap_us, size=n_jobs)
@@ -203,6 +234,7 @@ def poisson_stream(
             tenant=tenants[tenant_idx],
             name=job_name,
             qos=qos[tenant_idx % len(qos)] if qos else "burstable",
+            deadline_us=deadlines[i % len(deadlines)] if deadlines else None,
         ))
     return JobStream(name=name, jobs=tuple(jobs))
 
@@ -253,8 +285,10 @@ def trace_stream(
     *,
     name: str = "trace",
 ) -> JobStream:
-    """A stream replayed from explicit ``(arrival_us, program, tenant)``
-    or ``(arrival_us, program, tenant, qos)`` entries; entries are
+    """A stream replayed from explicit ``(arrival_us, program, tenant)``,
+    ``(arrival_us, program, tenant, qos)`` or
+    ``(arrival_us, program, tenant, qos, deadline_us)`` entries
+    (``deadline_us`` relative, ``None`` for best-effort); entries are
     stably sorted by arrival time.
 
     Raises :class:`~repro.utils.validation.ValidationError` on an empty
@@ -265,10 +299,10 @@ def trace_stream(
     if not materialized:
         raise ValidationError(f"trace stream {name!r} has no entries")
     for entry in materialized:
-        if not isinstance(entry, tuple) or len(entry) not in (3, 4):
+        if not isinstance(entry, tuple) or len(entry) not in (3, 4, 5):
             raise ValidationError(
-                f"trace entries must be (arrival_us, program, tenant[, qos]) "
-                f"tuples, got {entry!r}"
+                f"trace entries must be (arrival_us, program, tenant"
+                f"[, qos[, deadline_us]]) tuples, got {entry!r}"
             )
     ordered = sorted(enumerate(materialized), key=lambda e: (e[1][0], e[0]))
     jobs = tuple(
@@ -278,7 +312,8 @@ def trace_stream(
             program=entry[1],
             tenant=entry[2],
             name=entry[1].name,
-            qos=entry[3] if len(entry) == 4 else "burstable",
+            qos=entry[3] if len(entry) >= 4 else "burstable",
+            deadline_us=entry[4] if len(entry) == 5 else None,
         )
         for i, (_, entry) in enumerate(ordered)
     )

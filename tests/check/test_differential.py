@@ -89,6 +89,7 @@ class TestSuite:
             "control.noop", "control.noop_ledger",
             "cluster.single_node", "cluster.single_node_jobs",
             "batch.equivalence", "batch.nodrain_complete",
+            "rt.overhead_noop", "rt.resources_noop", "rt.deadline_noop",
         }
 
     def test_progress_callback_sees_everything(self):

@@ -191,6 +191,97 @@ class TestCorruptionCaught:
         assert violations and violations[-1].check == "msi"
 
 
+class TestRtViolations:
+    """The ``rt`` family: overhead conservation, resource exclusion and
+    the merged stream's slack bookkeeping."""
+
+    def checker_with(self, *, overhead=None, resource=None):
+        # White-box: bind only the rt-family state the check reads.
+        from repro.check.invariants import InvariantChecker
+
+        checker = InvariantChecker()
+        checker.overhead_ledger = overhead
+        checker.resource_ledger = resource
+        checker._rt_grant_idx = 0
+        checker._rt_res_end = {}
+        checker._rt_sched_floor = 0.0
+        return checker
+
+    def test_overhead_charge_leak_caught(self):
+        from repro.runtime.overhead import OverheadLedger, SchedOverheadModel
+
+        ledger = OverheadLedger(SchedOverheadModel(push_us=2.0))
+        ledger.push(0.0)
+        ledger.charged_us += 5.0  # corrupt: charge without a decision
+        out = []
+        self.checker_with(overhead=ledger)._check_rt(out)
+        assert any("overhead charge leaked" in d for _, d in out)
+        assert all(f == "rt" for f, _ in out)
+
+    def test_sched_clock_retreat_caught(self):
+        from repro.runtime.overhead import OverheadLedger, SchedOverheadModel
+
+        ledger = OverheadLedger(SchedOverheadModel(push_us=2.0))
+        ledger.push(10.0)
+        checker = self.checker_with(overhead=ledger)
+        out = []
+        checker._check_rt(out)
+        assert out == []
+        ledger.sched_free -= 5.0  # corrupt: the virtual core un-worked
+        ledger.charged_us -= 5.0  # keep conservation consistent
+        checker._check_rt(out)
+        assert any("moved backward" in d for _, d in out)
+
+    def test_resource_double_hold_caught(self):
+        from repro.runtime.resources import ResourceLedger, ResourceProtocol
+        from repro.runtime.task import Task
+
+        ledger = ResourceLedger(ResourceProtocol(), [])
+        ledger.book(Task(0, "t", resources=("r",)), 0.0, 50.0)
+        ledger.book(Task(1, "t", resources=("r",)), 10.0, 60.0)  # overlap
+        out = []
+        self.checker_with(resource=ledger)._check_rt(out)
+        assert any("double-held" in d for _, d in out)
+
+    def test_resource_negative_grant_caught(self):
+        from repro.runtime.resources import ResourceLedger, ResourceProtocol
+        from repro.runtime.task import Task
+
+        ledger = ResourceLedger(ResourceProtocol(), [])
+        ledger.book(Task(0, "t", resources=("r",)), 50.0, 10.0)
+        out = []
+        self.checker_with(resource=ledger)._check_rt(out)
+        assert any("ends before it starts" in d for _, d in out)
+
+    def test_grant_audit_is_incremental(self):
+        from repro.runtime.resources import ResourceLedger, ResourceProtocol
+        from repro.runtime.task import Task
+
+        ledger = ResourceLedger(ResourceProtocol(), [])
+        checker = self.checker_with(resource=ledger)
+        ledger.book(Task(0, "t", resources=("r",)), 0.0, 50.0)
+        out = []
+        checker._check_rt(out)
+        assert out == [] and checker._rt_grant_idx == 1
+        ledger.book(Task(1, "t", resources=("r",)), 60.0, 80.0)
+        checker._check_rt(out)
+        assert out == [] and checker._rt_grant_idx == 2
+
+    def test_merged_deadline_outside_job_window_caught(self):
+        from repro.workload.merge import merge_stream
+        from repro.workload.stream import trace_stream
+
+        stream = trace_stream(
+            [(0.0, make_fork_join_program(width=4), "t", "burstable", 100.0)]
+        )
+        merged = merge_stream(stream)
+        # Corrupt the merge's min(job, own) rule: one task claims more
+        # slack than its job window allows.
+        merged.tasks[1].deadline_us = 10_000.0
+        with pytest.raises(InvariantError, match=r"\[rt\].*outside job"):
+            build("multiprio").run(merged)
+
+
 class TestActivation:
     def test_env_var_enables(self, monkeypatch, hetero_machine):
         monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")

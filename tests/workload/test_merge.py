@@ -43,6 +43,19 @@ class TestMerge:
         with pytest.raises(KeyError):
             merged.span_of_tid(len(merged.tasks))
 
+    def test_span_of_tid_boundaries(self):
+        # The bisect rewrite must agree with the linear scan exactly at
+        # every span edge: first and last tid of each job, and both
+        # out-of-range sides.
+        merged = merge_stream(two_job_stream())
+        for span in merged.jobs:
+            assert merged.span_of_tid(span.first_tid) is span
+            assert merged.span_of_tid(span.first_tid + span.n_tasks - 1) is span
+        with pytest.raises(KeyError):
+            merged.span_of_tid(-1)
+        with pytest.raises(KeyError):
+            merged.span_of_tid(len(merged.tasks) + 100)
+
     def test_originals_untouched(self):
         stream = two_job_stream()
         before = [
@@ -95,6 +108,40 @@ class TestMerge:
         assert source in sink.succs
         assert sink in source.preds
         assert source.n_unfinished_preds == len(source.preds) >= 1
+
+    def test_job_deadline_stamped_absolute(self):
+        jobs = (
+            Job(jid=0, arrival_us=100.0, program=make_chain_program(n=3),
+                deadline_us=500.0),
+            Job(jid=1, arrival_us=200.0, program=make_chain_program(n=2)),
+        )
+        merged = merge_stream(JobStream(name="dl", jobs=jobs))
+        first, second = merged.jobs
+        assert first.deadline_us == 600.0  # arrival + relative deadline
+        for tid in range(first.first_tid, first.first_tid + first.n_tasks):
+            assert merged.tasks[tid].deadline_us == 600.0
+        # Best-effort job: span and tasks stay deadline-free.
+        assert second.deadline_us == float("inf")
+        for tid in range(second.first_tid, second.first_tid + second.n_tasks):
+            assert merged.tasks[tid].deadline_us == float("inf")
+
+    def test_task_own_deadline_keeps_tighter_of_two(self):
+        from repro.runtime.stf import TaskFlow
+        from repro.runtime.task import AccessMode
+
+        tf = TaskFlow("own")
+        h = tf.data(4096, label="h")
+        tf.submit("gemm", [(h, AccessMode.W)], flops=1e6,
+                  implementations=("cpu",), deadline_us=50.0)
+        tf.submit("gemm", [(h, AccessMode.RW)], flops=1e6,
+                  implementations=("cpu",), deadline_us=9000.0)
+        job = Job(jid=0, arrival_us=100.0, program=tf.program(),
+                  deadline_us=500.0)
+        merged = merge_stream(JobStream(name="own", jobs=(job,)))
+        # Own 50µs beats the job's 500µs; own 9000µs loses to it.
+        # Both shift by the arrival like the release times do.
+        assert merged.tasks[0].deadline_us == 150.0
+        assert merged.tasks[1].deadline_us == 600.0
 
     def test_merge_order_is_arrival_then_jid(self):
         jobs = (

@@ -1,18 +1,22 @@
 """StreamResult aggregate hardening: NaN-free on degenerate job sets,
-per-tenant fairness grouping."""
+per-tenant fairness grouping, deadline bookkeeping properties."""
 
 from __future__ import annotations
 
 import math
 from types import SimpleNamespace
 
+from hypothesis import given
+from hypothesis import strategies as st
+
 from repro.workload.results import JobResult, StreamResult
 
 
-def job(jid, tenant, arrival, start, end, isolated=None):
+def job(jid, tenant, arrival, start, end, isolated=None, deadline=None):
     return JobResult(
         jid=jid, name=f"j{jid}", tenant=tenant, arrival_us=arrival,
         start_us=start, end_us=end, n_tasks=1, isolated_us=isolated,
+        deadline_us=deadline,
     )
 
 
@@ -73,3 +77,53 @@ class TestTenantFairness:
     def test_single_tenant_is_trivially_fair(self):
         jobs = [job(0, "a", 0.0, 0.0, 10.0), job(1, "a", 0.0, 0.0, 99.0)]
         assert stream_result(jobs).tenant_fairness == 1.0
+
+
+_times = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestDeadlineProperties:
+    @given(end=_times, deadline=_times)
+    def test_missed_iff_positive_lateness(self, end, deadline):
+        j = job(0, "t", 0.0, 0.0, end, deadline=deadline)
+        assert j.lateness_us == end - deadline
+        assert j.missed == (j.lateness_us > 0.0)
+
+    def test_finishing_at_the_deadline_meets_it(self):
+        j = job(0, "t", 0.0, 0.0, 100.0, deadline=100.0)
+        assert j.lateness_us == 0.0
+        assert j.missed is False
+
+    def test_no_deadline_is_neither(self):
+        j = job(0, "t", 0.0, 0.0, 100.0)
+        assert j.lateness_us is None
+        assert j.missed is None
+        # Best-effort jobs never count toward the miss rate.
+        assert stream_result([j]).deadline_miss_rate == 0.0
+
+    @given(
+        data=st.lists(
+            st.tuples(_times, st.one_of(st.none(), _times)),
+            min_size=1, max_size=12,
+        ),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_miss_rate_is_permutation_invariant(self, data, seed):
+        import random
+
+        jobs = [
+            job(i, f"t{i % 3}", 0.0, 0.0, end, deadline=dl)
+            for i, (end, dl) in enumerate(data)
+        ]
+        base = stream_result(jobs)
+        shuffled = list(jobs)
+        random.Random(seed).shuffle(shuffled)
+        perm = stream_result(shuffled)
+        assert perm.deadline_miss_rate == base.deadline_miss_rate
+        assert len(perm.deadline_jobs) == len(base.deadline_jobs)
+        assert sorted(perm.latenesses_us) == sorted(base.latenesses_us)
+        # Percentiles are rank statistics: order must not matter.
+        assert perm.p50_lateness_us == base.p50_lateness_us
+        assert perm.p99_lateness_us == base.p99_lateness_us

@@ -53,12 +53,32 @@ class TestSingleJobEquivalence:
 
 
 class TestDeterminism:
-    def test_same_stream_bit_identical_job_results(self):
+    @pytest.mark.parametrize(
+        "scheduler", ["multiprio", "edf", "multiprio-deadline"]
+    )
+    def test_same_stream_bit_identical_job_results(self, scheduler):
         stream = small_stream()
-        a = simulate_stream(stream, "small-hetero", "multiprio")
-        b = simulate_stream(stream, "small-hetero", "multiprio")
+        a = simulate_stream(stream, "small-hetero", scheduler)
+        b = simulate_stream(stream, "small-hetero", scheduler)
         assert [j.as_dict() for j in a.jobs] == [j.as_dict() for j in b.jobs]
         assert a.makespan_us == b.makespan_us
+
+    @pytest.mark.parametrize(
+        "scheduler", ["multiprio", "edf", "multiprio-deadline"]
+    )
+    def test_deadline_tagged_stream_deterministic(self, scheduler):
+        def tagged():
+            return poisson_stream(
+                [("chol", lambda: cholesky_program(4, 384))],
+                rate_jobs_per_s=200.0, n_jobs=4, seed=7,
+                tenants=("t0", "t1"), deadline=6000.0,
+            )
+
+        a = simulate_stream(tagged(), "small-hetero", scheduler)
+        b = simulate_stream(tagged(), "small-hetero", scheduler)
+        assert [j.as_dict() for j in a.jobs] == [j.as_dict() for j in b.jobs]
+        assert a.deadline_miss_rate == b.deadline_miss_rate
+        assert a.latenesses_us == b.latenesses_us
 
     def test_experiment_serial_matches_parallel(self):
         kwargs = dict(
@@ -100,6 +120,29 @@ class TestPerJobStats:
         assert doc["n_jobs"] == 2
         assert len(doc["jobs"]) == 2
         assert all("slowdown" in j for j in doc["jobs"])
+
+    def test_deadline_stats_surface_in_stream_result(self):
+        stream = poisson_stream(
+            [("chol", lambda: cholesky_program(4, 384))],
+            rate_jobs_per_s=400.0, n_jobs=4, seed=2,
+            tenants=("t0", "t1"), deadline=5000.0,
+        )
+        sres = simulate_stream(
+            stream, "small-hetero", "multiprio", isolated_baseline=False
+        )
+        assert len(sres.deadline_jobs) == 4
+        for j in sres.jobs:
+            assert j.deadline_us == pytest.approx(j.arrival_us + 5000.0)
+            assert j.missed == (j.lateness_us > 0.0)
+        assert 0.0 <= sres.deadline_miss_rate <= 1.0
+        assert sres.deadline_miss_rate == pytest.approx(
+            sum(1 for j in sres.jobs if j.missed) / 4
+        )
+        doc = json.loads(json.dumps(sres.as_dict()))
+        assert "deadline_miss_rate" in doc
+        assert all("lateness_us" in j for j in doc["jobs"])
+        by_tenant = sres.per_tenant()
+        assert all("deadline_miss_rate" in v for v in by_tenant.values())
 
     def test_closed_loop_jobs_serialize_per_client(self):
         stream = closed_loop_stream(

@@ -172,7 +172,7 @@ class TestTrace:
 
     @pytest.mark.parametrize("entry", [
         (0.0,),
-        (0.0, None, "t", "burstable", "extra"),
+        (0.0, None, "t", "burstable", 100.0, "extra"),
         "not-a-tuple",
     ])
     def test_malformed_entries_rejected(self, entry):
