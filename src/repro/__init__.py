@@ -47,6 +47,11 @@ from repro.runtime import (
     Platform,
     SchedOverheadModel,
     ResourceProtocol,
+    ArchPower,
+    PowerModel,
+    PowerState,
+    PowerStateModel,
+    EnergyReport,
 )
 from repro.schedulers import MultiPrio
 from repro.schedulers import make_scheduler, scheduler_names, register_scheduler
@@ -95,6 +100,11 @@ __all__ = [
     "Platform",
     "SchedOverheadModel",
     "ResourceProtocol",
+    "ArchPower",
+    "PowerModel",
+    "PowerState",
+    "PowerStateModel",
+    "EnergyReport",
     "MultiPrio",
     "make_scheduler",
     "scheduler_names",

@@ -41,6 +41,7 @@ from repro.runtime.engine import SimResult, Simulator
 from repro.runtime.faults import FaultModel
 from repro.runtime.overhead import SchedOverheadModel
 from repro.runtime.perfmodel import AnalyticalPerfModel
+from repro.runtime.power import ArchPower, PowerModel, PowerStateModel
 from repro.runtime.resources import ResourceProtocol
 from repro.runtime.stf import Program
 from repro.schedulers.base import Scheduler
@@ -59,6 +60,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Sentinel distinguishing "keyword not passed" from an explicit default
 #: in the deprecated loose-keyword wrappers.
 _UNSET: Any = object()
+
+#: Coarse draw charged to architectures the power model does not cover
+#: when attributing per-job energy (an explicit opt-in — the model
+#: itself raises ``KeyError`` on unknown architectures).
+_GENERIC_DRAW = ArchPower(busy_watts=50.0, idle_watts=10.0)
 
 
 @dataclass
@@ -87,6 +93,7 @@ class SimConfig:
     batch_drain_on_idle: bool = True
     overhead: SchedOverheadModel | None = None
     resources: ResourceProtocol | None = None
+    power: PowerStateModel | None = None
     sched_params: dict = field(default_factory=dict)
 
 
@@ -137,6 +144,7 @@ def _build_simulator(
         batch_drain_on_idle=cfg.batch_drain_on_idle,
         overhead=cfg.overhead,
         resources=cfg.resources,
+        power=cfg.power,
     )
 
 
@@ -192,6 +200,7 @@ class SimSpec:
     batch_drain_on_idle: "bool | None" = None
     overhead: "SchedOverheadModel | None" = None
     resources: "ResourceProtocol | None" = None
+    power: "PowerStateModel | None" = None
     sched_params: "dict | None" = None
 
     def __post_init__(self) -> None:
@@ -201,7 +210,7 @@ class SimSpec:
                 "seed", "noise_sigma", "perfmodel", "faults", "record_trace",
                 "record_level", "pipeline", "submission_window",
                 "check_invariants", "batch_step", "batch_drain_on_idle",
-                "overhead", "resources",
+                "overhead", "resources", "power",
             )
             if (value := getattr(self, name)) is not None
         }
@@ -217,7 +226,7 @@ class SimSpec:
             "seed", "noise_sigma", "perfmodel", "faults", "record_trace",
             "record_level", "pipeline", "submission_window",
             "check_invariants", "batch_step", "batch_drain_on_idle",
-            "overhead", "resources", "sched_params",
+            "overhead", "resources", "power", "sched_params",
         ):
             setattr(self, f, getattr(self.config, f))
 
@@ -296,14 +305,34 @@ class SimSpec:
                         cfg, mach, self.scheduler
                     ).run(job.program).makespan
 
+        # Per-job busy-energy attribution: with the power subsystem on
+        # (``config.power``) the engine stamped state-aware joules per
+        # task; otherwise joules derive from each task's execution span
+        # at its worker's busy watts. Architectures outside the power
+        # model fall back to an explicit generic 50 W draw so exotic
+        # platforms still report comparable (if coarse) numbers.
+        arch_power = cfg.power.power if cfg.power is not None else PowerModel()
+        watts_of = {
+            w.wid: arch_power.arch_power(
+                w.arch, default=_GENERIC_DRAW
+            ).busy_watts
+            for w in mach.platform().workers
+        }
+
         jobs: list[JobResult] = []
         for span in merged.jobs:
             if completed is not None and span.jid not in completed:
                 continue
-            records = [
-                merged.tasks[tid].sched["_record"]
-                for tid in range(span.first_tid, span.first_tid + span.n_tasks)
-            ]
+            records = []
+            joules = 0.0
+            for tid in range(span.first_tid, span.first_tid + span.n_tasks):
+                sched = merged.tasks[tid].sched
+                rec = sched["_record"]
+                records.append(rec)
+                ej = sched.get("_energy_j")
+                if ej is None:
+                    ej = (rec[3] - rec[2]) * watts_of[rec[0]] * 1e-6
+                joules += ej
             job = next(j for j in stream.jobs if j.jid == span.jid)
             jobs.append(JobResult(
                 jid=span.jid,
@@ -319,6 +348,7 @@ class SimSpec:
                     if span.deadline_us != float("inf")
                     else None
                 ),
+                energy_j=joules,
             ))
         control_result = None
         if plane is not None:

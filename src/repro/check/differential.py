@@ -35,6 +35,14 @@ properties a correct simulator cannot violate regardless of policy:
   tagging a stream's jobs with deadlines must not move a single task
   under a deadline-oblivious scheduler — the rt subsystems may only
   change a schedule when they are genuinely engaged.
+* **Power no-op equivalence** — a *passive*
+  :class:`~repro.runtime.power.PowerStateModel` (no node caps, fastest
+  runnable state at full speed) must reproduce the power-blind run
+  bit-for-bit — the admission/booking/charging hooks may only meter,
+  never perturb — and the metering model's
+  :class:`~repro.runtime.power.EnergyReport` total must equal
+  :func:`~repro.extensions.energy.energy_of_result` on the same run,
+  bit for bit.
 
 :func:`run_differential_suite` bundles these with an invariant-checked
 sweep over the built-in applications × schedulers (with and without a
@@ -509,6 +517,62 @@ def check_rt_noop_equivalence(
     return out
 
 
+def check_power_noop_equivalence(
+    machine: MachineModel,
+    schedulers: Iterable[str],
+) -> list[CheckOutcome]:
+    """A passive power model must meter without moving a single task.
+
+    Three properties per scheduler, on one dense program:
+
+    * the default ladder (``full`` fastest, no caps) vs ``power=None`` —
+      admission always picks the full state at the requested start, the
+      ``speed == 1.0`` path never rescales a duration, so the schedule
+      must be bit-identical;
+    * :meth:`~repro.runtime.power.PowerStateModel.metering` vs
+      ``power=None`` — the single-state degenerate case, same identity;
+    * the metering run's ``SimResult.energy.total_j`` vs
+      :func:`~repro.extensions.energy.energy_of_result` on that same
+      result — both walk archs → workers in platform order with the
+      same per-worker busy/idle arithmetic, so the joule totals must
+      agree bit for bit, not just within tolerance.
+    """
+    from repro.extensions.energy import energy_of_result
+    from repro.runtime.power import PowerStateModel
+
+    out = []
+    program_of = lambda: cholesky_program(5, 512)  # noqa: E731
+    for scheduler in schedulers:
+        plain, _ = _run(program_of(), machine, scheduler, record_trace=True)
+        ladder, _ = _run(
+            program_of(), machine, scheduler, record_trace=True,
+            power=PowerStateModel(), check_invariants=True,
+        )
+        out.append(CheckOutcome(
+            f"power.noop_ladder[{scheduler}]",
+            fingerprint(plain) == fingerprint(ladder),
+            "an uncapped full/eco/sleep ladder perturbed the schedule",
+        ))
+        metered, sim = _run(
+            program_of(), machine, scheduler, record_trace=True,
+            power=PowerStateModel.metering(), check_invariants=True,
+        )
+        out.append(CheckOutcome(
+            f"power.noop_metering[{scheduler}]",
+            fingerprint(plain) == fingerprint(metered),
+            "a metering-only power model perturbed the schedule",
+        ))
+        assert metered.energy is not None
+        recomputed = energy_of_result(metered, sim.platform)
+        out.append(CheckOutcome(
+            f"power.metering_joules[{scheduler}]",
+            metered.energy.total_j == recomputed,
+            f"engine metering reported {metered.energy.total_j} J but "
+            f"energy_of_result computes {recomputed} J on the same run",
+        ))
+    return out
+
+
 def check_cluster_single_node_equivalence(
     machine: MachineModel,
     schedulers: Iterable[str],
@@ -616,6 +680,9 @@ def run_differential_suite(
         mach, schedulers[:1] if quick else schedulers
     ))
     emit(check_rt_noop_equivalence(
+        mach, schedulers[:1] if quick else schedulers
+    ))
+    emit(check_power_noop_equivalence(
         mach, schedulers[:1] if quick else schedulers
     ))
     emit(check_cluster_single_node_equivalence(

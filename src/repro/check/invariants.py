@@ -56,6 +56,17 @@ sweeps six invariant families over the *entire* runtime state:
     never retreats. Resource exclusion: per resource, the granted
     intervals in the ledger never overlap — no two simultaneous
     holders.
+``energy``
+    Power-subsystem runs only (``SimConfig(power=...)``). Cap safety:
+    the busy draw flowing on every capped node — the sum over booked
+    reservations whose span covers the current clock — never exceeds
+    the node's cap. Time conservation: each worker's accrued busy
+    microseconds (all states summed) never exceed the elapsed virtual
+    clock, and the ledger's busy total equals the per-worker/per-state
+    sum exactly (joules are per-worker products of these, so additivity
+    across workers follows). Counters: admissions, throttles, throttle
+    delay and busy time are all monotone, and throttles never outnumber
+    admissions.
 
 Violations are emitted as
 :class:`~repro.obs.events.InvariantViolation` events (when observability
@@ -132,6 +143,7 @@ class InvariantChecker:
         batch_drain: bool = True,
         overhead_ledger=None,
         resource_ledger=None,
+        power_ledger=None,
     ) -> None:
         """Bind one run's live state and snapshot the starting point.
 
@@ -155,11 +167,15 @@ class InvariantChecker:
         self.batch_drain = batch_drain
         self.overhead_ledger = overhead_ledger
         self.resource_ledger = resource_ledger
+        self.power_ledger = power_ledger
         # rt family incremental state: consumed grant-ledger prefix,
         # per-resource latest granted end, sched-core clock floor.
         self._rt_grant_idx = 0
         self._rt_res_end: dict[str, float] = {}
         self._rt_sched_floor = 0.0
+        # energy family monotone floors: (admissions, throttles,
+        # throttle delay, busy total).
+        self._energy_floor = (0, 0, 0.0, 0.0)
         self.n_checks = 0
         self._node_of_wid = {w.wid: w.memory_node for w in platform.workers}
         self._handle_by_hid = {h.hid: h for h in program.handles}
@@ -218,6 +234,8 @@ class InvariantChecker:
             self._check_batch(revealed, prev_now, violations)
         if self.overhead_ledger is not None or self.resource_ledger is not None:
             self._check_rt(violations)
+        if self.power_ledger is not None:
+            self._check_energy(violations)
         for detail in self.scheduler.check():
             violations.append(("scheduler", str(detail)))
         if self.control is not None:
@@ -463,6 +481,69 @@ class InvariantChecker:
                 if end > prev_end:
                     ends[resource] = end
             self._rt_grant_idx = len(grants)
+
+    def _check_energy(self, out: list) -> None:
+        """Power-subsystem bookkeeping: cap safety, busy-time
+        conservation, and counter monotonicity.
+
+        The reserved busy draw flowing on a capped node at the current
+        clock may never exceed the cap — that is the subsystem's core
+        promise. Each worker's accrued busy time can never outrun the
+        virtual clock (workers execute one task at a time), and the
+        ledger's busy total must equal the per-worker/per-state sum —
+        the joule report is a per-worker product of these, so exact
+        additivity across workers follows from this audit.
+        """
+        pw = self.power_ledger
+        now = self._last_now
+        model = pw.model
+        for node in self.platform.nodes:
+            cap = model.cap_of(node.mid)
+            if cap == float("inf"):
+                continue
+            draw = pw.node_draw(node.mid, now)
+            if draw > cap + 1e-6:
+                out.append((
+                    "energy",
+                    f"node {node.name!r} draws {draw} W at t={now}us, over "
+                    f"its {cap} W cap",
+                ))
+        clock_slack = now + 1e-6
+        per_worker_sum = 0.0
+        for wid, per_state in pw.busy_us_by_state.items():
+            busy = sum(per_state.values())
+            per_worker_sum += busy
+            if busy > clock_slack:
+                out.append((
+                    "energy",
+                    f"worker {wid} accrued {busy}us busy but only {now}us "
+                    f"elapsed",
+                ))
+        if abs(per_worker_sum - pw.busy_us_total) > 1e-6 + 1e-9 * per_worker_sum:
+            out.append((
+                "energy",
+                f"busy time leaked: per-worker states sum to "
+                f"{per_worker_sum}us but the ledger total is "
+                f"{pw.busy_us_total}us",
+            ))
+        counters = (
+            pw.n_admissions, pw.n_throttled,
+            pw.throttle_delay_us, pw.busy_us_total,
+        )
+        floor = self._energy_floor
+        if any(c < f for c, f in zip(counters, floor)):
+            out.append((
+                "energy",
+                f"power counters moved backward: {floor} -> {counters}",
+            ))
+        else:
+            self._energy_floor = counters
+        if pw.n_throttled > pw.n_admissions:
+            out.append((
+                "energy",
+                f"{pw.n_throttled} throttles recorded over only "
+                f"{pw.n_admissions} admissions",
+            ))
 
     def _check_task_states(self, out: list) -> None:
         prev = self._prev_state

@@ -31,6 +31,15 @@ from repro.experiments.cluster_scale import (
     run_cluster_experiment,
     write_cluster_report,
 )
+from repro.experiments.energy_pareto import (
+    DEFAULT_CAP_FRACTIONS,
+    DEFAULT_LOAD,
+    DEFAULT_SCHEDULERS as ENERGY_SCHEDULERS,
+    QUICK_CAP_FRACTIONS,
+    format_energy_experiment,
+    run_energy_experiment,
+    write_energy_report,
+)
 from repro.experiments.faults_sweep import format_faults_sweep, run_faults_sweep
 from repro.experiments.fig3_nod import format_fig3, run_fig3
 from repro.experiments.fig4_eviction import format_fig4, run_fig4
@@ -172,6 +181,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.smoke:
+        args.quick = True
     progress = None
     if args.jobs > 1:
         # stderr, so parallel runs stay byte-identical to serial on stdout
@@ -281,6 +292,35 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(format_rt_experiment(result))
         if args.json:
             write_rt_report(result, args.json)
+            print(f"json report written to {args.json}")
+    elif args.name == "energy":
+        quick = args.quick
+        result = run_energy_experiment(
+            schedulers=tuple(args.energy_schedulers),
+            cap_fractions=(
+                (None, *args.energy_caps)
+                if args.energy_caps
+                else (QUICK_CAP_FRACTIONS if quick else DEFAULT_CAP_FRACTIONS)
+            ),
+            n_tenants=(
+                args.energy_tenants
+                if args.energy_tenants is not None
+                else (4 if quick else 6)
+            ),
+            n_jobs=(
+                args.energy_jobs
+                if args.energy_jobs is not None
+                else (12 if quick else 24)
+            ),
+            load=args.energy_load,
+            seed=args.stream_seed,
+            check_invariants=args.check_invariants,
+            jobs=args.jobs,
+            progress=progress,
+        )
+        print(format_energy_experiment(result))
+        if args.json:
+            write_energy_report(result, args.json)
             print(f"json report written to {args.json}")
     elif args.name == "cluster":
         result = run_cluster_experiment(
@@ -470,7 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run a light paper experiment")
     exp.add_argument("name", choices=[
         "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "faults",
-        "stream", "overload", "cluster", "rt",
+        "stream", "overload", "cluster", "rt", "energy",
     ])
     exp.add_argument("--jobs", type=int, default=1,
                      help="worker processes for sweep experiments "
@@ -504,7 +544,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--quick", action="store_true",
                      help="overload: trimmed grid (2 multipliers, 6 tenants); "
                           "cluster: 8-node column only; "
-                          "rt: 2 multipliers, 4 tenants, 16 jobs")
+                          "rt: 2 multipliers, 4 tenants, 16 jobs; "
+                          "energy: 2 cap levels, 4 tenants, 12 jobs")
+    exp.add_argument("--smoke", action="store_true",
+                     help="alias for --quick (CI smoke jobs)")
     exp.add_argument("--overload-multipliers", type=float, nargs="+",
                      metavar="X",
                      help="overload: load multiples of the sustainable rate "
@@ -529,9 +572,24 @@ def build_parser() -> argparse.ArgumentParser:
                      default=DEFAULT_DEADLINE_FACTOR,
                      help="rt: relative deadline as a multiple of the "
                           "isolated job makespan")
+    exp.add_argument("--energy-schedulers", nargs="+",
+                     default=list(ENERGY_SCHEDULERS), choices=scheduler_names(),
+                     help="energy: schedulers to sweep")
+    exp.add_argument("--energy-caps", type=float, nargs="+", metavar="FRAC",
+                     help="energy: node cap levels as fractions of each "
+                          "node's peak busy draw (uncapped is always "
+                          "included; default: "
+                          f"{' '.join(f'{f:g}' for f in DEFAULT_CAP_FRACTIONS if f is not None)})")
+    exp.add_argument("--energy-tenants", type=int, default=None,
+                     help="energy: tenant count (default 6, quick 4)")
+    exp.add_argument("--energy-jobs", type=int, default=None,
+                     help="energy: jobs per stream (default 24, quick 12)")
+    exp.add_argument("--energy-load", type=float, default=DEFAULT_LOAD,
+                     help="energy: offered load as a multiple of the "
+                          "sustainable rate")
     exp.add_argument("--check-invariants", action="store_true",
-                     help="overload/cluster/rt: run every cell under the "
-                          "invariant checker (slower)")
+                     help="overload/cluster/rt/energy: run every cell under "
+                          "the invariant checker (slower)")
     exp.add_argument("--placements", nargs="+", default=list(CLUSTER_POLICIES),
                      choices=placement_names(),
                      help="cluster: global placement policies to sweep")
@@ -550,8 +608,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--rate-per-node", type=float, default=50.0,
                      help="cluster: chain arrivals per second per node")
     exp.add_argument("--json", metavar="PATH",
-                     help="stream/overload/cluster/rt: write the JSON report "
-                          "to PATH")
+                     help="stream/overload/cluster/rt/energy: write the JSON "
+                          "report to PATH")
     exp.set_defaults(func=cmd_experiment)
 
     check = sub.add_parser(

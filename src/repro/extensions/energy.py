@@ -1,79 +1,52 @@
-"""Energy accounting and the energy-aware MultiPrio variant.
+"""Energy accounting and the energy/EDP-aware MultiPrio variants.
 
 The paper's Section VII: *"we aim to extend this to incorporate energy
 efficiency heuristics to take advantage of the CPUs and re-balance the
 workload between them and the accelerators without compromising overall
 performance."*
 
-Two pieces:
+Three pieces:
 
-* a :class:`PowerModel` (per-architecture busy/idle watts per worker)
-  plus :func:`energy_of_result`, which converts any
-  :class:`~repro.runtime.engine.SimResult` into joules;
+* :class:`ArchPower` / :class:`PowerModel` (re-exported from
+  :mod:`repro.runtime.power`, their canonical home since the power
+  subsystem landed) plus :func:`energy_of_result`, which converts any
+  :class:`~repro.runtime.engine.SimResult` into joules — each worker's
+  idle draw is clamped to its *live* horizon, so fail-stop casualties
+  stop drawing at death;
 * :class:`EnergyAwareMultiPrio`, which relaxes the pop condition for
   admissions that *save energy*: a slower-but-leaner worker (a CPU core
   at ~12 W vs a GPU at ~250 W) may take a task at a smaller fast-worker
   backlog than the baseline requires, as long as the comparative-
   advantage guard still holds. The effect — measured by
   ``benchmarks/bench_energy.py`` — is a lower joule count at a bounded
-  makespan cost.
+  makespan cost;
+* :class:`EdpMultiPrio` (registered ``multiprio-edp``), the same
+  relaxation scored on the energy-delay product δ²·P instead of plain
+  energy δ·P: it only sheds work to lean units when the energy saved
+  outweighs the quadratically-penalized slowdown, trading fewer joules
+  of savings for a tighter makespan than ``multiprio-energy``.
+
+For engine-level power states, node caps and native joule reporting see
+:mod:`repro.runtime.power` (``SimConfig(power=...)``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.schedulers.multiprio import MultiPrio
 from repro.runtime.engine import SimResult
 from repro.runtime.platform_config import Platform
+from repro.runtime.power import ArchPower, PowerModel
 from repro.runtime.task import Task
 from repro.runtime.worker import Worker
-from repro.utils.validation import check_non_negative, check_positive
+from repro.utils.validation import ValidationError, check_positive
 
-
-@dataclass(frozen=True)
-class ArchPower:
-    """Per-worker power draw of one architecture, in watts."""
-
-    busy_watts: float
-    idle_watts: float
-
-    def __post_init__(self) -> None:
-        check_positive("busy_watts", self.busy_watts)
-        check_non_negative("idle_watts", self.idle_watts)
-        if self.idle_watts > self.busy_watts:
-            raise ValueError("idle_watts cannot exceed busy_watts")
-
-
-class PowerModel:
-    """Power draw per architecture, per worker.
-
-    Defaults approximate the evaluation platforms: one CPU core at 12 W
-    busy / 3 W idle; one GPU execution context at 250 W busy / 50 W idle
-    (a full device — divide by the stream count when modelling
-    multi-stream sharing precisely; for scheduler comparisons the
-    constant-per-worker approximation is sufficient and identical across
-    policies).
-    """
-
-    DEFAULTS = {
-        "cpu": ArchPower(busy_watts=12.0, idle_watts=3.0),
-        "cuda": ArchPower(busy_watts=250.0, idle_watts=50.0),
-    }
-
-    def __init__(self, per_arch: dict[str, ArchPower] | None = None) -> None:
-        self._per_arch = dict(self.DEFAULTS)
-        if per_arch:
-            self._per_arch.update(per_arch)
-
-    def arch_power(self, arch: str) -> ArchPower:
-        """Power profile of one architecture (defaults for unknown)."""
-        return self._per_arch.get(arch, ArchPower(50.0, 10.0))
-
-    def energy_us(self, arch: str, busy_us: float, idle_us: float) -> float:
-        """Energy in joules for the given busy/idle microseconds."""
-        power = self.arch_power(arch)
-        return (busy_us * power.busy_watts + idle_us * power.idle_watts) * 1e-6
+__all__ = [
+    "ArchPower",
+    "PowerModel",
+    "energy_of_result",
+    "EnergyAwareMultiPrio",
+    "EdpMultiPrio",
+]
 
 
 def energy_of_result(
@@ -81,16 +54,33 @@ def energy_of_result(
 ) -> float:
     """Total energy (joules) consumed by a simulated execution.
 
-    Per architecture: the recorded execution time draws busy power, the
-    rest of every worker's timeline draws idle power.
+    Per worker: the recorded busy time draws busy power, the rest of the
+    worker's **live horizon** draws idle power. The horizon is
+    ``min(makespan, death time)`` — exactly the clamp the engine applies
+    to utilization — so a worker lost to a fail-stop failure stops
+    drawing idle watts at its death rather than for the whole run.
+
+    Results predating per-worker busy accounting (an empty
+    ``busy_us_by_worker``) fall back to the per-architecture totals,
+    with every worker's timeline spanning the full makespan.
     """
     power = power or PowerModel()
     total = 0.0
+    busy_by_worker = result.busy_us_by_worker
+    deaths = result.death_us_by_worker
+    per_worker = len(busy_by_worker) == len(platform.workers) > 0
     for arch in platform.archs:
-        n_workers = platform.n_workers(arch)
-        busy = result.exec_time_by_arch.get(arch, 0.0)
-        idle = max(0.0, n_workers * result.makespan - busy)
-        total += power.energy_us(arch, busy, idle)
+        workers = platform.workers_of_arch(arch)
+        if per_worker:
+            for w in workers:
+                horizon = min(result.makespan, deaths.get(w.wid, result.makespan))
+                busy = busy_by_worker[w.wid]
+                idle = max(0.0, horizon - busy)
+                total += power.energy_us(arch, busy, idle)
+        else:
+            busy = result.exec_time_by_arch.get(arch, 0.0)
+            idle = max(0.0, len(workers) * result.makespan - busy)
+            total += power.energy_us(arch, busy, idle)
     return total
 
 
@@ -101,61 +91,81 @@ class EnergyAwareMultiPrio(MultiPrio):
     the best architecture's (δ·P comparison) is admitted at a fraction
     (``energy_relax``) of the baseline backlog requirement — shifting
     work toward low-power units exactly when the energy trade is
-    favourable. All other mechanisms (heaps, scores, locality, eviction)
-    are inherited unchanged.
+    favourable. All other mechanisms (heaps, scores, locality, eviction,
+    the slowdown cap) are inherited unchanged: the relaxation only
+    applies to admissions the base test *rejected on backlog*, so
+    best-arch workers and the slowdown-cap guard behave exactly as in
+    :class:`~repro.schedulers.multiprio.MultiPrio` (a neutral power
+    model — equal watts everywhere — is bit-identical to the base
+    scheduler; ``tests/extensions/test_energy.py`` pins this).
     """
 
     name = "multiprio-energy"
+
+    #: Admission objective: ``"energy"`` compares δ·P, ``"edp"``
+    #: compares the energy-delay product δ²·P.
+    objective = "energy"
 
     def __init__(
         self,
         *,
         power: PowerModel | None = None,
         energy_relax: float = 0.25,
+        objective: str | None = None,
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
         self.power = power or PowerModel()
         self.energy_relax = check_positive("energy_relax", energy_relax)
+        if objective is not None:
+            if objective not in ("energy", "edp"):
+                raise ValidationError(
+                    f"objective must be 'energy' or 'edp', got {objective!r}"
+                )
+            self.objective = objective
 
     def _energy_saving(self, task: Task, worker: Worker, best_arch: str) -> bool:
+        """Whether running on ``worker`` beats the best arch on the
+        configured objective (δ·P for energy, δ²·P for EDP)."""
         ctx = self.ctx
-        e_here = (
-            ctx.estimate(task, worker.arch)
-            * self.power.arch_power(worker.arch).busy_watts
-        )
-        e_best = (
-            ctx.estimate(task, best_arch) * self.power.arch_power(best_arch).busy_watts
-        )
-        return e_here < e_best
+        d_here = ctx.estimate(task, worker.arch)
+        d_best = ctx.estimate(task, best_arch)
+        p_here = self.power.arch_power(worker.arch).busy_watts
+        p_best = self.power.arch_power(best_arch).busy_watts
+        if self.objective == "edp":
+            return d_here * d_here * p_here < d_best * d_best * p_best
+        return d_here * p_here < d_best * p_best
 
-    def _pop_condition(self, task: Task, worker: Worker) -> bool:
-        ctx = self.ctx
-        best_arch = ctx.best_arch(task)
-        if worker.arch == best_arch:
-            return True
-        if super()._pop_condition(task, worker):
-            return True
-        # Energy relaxation: admit earlier when this worker is the
-        # energy-cheaper choice (still respecting the slowdown cap).
-        if not self._energy_saving(task, worker, best_arch):
-            return False
-        if (
-            self.slowdown_cap is not None
-            and ctx.estimate(task, worker.arch)
-            > self.slowdown_cap * ctx.estimate(task, best_arch)
-        ):
-            return False
-        brw = max(
-            (
-                self.best_remaining_work[node.mid]
-                for node in ctx.platform.nodes_of_arch(best_arch)
-                if node.mid in self.best_remaining_work
-            ),
-            default=0.0,
-        )
-        if self.drain_aware:
-            brw /= max(1, ctx.n_workers(best_arch))
-        return brw > self.energy_relax * self.brw_safety * ctx.estimate(
-            task, worker.arch
-        )
+    def _admission(self, task: Task, worker: Worker) -> tuple[bool, float | None, float]:
+        """The base admission test plus the energy relaxation.
+
+        Delegates to :meth:`MultiPrio._admission` first, so every base
+        branch — best-arch early accept, eviction-disabled accept, the
+        slowdown-cap rejection — is honoured verbatim. Only a *backlog*
+        rejection (``brw`` was read and fell short) may be overturned:
+        when this worker wins on the objective, the backlog requirement
+        shrinks to ``energy_relax`` of the baseline.
+        """
+        admitted, brw, delta = super()._admission(task, worker)
+        if admitted or brw is None:
+            # Accepted outright, or rejected before the backlog was read
+            # (slowdown cap): the relaxation honours the same cap, so
+            # there is nothing to overturn.
+            return admitted, brw, delta
+        if not self._energy_saving(task, worker, self.ctx.best_arch(task)):
+            return False, brw, delta
+        return brw > self.energy_relax * self.brw_safety * delta, brw, delta
+
+
+class EdpMultiPrio(EnergyAwareMultiPrio):
+    """Energy-delay-product scoring as a MultiPrio mode.
+
+    Identical machinery to :class:`EnergyAwareMultiPrio`, but the
+    relaxation fires only when the *energy-delay product* δ²·P improves:
+    the extra delay of a lean worker is penalized quadratically, so work
+    only shifts off the accelerators when the joules saved are worth the
+    slowdown. Registered as ``multiprio-edp``.
+    """
+
+    name = "multiprio-edp"
+    objective = "edp"

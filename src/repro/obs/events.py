@@ -222,6 +222,28 @@ class PriorityInversion(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class PowerCapThrottled(Event):
+    """A node power cap intervened in an execution start.
+
+    Emitted by the engine's power subsystem (:mod:`repro.runtime.power`)
+    when task ``tid`` on worker ``wid`` could not execute in the
+    preferred (fastest) power state under node ``node``'s busy-draw cap
+    of ``cap_watts``: it ran in ``state`` instead (a leaner DVFS point)
+    and/or its start was pushed back by ``delay_us`` until enough
+    reserved draw was released.
+    """
+
+    kind: ClassVar[str] = "power_cap_throttled"
+
+    tid: int
+    wid: int
+    node: int
+    state: str
+    cap_watts: float
+    delay_us: float
+
+
+@dataclass(frozen=True, slots=True)
 class TaskPop(Event):
     """The scheduler handed a task to a worker (``staged`` = lookahead pop)."""
 
@@ -425,6 +447,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         TaskReady,
         BatchScheduled,
         PriorityInversion,
+        PowerCapThrottled,
         TaskPop,
         TaskStage,
         TaskStart,

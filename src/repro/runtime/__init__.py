@@ -45,6 +45,15 @@ from repro.runtime.perfmodel import (
 )
 from repro.runtime.engine import Simulator, SimResult, SchedContext
 from repro.runtime.overhead import OverheadLedger, SchedOverheadModel
+from repro.runtime.power import (
+    ArchPower,
+    EnergyReport,
+    PowerLedger,
+    PowerModel,
+    PowerState,
+    PowerStateModel,
+    WorkerEnergy,
+)
 from repro.runtime.resources import ResourceLedger, ResourceProtocol
 from repro.runtime.trace import Trace, TaskRecord, TransferRecord
 
@@ -78,6 +87,13 @@ __all__ = [
     "SchedContext",
     "SchedOverheadModel",
     "OverheadLedger",
+    "ArchPower",
+    "PowerModel",
+    "PowerState",
+    "PowerStateModel",
+    "PowerLedger",
+    "EnergyReport",
+    "WorkerEnergy",
     "ResourceProtocol",
     "ResourceLedger",
     "Trace",

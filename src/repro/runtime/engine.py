@@ -37,6 +37,7 @@ from repro.obs.events import (
     JobEvicted,
     JobRejected,
     JobSubmit,
+    PowerCapThrottled,
     PriorityInversion,
     RecordLevel,
     TaskEnd,
@@ -63,6 +64,7 @@ from repro.runtime.faults import FaultModel, FaultStats
 from repro.runtime.overhead import OverheadLedger, SchedOverheadModel
 from repro.runtime.perfmodel import AnalyticalPerfModel
 from repro.runtime.platform_config import Platform
+from repro.runtime.power import EnergyReport, PowerLedger, PowerStateModel
 from repro.runtime.resources import ResourceLedger, ResourceProtocol
 from repro.runtime.stf import Program
 from repro.runtime.task import Task, TaskState
@@ -267,6 +269,14 @@ class SimResult:
     #: resource-grant/blocking/inversion counters); ``None`` unless an
     #: overhead model or resource protocol was attached.
     rt_stats: dict[str, float] | None = None
+    #: Per-worker busy microseconds, indexed by dense worker id; always
+    #: populated (energy accounting clamps each worker's idle draw to
+    #: its live horizon rather than the whole makespan).
+    busy_us_by_worker: tuple[float, ...] = ()
+    #: Fail-stop death times per worker id; empty without worker faults.
+    death_us_by_worker: dict[int, float] = field(default_factory=dict)
+    #: Energy accounting; ``None`` unless a power model was attached.
+    energy: EnergyReport | None = None
 
     @property
     def gflops(self) -> float:
@@ -362,6 +372,18 @@ class Simulator:
         :class:`~repro.obs.events.PriorityInversion` events, and
         ``mode="ceiling"`` adds priority-ceiling avoidance blocking.
         ``None`` (default) ignores resource names entirely.
+    power:
+        Optional :class:`~repro.runtime.power.PowerStateModel` attaching
+        the power subsystem: executions run in DVFS power states (the
+        fastest runnable state that fits under the worker's node
+        power cap — downgrades and delayed starts emit
+        :class:`~repro.obs.events.PowerCapThrottled`), a state's
+        ``speed`` scales the sampled execution duration, and
+        ``SimResult.energy`` carries the per-worker/per-arch joule
+        accounting. ``None`` (default) keeps the engine power-blind; an
+        uncapped model whose fastest state is full speed is
+        bit-identical to ``None`` (the ``power.noop`` differential
+        enforces this).
     """
 
     def __init__(
@@ -382,6 +404,7 @@ class Simulator:
         batch_drain_on_idle: bool = True,
         overhead: SchedOverheadModel | None = None,
         resources: ResourceProtocol | None = None,
+        power: PowerStateModel | None = None,
     ) -> None:
         if submission_window is not None and submission_window < 1:
             raise SchedulingError(
@@ -404,6 +427,7 @@ class Simulator:
         self.batch_drain_on_idle = batch_drain_on_idle
         self.overhead = overhead
         self.resources = resources
+        self.power = power
         if check_invariants is None:
             check_invariants = os.environ.get(
                 "REPRO_CHECK_INVARIANTS", ""
@@ -503,6 +527,15 @@ class Simulator:
             if self.resources is not None
             else None
         )
+        # Power subsystem, None on the classic (bit-identical) path: the
+        # ledger admits execution states under the node caps and accrues
+        # per-worker busy energy.
+        pw = (
+            PowerLedger(self.power, self.platform)
+            if self.power is not None
+            else None
+        )
+        pw_default = pw.run_states[0] if pw is not None else None
 
         def push_ready(task: Task) -> None:
             nonlocal flush_queued, seq
@@ -820,7 +853,28 @@ class Simulator:
                             now, task.tid, r, holder_tid,
                             task.priority, holder_prio, wait_us,
                         ))
+            if pw is not None:
+                # Power-state admission: the fastest runnable state that
+                # fits under the node cap, possibly delayed until enough
+                # reserved draw frees. The state's speed scales the
+                # sampled duration (eco runs slower but leaner).
+                pstate, pstart = pw.admit(worker, start)
+                if pstate.speed != 1.0:
+                    duration = duration / pstate.speed
+                if emit is not None and (
+                    pstart > start or pstate is not pw_default
+                ):
+                    emit(PowerCapThrottled(
+                        now, task.tid, worker.wid, worker.memory_node,
+                        pstate.name,
+                        pw.model.cap_of(worker.memory_node),
+                        pstart - start,
+                    ))
+                start = pstart
+                task.sched["_pstate"] = pstate
             end = start + duration
+            if pw is not None:
+                pw.book(worker, task.sched["_pstate"], start, end)
             if res_ledger is not None and task.resources:
                 res_ledger.book(task, start, end)
             # pop_time is the moment the worker became free for this task;
@@ -892,6 +946,7 @@ class Simulator:
                 batch_drain=batch_drain,
                 overhead_ledger=ov,
                 resource_ledger=res_ledger,
+                power_ledger=pw,
             )
 
         while events:
@@ -947,6 +1002,12 @@ class Simulator:
                 busy_by_worker[wid] += end - start
                 wait_by_worker[wid] += start - pop_time
                 exec_by_arch[worker.arch] += end - start
+                if pw is not None:
+                    # Per-task joules (state-scaled busy watts × span)
+                    # survive on the task for per-job attribution.
+                    task.sched["_energy_j"] = pw.charge(
+                        worker, task.sched["_pstate"], end - start
+                    )
                 self.perfmodel.record(task, worker.arch, end - start)
                 if trace is not None:
                     trace.record_task(task, worker, pop_time, start, end)
@@ -1016,6 +1077,10 @@ class Simulator:
                 busy_by_worker[wid] += now - start
                 wait_by_worker[wid] += start - pop_time
                 exec_by_arch[worker.arch] += now - start
+                if pw is not None:
+                    # Wasted burn draws busy power too; the attempt's
+                    # reservation releases at its planned end (conservative).
+                    pw.charge(worker, task.sched["_pstate"], now - start)
                 faults.task_failures += 1
                 faults.wasted_exec_us += now - start
                 rollback(task, worker)
@@ -1066,6 +1131,8 @@ class Simulator:
                     busy_by_worker[wid] += burned
                     wait_by_worker[wid] += min(now, start) - pop_time
                     exec_by_arch[worker.arch] += burned
+                    if pw is not None:
+                        pw.charge(worker, running.sched["_pstate"], burned)
                     faults.wasted_exec_us += burned
                     rollback(running, worker)
                     current[wid] = None
@@ -1253,9 +1320,15 @@ class Simulator:
                 {
                     **(ov.stats() if ov is not None else {}),
                     **(res_ledger.stats() if res_ledger is not None else {}),
+                    **(pw.stats() if pw is not None else {}),
                 }
-                if ov is not None or res_ledger is not None
+                if ov is not None or res_ledger is not None or pw is not None
                 else None
+            ),
+            busy_us_by_worker=tuple(busy_by_worker),
+            death_us_by_worker=dict(death_time),
+            energy=(
+                pw.finalize(makespan, death_time) if pw is not None else None
             ),
         )
 

@@ -61,9 +61,10 @@ _FACTORIES: dict[str, Callable[..., Scheduler]] = {
 def _register_extensions() -> None:
     """Extension schedulers live outside the core package; import them
     lazily so the registry module has no hard dependency on them."""
-    from repro.extensions.energy import EnergyAwareMultiPrio
+    from repro.extensions.energy import EdpMultiPrio, EnergyAwareMultiPrio
 
     _FACTORIES.setdefault("multiprio-energy", EnergyAwareMultiPrio)
+    _FACTORIES.setdefault("multiprio-edp", EdpMultiPrio)
 
 
 _register_extensions()

@@ -43,6 +43,10 @@ class JobResult:
     #: Absolute deadline (arrival + the job's relative deadline);
     #: ``None`` for jobs submitted without one.
     deadline_us: float | None = None
+    #: Busy joules attributed to the job's own executions (idle draw is
+    #: a platform cost and is not attributed); ``None`` when the run
+    #: predates energy attribution.
+    energy_j: float | None = None
 
     @property
     def latency_us(self) -> float:
@@ -79,6 +83,14 @@ class JobResult:
         lateness = self.lateness_us
         return None if lateness is None else lateness > 0.0
 
+    @property
+    def edp_j_s(self) -> float | None:
+        """Energy-delay product: attributed joules × latency, in J·s
+        (``None`` without energy attribution)."""
+        if self.energy_j is None:
+            return None
+        return self.energy_j * self.latency_us * 1e-6
+
     def as_dict(self) -> dict[str, Any]:
         """Flat JSON-ready mapping, derived metrics included."""
         return {
@@ -96,6 +108,8 @@ class JobResult:
             "deadline_us": self.deadline_us,
             "lateness_us": self.lateness_us,
             "missed": self.missed,
+            "energy_j": self.energy_j,
+            "edp_j_s": self.edp_j_s,
         }
 
 
@@ -185,6 +199,32 @@ class StreamResult:
         return percentile(self.latenesses_us, 0.99)
 
     @property
+    def jobs_energy_j(self) -> float:
+        """Busy joules attributed to completed jobs (0.0 when the run
+        predates energy attribution)."""
+        return sum(j.energy_j or 0.0 for j in self.jobs)
+
+    @property
+    def total_energy_j(self) -> float | None:
+        """Whole-run joules, idle draw included.
+
+        Requires the engine's power subsystem (``SimConfig(power=...)``)
+        — reads ``sim.energy``; ``None`` otherwise (use
+        :attr:`jobs_energy_j` for the attribution-only busy total).
+        """
+        energy = self.sim.energy
+        return energy.total_j if energy is not None else None
+
+    @property
+    def mean_edp_j_s(self) -> float:
+        """Mean per-job energy-delay product, J·s (0.0 when no job
+        carries energy attribution)."""
+        vals = [j.edp_j_s for j in self.jobs if j.edp_j_s is not None]
+        if not vals:
+            return 0.0
+        return sum(vals) / len(vals)
+
+    @property
     def slowdowns(self) -> list[float] | None:
         """Per-job slowdowns, or ``None`` when baselines were skipped."""
         vals = [j.slowdown for j in self.jobs]
@@ -249,6 +289,11 @@ class StreamResult:
                 entry["deadline_miss_rate"] = (
                     sum(1 for j in tagged if j.missed) / len(tagged)
                 )
+            energies = [j.energy_j for j in mine if j.energy_j is not None]
+            if energies:
+                entry["energy_j"] = sum(energies)
+                edps = [j.edp_j_s for j in mine if j.edp_j_s is not None]
+                entry["mean_edp_j_s"] = sum(edps) / len(edps)
             out[tenant] = entry
         return out
 
@@ -274,6 +319,9 @@ class StreamResult:
             "p99_lateness_us": self.p99_lateness_us,
             "fairness": self.fairness,
             "tenant_fairness": self.tenant_fairness,
+            "jobs_energy_j": self.jobs_energy_j,
+            "total_energy_j": self.total_energy_j,
+            "mean_edp_j_s": self.mean_edp_j_s,
             "per_tenant": self.per_tenant(),
             "control": self.control.as_dict() if self.control else None,
             "jobs": [j.as_dict() for j in self.jobs],

@@ -6,6 +6,7 @@ from repro.apps.dense import cholesky_program
 from repro.check.differential import (
     CheckOutcome,
     builtin_apps,
+    check_power_noop_equivalence,
     check_window_equivalence,
     fingerprint,
     makespan_lower_bounds,
@@ -90,6 +91,8 @@ class TestSuite:
             "cluster.single_node", "cluster.single_node_jobs",
             "batch.equivalence", "batch.nodrain_complete",
             "rt.overhead_noop", "rt.resources_noop", "rt.deadline_noop",
+            "power.noop_ladder", "power.noop_metering",
+            "power.metering_joules",
         }
 
     def test_progress_callback_sees_everything(self):
@@ -114,6 +117,23 @@ class TestSuite:
         bad = CheckOutcome("y", False, "went wrong")
         assert str(ok).startswith("[ok  ] x")
         assert "went wrong" in str(bad) and "FAIL" in str(bad)
+
+
+class TestPowerNoopEquivalence:
+    def test_passive_models_are_noops(self):
+        """Zero-delta differential: the default ladder and the metering
+        model must be bit-identical to a power-blind run, and the
+        metered joules must match the post-hoc conversion exactly."""
+        outcomes = check_power_noop_equivalence(
+            small_hetero(n_cpus=2, n_gpus=1), schedulers=("multiprio",)
+        )
+        assert [o.name for o in outcomes] == [
+            "power.noop_ladder[multiprio]",
+            "power.noop_metering[multiprio]",
+            "power.metering_joules[multiprio]",
+        ]
+        failed = [o for o in outcomes if not o.passed]
+        assert not failed, "\n".join(str(o) for o in failed)
 
 
 class TestWindowEquivalence:

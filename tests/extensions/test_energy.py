@@ -3,13 +3,16 @@
 import pytest
 
 from repro.analysis.validation import check_schedule
+from repro.check.differential import fingerprint
 from repro.extensions.energy import (
     ArchPower,
+    EdpMultiPrio,
     EnergyAwareMultiPrio,
     PowerModel,
     energy_of_result,
 )
 from repro.runtime.engine import Simulator
+from repro.runtime.faults import FaultModel
 from repro.runtime.perfmodel import AnalyticalPerfModel
 from repro.schedulers.registry import make_scheduler
 from tests.conftest import make_fork_join_program
@@ -33,8 +36,16 @@ class TestPowerModel:
         assert model.arch_power("cpu").busy_watts == 20.0
         assert model.arch_power("cuda").busy_watts == 250.0
 
-    def test_unknown_arch_has_fallback(self):
-        assert PowerModel().arch_power("tpu").busy_watts > 0
+    def test_unknown_arch_raises(self):
+        # A silently invented profile would corrupt every comparison on
+        # platforms with e.g. fpga workers; unknown archs must raise.
+        with pytest.raises(KeyError, match="tpu"):
+            PowerModel().arch_power("tpu")
+
+    def test_unknown_arch_explicit_default(self):
+        fallback = ArchPower(busy_watts=50.0, idle_watts=10.0)
+        assert PowerModel().arch_power("tpu", default=fallback) is fallback
+        assert PowerModel().arch_power("tpu", default=None) is None
 
     def test_energy_us(self):
         model = PowerModel({"cpu": ArchPower(10.0, 1.0)})
@@ -77,6 +88,36 @@ class TestEnergyOfResult:
         hot_idle = PowerModel({"cpu": ArchPower(12.0, 11.0)})
         assert energy_of_result(res, sim.platform, hot_idle) > base
 
+    def test_dead_worker_horizon_is_clamped(self, hetero_machine):
+        """Regression: a fail-stop casualty must draw idle watts only up
+        to its death, not ``n_workers * makespan`` per arch."""
+        program = make_fork_join_program(width=16, flops=5e8)
+        pm = AnalyticalPerfModel(hetero_machine.calibration())
+
+        def run(fault_model=None):
+            sim = Simulator(
+                hetero_machine.platform(), make_scheduler("multiprio"), pm,
+                seed=0, fault_model=fault_model,
+            )
+            return sim.run(program), sim
+
+        alive, sim = run()
+        kill_at = alive.makespan * 0.1
+        dead, sim = run(FaultModel(worker_kills={0: kill_at}))
+        assert dead.death_us_by_worker[0] == pytest.approx(kill_at)
+        got = energy_of_result(dead, sim.platform)
+        # Recompute with worker 0's idle horizon stretched to the full
+        # makespan (the old, buggy accounting): it must cost more.
+        unclamped = dict(dead.death_us_by_worker)
+        del unclamped[0]
+        buggy = energy_of_result(
+            type(dead)(**{**dead.__dict__, "death_us_by_worker": unclamped}),
+            sim.platform,
+        )
+        idle_w = PowerModel().arch_power("cpu").idle_watts
+        extra_j = (dead.makespan - kill_at) * idle_w * 1e-6
+        assert buggy - got == pytest.approx(extra_j)
+
 
 class TestEnergyAwareScheduler:
     def test_is_feasible(self, hetero_machine):
@@ -108,7 +149,63 @@ class TestEnergyAwareScheduler:
 
     def test_registry_name(self):
         assert EnergyAwareMultiPrio().name == "multiprio-energy"
+        assert type(make_scheduler("multiprio-energy")) is EnergyAwareMultiPrio
 
     def test_invalid_relax(self):
         with pytest.raises(Exception):
             EnergyAwareMultiPrio(energy_relax=0.0)
+
+    def test_invalid_objective(self):
+        with pytest.raises(Exception):
+            EnergyAwareMultiPrio(objective="latency")
+
+    @pytest.mark.parametrize("cls", [EnergyAwareMultiPrio, EdpMultiPrio])
+    def test_neutral_watts_is_bit_identical_to_multiprio(
+        self, hetero_machine, cls
+    ):
+        """Differential pin: with equal watts everywhere the relaxation
+        can never fire (a slower worker never wins δ·P or δ²·P), so the
+        variant must reproduce the base scheduler's schedule exactly —
+        in particular the base backlog and slowdown-cap guards apply
+        verbatim to best-arch workers."""
+        program = make_fork_join_program(width=32, flops=8e8)
+        pm = AnalyticalPerfModel(hetero_machine.calibration())
+        neutral = PowerModel({
+            "cpu": ArchPower(100.0, 10.0),
+            "cuda": ArchPower(100.0, 10.0),
+        })
+
+        def run(sched):
+            sim = Simulator(
+                hetero_machine.platform(), sched, pm,
+                seed=0, record_trace=True,
+            )
+            return fingerprint(sim.run(program))
+
+        assert run(cls(power=neutral)) == run(make_scheduler("multiprio"))
+
+
+class TestEdpMultiPrio:
+    def test_registry_name(self):
+        assert EdpMultiPrio().name == "multiprio-edp"
+        assert EdpMultiPrio().objective == "edp"
+        assert type(make_scheduler("multiprio-edp")) is EdpMultiPrio
+
+    def test_objective_kwarg_equivalence(self):
+        assert EnergyAwareMultiPrio(objective="edp").objective == "edp"
+
+    def test_edp_is_at_most_as_aggressive_as_energy(self, hetero_machine):
+        """δ²·P improves only if δ·P does (whenever the lean worker is
+        slower), so EDP can shift at most as much work off the
+        accelerators as the plain energy objective."""
+        program = make_fork_join_program(width=48, flops=8e8)
+        pm = AnalyticalPerfModel(hetero_machine.calibration())
+
+        def cpu_share(sched):
+            sim = Simulator(hetero_machine.platform(), sched, pm, seed=0)
+            res = sim.run(program)
+            return res.exec_time_by_arch.get("cpu", 0.0) / sum(
+                res.exec_time_by_arch.values()
+            )
+
+        assert cpu_share(EdpMultiPrio()) <= cpu_share(EnergyAwareMultiPrio()) + 1e-12
